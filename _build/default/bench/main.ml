@@ -1,0 +1,415 @@
+(* Bechamel benchmarks for the bgpmark reproduction.
+
+   One Test.make per paper artifact — Table I/II rendering, each
+   Table III scenario, and each figure — each benchmark running a
+   scaled-down but complete harness experiment; plus microbenchmarks of
+   the substrate hot paths (wire codec, LPM structures, decision
+   process, policy) and the DESIGN.md ablations (LPM structure choice,
+   policy chain depth, packet packing).
+
+   Wall-clock numbers here measure the *simulator and protocol
+   engine*'s OCaml performance; the paper-facing transactions/s numbers
+   come from `bgpbench` (virtual time). *)
+
+open Bechamel
+open Toolkit
+
+module H = Bgpmark.Harness
+module Scenario = Bgpmark.Scenario
+module Arch = Bgp_router.Arch
+module Msg = Bgp_wire.Msg
+module Codec = Bgp_wire.Codec
+
+let ip = Bgp_addr.Ipv4.of_string_exn
+let asn = Bgp_route.Asn.of_int
+
+(* Small-but-complete runs keep each benchmark iteration in the
+   low-millisecond range. *)
+let bench_config = { H.default_config with H.table_size = 200 }
+
+(* ------------------------------------------------------------------ *)
+(* Per-table / per-figure harness benches                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1_test =
+  Test.make ~name:"table1/render" (Staged.stage @@ fun () -> Scenario.table1 ())
+
+let table2_test =
+  Test.make ~name:"table2/render"
+    (Staged.stage @@ fun () ->
+     List.map (fun a -> Format.asprintf "%a" Arch.pp a) Arch.all)
+
+let table3_tests =
+  List.map
+    (fun sc ->
+      Test.make ~name:(Printf.sprintf "table3/scenario%d" sc.Scenario.id)
+        (Staged.stage @@ fun () ->
+         List.map
+           (fun arch ->
+             let r = H.run ~config:bench_config arch sc in
+             assert (r.H.verified = Ok ());
+             r.H.tps)
+           Arch.all))
+    Scenario.all
+
+let fig3_test =
+  Test.make ~name:"fig3/cpu-traces-scenario6"
+    (Staged.stage @@ fun () -> Bgpmark.Figures.fig3 ~config:bench_config ())
+
+let fig4_test =
+  Test.make ~name:"fig4/packet-size-traces"
+    (Staged.stage @@ fun () -> Bgpmark.Figures.fig4 ~config:bench_config ())
+
+let fig5_tests =
+  (* One per panel, on a reduced 3-level sweep. *)
+  List.map
+    (fun sc ->
+      Test.make ~name:(Printf.sprintf "fig5/benchmark%d" sc.Scenario.id)
+        (Staged.stage @@ fun () ->
+         Bgpmark.Sweep.run ~config:bench_config ~levels:[ 0.0; 150.0; 300.0 ] sc))
+    Scenario.all
+
+let fig6_test =
+  Test.make ~name:"fig6/cross-traffic-traces"
+    (Staged.stage @@ fun () -> Bgpmark.Figures.fig6 ~config:bench_config ())
+
+(* ------------------------------------------------------------------ *)
+(* Substrate microbenches                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table10k = Bgp_addr.Prefix_gen.table ~seed:1 ~n:10_000 ()
+
+let update500 =
+  let attrs =
+    Bgp_speaker.Workload.attrs ~speaker_asn:(asn 65001)
+      ~next_hop:(ip "192.0.2.1") ~path_len:4 ()
+  in
+  Msg.announcement attrs (Array.to_list (Array.sub table10k 0 500))
+
+let update500_wire = Codec.encode update500
+
+let wire_tests =
+  [ Test.make ~name:"wire/encode-update-500"
+      (Staged.stage @@ fun () -> Codec.encode update500);
+    Test.make ~name:"wire/decode-update-500"
+      (Staged.stage @@ fun () -> Result.get_ok (Codec.decode update500_wire));
+    Test.make ~name:"wire/keepalive-roundtrip"
+      (Staged.stage @@ fun () ->
+       Result.get_ok (Codec.decode (Codec.encode Msg.Keepalive))) ]
+
+(* LPM ablation: the three structures over the same 10k-prefix table. *)
+let nh = { Bgp_fib.Fib.nh_addr = ip "192.0.2.1"; nh_port = 0 }
+
+let patricia_full =
+  Array.fold_left
+    (fun t p -> Bgp_fib.Patricia.add p nh t)
+    Bgp_fib.Patricia.empty table10k
+
+let hash_full =
+  let h = Bgp_fib.Hash_lpm.create () in
+  Array.iter (fun p -> Bgp_fib.Hash_lpm.insert h p nh) table10k;
+  h
+
+let dir_full =
+  Bgp_fib.Dir24_8.build (Array.to_list (Array.map (fun p -> (p, nh)) table10k))
+
+let probe_addrs =
+  Array.init 1024 (fun i ->
+      Bgp_addr.Prefix.first table10k.(i * (Array.length table10k / 1024)))
+
+let lookup_all lookup =
+  let acc = ref 0 in
+  Array.iter (fun a -> if lookup a <> None then incr acc) probe_addrs;
+  !acc
+
+let fib_tests =
+  [ Test.make ~name:"fib/patricia-build-10k"
+      (Staged.stage @@ fun () ->
+       Array.fold_left
+         (fun t p -> Bgp_fib.Patricia.add p nh t)
+         Bgp_fib.Patricia.empty table10k);
+    Test.make ~name:"fib/dir24-build-10k"
+      (Staged.stage @@ fun () ->
+       Bgp_fib.Dir24_8.build
+         (Array.to_list (Array.map (fun p -> (p, nh)) table10k)));
+    Test.make ~name:"ablation-lpm/patricia-lookup-1k"
+      (Staged.stage @@ fun () ->
+       lookup_all (fun a -> Bgp_fib.Patricia.lookup a patricia_full));
+    Test.make ~name:"ablation-lpm/hashlpm-lookup-1k"
+      (Staged.stage @@ fun () ->
+       lookup_all (fun a -> Bgp_fib.Hash_lpm.lookup hash_full a));
+    Test.make ~name:"ablation-lpm/dir24-lookup-1k"
+      (Staged.stage @@ fun () -> lookup_all (Bgp_fib.Dir24_8.lookup dir_full)) ]
+
+(* Decision process and RIB machinery. *)
+let candidates =
+  List.init 8 (fun i ->
+      let peer =
+        Bgp_route.Peer.make ~id:i
+          ~asn:(asn (65001 + i))
+          ~router_id:(Bgp_addr.Ipv4.of_octets 192 0 2 (i + 1))
+          ~addr:(Bgp_addr.Ipv4.of_octets 192 0 2 (i + 1))
+      in
+      Bgp_route.Route.make
+        ~prefix:(Bgp_addr.Prefix.of_string_exn "203.0.113.0/24")
+        ~attrs:
+          (Bgp_speaker.Workload.attrs
+             ~speaker_asn:(asn (65001 + i))
+             ~next_hop:peer.Bgp_route.Peer.addr
+             ~path_len:(2 + (i mod 4))
+             ())
+        ~from:peer)
+
+let rib_bench =
+  let attrs =
+    Bgp_speaker.Workload.attrs ~speaker_asn:(asn 65001)
+      ~next_hop:(ip "192.0.2.1") ~path_len:3 ()
+  in
+  Test.make ~name:"rib/announce-withdraw-1k"
+    (Staged.stage @@ fun () ->
+     let rib =
+       Bgp_rib.Rib_manager.create ~local_asn:(asn 65000)
+         ~router_id:(ip "10.255.0.1") ()
+     in
+     let p1 =
+       Bgp_route.Peer.make ~id:0 ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
+         ~addr:(ip "192.0.2.1")
+     in
+     Bgp_rib.Rib_manager.add_peer rib p1;
+     for i = 0 to 999 do
+       ignore (Bgp_rib.Rib_manager.announce rib ~from:p1 table10k.(i) attrs)
+     done;
+     for i = 0 to 999 do
+       ignore (Bgp_rib.Rib_manager.withdraw rib ~from:p1 table10k.(i))
+     done)
+
+let decision_test =
+  Test.make ~name:"rib/decision-8-candidates"
+    (Staged.stage @@ fun () ->
+     Bgp_rib.Decision.select ~local_asn:(asn 65000) candidates)
+
+(* Policy-depth ablation. *)
+let policy_of_depth n =
+  Bgp_policy.Policy.make ~name:(Printf.sprintf "depth-%d" n)
+    (List.init n (fun i ->
+         { Bgp_policy.Policy.term_name = Printf.sprintf "t%d" i;
+           conds = [ Bgp_policy.Policy.Path_contains (asn (i + 1)) ];
+           verdict = Bgp_policy.Policy.Reject }))
+
+let sample_route = List.hd candidates
+
+let policy_tests =
+  List.map
+    (fun depth ->
+      let p = policy_of_depth depth in
+      Test.make ~name:(Printf.sprintf "ablation-policy/depth-%d" depth)
+        (Staged.stage @@ fun () -> Bgp_policy.Policy.eval p sample_route))
+    [ 0; 8; 32 ]
+
+(* Packing ablation: the paper's small-vs-large knob, end to end. *)
+let packing_tests =
+  List.map
+    (fun packing ->
+      Test.make ~name:(Printf.sprintf "ablation-packing/%d-per-update" packing)
+        (Staged.stage @@ fun () ->
+         let config = { bench_config with H.large_packing = max packing 2 } in
+         let sc =
+           if packing = 1 then Scenario.of_id_exn 1 else Scenario.of_id_exn 2
+         in
+         (H.run ~config Arch.pentium3 sc).H.tps))
+    [ 1; 50; 500 ]
+
+(* Decision-process scaling with the number of candidate routes. *)
+let candidates_of n =
+  List.filteri (fun i _ -> i < n) (candidates @ candidates @ candidates @ candidates)
+
+let decision_scaling_tests =
+  List.map
+    (fun n ->
+      let cs =
+        List.mapi
+          (fun i r ->
+            Bgp_route.Route.make
+              ~prefix:(Bgp_route.Route.prefix r)
+              ~attrs:(Bgp_route.Route.attrs r)
+              ~from:
+                (Bgp_route.Peer.make ~id:i
+                   ~asn:(asn (64000 + i))
+                   ~router_id:(Bgp_addr.Ipv4.of_int (1000 + i))
+                   ~addr:(Bgp_addr.Ipv4.of_int (1000 + i))))
+          (candidates_of n)
+      in
+      Test.make ~name:(Printf.sprintf "ablation-decision/candidates-%d" n)
+        (Staged.stage @@ fun () ->
+         Bgp_rib.Decision.select ~local_asn:(asn 65000) cs))
+    [ 2; 8; 32 ]
+
+(* Aggregation cost: announce/withdraw 1k prefixes with and without a
+   configured covering aggregate. *)
+let rib_agg_tests =
+  let attrs =
+    Bgp_speaker.Workload.attrs ~speaker_asn:(asn 65001)
+      ~next_hop:(ip "192.0.2.1") ~path_len:3 ()
+  in
+  let mk_run aggregates () =
+    let rib =
+      Bgp_rib.Rib_manager.create ?aggregates ~local_asn:(asn 65000)
+        ~router_id:(ip "10.255.0.1") ()
+    in
+    let p1 =
+      Bgp_route.Peer.make ~id:0 ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
+        ~addr:(ip "192.0.2.1")
+    in
+    Bgp_rib.Rib_manager.add_peer rib p1;
+    for i = 0 to 999 do
+      ignore (Bgp_rib.Rib_manager.announce rib ~from:p1 table10k.(i) attrs)
+    done;
+    for i = 0 to 999 do
+      ignore (Bgp_rib.Rib_manager.withdraw rib ~from:p1 table10k.(i))
+    done
+  in
+  [ Test.make ~name:"ablation-aggregation/off"
+      (Staged.stage (mk_run None));
+    Test.make ~name:"ablation-aggregation/default-route-aggregate"
+      (Staged.stage
+         (mk_run
+            (Some
+               [ { Bgp_rib.Rib_manager.agg_prefix = Bgp_addr.Prefix.default;
+                   agg_as_set = false; agg_summary_only = false } ]))) ]
+
+(* Workload realism ablation: the paper's uniform paths vs an
+   Internet-shaped mix. *)
+let workload_shape_tests =
+  [ Test.make ~name:"ablation-workload/uniform-paths"
+      (Staged.stage @@ fun () ->
+       (H.run ~config:bench_config Arch.pentium3 (Scenario.of_id_exn 2)).H.tps);
+    Test.make ~name:"ablation-workload/varied-paths"
+      (Staged.stage @@ fun () ->
+       (H.run
+          ~config:{ bench_config with H.varied_paths = true }
+          Arch.pentium3 (Scenario.of_id_exn 2))
+         .H.tps) ]
+
+(* MRAI ablation: outbound advertisement batching on scenario 7. *)
+let mrai_tests =
+  [ Test.make ~name:"ablation-mrai/off"
+      (Staged.stage @@ fun () ->
+       (H.run ~config:bench_config Arch.pentium3 (Scenario.of_id_exn 7)).H.msgs_tx);
+    Test.make ~name:"ablation-mrai/1s"
+      (Staged.stage @@ fun () ->
+       (H.run
+          ~config:{ bench_config with H.mrai = Some 1.0 }
+          Arch.pentium3 (Scenario.of_id_exn 7))
+         .H.msgs_tx) ]
+
+(* Stream framing throughput: reassemble a 50-message burst fed in
+   1400-byte chunks (TCP segment sized). *)
+let framer_test =
+  let burst =
+    String.concat ""
+      (List.init 50 (fun i ->
+           Codec.encode
+             (Msg.announcement
+                (Bgp_speaker.Workload.attrs ~speaker_asn:(asn 65001)
+                   ~next_hop:(ip "192.0.2.1") ~path_len:3 ())
+                (Array.to_list (Array.sub table10k (i * 20) 20)))))
+  in
+  Test.make ~name:"fsm/framer-50-updates-chunked"
+    (Staged.stage @@ fun () ->
+     let f = Bgp_fsm.Framer.create () in
+     let n = String.length burst in
+     let i = ref 0 in
+     let count = ref 0 in
+     while !i < n do
+       let take = min 1400 (n - !i) in
+       Bgp_fsm.Framer.feed f (String.sub burst !i take);
+       i := !i + take;
+       let continue = ref true in
+       while !continue do
+         match Bgp_fsm.Framer.next f with
+         | Bgp_fsm.Framer.Msg _ -> incr count
+         | _ -> continue := false
+       done
+     done;
+     assert (!count = 50))
+
+(* The real RFC 1812 fast path on wire bytes — the work the fluid
+   forwarding model's cycles-per-packet constant abstracts. *)
+let forward_wire_test =
+  let fib = Bgp_fib.Fib.create () in
+  Array.iter
+    (fun p -> ignore (Bgp_fib.Fib.apply fib (Bgp_fib.Fib.Add (p, nh))))
+    table10k;
+  let wire =
+    Bgp_netsim.Ip_packet.serialize
+      (Bgp_netsim.Ip_packet.make ~src:(ip "10.0.0.1")
+         ~dst:(Bgp_addr.Prefix.first table10k.(42))
+         (String.make 36 'x'))
+  in
+  Test.make ~name:"datapath/rfc1812-forward-64B-packet"
+    (Staged.stage @@ fun () ->
+     Result.get_ok (Bgp_netsim.Ip_packet.forward_wire fib wire))
+
+let gen_test =
+  Test.make ~name:"workload/prefix-table-10k"
+    (Staged.stage @@ fun () -> Bgp_addr.Prefix_gen.table ~seed:9 ~n:10_000 ())
+
+let sim_test =
+  Test.make ~name:"sim/schedule-drain-10k-events"
+    (Staged.stage @@ fun () ->
+     let e = Bgp_sim.Engine.create () in
+     for i = 1 to 10_000 do
+       ignore (Bgp_sim.Engine.schedule e ~delay:(float_of_int i *. 1e-3) ignore)
+     done;
+     Bgp_sim.Engine.run e)
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_tests =
+  [ table1_test; table2_test ]
+  @ table3_tests
+  @ [ fig3_test; fig4_test ]
+  @ fig5_tests
+  @ [ fig6_test ]
+  @ wire_tests @ fib_tests
+  @ [ rib_bench; decision_test ]
+  @ policy_tests @ packing_tests @ decision_scaling_tests @ rib_agg_tests
+  @ workload_shape_tests @ mrai_tests
+  @ [ framer_test; forward_wire_test; gen_test; sim_test ]
+
+let () =
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-42s %14s %8s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 66 '-');
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let m = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Instance.monotonic_clock m in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square est) in
+          let time_str =
+            if Float.is_nan ns then "n/a"
+            else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          in
+          Printf.printf "%-42s %14s %8.3f\n%!" (Test.Elt.name elt) time_str r2)
+        (Test.elements test))
+    all_tests;
+  Printf.printf "\n%d benchmarks completed.\n" (List.length all_tests)

@@ -1,0 +1,295 @@
+(* bgpbench: regenerate every table and figure of "Benchmarking BGP
+   Routers" (IISWC 2007) from the bgpmark simulation. *)
+
+open Cmdliner
+module Arch = Bgp_router.Arch
+module H = Bgpmark.Harness
+module Scenario = Bgpmark.Scenario
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let size_t =
+  let doc = "Routing-table size (prefixes injected by Speaker 1)." in
+  Arg.(value & opt int 10_000 & info [ "n"; "size" ] ~docv:"PREFIXES" ~doc)
+
+let packing_t =
+  let doc = "Prefixes per large UPDATE (the paper uses 500)." in
+  Arg.(value & opt int 500 & info [ "packing" ] ~docv:"N" ~doc)
+
+let seed_t =
+  let doc = "Workload generation seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let config_of ?(varied = false) size packing seed =
+  { H.default_config with
+    H.table_size = size; large_packing = packing; seed; varied_paths = varied }
+
+let arch_conv =
+  let parse s =
+    match Arch.by_name s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown system %S (expected %s)" s
+              (String.concat ", " (List.map (fun a -> a.Arch.name) Arch.all))))
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf a.Arch.name)
+
+let archs_t =
+  let doc = "Systems to benchmark (repeatable); default: all four." in
+  Arg.(value & opt_all arch_conv [] & info [ "a"; "arch" ] ~docv:"SYSTEM" ~doc)
+
+let resolve_archs = function [] -> Arch.all | l -> l
+
+let scenario_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some id when id >= 1 && id <= 8 -> Ok (Scenario.of_id_exn id)
+    | _ -> Error (`Msg (Printf.sprintf "scenario must be 1-8, got %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_int ppf s.Scenario.id)
+
+let scenarios_t =
+  let doc = "Scenarios to run (repeatable); default: all eight." in
+  Arg.(value & opt_all scenario_conv [] & info [ "s"; "scenario" ] ~docv:"1-8" ~doc)
+
+let resolve_scenarios = function [] -> Scenario.all | l -> l
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let scenarios_cmd =
+  let run () = print_string (Scenario.table1 ()) in
+  Cmd.v (Cmd.info "scenarios" ~doc:"Print Table I (the eight benchmark scenarios)")
+    Term.(const run $ const ())
+
+let systems_cmd =
+  let run verbose =
+    print_endline "Table II: system configurations";
+    List.iter (fun a -> Format.printf "  %a@." Arch.pp a) Arch.all;
+    if verbose then
+      List.iter (fun a -> Format.printf "@.%a@." Arch.pp_block_diagram a) Arch.all
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Also print Fig. 2 block diagrams.")
+  in
+  Cmd.v (Cmd.info "systems" ~doc:"Print Table II (the four router systems)")
+    Term.(const run $ verbose)
+
+let varied_t =
+  Arg.(
+    value & flag
+    & info [ "varied-paths" ]
+        ~doc:
+          "Use an Internet-shaped workload (2-6 hop AS paths, mixed            origins/MEDs) instead of the paper's uniform paths.")
+
+let table3_cmd =
+  let run size packing seed varied archs scenarios no_paper =
+    let t =
+      Bgpmark.Table3.run
+        ~config:(config_of ~varied size packing seed)
+        ~archs:(resolve_archs archs)
+        ~scenarios:(resolve_scenarios scenarios) ()
+    in
+    print_string (Bgpmark.Table3.render ~compare_paper:(not no_paper) t);
+    print_endline "\nShape criteria (DESIGN.md section 5):";
+    List.iter
+      (fun (desc, ok) ->
+        Printf.printf "  [%s] %s\n" (if ok then "PASS" else "fail") desc)
+      (Bgpmark.Table3.shape_checks t)
+  in
+  let no_paper =
+    Arg.(value & flag & info [ "no-paper" ] ~doc:"Omit the paper-comparison rows.")
+  in
+  Cmd.v
+    (Cmd.info "table3"
+       ~doc:"Reproduce Table III: transactions/s, 8 scenarios x 4 systems")
+    Term.(
+      const run $ size_t $ packing_t $ seed_t $ varied_t $ archs_t
+      $ scenarios_t $ no_paper)
+
+let scenario_cmd =
+  let run size packing seed archs scenario cross trace =
+    let config = config_of size packing seed in
+    let config =
+      { config with
+        H.cross_traffic =
+          (if cross > 0.0 then Bgp_netsim.Traffic.make ~mbps:cross ()
+           else config.H.cross_traffic);
+        trace_interval = (if trace then Some 1.0 else None) }
+    in
+    List.iter
+      (fun arch ->
+        let r = H.run ~config arch scenario in
+        Format.printf "%a@." H.pp_result r;
+        if trace then begin
+          let fig =
+            Bgpmark.Figures.cpu_run ~config ~cross_mbps:cross arch scenario
+          in
+          print_string (Bgpmark.Figures.render_cpu fig)
+        end)
+      (resolve_archs archs)
+  in
+  let scenario =
+    Arg.(required & pos 0 (some scenario_conv) None & info [] ~docv:"SCENARIO")
+  in
+  let cross =
+    Arg.(value & opt float 0.0 & info [ "cross" ] ~docv:"MBPS" ~doc:"Cross-traffic load.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Record and print the CPU-load trace.")
+  in
+  Cmd.v (Cmd.info "scenario" ~doc:"Run a single benchmark scenario")
+    Term.(const run $ size_t $ packing_t $ seed_t $ archs_t $ scenario $ cross $ trace)
+
+let fig_cmd name doc f =
+  let run size packing seed tsv =
+    let config = config_of size packing seed in
+    let figs = f ~config () in
+    if tsv then
+      List.iter
+        (fun fig ->
+          Printf.printf "# %s\n" fig.Bgpmark.Figures.title;
+          print_string (Bgp_stats.Chart.to_tsv fig.Bgpmark.Figures.rows);
+          Option.iter
+            (fun s -> print_string (Bgp_stats.Chart.to_tsv [ s ]))
+            fig.Bgpmark.Figures.forwarding_rate)
+        figs
+    else print_string (Bgpmark.Figures.render_all figs)
+  in
+  let tsv =
+    Arg.(value & flag & info [ "tsv" ] ~doc:"Emit tab-separated data instead of charts.")
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ size_t $ packing_t $ seed_t $ tsv)
+
+let fig3_cmd =
+  fig_cmd "fig3" "Figure 3: per-process CPU load during scenario 6"
+    (fun ~config () -> Bgpmark.Figures.fig3 ~config ())
+
+let fig4_cmd =
+  fig_cmd "fig4" "Figure 4: Pentium III CPU load, small vs large packets"
+    (fun ~config () -> Bgpmark.Figures.fig4 ~config ())
+
+let fig6_cmd =
+  fig_cmd "fig6"
+    "Figure 6: scenario 8 on the Pentium III with and without cross-traffic"
+    (fun ~config () -> Bgpmark.Figures.fig6 ~config ())
+
+let fig5_cmd =
+  let run size packing seed archs scenarios tsv =
+    let config = config_of size packing seed in
+    List.iter
+      (fun sc ->
+        let sweep =
+          Bgpmark.Sweep.run ~config ~archs:(resolve_archs archs) sc
+        in
+        if tsv then begin
+          Printf.printf "# benchmark %d\n" sc.Scenario.id;
+          print_string (Bgp_stats.Chart.to_tsv (Bgpmark.Sweep.tps_series sweep))
+        end
+        else print_string (Bgpmark.Sweep.render sweep);
+        print_newline ())
+      (resolve_scenarios scenarios)
+  in
+  let tsv =
+    Arg.(value & flag & info [ "tsv" ] ~doc:"Emit tab-separated data instead of charts.")
+  in
+  Cmd.v
+    (Cmd.info "fig5"
+       ~doc:"Figure 5: transactions/s vs cross-traffic, per scenario panel")
+    Term.(const run $ size_t $ packing_t $ seed_t $ archs_t $ scenarios_t $ tsv)
+
+let power_cmd =
+  let run size packing seed archs scenarios =
+    print_endline
+      "Control-plane energy efficiency (extension; paper section V.C):";
+    List.iter
+      (fun scenario ->
+        List.iter
+          (fun arch ->
+            let config =
+              { (config_of size packing seed) with H.trace_interval = Some 0.5 }
+            in
+            let r = H.run ~config arch scenario in
+            let report =
+              Bgp_router.Power.of_run arch ~scenario_id:scenario.Scenario.id
+                ~tps:r.H.tps ~measure_seconds:r.H.measure_seconds
+                ~trace:r.H.trace ~transactions:r.H.measured_prefixes
+            in
+            Format.printf "  %a@." Bgp_router.Power.pp_report report)
+          (resolve_archs archs);
+        print_newline ())
+      (resolve_scenarios scenarios)
+  in
+  Cmd.v
+    (Cmd.info "power"
+       ~doc:
+         "Transactions per joule of control-plane energy (the power \
+          tradeoff the paper defers)")
+    Term.(const run $ size_t $ packing_t $ seed_t $ archs_t $ scenarios_t)
+
+let peers_cmd =
+  let run size seed archs counts =
+    let counts = match counts with [] -> [ 2; 4; 8; 16 ] | l -> l in
+    List.iter
+      (fun arch ->
+        print_string
+          (Bgpmark.Peers_sweep.render
+             (Bgpmark.Peers_sweep.run ~table_size:size ~seed ~counts arch));
+        print_newline ())
+      (resolve_archs archs)
+  in
+  let counts =
+    Arg.(
+      value & opt_all int []
+      & info [ "peers" ] ~docv:"N" ~doc:"Peer counts to sweep (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "peers"
+       ~doc:
+         "Extension: transactions/s vs peering density (the paper uses           exactly two speakers)")
+    Term.(const run $ size_t $ seed_t $ archs_t $ counts)
+
+let all_cmd =
+  let run size packing seed =
+    let config = config_of size packing seed in
+    print_string (Scenario.table1 ());
+    print_endline "";
+    List.iter (fun a -> Format.printf "  %a@." Arch.pp a) Arch.all;
+    print_endline "";
+    let t = Bgpmark.Table3.run ~config () in
+    print_string (Bgpmark.Table3.render t);
+    print_endline "\nShape criteria:";
+    List.iter
+      (fun (desc, ok) ->
+        Printf.printf "  [%s] %s\n" (if ok then "PASS" else "fail") desc)
+      (Bgpmark.Table3.shape_checks t);
+    print_endline "\n=== Figure 3 ===";
+    print_string (Bgpmark.Figures.render_all (Bgpmark.Figures.fig3 ~config ()));
+    print_endline "\n=== Figure 4 ===";
+    print_string (Bgpmark.Figures.render_all (Bgpmark.Figures.fig4 ~config ()));
+    print_endline "\n=== Figure 5 ===";
+    List.iter
+      (fun sc ->
+        print_string (Bgpmark.Sweep.render (Bgpmark.Sweep.run ~config sc));
+        print_newline ())
+      Scenario.all;
+    print_endline "\n=== Figure 6 ===";
+    print_string (Bgpmark.Figures.render_all (Bgpmark.Figures.fig6 ~config ()))
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure (the EXPERIMENTS.md run)")
+    Term.(const run $ size_t $ packing_t $ seed_t)
+
+let main_cmd =
+  let doc = "Benchmarking BGP routers: IISWC 2007 reproduction" in
+  let info = Cmd.info "bgpbench" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ scenarios_cmd; systems_cmd; table3_cmd; scenario_cmd; fig3_cmd; fig4_cmd;
+      fig5_cmd; fig6_cmd; power_cmd; peers_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,150 @@
+(* bgpd: a minimal real BGP daemon built from the bgpmark protocol
+   engine, for loopback experiments.
+
+   Example (three terminals):
+     bgpd --asn 65101 --router-id 10.0.0.1 --listen 1790 \
+          --announce 198.51.100.0/24
+     bgpd --asn 65102 --router-id 10.0.0.2 --connect 1790 --listen 1791 \
+          --aggregate 198.51.0.0/16,as-set,summary-only
+     bgpd --asn 65103 --router-id 10.0.0.3 --connect 1791
+
+   Each daemon prints session events and, every few seconds, its
+   Loc-RIB. *)
+
+open Cmdliner
+module Daemon = Bgp_tcp.Daemon
+module Loop = Bgp_tcp.Event_loop
+
+let asn_t =
+  let doc = "Local autonomous system number." in
+  Arg.(required & opt (some int) None & info [ "asn" ] ~docv:"ASN" ~doc)
+
+let router_id_t =
+  let doc = "BGP identifier (dotted quad)." in
+  Arg.(required & opt (some string) None & info [ "router-id" ] ~docv:"IP" ~doc)
+
+let listen_t =
+  let doc = "Listen for one neighbor on 127.0.0.1:$(docv) (repeatable)." in
+  Arg.(value & opt_all int [] & info [ "listen" ] ~docv:"PORT" ~doc)
+
+let connect_t =
+  let doc = "Actively peer with 127.0.0.1:$(docv) (repeatable)." in
+  Arg.(value & opt_all int [] & info [ "connect" ] ~docv:"PORT" ~doc)
+
+let listen_client_t =
+  let doc =
+    "Like --listen, but treat the neighbor as a route-reflection client      (RFC 4456; for IBGP neighbors)."
+  in
+  Arg.(value & opt_all int [] & info [ "listen-client" ] ~docv:"PORT" ~doc)
+
+let connect_client_t =
+  let doc = "Like --connect, but treat the neighbor as a reflection client." in
+  Arg.(value & opt_all int [] & info [ "connect-client" ] ~docv:"PORT" ~doc)
+
+let announce_t =
+  let doc = "Originate $(docv) locally (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "announce" ] ~docv:"PREFIX" ~doc)
+
+let announce_file_t =
+  let doc = "Originate every route from a bgpmark-table file (see              Bgp_speaker.Table_io for the format)." in
+  Arg.(value & opt (some string) None & info [ "announce-file" ] ~docv:"FILE" ~doc)
+
+let aggregate_t =
+  let doc =
+    "Configure an aggregate: PREFIX[,as-set][,summary-only] (repeatable)."
+  in
+  Arg.(value & opt_all string [] & info [ "aggregate" ] ~docv:"SPEC" ~doc)
+
+let interval_t =
+  let doc = "Seconds between Loc-RIB dumps (0 disables)." in
+  Arg.(value & opt float 5.0 & info [ "status-interval" ] ~docv:"SECONDS" ~doc)
+
+let parse_aggregate spec =
+  match String.split_on_char ',' spec with
+  | prefix :: flags ->
+    let agg_prefix = Bgp_addr.Prefix.of_string_exn prefix in
+    List.iter
+      (fun f ->
+        if f <> "as-set" && f <> "summary-only" then
+          invalid_arg (Printf.sprintf "unknown aggregate flag %S" f))
+      flags;
+    { Bgp_rib.Rib_manager.agg_prefix;
+      agg_as_set = List.mem "as-set" flags;
+      agg_summary_only = List.mem "summary-only" flags }
+  | [] -> invalid_arg "empty aggregate spec"
+
+let dump_rib daemon =
+  let routes = Daemon.routes daemon in
+  Printf.printf "--- loc-rib (%d routes, %d peers up) ---\n"
+    (List.length routes)
+    (Daemon.established_peers daemon);
+  List.iter
+    (fun r -> Format.printf "  %a@." Bgp_route.Route.pp r)
+    (List.sort
+       (fun a b ->
+         Bgp_addr.Prefix.compare (Bgp_route.Route.prefix a)
+           (Bgp_route.Route.prefix b))
+       routes);
+  flush stdout
+
+let run asn router_id listens connects client_listens client_connects announces
+    announce_file aggregates interval =
+  let loop = Loop.create () in
+  let daemon =
+    Daemon.create
+      ~aggregates:(List.map parse_aggregate aggregates)
+      ~log:(fun msg ->
+        Printf.printf "[bgpd] %s\n%!" msg)
+      loop
+      ~asn:(Bgp_route.Asn.of_int asn)
+      ~router_id:(Bgp_addr.Ipv4.of_string_exn router_id)
+      ()
+  in
+  List.iter (fun port -> Daemon.listen daemon ~port) listens;
+  List.iter (fun port -> Daemon.connect daemon ~port) connects;
+  List.iter (fun port -> Daemon.listen ~rr_client:true daemon ~port) client_listens;
+  List.iter (fun port -> Daemon.connect ~rr_client:true daemon ~port) client_connects;
+  List.iter
+    (fun p -> Daemon.originate daemon (Bgp_addr.Prefix.of_string_exn p))
+    announces;
+  Option.iter
+    (fun file ->
+      match Bgp_speaker.Table_io.load file with
+      | Error msg ->
+        prerr_endline ("bgpd: cannot load " ^ file ^ ": " ^ msg);
+        exit 1
+      | Ok entries ->
+        let next_hop = Bgp_addr.Ipv4.of_string_exn router_id in
+        List.iter
+          (fun e ->
+            Daemon.originate_route daemon e.Bgp_speaker.Table_io.e_prefix
+              (Bgp_speaker.Table_io.to_attrs ~next_hop e))
+          entries;
+        Printf.printf "[bgpd] originated %d routes from %s\n%!"
+          (List.length entries) file)
+    announce_file;
+  if interval > 0.0 then begin
+    let rec status () =
+      dump_rib daemon;
+      let (_ : unit -> unit) = Loop.after loop interval status in
+      ()
+    in
+    let (_ : unit -> unit) = Loop.after loop interval status in
+    ()
+  end;
+  Printf.printf "[bgpd] AS%d %s up (listen: %s; connect: %s)\n%!" asn router_id
+    (String.concat "," (List.map string_of_int listens))
+    (String.concat "," (List.map string_of_int connects));
+  (* Run forever (ctrl-C to quit). *)
+  ignore (Loop.run loop ~until:(fun () -> false) ~timeout:infinity)
+
+let cmd =
+  let doc = "a tiny real BGP daemon built on the bgpmark protocol engine" in
+  Cmd.v
+    (Cmd.info "bgpd" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ asn_t $ router_id_t $ listen_t $ connect_t $ listen_client_t
+      $ connect_client_t $ announce_t $ announce_file_t $ aggregate_t
+      $ interval_t)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/live_tcp_session.ml: Array Bgp_addr Bgp_fsm Bgp_route Bgp_speaker Bgp_tcp Bgp_wire Format Hashtbl List Option Sys Unix

@@ -1,0 +1,1 @@
+examples/live_tcp_session.mli:

@@ -1,0 +1,1 @@
+examples/policy_lab.ml: Bgp_addr Bgp_policy Bgp_rib Bgp_route Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bgp_addr Bgp_fib Bgp_rib Bgp_route Format List

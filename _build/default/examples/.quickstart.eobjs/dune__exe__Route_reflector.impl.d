@@ -1,0 +1,1 @@
+examples/route_reflector.ml: Bgp_addr Bgp_rib Bgp_route Format List Printf

@@ -1,0 +1,1 @@
+examples/route_reflector.mli:

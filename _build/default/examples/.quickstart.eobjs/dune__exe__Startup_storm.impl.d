@@ -1,0 +1,1 @@
+examples/startup_storm.ml: Array Bgp_router Bgpmark Format List Sys

@@ -1,0 +1,1 @@
+examples/startup_storm.mli:

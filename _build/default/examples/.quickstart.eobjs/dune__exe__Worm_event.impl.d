@@ -1,0 +1,1 @@
+examples/worm_event.ml: Array Bgp_addr Bgp_netsim Bgp_route Bgp_router Bgp_sim Bgp_speaker Format List

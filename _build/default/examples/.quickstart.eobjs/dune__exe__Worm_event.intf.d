@@ -1,0 +1,1 @@
+examples/worm_event.mli:

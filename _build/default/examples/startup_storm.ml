@@ -1,0 +1,33 @@
+(* Startup storm: how long does each router architecture take to learn
+   a full table after power-up? (Paper scenario 1/2 — the situation
+   "where a router is just powered up and needs to learn routes from
+   neighboring routers as fast as possible".)
+
+   Run with:  dune exec examples/startup_storm.exe [table-size] *)
+
+module H = Bgpmark.Harness
+module Scenario = Bgpmark.Scenario
+module Arch = Bgp_router.Arch
+
+let () =
+  let table_size =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 5_000
+  in
+  let config = { H.default_config with H.table_size } in
+  Format.printf
+    "Loading a %d-prefix table into each router (large packets, then small):@.@."
+    table_size;
+  Format.printf "%-10s %16s %16s %18s@." "system" "small pkts (tps)"
+    "large pkts (tps)" "startup (s, large)";
+  List.iter
+    (fun arch ->
+      let small = H.run ~config arch (Scenario.of_id_exn 1) in
+      let large = H.run ~config arch (Scenario.of_id_exn 2) in
+      Format.printf "%-10s %16.1f %16.1f %18.1f@." arch.Arch.name small.H.tps
+        large.H.tps large.H.measure_seconds)
+    Arch.all;
+  Format.printf
+    "@.Reading: a 2007 full table was ~180k prefixes; scale the startup@.\
+     column by %.1fx for the full-table boot time. The XScale-class@.\
+     control processor needs tens of minutes — the paper's Fig. 3(c).@."
+    (180_000.0 /. float_of_int table_size)

@@ -1,0 +1,1 @@
+lib/addr/ipv4.ml: Char Format Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/addr/ipv4.mli: Format

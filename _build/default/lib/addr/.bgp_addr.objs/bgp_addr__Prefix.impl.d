@@ -1,0 +1,1 @@
+lib/addr/prefix.ml: Float Format Int Ipv4 Printf Result String

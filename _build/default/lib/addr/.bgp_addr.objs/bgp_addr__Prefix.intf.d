@@ -1,0 +1,1 @@
+lib/addr/prefix.mli: Format Ipv4

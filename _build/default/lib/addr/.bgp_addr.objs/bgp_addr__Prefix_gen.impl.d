@@ -1,0 +1,1 @@
+lib/addr/prefix_gen.ml: Array Hashtbl Int Ipv4 List Option Prefix

@@ -1,0 +1,1 @@
+lib/addr/prefix_set.ml: Format List Prefix Set

@@ -1,0 +1,1 @@
+lib/addr/prefix_set.mli: Format Ipv4 Prefix

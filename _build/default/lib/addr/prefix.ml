@@ -1,0 +1,59 @@
+type t = { addr : Ipv4.t; len : int }
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make: length out of range";
+  { addr = Ipv4.apply_mask addr len; len }
+
+let addr p = p.addr
+let len p = p.len
+let default = { addr = Ipv4.zero; len = 0 }
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> Result.map (fun a -> { addr = a; len = 32 }) (Ipv4.of_string s)
+  | Some i ->
+    let astr = String.sub s 0 i in
+    let lstr = String.sub s (i + 1) (String.length s - i - 1) in
+    (match Ipv4.of_string astr with
+    | Error e -> Error e
+    | Ok a ->
+      (match int_of_string_opt lstr with
+      | None -> Error "invalid prefix length"
+      | Some l when l < 0 || l > 32 -> Error "prefix length out of range"
+      | Some l ->
+        if Ipv4.equal (Ipv4.apply_mask a l) a then Ok { addr = a; len = l }
+        else Error "host bits set below mask"))
+
+let of_string_exn s =
+  match of_string s with
+  | Ok p -> p
+  | Error e -> invalid_arg (Printf.sprintf "Prefix.of_string_exn %S: %s" s e)
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string p.addr) p.len
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let compare p q =
+  let c = Ipv4.compare p.addr q.addr in
+  if c <> 0 then c else Int.compare p.len q.len
+
+let equal p q = Ipv4.equal p.addr q.addr && p.len = q.len
+let mem a p = Ipv4.equal (Ipv4.apply_mask a p.len) p.addr
+let subsumes p q = p.len <= q.len && mem q.addr p
+let first p = p.addr
+
+let last p =
+  Ipv4.of_int (Ipv4.to_int p.addr lor (Ipv4.to_int Ipv4.broadcast lxor Ipv4.to_int (Ipv4.mask p.len)))
+
+let size p = Float.pow 2.0 (float_of_int (32 - p.len))
+
+let split p =
+  if p.len = 32 then None
+  else
+    let l = p.len + 1 in
+    let lo = { addr = p.addr; len = l } in
+    let hi = { addr = Ipv4.of_int (Ipv4.to_int p.addr lor (1 lsl (32 - l))); len = l } in
+    Some (lo, hi)
+
+let bit p i = Ipv4.bit p.addr i
+let hash p = (Ipv4.hash p.addr * 31) + p.len
+let wire_octets p = (p.len + 7) / 8

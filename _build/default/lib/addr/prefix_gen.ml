@@ -1,0 +1,64 @@
+(* SplitMix64 finalizer. OCaml ints are 63-bit; we deliberately run the
+   mixer in that domain — the constants still diffuse well and the
+   result only feeds synthetic workload shaping, not cryptography. *)
+let mix64 z =
+  let z = z + 0x1E3779B97F4A7C15 in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
+
+(* Cumulative prefix-length distribution, per-mille, modeled on the
+   2007 global BGP table: /24 ~44%, /19../23 ~35%, /16 ~9%, the rest
+   spread over /8../18. The exact mille values are unimportant; tests
+   only require the qualitative shape (mode at /24, thin short tail). *)
+let length_cdf =
+  [| (8, 4); (9, 6); (10, 9); (11, 14); (12, 22); (13, 34); (14, 52)
+   ; (15, 72); (16, 162); (17, 192); (18, 232); (19, 312); (20, 372)
+   ; (21, 432); (22, 512); (23, 562); (24, 1000) |]
+
+let pick_len u =
+  let m = u mod 1000 in
+  let rec go i =
+    let l, c = length_cdf.(i) in
+    if m < c then l else go (i + 1)
+  in
+  go 0
+
+let nth ~seed i =
+  let h = mix64 ((seed * 0x1000003) lxor i) in
+  let len = pick_len (h land 0xFFFF) in
+  (* Keep addresses in 1.0.0.0 .. 223.255.255.255 and away from 127/8,
+     so generated tables look like plausible unicast space. *)
+  let a = (h lsr 16) land 0xFFFF_FFFF in
+  let first_octet = 1 + ((a lsr 24) mod 223) in
+  let first_octet = if first_octet = 127 then 128 else first_octet in
+  let addr = Ipv4.of_int ((first_octet lsl 24) lor (a land 0xFF_FFFF)) in
+  Prefix.make addr len
+
+let table ?(seed = 42) ~n () =
+  if n < 0 then invalid_arg "Prefix_gen.table: negative size";
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make (max n 1) Prefix.default in
+  let rec fill count i =
+    if count = n then ()
+    else
+      let p = nth ~seed i in
+      if Hashtbl.mem seen p then fill count (i + 1)
+      else begin
+        Hashtbl.add seen p ();
+        out.(count) <- p;
+        fill (count + 1) (i + 1)
+      end
+  in
+  fill 0 0;
+  if n = 0 then [||] else out
+
+let length_histogram ps =
+  let h = Hashtbl.create 33 in
+  Array.iter
+    (fun p ->
+      let l = Prefix.len p in
+      Hashtbl.replace h l (1 + Option.value ~default:0 (Hashtbl.find_opt h l)))
+    ps;
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) h []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,1 @@
+lib/core/figures.ml: Bgp_netsim Bgp_router Bgp_sim Bgp_stats Buffer Float Harness List Option Printf Scenario String

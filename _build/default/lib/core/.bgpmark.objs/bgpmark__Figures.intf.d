@@ -1,0 +1,1 @@
+lib/core/figures.mli: Bgp_router Bgp_stats Harness Scenario

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Array Bgp_addr Bgp_fib Bgp_netsim Bgp_rib Bgp_route Bgp_router Bgp_sim Bgp_speaker Float Format Hashtbl List Option Printf Scenario Stdlib

@@ -1,0 +1,1 @@
+lib/core/harness.mli: Bgp_fib Bgp_netsim Bgp_rib Bgp_router Bgp_sim Format Scenario Stdlib

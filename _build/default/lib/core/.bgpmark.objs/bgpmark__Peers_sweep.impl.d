@@ -1,0 +1,1 @@
+lib/core/peers_sweep.ml: Bgp_addr Bgp_netsim Bgp_rib Bgp_route Bgp_router Bgp_sim Bgp_speaker Buffer Float List Printf

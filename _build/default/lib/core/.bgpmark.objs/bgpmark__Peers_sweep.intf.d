@@ -1,0 +1,1 @@
+lib/core/peers_sweep.mli: Bgp_router

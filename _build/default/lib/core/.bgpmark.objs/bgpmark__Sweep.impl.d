@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Bgp_netsim Bgp_router Bgp_stats Harness List Printf Scenario

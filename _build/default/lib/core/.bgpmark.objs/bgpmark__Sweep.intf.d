@@ -1,0 +1,1 @@
+lib/core/sweep.mli: Bgp_router Bgp_stats Harness Scenario

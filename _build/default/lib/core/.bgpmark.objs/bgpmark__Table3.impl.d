@@ -1,0 +1,1 @@
+lib/core/table3.ml: Bgp_router Buffer Float Harness List Option Printf Scenario

@@ -1,0 +1,1 @@
+lib/core/table3.mli: Bgp_router Harness Scenario

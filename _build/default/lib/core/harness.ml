@@ -1,0 +1,320 @@
+module Engine = Bgp_sim.Engine
+module Trace = Bgp_sim.Trace
+module Channel = Bgp_netsim.Channel
+module Traffic = Bgp_netsim.Traffic
+module Arch = Bgp_router.Arch
+module Router = Bgp_router.Router
+module Speaker = Bgp_speaker.Speaker
+module Workload = Bgp_speaker.Workload
+module Peer = Bgp_route.Peer
+module Fib = Bgp_fib.Fib
+module Ipv4 = Bgp_addr.Ipv4
+
+type config = {
+  table_size : int;
+  large_packing : int;
+  cross_traffic : Traffic.t;
+  seed : int;
+  trace_interval : float option;
+  setup_path_len : int;
+  longer_path_len : int;
+  shorter_path_len : int;
+  varied_paths : bool;
+  mrai : float option;
+  timeout : float;
+}
+
+let default_config =
+  { table_size = 10_000; large_packing = 500; cross_traffic = Traffic.none;
+    seed = 42; trace_interval = None; setup_path_len = 3; longer_path_len = 6;
+    shorter_path_len = 1; varied_paths = false; mrai = None;
+    timeout = 500_000.0 }
+
+type result = {
+  arch_name : string;
+  scenario : Scenario.t;
+  used : config;
+  tps : float;
+  measured_prefixes : int;
+  measure_seconds : float;
+  setup_seconds : float;
+  trace : Trace.sample list;
+  fib_size_end : int;
+  fib_stats : Fib.stats;
+  rib_stats : Bgp_rib.Rib_manager.stats;
+  msgs_rx : int;
+  msgs_tx : int;
+  fwd_ratio_min : float;
+  verified : (unit, string) Stdlib.result;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fixed benchmark topology identities                                 *)
+(* ------------------------------------------------------------------ *)
+
+let router_asn = Bgp_route.Asn.of_int 65000
+let router_id = Ipv4.of_string_exn "10.255.0.1"
+let speaker1_asn = Bgp_route.Asn.of_int 65001
+let speaker1_id = Ipv4.of_string_exn "192.0.2.1"
+let speaker2_asn = Bgp_route.Asn.of_int 65002
+let speaker2_id = Ipv4.of_string_exn "192.0.2.2"
+
+let peer1 =
+  Peer.make ~id:0 ~asn:speaker1_asn ~router_id:speaker1_id ~addr:speaker1_id
+
+let peer2 =
+  Peer.make ~id:1 ~asn:speaker2_asn ~router_id:speaker2_id ~addr:speaker2_id
+
+(* ------------------------------------------------------------------ *)
+(* Convergence driver                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Advance virtual time in steps until [cond] holds. Recurring protocol
+   timers (keepalives) keep the event queue alive forever, so "run to
+   empty" is not an option. *)
+let wait_until engine ~timeout ~what cond =
+  let deadline = Engine.now engine +. timeout in
+  let rec go step =
+    if cond () then ()
+    else if Engine.now engine >= deadline then
+      failwith
+        (Printf.sprintf "Harness: timed out after %.0fs waiting for %s" timeout
+           what)
+    else begin
+      Engine.run ~until:(Engine.now engine +. step) engine;
+      (* Exponentially growing step bounded at 2s keeps polling overhead
+         negligible for slow architectures without hurting precision:
+         measurements use event timestamps, not the polling grid. *)
+      go (Float.min 2.0 (step *. 1.5))
+    end
+  in
+  go 0.01
+
+let wait_established engine ~timeout speaker =
+  wait_until engine ~timeout ~what:"session establishment" (fun () ->
+      Speaker.established speaker)
+
+let wait_router_idle engine ~timeout router ~what ~transactions =
+  wait_until engine ~timeout ~what (fun () ->
+      (Router.counters router).Router.transactions >= transactions
+      && Router.idle router)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario verification                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check name cond = if cond then Ok () else Error name
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let verify (scenario : Scenario.t) cfg router s2_opt ~measured
+    ~(fib_before : Fib.stats) =
+  let fib = Router.fib router in
+  let stats = Fib.stats fib in
+  let n = cfg.table_size in
+  let* () = check "all prefixes measured" (measured = n) in
+  match scenario.Scenario.operation with
+  | Scenario.Startup_announce ->
+    let* () = check "FIB holds the table" (Fib.size fib = n) in
+    check "every prefix was an Add" (stats.Fib.adds - fib_before.Fib.adds = n)
+  | Scenario.Ending_withdraw ->
+    let* () = check "FIB emptied" (Fib.size fib = 0) in
+    check "every prefix was withdrawn"
+      (stats.Fib.withdraws - fib_before.Fib.withdraws = n)
+  | Scenario.Incremental_no_fib_change ->
+    let* () = check "FIB intact" (Fib.size fib = n) in
+    let* () =
+      check "no FIB activity in the measured phase"
+        (stats.Fib.replaces = fib_before.Fib.replaces
+        && stats.Fib.adds = fib_before.Fib.adds
+        && stats.Fib.withdraws = fib_before.Fib.withdraws)
+    in
+    check "speaker 2 held the full table"
+      (match s2_opt with
+      | Some s2 -> Hashtbl.length (Speaker.received_prefix_set s2) = n
+      | None -> false)
+  | Scenario.Incremental_fib_change ->
+    let* () = check "FIB intact" (Fib.size fib = n) in
+    check "every prefix was replaced"
+      (stats.Fib.replaces - fib_before.Fib.replaces = n)
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = default_config) arch scenario =
+  let cfg = config in
+  let engine = Engine.create () in
+  Engine.set_event_limit engine 500_000_000;
+  let router =
+    Router.create ?mrai:cfg.mrai engine arch ~local_asn:router_asn ~router_id
+  in
+  let ch1 = Channel.create engine () in
+  let ch2 = Channel.create engine () in
+  Router.attach_peer router ~peer:peer1 ~channel:ch1 ~side:Channel.B;
+  Router.attach_peer router ~peer:peer2 ~channel:ch2 ~side:Channel.B;
+  let s1 =
+    Speaker.create engine ~asn:speaker1_asn ~router_id:speaker1_id ~channel:ch1
+      ~side:Channel.A
+  in
+  let s2 =
+    Speaker.create engine ~asn:speaker2_asn ~router_id:speaker2_id ~channel:ch2
+      ~side:Channel.A
+  in
+  Router.set_cross_traffic router cfg.cross_traffic;
+  let tracer =
+    Option.map
+      (fun interval -> Trace.start engine (Router.sched router) ~interval ())
+      cfg.trace_interval
+  in
+  let table = Bgp_addr.Prefix_gen.table ~seed:cfg.seed ~n:cfg.table_size () in
+  let s1_attrs path_len =
+    Workload.attrs ~speaker_asn:speaker1_asn ~next_hop:speaker1_id ~path_len ()
+  in
+  let s2_attrs path_len =
+    Workload.attrs ~speaker_asn:speaker2_asn ~next_hop:speaker2_id ~path_len ()
+  in
+  let packing = Scenario.packing ~large:cfg.large_packing scenario in
+  let timeout = cfg.timeout in
+
+  (* --- Establish Speaker 1 ---------------------------------------- *)
+  Speaker.start s1;
+  wait_established engine ~timeout s1;
+
+  let measured_phase_is_1 = Scenario.measures_phase scenario = 1 in
+
+  (* --- Phase 1: table injection ----------------------------------- *)
+  (* When Phase 1 is the measured phase it uses the scenario packing;
+     otherwise it is setup and always uses large packets. *)
+  let phase1_packing = if measured_phase_is_1 then packing else cfg.large_packing in
+  Router.reset_counters router;
+  let fib_before_measured = Fib.stats (Router.fib router) in
+  if cfg.varied_paths then begin
+    (* Internet-shaped workload: per-entry attributes (2-6 hop paths,
+       mixed origins/MEDs).  An UPDATE carries one attribute set, so
+       entries are grouped by equal attributes before packing. *)
+    let entries =
+      Bgp_speaker.Table_io.synthesize ~seed:cfg.seed ~n:cfg.table_size
+        ~speaker_asn:speaker1_asn ()
+    in
+    let groups = Hashtbl.create 32 in
+    List.iter
+      (fun e ->
+        let attrs =
+          Bgp_speaker.Table_io.to_attrs ~next_hop:speaker1_id e
+        in
+        let key = Format.asprintf "%a" Bgp_route.Attrs.pp attrs in
+        let prefixes, _ =
+          Option.value ~default:([], attrs) (Hashtbl.find_opt groups key)
+        in
+        Hashtbl.replace groups key
+          (e.Bgp_speaker.Table_io.e_prefix :: prefixes, attrs))
+      entries;
+    Hashtbl.iter
+      (fun _ (prefixes, attrs) ->
+        ignore
+          (Speaker.announce s1 ~packing:phase1_packing ~attrs
+             (Array.of_list prefixes)))
+      groups
+  end
+  else
+    ignore
+      (Speaker.announce s1 ~packing:phase1_packing
+         ~attrs:(s1_attrs cfg.setup_path_len)
+         table);
+  wait_router_idle engine ~timeout router ~what:"phase 1 table load"
+    ~transactions:cfg.table_size;
+
+  let phase1_counters = Router.counters router in
+
+  (* --- Phase 2: speaker 2 sync (scenarios 5-8) --------------------- *)
+  if Scenario.uses_speaker2 scenario then begin
+    Speaker.start s2;
+    wait_established engine ~timeout s2;
+    wait_until engine ~timeout ~what:"phase 2 table transfer" (fun () ->
+        Router.idle router
+        && Hashtbl.length (Speaker.received_prefix_set s2) = cfg.table_size)
+  end;
+
+  (* --- Phase 3 / measurement window -------------------------------- *)
+  let fib_before, measure_window =
+    if measured_phase_is_1 then
+      ( fib_before_measured,
+        fun () ->
+          (* Phase 1 was the measurement; nothing more to inject. *)
+          () )
+    else begin
+      Router.reset_counters router;
+      let fib_before = Fib.stats (Router.fib router) in
+      ( fib_before,
+        fun () ->
+          (match scenario.Scenario.operation with
+          | Scenario.Ending_withdraw ->
+            ignore (Speaker.withdraw s1 ~packing table)
+          | Scenario.Incremental_no_fib_change ->
+            let longer =
+              (* must exceed every Phase-1 path: varied tables go up to
+                 6 hops *)
+              if cfg.varied_paths then max cfg.longer_path_len 8
+              else cfg.longer_path_len
+            in
+            ignore
+              (Speaker.announce s2 ~packing ~attrs:(s2_attrs longer) table)
+          | Scenario.Incremental_fib_change ->
+            ignore
+              (Speaker.announce s2 ~packing
+                 ~attrs:(s2_attrs cfg.shorter_path_len)
+                 table)
+          | Scenario.Startup_announce -> assert false);
+          wait_router_idle engine ~timeout router ~what:"measured phase"
+            ~transactions:cfg.table_size )
+    end
+  in
+  measure_window ();
+
+  (* --- Collect ------------------------------------------------------ *)
+  let counters =
+    if measured_phase_is_1 then phase1_counters else Router.counters router
+  in
+  Option.iter Trace.stop tracer;
+  let trace = match tracer with Some t -> Trace.samples t | None -> [] in
+  let measured = counters.Router.transactions in
+  let measure_seconds =
+    match counters.Router.first_work_at, counters.Router.last_transaction_at with
+    | Some t0, Some t1 when t1 > t0 -> t1 -. t0
+    | _ -> 0.0
+  in
+  let tps =
+    if measure_seconds > 0.0 then float_of_int measured /. measure_seconds
+    else 0.0
+  in
+  let fwd_ratio_now =
+    if cfg.cross_traffic.Traffic.mbps <= 0.0 then 1.0
+    else
+      Bgp_netsim.Forwarding.achieved_mbps (Router.forwarding router)
+      /. cfg.cross_traffic.Traffic.mbps
+  in
+  let fwd_ratio_min =
+    List.fold_left
+      (fun acc s -> Float.min acc s.Trace.s_fwd_ratio)
+      fwd_ratio_now trace
+  in
+  let s2_opt = if Scenario.uses_speaker2 scenario then Some s2 else None in
+  let verified =
+    verify scenario cfg router s2_opt ~measured ~fib_before
+  in
+  { arch_name = arch.Arch.name; scenario; used = cfg; tps;
+    measured_prefixes = measured; measure_seconds;
+    setup_seconds = Engine.now engine -. measure_seconds; trace;
+    fib_size_end = Fib.size (Router.fib router);
+    fib_stats = Fib.stats (Router.fib router);
+    rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
+    msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
+    fwd_ratio_min; verified }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s / %s:@,  %.1f transactions/s (%d prefixes in %.2fs virtual)@,  FIB end size %d; verification %s@]"
+    r.arch_name (Scenario.describe r.scenario) r.tps r.measured_prefixes
+    r.measure_seconds r.fib_size_end
+    (match r.verified with Ok () -> "OK" | Error e -> "FAILED: " ^ e)

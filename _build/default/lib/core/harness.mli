@@ -1,0 +1,71 @@
+(** The benchmark harness (paper Fig. 1): two speakers, one router
+    under test, three phases, transactions-per-second measured over the
+    scenario's relevant phase only.
+
+    Topology inside one simulation engine:
+    {v  Speaker 1 (AS 65001) <---> Router (AS 65000) <---> Speaker 2 (AS 65002) v}
+
+    Phases:
+    + Speaker 1 injects the routing table;
+    + (scenarios 5-8) Speaker 2 connects and receives the router's full
+      table;
+    + the scenario's incremental activity (withdrawals or competing
+      announcements).
+
+    Setup phases always use large packets so that setup time — which is
+    excluded from the metric anyway — stays small. *)
+
+type config = {
+  table_size : int;          (** prefixes in the injected table *)
+  large_packing : int;       (** prefixes per "large" UPDATE (paper: 500) *)
+  cross_traffic : Bgp_netsim.Traffic.t;
+  seed : int;                (** table generation seed *)
+  trace_interval : float option;
+      (** sample CPU load every n virtual seconds (figures 3/4/6) *)
+  setup_path_len : int;      (** Speaker 1's AS-path length *)
+  longer_path_len : int;     (** Speaker 2's path in scenarios 5/6 *)
+  shorter_path_len : int;    (** Speaker 2's path in scenarios 7/8 *)
+  varied_paths : bool;
+      (** inject an Internet-shaped table (2-6 hop paths, mixed
+          origins/MEDs via {!Bgp_speaker.Table_io.synthesize}) instead
+          of the paper's uniform-path workload — an ablation knob *)
+  mrai : float option;
+      (** enable MinRouteAdvertisementInterval batching on the router
+          (RFC 4271 section 9.2.1.1) — an ablation knob, off in the
+          paper's XORP setup *)
+  timeout : float;           (** virtual-seconds guard per run *)
+}
+
+val default_config : config
+(** 10000 prefixes, packing 500, no cross-traffic, seed 42, no trace,
+    paths 3/6/1, timeout 500000 s. *)
+
+type result = {
+  arch_name : string;
+  scenario : Scenario.t;
+  used : config;
+  tps : float;              (** the Table III metric *)
+  measured_prefixes : int;  (** transactions in the measured phase *)
+  measure_seconds : float;  (** virtual duration of the measured phase *)
+  setup_seconds : float;    (** phases excluded from the metric *)
+  trace : Bgp_sim.Trace.sample list;
+      (** CPU-load samples over the whole run (empty without
+          [trace_interval]) *)
+  fib_size_end : int;
+  fib_stats : Bgp_fib.Fib.stats;
+  rib_stats : Bgp_rib.Rib_manager.stats;
+  msgs_rx : int;  (** wire messages received in the measured phase *)
+  msgs_tx : int;  (** wire messages sent in the measured phase *)
+  fwd_ratio_min : float;
+      (** worst forwarding ratio observed (1.0 = no loss) *)
+  verified : (unit, string) Stdlib.result;
+      (** scenario-specific semantic checks (see DESIGN.md §6) *)
+}
+
+val run : ?config:config -> Bgp_router.Arch.t -> Scenario.t -> result
+(** Run one (architecture, scenario) cell.  Deterministic for a given
+    config.
+    @raise Failure if a phase fails to converge within the timeout
+    (with a diagnostic of what was stuck). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,83 @@
+type operation =
+  | Startup_announce
+  | Ending_withdraw
+  | Incremental_no_fib_change
+  | Incremental_fib_change
+
+type packet_size = Small | Large
+
+type t = { id : int; operation : operation; packet_size : packet_size }
+
+let all =
+  [ { id = 1; operation = Startup_announce; packet_size = Small };
+    { id = 2; operation = Startup_announce; packet_size = Large };
+    { id = 3; operation = Ending_withdraw; packet_size = Small };
+    { id = 4; operation = Ending_withdraw; packet_size = Large };
+    { id = 5; operation = Incremental_no_fib_change; packet_size = Small };
+    { id = 6; operation = Incremental_no_fib_change; packet_size = Large };
+    { id = 7; operation = Incremental_fib_change; packet_size = Small };
+    { id = 8; operation = Incremental_fib_change; packet_size = Large } ]
+
+let of_id id = List.find_opt (fun s -> s.id = id) all
+
+let of_id_exn id =
+  match of_id id with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Scenario.of_id_exn: %d not in 1-8" id)
+
+let packing ?(large = 500) t =
+  match t.packet_size with Small -> 1 | Large -> large
+
+let forwarding_table_changes t =
+  match t.operation with
+  | Startup_announce | Ending_withdraw | Incremental_fib_change -> true
+  | Incremental_no_fib_change -> false
+
+let measures_phase t =
+  match t.operation with Startup_announce -> 1 | _ -> 3
+
+let uses_speaker2 t =
+  match t.operation with
+  | Incremental_no_fib_change | Incremental_fib_change -> true
+  | Startup_announce | Ending_withdraw -> false
+
+let name t = Printf.sprintf "scenario-%d" t.id
+
+let op_string = function
+  | Startup_announce -> "start-up table load (announcements)"
+  | Ending_withdraw -> "ending (withdrawals)"
+  | Incremental_no_fib_change -> "incremental, longer path (no FIB change)"
+  | Incremental_fib_change -> "incremental, shorter path (FIB change)"
+
+let describe t =
+  Printf.sprintf "%s: %s, %s packets" (name t) (op_string t.operation)
+    (match t.packet_size with Small -> "small" | Large -> "large")
+
+let pp ppf t = Format.pp_print_string ppf (describe t)
+
+let table1 () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "Table I: BGP benchmark scenarios\n";
+  Buffer.add_string b
+    "+----+----------------------+----------+-------------+--------+\n";
+  Buffer.add_string b
+    "| id | operation            | message  | FIB changes | packet |\n";
+  Buffer.add_string b
+    "+----+----------------------+----------+-------------+--------+\n";
+  List.iter
+    (fun s ->
+      let op, msg =
+        match s.operation with
+        | Startup_announce -> ("start-up", "ANNOUNCE")
+        | Ending_withdraw -> ("ending", "WITHDRAW")
+        | Incremental_no_fib_change -> ("incremental", "ANNOUNCE")
+        | Incremental_fib_change -> ("incremental", "ANNOUNCE")
+      in
+      Buffer.add_string b
+        (Printf.sprintf "| %2d | %-20s | %-8s | %-11s | %-6s |\n" s.id op msg
+           (if forwarding_table_changes s then "yes" else "no")
+           (match s.packet_size with Small -> "small" | Large -> "large")))
+    all;
+  Buffer.add_string b
+    "+----+----------------------+----------+-------------+--------+\n";
+  Buffer.contents b

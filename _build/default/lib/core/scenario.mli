@@ -1,0 +1,48 @@
+(** The eight benchmark scenarios (paper Table I).
+
+    Three orthogonal knobs: BGP operation (start-up table load, ending
+    withdrawals, incremental updates), whether the forwarding table
+    changes, and UPDATE packing (one prefix per message vs. 500). *)
+
+type operation =
+  | Startup_announce    (** Phase 1 table injection (scenarios 1-2) *)
+  | Ending_withdraw     (** Phase 3 withdrawal of the table (3-4) *)
+  | Incremental_no_fib_change
+      (** Speaker 2 re-announces with a longer AS path (5-6) *)
+  | Incremental_fib_change
+      (** Speaker 2 re-announces with a shorter AS path (7-8) *)
+
+type packet_size = Small | Large
+
+type t = { id : int; operation : operation; packet_size : packet_size }
+
+val all : t list
+(** Scenarios 1-8 in Table I order. *)
+
+val of_id : int -> t option
+(** Scenario by its Table I number (1-8). *)
+
+val of_id_exn : int -> t
+
+val packing : ?large:int -> t -> int
+(** Prefixes per UPDATE: 1 for [Small], [large] (default 500) for
+    [Large]. *)
+
+val forwarding_table_changes : t -> bool
+(** The "Forwarding Table Changes" row of Table I. *)
+
+val measures_phase : t -> int
+(** Which benchmark phase the transactions/second metric covers: 1 for
+    scenarios 1-2, 3 for the rest. *)
+
+val uses_speaker2 : t -> bool
+(** Scenarios 5-8 need the second speaker (and hence Phase 2). *)
+
+val name : t -> string
+(** e.g. ["scenario-5"] *)
+
+val describe : t -> string
+val pp : Format.formatter -> t -> unit
+
+val table1 : unit -> string
+(** Rendered Table I. *)

@@ -1,0 +1,126 @@
+type t = {
+  config : Harness.config;
+  cells : (string * (int * Harness.result) list) list;
+}
+
+let paper =
+  [ (1, [ ("pentium3", 185.2); ("xeon", 2105.3); ("ixp2400", 24.1); ("cisco3620", 10.7) ]);
+    (2, [ ("pentium3", 312.5); ("xeon", 2247.2); ("ixp2400", 36.4); ("cisco3620", 2492.9) ]);
+    (3, [ ("pentium3", 204.1); ("xeon", 2898.6); ("ixp2400", 26.7); ("cisco3620", 10.4) ]);
+    (4, [ ("pentium3", 344.8); ("xeon", 1941.7); ("ixp2400", 43.5); ("cisco3620", 2927.5) ]);
+    (5, [ ("pentium3", 1111.1); ("xeon", 3389.8); ("ixp2400", 85.7); ("cisco3620", 10.9) ]);
+    (6, [ ("pentium3", 3636.4); ("xeon", 10000.0); ("ixp2400", 230.8); ("cisco3620", 3332.3) ]);
+    (7, [ ("pentium3", 116.6); ("xeon", 784.3); ("ixp2400", 11.6); ("cisco3620", 10.7) ]);
+    (8, [ ("pentium3", 118.7); ("xeon", 673.4); ("ixp2400", 14.9); ("cisco3620", 2445.2) ]) ]
+
+let paper_value ~scenario ~arch =
+  Option.bind (List.assoc_opt scenario paper) (List.assoc_opt arch)
+
+let run ?(config = Harness.default_config) ?(archs = Bgp_router.Arch.all)
+    ?(scenarios = Scenario.all) () =
+  let cells =
+    List.map
+      (fun arch ->
+        ( arch.Bgp_router.Arch.name,
+          List.map
+            (fun sc -> (sc.Scenario.id, Harness.run ~config arch sc))
+            scenarios ))
+      archs
+  in
+  { config; cells }
+
+let result t ~scenario ~arch =
+  Option.bind (List.assoc_opt arch t.cells) (List.assoc_opt scenario)
+
+let tps t ~scenario ~arch =
+  Option.map (fun r -> r.Harness.tps) (result t ~scenario ~arch)
+
+let render ?(compare_paper = true) t =
+  let archs = List.map fst t.cells in
+  let scenario_ids =
+    match t.cells with [] -> [] | (_, rs) :: _ -> List.map fst rs
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "Table III: BGP performance without cross-traffic (transactions/s)\n\
+        table size %d, large packing %d\n\n"
+       t.config.Harness.table_size t.config.Harness.large_packing);
+  Buffer.add_string b (Printf.sprintf "%-12s" "");
+  List.iter (fun a -> Buffer.add_string b (Printf.sprintf "%12s" a)) archs;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun sid ->
+      Buffer.add_string b (Printf.sprintf "%-12s" (Printf.sprintf "Scenario %d" sid));
+      List.iter
+        (fun arch ->
+          match tps t ~scenario:sid ~arch with
+          | Some v -> Buffer.add_string b (Printf.sprintf "%12.1f" v)
+          | None -> Buffer.add_string b (Printf.sprintf "%12s" "-"))
+        archs;
+      Buffer.add_char b '\n';
+      if compare_paper then begin
+        Buffer.add_string b (Printf.sprintf "%-12s" "  (x paper)");
+        List.iter
+          (fun arch ->
+            match tps t ~scenario:sid ~arch, paper_value ~scenario:sid ~arch with
+            | Some v, Some p when p > 0.0 ->
+              Buffer.add_string b (Printf.sprintf "%12s" (Printf.sprintf "x%.2f" (v /. p)))
+            | _ -> Buffer.add_string b (Printf.sprintf "%12s" "-"))
+          archs;
+        Buffer.add_char b '\n'
+      end)
+    scenario_ids;
+  (* verification summary *)
+  let failures =
+    List.concat_map
+      (fun (arch, rs) ->
+        List.filter_map
+          (fun (sid, r) ->
+            match r.Harness.verified with
+            | Ok () -> None
+            | Error e -> Some (Printf.sprintf "%s/scenario %d: %s" arch sid e))
+          rs)
+      t.cells
+  in
+  (match failures with
+  | [] -> Buffer.add_string b "\nAll semantic verifications passed.\n"
+  | fs ->
+    Buffer.add_string b "\nVERIFICATION FAILURES:\n";
+    List.iter (fun f -> Buffer.add_string b ("  " ^ f ^ "\n")) fs);
+  Buffer.contents b
+
+let shape_checks t =
+  let v ~scenario ~arch = Option.value ~default:nan (tps t ~scenario ~arch) in
+  let all_scen f = List.for_all f [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  [ ( "dual-core >= ~6x uni-core on every scenario",
+      all_scen (fun s -> v ~scenario:s ~arch:"xeon" >= 5.0 *. v ~scenario:s ~arch:"pentium3") );
+    ( "uni-core >= ~6x network processor on every scenario",
+      all_scen (fun s ->
+          v ~scenario:s ~arch:"pentium3" >= 5.0 *. v ~scenario:s ~arch:"ixp2400") );
+    ( "commercial beats dual-core exactly on scenarios 2, 4, 8",
+      all_scen (fun s ->
+          let cisco_wins = v ~scenario:s ~arch:"cisco3620" > v ~scenario:s ~arch:"xeon" in
+          cisco_wins = List.mem s [ 2; 4; 8 ]) );
+    ( "commercial slower than network processor on small packets",
+      List.for_all
+        (fun s -> v ~scenario:s ~arch:"cisco3620" < v ~scenario:s ~arch:"ixp2400")
+        [ 1; 3; 5; 7 ] );
+    ( "no-FIB-change scenarios are each system's fastest",
+      List.for_all
+        (fun arch ->
+          let m56 = Float.max (v ~scenario:5 ~arch) (v ~scenario:6 ~arch) in
+          List.for_all (fun s -> m56 >= v ~scenario:s ~arch) [ 1; 2; 3; 4; 7; 8 ])
+        [ "pentium3"; "xeon"; "ixp2400" ] );
+    ( "large packets beat small packets on start-up scenarios",
+      List.for_all
+        (fun arch ->
+          v ~scenario:2 ~arch > v ~scenario:1 ~arch
+          && v ~scenario:4 ~arch > v ~scenario:3 ~arch)
+        [ "pentium3"; "xeon"; "ixp2400"; "cisco3620" ] );
+    ( "scenario 7 ~ scenario 8 on XORP systems (within 2x)",
+      List.for_all
+        (fun arch ->
+          let a = v ~scenario:7 ~arch and b = v ~scenario:8 ~arch in
+          Float.max a b <= 2.0 *. Float.min a b)
+        [ "pentium3"; "xeon"; "ixp2400" ] ) ]

@@ -1,0 +1,30 @@
+(** Reproduction of Table III: BGP performance without cross-traffic,
+    transactions per second, 8 scenarios x 4 systems. *)
+
+type t = {
+  config : Harness.config;
+  cells : (string * (int * Harness.result) list) list;
+      (** per architecture name, per scenario id *)
+}
+
+val paper : (int * (string * float) list) list
+(** The published Table III numbers, [(scenario id, [(arch, tps)])] —
+    kept here so reports and tests can compare shapes against the
+    paper. *)
+
+val paper_value : scenario:int -> arch:string -> float option
+
+val run :
+  ?config:Harness.config -> ?archs:Bgp_router.Arch.t list ->
+  ?scenarios:Scenario.t list -> unit -> t
+(** Defaults: all four architectures, all eight scenarios. *)
+
+val result : t -> scenario:int -> arch:string -> Harness.result option
+
+val render : ?compare_paper:bool -> t -> string
+(** The table, formatted like the paper's (plus measured-vs-paper
+    ratios when [compare_paper], default true). *)
+
+val shape_checks : t -> (string * bool) list
+(** The DESIGN.md §5 shape criteria evaluated on this run:
+    each [(description, holds?)]. *)

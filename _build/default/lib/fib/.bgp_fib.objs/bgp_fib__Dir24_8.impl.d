@@ -1,0 +1,1 @@
+lib/fib/dir24_8.ml: Array Bgp_addr Bytes Char Hashtbl Int List

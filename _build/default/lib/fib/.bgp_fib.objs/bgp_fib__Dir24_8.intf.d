@@ -1,0 +1,1 @@
+lib/fib/dir24_8.mli: Bgp_addr

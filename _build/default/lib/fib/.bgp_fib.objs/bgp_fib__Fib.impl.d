@@ -1,0 +1,1 @@
+lib/fib/fib.ml: Bgp_addr Format List Patricia

@@ -1,0 +1,1 @@
+lib/fib/fib.mli: Bgp_addr Format Patricia

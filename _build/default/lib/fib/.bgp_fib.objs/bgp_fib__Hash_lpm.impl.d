@@ -1,0 +1,1 @@
+lib/fib/hash_lpm.ml: Array Bgp_addr Hashtbl

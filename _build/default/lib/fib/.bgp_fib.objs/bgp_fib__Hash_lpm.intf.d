@@ -1,0 +1,1 @@
+lib/fib/hash_lpm.mli: Bgp_addr

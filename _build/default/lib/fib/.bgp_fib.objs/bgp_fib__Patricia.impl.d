@@ -1,0 +1,1 @@
+lib/fib/patricia.ml: Bgp_addr List Printf Result

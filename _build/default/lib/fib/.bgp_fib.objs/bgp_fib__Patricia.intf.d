@@ -1,0 +1,1 @@
+lib/fib/patricia.mli: Bgp_addr

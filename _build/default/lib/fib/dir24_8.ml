@@ -1,0 +1,107 @@
+module P = Bgp_addr.Prefix
+module I = Bgp_addr.Ipv4
+
+(* Cell encoding (16 bits):
+   0xFFFF                  = empty
+   0x8000 lor block_index  = pointer to a second-level block
+   index < 0x8000          = direct index into [entries] *)
+let empty_cell = 0xFFFF
+let ptr_bit = 0x8000
+
+let is_ptr cell = cell <> empty_cell && cell land ptr_bit <> 0
+
+type 'a t = {
+  tbl24 : Bytes.t;            (* 2^24 cells of 2 bytes *)
+  blocks : Bytes.t array;     (* 256-cell blocks for prefixes > /24 *)
+  entries : (P.t * 'a) array;
+}
+
+let get16 b i =
+  Char.code (Bytes.get b (2 * i)) lor (Char.code (Bytes.get b ((2 * i) + 1)) lsl 8)
+
+let set16 b i v =
+  Bytes.set b (2 * i) (Char.chr (v land 0xFF));
+  Bytes.set b ((2 * i) + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let build bindings =
+  (* Deduplicate (later bindings win), then process in ascending prefix
+     length so more-specific prefixes overwrite the ranges painted by
+     less-specific ones. All prefixes > /24 therefore arrive after
+     every <= /24 prefix, which keeps block creation one-way. *)
+  let dedup = Hashtbl.create 1024 in
+  List.iter (fun (p, v) -> Hashtbl.replace dedup p v) bindings;
+  let entries =
+    Hashtbl.fold (fun p v acc -> (p, v) :: acc) dedup []
+    |> List.sort (fun (p, _) (q, _) ->
+           let c = Int.compare (P.len p) (P.len q) in
+           if c <> 0 then c else P.compare p q)
+    |> Array.of_list
+  in
+  if Array.length entries > 0x7FFE then
+    invalid_arg "Dir24_8.build: too many entries for 15-bit indices";
+  let tbl24 = Bytes.make (2 * (1 lsl 24)) '\xFF' in
+  let blocks = ref [||] in
+  let nblocks = ref 0 in
+  let new_block seed_cell =
+    let b = Bytes.make (2 * 256) '\xFF' in
+    if seed_cell <> empty_cell then
+      for i = 0 to 255 do
+        set16 b i seed_cell
+      done;
+    if !nblocks = Array.length !blocks then begin
+      let bigger = Array.make (max 8 (2 * !nblocks)) b in
+      Array.blit !blocks 0 bigger 0 !nblocks;
+      blocks := bigger
+    end;
+    !blocks.(!nblocks) <- b;
+    incr nblocks;
+    !nblocks - 1
+  in
+  Array.iteri
+    (fun idx (p, _) ->
+      let len = P.len p in
+      let a = I.to_int (P.addr p) in
+      if len <= 24 then begin
+        let base = a lsr 8 in
+        let span = 1 lsl (24 - len) in
+        (* No > /24 prefix has been processed yet, so every touched cell
+           is empty or direct — overwrite unconditionally. *)
+        for i = base to base + span - 1 do
+          set16 tbl24 i idx
+        done
+      end
+      else begin
+        let chunk = a lsr 8 in
+        let cell = get16 tbl24 chunk in
+        let bidx =
+          if is_ptr cell then cell land 0x7FFF
+          else begin
+            let bidx = new_block cell in
+            set16 tbl24 chunk (ptr_bit lor bidx);
+            bidx
+          end
+        in
+        let b = !blocks.(bidx) in
+        let base = a land 0xFF in
+        let span = 1 lsl (32 - len) in
+        for i = base to base + span - 1 do
+          set16 b i idx
+        done
+      end)
+    entries;
+  { tbl24; blocks = Array.sub !blocks 0 !nblocks; entries }
+
+let lookup t a =
+  let ai = I.to_int a in
+  let cell = get16 t.tbl24 (ai lsr 8) in
+  if cell = empty_cell then None
+  else if is_ptr cell then begin
+    let inner = get16 t.blocks.(cell land 0x7FFF) (ai land 0xFF) in
+    if inner = empty_cell then None else Some t.entries.(inner)
+  end
+  else Some t.entries.(cell)
+
+let size t = Array.length t.entries
+
+let memory_bytes t =
+  Bytes.length t.tbl24 + Array.fold_left (fun n b -> n + Bytes.length b) 0 t.blocks

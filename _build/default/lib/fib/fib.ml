@@ -1,0 +1,80 @@
+type nexthop = { nh_addr : Bgp_addr.Ipv4.t; nh_port : int }
+
+let pp_nexthop ppf nh =
+  Format.fprintf ppf "%a@@port%d" Bgp_addr.Ipv4.pp nh.nh_addr nh.nh_port
+
+let nexthop_equal a b =
+  Bgp_addr.Ipv4.equal a.nh_addr b.nh_addr && a.nh_port = b.nh_port
+
+type delta =
+  | Add of Bgp_addr.Prefix.t * nexthop
+  | Replace of Bgp_addr.Prefix.t * nexthop
+  | Withdraw of Bgp_addr.Prefix.t
+
+let pp_delta ppf = function
+  | Add (p, nh) -> Format.fprintf ppf "add %a -> %a" Bgp_addr.Prefix.pp p pp_nexthop nh
+  | Replace (p, nh) ->
+    Format.fprintf ppf "replace %a -> %a" Bgp_addr.Prefix.pp p pp_nexthop nh
+  | Withdraw p -> Format.fprintf ppf "withdraw %a" Bgp_addr.Prefix.pp p
+
+let delta_prefix = function Add (p, _) | Replace (p, _) | Withdraw p -> p
+
+type stats = { adds : int; replaces : int; withdraws : int; lookups : int }
+
+type t = {
+  mutable tree : nexthop Patricia.t;
+  mutable size : int;
+  mutable adds : int;
+  mutable replaces : int;
+  mutable withdraws : int;
+  mutable lookups : int;
+}
+
+let create () =
+  { tree = Patricia.empty; size = 0; adds = 0; replaces = 0; withdraws = 0;
+    lookups = 0 }
+
+let size t = t.size
+
+let stats t =
+  { adds = t.adds; replaces = t.replaces; withdraws = t.withdraws;
+    lookups = t.lookups }
+
+let set t p nh =
+  match Patricia.find_exact p t.tree with
+  | Some existing when nexthop_equal existing nh -> false
+  | Some _ ->
+    t.tree <- Patricia.add p nh t.tree;
+    true
+  | None ->
+    t.tree <- Patricia.add p nh t.tree;
+    t.size <- t.size + 1;
+    true
+
+let apply t = function
+  | Add (p, nh) ->
+    t.adds <- t.adds + 1;
+    set t p nh
+  | Replace (p, nh) ->
+    t.replaces <- t.replaces + 1;
+    set t p nh
+  | Withdraw p ->
+    t.withdraws <- t.withdraws + 1;
+    (match Patricia.find_exact p t.tree with
+    | None -> false
+    | Some _ ->
+      t.tree <- Patricia.remove p t.tree;
+      t.size <- t.size - 1;
+      true)
+
+let apply_all t deltas =
+  List.fold_left (fun n d -> if apply t d then n + 1 else n) 0 deltas
+
+let lookup t a =
+  t.lookups <- t.lookups + 1;
+  Patricia.lookup a t.tree
+
+let find_exact t p = Patricia.find_exact p t.tree
+let iter f t = Patricia.iter f t.tree
+let to_list t = Patricia.to_list t.tree
+let snapshot t = t.tree

@@ -1,0 +1,50 @@
+module P = Bgp_addr.Prefix
+module I = Bgp_addr.Ipv4
+
+type 'a t = {
+  (* tables.(l) maps the masked address of every stored /l prefix. *)
+  tables : (I.t, 'a) Hashtbl.t array;
+  mutable count : int;
+}
+
+let create () = { tables = Array.init 33 (fun _ -> Hashtbl.create 64); count = 0 }
+
+let clear t =
+  Array.iter Hashtbl.reset t.tables;
+  t.count <- 0
+
+let insert t p v =
+  let tbl = t.tables.(P.len p) in
+  let key = P.addr p in
+  if not (Hashtbl.mem tbl key) then t.count <- t.count + 1;
+  Hashtbl.replace tbl key v
+
+let remove t p =
+  let tbl = t.tables.(P.len p) in
+  let key = P.addr p in
+  if Hashtbl.mem tbl key then begin
+    Hashtbl.remove tbl key;
+    t.count <- t.count - 1;
+    true
+  end
+  else false
+
+let find_exact t p = Hashtbl.find_opt t.tables.(P.len p) (P.addr p)
+
+let lookup t a =
+  let rec go l =
+    if l < 0 then None
+    else
+      let key = I.apply_mask a l in
+      match Hashtbl.find_opt t.tables.(l) key with
+      | Some v -> Some (P.make key l, v)
+      | None -> go (l - 1)
+  in
+  go 32
+
+let size t = t.count
+
+let iter f t =
+  Array.iteri
+    (fun l tbl -> Hashtbl.iter (fun key v -> f (P.make key l) v) tbl)
+    t.tables

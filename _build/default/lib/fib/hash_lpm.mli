@@ -1,0 +1,23 @@
+(** Hash-table longest-prefix match: one table per prefix length,
+    probed from /32 down to /0.
+
+    The comparison baseline for the Patricia trie in the lookup
+    ablation benches: O(1) insert/remove, but every lookup costs up to
+    33 hash probes regardless of table contents (Ruiz-Sanchez et al.'s
+    "binary search on prefix lengths" family, without the binary
+    search). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val clear : 'a t -> unit
+val insert : 'a t -> Bgp_addr.Prefix.t -> 'a -> unit
+(** Insert or replace. *)
+
+val remove : 'a t -> Bgp_addr.Prefix.t -> bool
+(** [true] when a binding was removed. *)
+
+val find_exact : 'a t -> Bgp_addr.Prefix.t -> 'a option
+val lookup : 'a t -> Bgp_addr.Ipv4.t -> (Bgp_addr.Prefix.t * 'a) option
+val size : 'a t -> int
+val iter : (Bgp_addr.Prefix.t -> 'a -> unit) -> 'a t -> unit

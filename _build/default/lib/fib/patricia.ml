@@ -1,0 +1,159 @@
+module P = Bgp_addr.Prefix
+module I = Bgp_addr.Ipv4
+
+(* Invariants:
+   - every child's prefix is a strict more-specific of its parent's;
+   - a left child's bit at position [parent len] is 0, a right child's 1;
+   - a node with no value has two non-empty children (path compression),
+     except possibly the root.  We keep even the root compressed. *)
+type 'a t =
+  | Empty
+  | Node of { pfx : P.t; value : 'a option; l : 'a t; r : 'a t }
+
+let empty = Empty
+let is_empty = function Empty -> true | Node _ -> false
+
+let leaf pfx v = Node { pfx; value = Some v; l = Empty; r = Empty }
+
+(* Common prefix length of two prefixes, capped by both lengths. *)
+let common p q =
+  min (min (P.len p) (P.len q)) (I.common_prefix_len (P.addr p) (P.addr q))
+
+let rec add p v t =
+  match t with
+  | Empty -> leaf p v
+  | Node n ->
+    let c = common p n.pfx in
+    if c = P.len n.pfx && c = P.len p then Node { n with value = Some v }
+    else if c = P.len n.pfx then
+      (* p is strictly inside n: descend on bit c of p. *)
+      if P.bit p c then Node { n with r = add p v n.r }
+      else Node { n with l = add p v n.l }
+    else if c = P.len p then
+      (* p is a strict ancestor of n: new node above. *)
+      if P.bit n.pfx c then Node { pfx = p; value = Some v; l = Empty; r = t }
+      else Node { pfx = p; value = Some v; l = t; r = Empty }
+    else
+      (* Diverge below c: create a valueless branch point. *)
+      let join = P.make (P.addr p) c in
+      let lf = leaf p v in
+      if P.bit p c then Node { pfx = join; value = None; l = t; r = lf }
+      else Node { pfx = join; value = None; l = lf; r = t }
+
+(* Re-establish path compression after a removal. *)
+let collapse pfx value l r =
+  match value, l, r with
+  | None, Empty, Empty -> Empty
+  | None, (Node _ as child), Empty | None, Empty, (Node _ as child) -> child
+  | _ -> Node { pfx; value; l; r }
+
+let rec remove p t =
+  match t with
+  | Empty -> Empty
+  | Node n ->
+    if P.equal p n.pfx then collapse n.pfx None n.l n.r
+    else if P.len p > P.len n.pfx && common p n.pfx = P.len n.pfx then
+      if P.bit p (P.len n.pfx) then collapse n.pfx n.value n.l (remove p n.r)
+      else collapse n.pfx n.value (remove p n.l) n.r
+    else t
+
+let rec find_exact p t =
+  match t with
+  | Empty -> None
+  | Node n ->
+    if P.equal p n.pfx then n.value
+    else if P.len p > P.len n.pfx && common p n.pfx = P.len n.pfx then
+      find_exact p (if P.bit p (P.len n.pfx) then n.r else n.l)
+    else None
+
+let lookup a t =
+  let rec go best t =
+    match t with
+    | Empty -> best
+    | Node n ->
+      if not (P.mem a n.pfx) then best
+      else
+        let best = match n.value with Some v -> Some (n.pfx, v) | None -> best in
+        if P.len n.pfx = 32 then best
+        else go best (if I.bit a (P.len n.pfx) then n.r else n.l)
+  in
+  go None t
+
+let lookup_prefix p t =
+  let rec go best t =
+    match t with
+    | Empty -> best
+    | Node n ->
+      if not (P.subsumes n.pfx p) then best
+      else
+        let best = match n.value with Some v -> Some (n.pfx, v) | None -> best in
+        if P.len n.pfx >= P.len p then best
+        else go best (if P.bit p (P.len n.pfx) then n.r else n.l)
+  in
+  go None t
+
+let rec fold f t acc =
+  match t with
+  | Empty -> acc
+  | Node n ->
+    let acc = match n.value with Some v -> f n.pfx v acc | None -> acc in
+    fold f n.r (fold f n.l acc)
+
+let iter f t = fold (fun p v () -> f p v) t ()
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+let to_list t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])
+
+let subtree_count t p =
+  let rec go t =
+    match t with
+    | Empty -> 0
+    | Node n ->
+      if P.subsumes p n.pfx then
+        (* whole subtree inside p *)
+        (match n.value with Some _ -> 1 | None -> 0) + go_all n.l + go_all n.r
+      else if P.subsumes n.pfx p && P.len n.pfx < P.len p then
+        go (if P.bit p (P.len n.pfx) then n.r else n.l)
+      else 0
+  and go_all t =
+    match t with
+    | Empty -> 0
+    | Node n -> (match n.value with Some _ -> 1 | None -> 0) + go_all n.l + go_all n.r
+  in
+  go t
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec go ~parent t =
+    match t with
+    | Empty -> Ok ()
+    | Node n ->
+      let bad_child =
+        match parent with
+        | None -> None
+        | Some (ppfx, expect_bit) ->
+          if not (P.subsumes ppfx n.pfx) || P.len n.pfx <= P.len ppfx then
+            Some "child not strictly inside parent"
+          else if P.bit n.pfx (P.len ppfx) <> expect_bit then
+            Some "child on wrong side"
+          else None
+      in
+      (match bad_child with
+      | Some msg -> fail "%s at %s" msg (P.to_string n.pfx)
+      | None ->
+        if n.value = None && (n.l = Empty || n.r = Empty) then
+          fail "collapsible valueless node at %s" (P.to_string n.pfx)
+        else
+          Result.bind (go ~parent:(Some (n.pfx, false)) n.l) (fun () ->
+              go ~parent:(Some (n.pfx, true)) n.r))
+  in
+  match t with
+  | Empty -> Ok ()
+  | Node n ->
+    (* The root itself has no parent constraint but must not be a
+       collapsible branch either — except a bare valueless root cannot
+       occur; enforce uniformly. *)
+    if n.value = None && (n.l = Empty || n.r = Empty) then
+      Error "collapsible valueless root"
+    else
+      Result.bind (go ~parent:(Some (n.pfx, false)) n.l) (fun () ->
+          go ~parent:(Some (n.pfx, true)) n.r)

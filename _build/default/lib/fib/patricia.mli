@@ -1,0 +1,43 @@
+(** Path-compressed binary trie (Patricia trie) keyed by prefixes, with
+    longest-prefix-match lookup.  The workhorse structure behind the
+    router's forwarding table and Loc-RIB iteration order.
+
+    Persistent: [add]/[remove] share structure, so snapshotting a FIB
+    for comparison (as the benchmark's verification step does) is
+    free. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val add : Bgp_addr.Prefix.t -> 'a -> 'a t -> 'a t
+(** Insert or replace the binding at exactly this prefix. *)
+
+val remove : Bgp_addr.Prefix.t -> 'a t -> 'a t
+(** Remove the exact binding; no-op when absent. *)
+
+val find_exact : Bgp_addr.Prefix.t -> 'a t -> 'a option
+
+val lookup : Bgp_addr.Ipv4.t -> 'a t -> (Bgp_addr.Prefix.t * 'a) option
+(** Longest-prefix match for an address. *)
+
+val lookup_prefix : Bgp_addr.Prefix.t -> 'a t -> (Bgp_addr.Prefix.t * 'a) option
+(** Longest stored prefix that {!Bgp_addr.Prefix.subsumes} the given
+    prefix (useful for aggregate checks). *)
+
+val cardinal : 'a t -> int
+(** O(n). Wrap in {!Fib} for a maintained counter. *)
+
+val iter : (Bgp_addr.Prefix.t -> 'a -> unit) -> 'a t -> unit
+(** In ascending {!Bgp_addr.Prefix.compare}-like trie order. *)
+
+val fold : (Bgp_addr.Prefix.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+val to_list : 'a t -> (Bgp_addr.Prefix.t * 'a) list
+
+val subtree_count : 'a t -> Bgp_addr.Prefix.t -> int
+(** Number of stored prefixes subsumed by the argument. *)
+
+val check_invariants : 'a t -> (unit, string) result
+(** Structural invariants (children inside parent, no collapsible
+    nodes); used by the property tests. *)

@@ -1,0 +1,1 @@
+lib/fsm/framer.ml: Bgp_wire String

@@ -1,0 +1,1 @@
+lib/fsm/framer.mli: Bgp_wire

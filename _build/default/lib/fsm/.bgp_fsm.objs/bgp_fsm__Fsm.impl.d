@@ -1,0 +1,1 @@
+lib/fsm/fsm.ml: Bgp_addr Bgp_route Bgp_wire Format

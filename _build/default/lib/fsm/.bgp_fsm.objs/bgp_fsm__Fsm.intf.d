@@ -1,0 +1,1 @@
+lib/fsm/fsm.mli: Bgp_addr Bgp_route Bgp_wire Format

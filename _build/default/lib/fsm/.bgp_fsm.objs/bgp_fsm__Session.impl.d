@@ -1,0 +1,1 @@
+lib/fsm/session.ml: Bgp_wire Framer Fsm Hashtbl List String

@@ -1,0 +1,1 @@
+lib/fsm/session.mli: Bgp_wire Fsm

@@ -1,0 +1,51 @@
+type t = {
+  mutable buf : string;     (* unconsumed suffix semantics via [pos] *)
+  mutable pos : int;
+  mutable poisoned : Bgp_wire.Msg.error option;
+}
+
+let create () = { buf = ""; pos = 0; poisoned = None }
+
+let compact t =
+  if t.pos > 0 then begin
+    t.buf <- String.sub t.buf t.pos (String.length t.buf - t.pos);
+    t.pos <- 0
+  end
+
+let feed t bytes =
+  if bytes <> "" then begin
+    compact t;
+    t.buf <- t.buf ^ bytes
+  end
+
+type result =
+  | Msg of Bgp_wire.Msg.t * int
+  | Need_more
+  | Error of Bgp_wire.Msg.error
+
+let buffered t = String.length t.buf - t.pos
+
+let next t =
+  match t.poisoned with
+  | Some e -> Error e
+  | None -> (
+    let avail = buffered t in
+    match Bgp_wire.Codec.required_length t.buf ~pos:t.pos ~avail with
+    | Error e ->
+      t.poisoned <- Some e;
+      Error e
+    | Ok None -> Need_more
+    | Ok (Some need) ->
+      if avail < need then Need_more
+      else (
+        match Bgp_wire.Codec.decode_at t.buf ~pos:t.pos with
+        | Ok (msg, consumed) ->
+          t.pos <- t.pos + consumed;
+          if t.pos = String.length t.buf then begin
+            t.buf <- "";
+            t.pos <- 0
+          end;
+          Msg (msg, consumed)
+        | Error e ->
+          t.poisoned <- Some e;
+          Error e))

@@ -1,0 +1,25 @@
+(** Incremental message framing over a byte stream.
+
+    TCP delivers arbitrary chunks; the framer buffers them and yields
+    complete BGP messages (or a header-level error that must kill the
+    session).  Used by both the simulated channels and the real-socket
+    transport. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> string -> unit
+(** Append received bytes. *)
+
+type result =
+  | Msg of Bgp_wire.Msg.t * int  (** decoded message and its wire size *)
+  | Need_more                    (** no complete message buffered *)
+  | Error of Bgp_wire.Msg.error  (** unrecoverable framing/decoding error *)
+
+val next : t -> result
+(** Extract the next message.  After [Error] the framer is poisoned and
+    keeps returning the same error. *)
+
+val buffered : t -> int
+(** Bytes currently buffered (unconsumed). *)

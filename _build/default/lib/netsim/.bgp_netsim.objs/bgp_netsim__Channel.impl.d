@@ -1,0 +1,1 @@
+lib/netsim/channel.ml: Bgp_fsm Bgp_sim Float String

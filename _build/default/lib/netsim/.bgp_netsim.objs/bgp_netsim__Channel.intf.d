@@ -1,0 +1,1 @@
+lib/netsim/channel.mli: Bgp_fsm Bgp_sim

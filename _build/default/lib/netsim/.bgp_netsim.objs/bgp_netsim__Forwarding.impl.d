@@ -1,0 +1,1 @@
+lib/netsim/forwarding.ml: Bgp_sim Float Traffic

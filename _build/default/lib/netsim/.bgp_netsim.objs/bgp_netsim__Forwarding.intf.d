@@ -1,0 +1,1 @@
+lib/netsim/forwarding.mli: Bgp_sim Traffic

@@ -1,0 +1,1 @@
+lib/netsim/ip_packet.ml: Bgp_addr Bgp_fib Bytes Char Printf String

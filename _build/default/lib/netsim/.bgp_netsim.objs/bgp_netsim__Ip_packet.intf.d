@@ -1,0 +1,1 @@
+lib/netsim/ip_packet.mli: Bgp_addr Bgp_fib

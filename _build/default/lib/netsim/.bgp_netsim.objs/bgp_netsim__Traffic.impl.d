@@ -1,0 +1,1 @@
+lib/netsim/traffic.ml: Format

@@ -1,0 +1,83 @@
+module Engine = Bgp_sim.Engine
+
+type side = A | B
+
+type dir_state = {
+  mutable receiver : string -> unit;
+  mutable on_connected : unit -> unit;
+  mutable on_closed : unit -> unit;
+  mutable busy_until : float;  (* serialization horizon of the sender *)
+  mutable carried : int;
+}
+
+type t = {
+  engine : Engine.t;
+  latency : float;
+  bandwidth_bps : float;
+  a : dir_state;
+  b : dir_state;
+  mutable opened : bool;
+}
+
+let blank () =
+  { receiver = (fun _ -> ()); on_connected = (fun () -> ());
+    on_closed = (fun () -> ()); busy_until = 0.0; carried = 0 }
+
+let create engine ?(latency = 1e-4) ?(bandwidth_mbps = 1000.0) () =
+  if latency < 0.0 then invalid_arg "Channel.create: negative latency";
+  if bandwidth_mbps <= 0.0 then invalid_arg "Channel.create: bandwidth";
+  { engine; latency; bandwidth_bps = bandwidth_mbps *. 1e6; a = blank ();
+    b = blank (); opened = false }
+
+let this t = function A -> t.a | B -> t.b
+let other t = function A -> t.b | B -> t.a
+
+let set_receiver t side f = (this t side).receiver <- f
+let set_on_connected t side f = (this t side).on_connected <- f
+let set_on_closed t side f = (this t side).on_closed <- f
+
+let connect t =
+  if not t.opened then begin
+    t.opened <- true;
+    ignore
+      (Engine.schedule t.engine ~delay:t.latency (fun () ->
+           if t.opened then begin
+             t.a.on_connected ();
+             t.b.on_connected ()
+           end))
+  end
+
+let close t =
+  if t.opened then begin
+    t.opened <- false;
+    t.a.busy_until <- 0.0;
+    t.b.busy_until <- 0.0;
+    ignore
+      (Engine.schedule t.engine ~delay:t.latency (fun () ->
+           t.a.on_closed ();
+           t.b.on_closed ()))
+  end
+
+let is_open t = t.opened
+
+let send t side bytes =
+  if t.opened && bytes <> "" then begin
+    let src = this t side in
+    let dst = other t side in
+    src.carried <- src.carried + String.length bytes;
+    let now = Engine.now t.engine in
+    let start = Float.max now src.busy_until in
+    let ser = float_of_int (8 * String.length bytes) /. t.bandwidth_bps in
+    src.busy_until <- start +. ser;
+    let deliver_at = start +. ser +. t.latency in
+    ignore
+      (Engine.schedule_at t.engine ~time:deliver_at (fun () ->
+           if t.opened then dst.receiver bytes))
+  end
+
+let session_io t side ~connect_side =
+  { Bgp_fsm.Session.out_bytes = (fun bytes -> send t side bytes);
+    start_connect = (fun () -> if connect_side then connect t);
+    close = (fun () -> close t) }
+
+let bytes_carried t side = (this t side).carried

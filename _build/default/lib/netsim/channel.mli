@@ -1,0 +1,44 @@
+(** A reliable, ordered, bidirectional byte channel inside the
+    simulator — the stand-in for a TCP connection between a benchmark
+    speaker and the router under test.
+
+    Models propagation latency and per-direction serialization at a
+    configurable bandwidth; delivery is loss-free and ordered, which is
+    what BGP assumes of TCP. *)
+
+type side = A | B
+
+type t
+
+val create :
+  Bgp_sim.Engine.t -> ?latency:float -> ?bandwidth_mbps:float -> unit -> t
+(** Default latency 100 us, bandwidth 1000 Mbps. *)
+
+val set_receiver : t -> side -> (string -> unit) -> unit
+(** Install the byte sink for one side (bytes sent by the {e other}
+    side arrive here). *)
+
+val set_on_connected : t -> side -> (unit -> unit) -> unit
+val set_on_closed : t -> side -> (unit -> unit) -> unit
+
+val connect : t -> unit
+(** Begin the (abstracted) handshake; both sides' [on_connected] fire
+    after one latency.  Idempotent while open. *)
+
+val close : t -> unit
+(** Both sides' [on_closed] fire after one latency; in-flight bytes are
+    dropped. *)
+
+val is_open : t -> bool
+
+val send : t -> side -> string -> unit
+(** Queue bytes from [side] to its peer.  Silently dropped when the
+    channel is closed (as with a TCP RST race). *)
+
+val session_io : t -> side -> connect_side:bool -> Bgp_fsm.Session.io
+(** Adapt one side to {!Bgp_fsm.Session.io}: [start_connect] calls
+    {!connect} when [connect_side] (the active opener), else waits.
+    [close] closes the channel. *)
+
+val bytes_carried : t -> side -> int
+(** Total payload bytes this side has transmitted. *)

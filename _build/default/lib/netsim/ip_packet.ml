@@ -1,0 +1,143 @@
+module I = Bgp_addr.Ipv4
+
+type t = {
+  src : I.t;
+  dst : I.t;
+  ttl : int;
+  protocol : int;
+  payload : string;
+}
+
+let make ?(ttl = 64) ?(protocol = 17) ~src ~dst payload =
+  if ttl < 0 || ttl > 255 then invalid_arg "Ip_packet.make: ttl out of range";
+  if protocol < 0 || protocol > 255 then
+    invalid_arg "Ip_packet.make: protocol out of range";
+  { src; dst; ttl; protocol; payload }
+
+(* RFC 1071: sum 16-bit big-endian words with end-around carry, then
+   complement. *)
+let checksum buf =
+  let n = String.length buf in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + ((Char.code buf.[!i] lsl 8) lor Char.code buf.[!i + 1]);
+    i := !i + 2
+  done;
+  if n land 1 = 1 then sum := !sum + (Char.code buf.[n - 1] lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+(* RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m').  A TTL decrement changes
+   the big-endian word (ttl lsl 8 | proto) by -0x0100; protocol is
+   unchanged so only the high byte moves. *)
+let incremental_ttl_decrement ~old_checksum ~old_ttl =
+  if old_ttl <= 0 || old_ttl > 255 then
+    invalid_arg "Ip_packet.incremental_ttl_decrement: bad ttl";
+  let m = old_ttl lsl 8 in
+  let m' = (old_ttl - 1) lsl 8 in
+  let sum =
+    (lnot old_checksum land 0xFFFF) + (lnot m land 0xFFFF) + m'
+  in
+  let sum = ref sum in
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let header_len = 20
+
+let build_header t ~checksum:ck =
+  let b = Bytes.create header_len in
+  let set i v = Bytes.set b i (Char.chr (v land 0xFF)) in
+  let total = header_len + String.length t.payload in
+  set 0 0x45 (* version 4, IHL 5 *);
+  set 1 0 (* DSCP/ECN *);
+  set 2 (total lsr 8);
+  set 3 total;
+  set 4 0;
+  set 5 0 (* identification *);
+  set 6 0;
+  set 7 0 (* flags/fragment *);
+  set 8 t.ttl;
+  set 9 t.protocol;
+  set 10 (ck lsr 8);
+  set 11 ck;
+  let src = I.to_int t.src and dst = I.to_int t.dst in
+  set 12 (src lsr 24);
+  set 13 (src lsr 16);
+  set 14 (src lsr 8);
+  set 15 src;
+  set 16 (dst lsr 24);
+  set 17 (dst lsr 16);
+  set 18 (dst lsr 8);
+  set 19 dst;
+  Bytes.to_string b
+
+let serialize t =
+  let h0 = build_header t ~checksum:0 in
+  let ck = checksum h0 in
+  build_header t ~checksum:ck ^ t.payload
+
+let parse buf =
+  let n = String.length buf in
+  if n < header_len then Error "truncated header"
+  else begin
+    let byte i = Char.code buf.[i] in
+    let version = byte 0 lsr 4 in
+    let ihl = byte 0 land 0xF in
+    if version <> 4 then Error (Printf.sprintf "bad version %d" version)
+    else if ihl <> 5 then Error "options not supported"
+    else begin
+      let total = (byte 2 lsl 8) lor byte 3 in
+      if total <> n then
+        Error (Printf.sprintf "length field %d does not match buffer %d" total n)
+      else if checksum (String.sub buf 0 header_len) <> 0 then
+        (* A correct header sums (with its checksum field included) to
+           0xFFFF, whose complement is 0. *)
+        Error "bad header checksum"
+      else begin
+        let word32 i =
+          (byte i lsl 24) lor (byte (i + 1) lsl 16) lor (byte (i + 2) lsl 8)
+          lor byte (i + 3)
+        in
+        Ok
+          { src = I.of_int (word32 12); dst = I.of_int (word32 16);
+            ttl = byte 8; protocol = byte 9;
+            payload = String.sub buf header_len (n - header_len) }
+      end
+    end
+  end
+
+type verdict =
+  | Forwarded of { next_hop : Bgp_fib.Fib.nexthop; packet : t }
+  | Ttl_expired
+  | No_route
+
+let forward fib t =
+  if t.ttl <= 1 then Ttl_expired
+  else
+    match Bgp_fib.Fib.lookup fib t.dst with
+    | None -> No_route
+    | Some (_, next_hop) ->
+      Forwarded { next_hop; packet = { t with ttl = t.ttl - 1 } }
+
+let forward_wire fib buf =
+  match parse buf with
+  | Error e -> Error e
+  | Ok pkt -> (
+    match forward fib pkt with
+    | Ttl_expired -> Error "ttl expired"
+    | No_route -> Error "no route"
+    | Forwarded { next_hop; packet } ->
+      (* Fast path: patch TTL and checksum in place rather than
+         re-serializing from scratch. *)
+      let b = Bytes.of_string buf in
+      let old_ck = (Char.code buf.[10] lsl 8) lor Char.code buf.[11] in
+      let ck = incremental_ttl_decrement ~old_checksum:old_ck ~old_ttl:pkt.ttl in
+      Bytes.set b 8 (Char.chr packet.ttl);
+      Bytes.set b 10 (Char.chr (ck lsr 8));
+      Bytes.set b 11 (Char.chr (ck land 0xFF));
+      Ok (next_hop, Bytes.to_string b))

@@ -1,0 +1,60 @@
+(** IPv4 packets and RFC 1812 forwarding — the real data path.
+
+    The benchmark charges forwarding as a fluid CPU load (millions of
+    packets per second would swamp a discrete-event simulation), but
+    the per-packet work it stands for is implemented here for real:
+    header parse/serialize, Internet checksum (RFC 1071) with
+    incremental update (RFC 1624), TTL handling, and the
+    forward-one-packet function every RFC 1812 router performs.
+    Property tests validate the checksum algebra; the calibration of
+    the fluid model's cycles-per-packet constants is justified by
+    benching {!forward} (see [bench/main.ml]). *)
+
+type t = {
+  src : Bgp_addr.Ipv4.t;
+  dst : Bgp_addr.Ipv4.t;
+  ttl : int;                  (** 0-255 *)
+  protocol : int;             (** 0-255; 6 = TCP, 17 = UDP *)
+  payload : string;
+}
+
+val make :
+  ?ttl:int -> ?protocol:int -> src:Bgp_addr.Ipv4.t -> dst:Bgp_addr.Ipv4.t ->
+  string -> t
+(** Default TTL 64, protocol 17. *)
+
+val serialize : t -> string
+(** A minimal 20-byte IPv4 header (no options) with a correct header
+    checksum, followed by the payload. *)
+
+val parse : string -> (t, string) result
+(** Parse and {e verify the checksum}; errors name the failure
+    (truncated, bad version, bad checksum, length mismatch). *)
+
+(** {1 Internet checksum} *)
+
+val checksum : string -> int
+(** RFC 1071 16-bit one's-complement sum of the buffer (padded with a
+    zero byte when odd). *)
+
+val incremental_ttl_decrement : old_checksum:int -> old_ttl:int -> int
+(** RFC 1624 incremental checksum update for a TTL decrement — what
+    fast paths do instead of recomputing the sum. *)
+
+(** {1 Forwarding} *)
+
+type verdict =
+  | Forwarded of { next_hop : Bgp_fib.Fib.nexthop; packet : t }
+      (** TTL decremented, checksum updated *)
+  | Ttl_expired       (** would emit ICMP Time Exceeded *)
+  | No_route          (** would emit ICMP Destination Unreachable *)
+
+val forward : Bgp_fib.Fib.t -> t -> verdict
+(** One RFC 1812 forwarding decision: TTL check + decrement and
+    longest-prefix-match against the FIB. *)
+
+val forward_wire : Bgp_fib.Fib.t -> string -> (Bgp_fib.Fib.nexthop * string, string) result
+(** The full per-packet fast path on wire bytes: parse + verify,
+    forward, re-serialize (with incremental checksum update).  This is
+    the function the fluid model's cycles-per-packet constant
+    abstracts. *)

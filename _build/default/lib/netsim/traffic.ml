@@ -1,0 +1,13 @@
+type t = { mbps : float; packet_bytes : int }
+
+let make ?(packet_bytes = 64) ~mbps () =
+  if mbps < 0.0 then invalid_arg "Traffic.make: negative rate";
+  if packet_bytes < 1 then invalid_arg "Traffic.make: packet size";
+  { mbps; packet_bytes }
+
+let none = { mbps = 0.0; packet_bytes = 64 }
+let pps t = t.mbps *. 1e6 /. (8.0 *. float_of_int t.packet_bytes)
+
+let pp ppf t =
+  Format.fprintf ppf "%.0f Mbps (%dB packets, %.0f pps)" t.mbps t.packet_bytes
+    (pps t)

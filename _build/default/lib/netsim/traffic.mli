@@ -1,0 +1,24 @@
+(** Cross-traffic description: the data-plane load offered to the
+    router while the BGP benchmark runs (paper §V.B).
+
+    The paper's generators blast minimum-size frames at a configured
+    bit rate; what matters to the control plane is the resulting
+    {e packet} rate (interrupts are per packet) and {e bit} rate
+    (line-rate ceilings are in Mbps). *)
+
+type t = {
+  mbps : float;          (** offered bit rate *)
+  packet_bytes : int;    (** frame size; 64 B minimum Ethernet *)
+}
+
+val make : ?packet_bytes:int -> mbps:float -> unit -> t
+(** Default 64-byte packets.
+    @raise Invalid_argument for negative rate or packet size < 1. *)
+
+val none : t
+(** Zero traffic. *)
+
+val pps : t -> float
+(** Packets per second. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/policy/policy.ml: Bgp_addr Bgp_route Format List

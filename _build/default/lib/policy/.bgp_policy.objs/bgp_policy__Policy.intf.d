@@ -1,0 +1,1 @@
+lib/policy/policy.mli: Bgp_addr Bgp_route Format

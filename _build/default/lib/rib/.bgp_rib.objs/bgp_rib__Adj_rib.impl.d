@@ -1,0 +1,1 @@
+lib/rib/adj_rib.ml: Bgp_addr Bgp_route Hashtbl

@@ -1,0 +1,1 @@
+lib/rib/decision.ml: Bgp_addr Bgp_route Bool Format Int List Option

@@ -1,0 +1,1 @@
+lib/rib/decision.mli: Bgp_route Format

@@ -1,0 +1,1 @@
+lib/rib/loc_rib.ml: Bgp_addr Bgp_route Hashtbl

@@ -1,0 +1,1 @@
+lib/rib/loc_rib.mli: Bgp_addr Bgp_route

@@ -1,0 +1,1 @@
+lib/rib/rib_manager.ml: Adj_rib Bgp_addr Bgp_fib Bgp_policy Bgp_route Decision Format Hashtbl List Loc_rib Option Printf

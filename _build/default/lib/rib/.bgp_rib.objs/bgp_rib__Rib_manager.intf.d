@@ -1,0 +1,1 @@
+lib/rib/rib_manager.mli: Bgp_addr Bgp_fib Bgp_policy Bgp_route Format Loc_rib

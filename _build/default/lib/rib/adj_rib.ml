@@ -1,0 +1,39 @@
+module H = Hashtbl.Make (struct
+  type t = Bgp_addr.Prefix.t
+
+  let equal = Bgp_addr.Prefix.equal
+  let hash = Bgp_addr.Prefix.hash
+end)
+
+type t = Bgp_route.Attrs.t H.t
+
+let create () = H.create 1024
+
+type change = [ `New | `Changed | `Unchanged ]
+
+let set t p attrs =
+  match H.find_opt t p with
+  | None ->
+    H.replace t p attrs;
+    `New
+  | Some old ->
+    if Bgp_route.Attrs.equal old attrs then `Unchanged
+    else begin
+      H.replace t p attrs;
+      `Changed
+    end
+
+let remove t p =
+  if H.mem t p then begin
+    H.remove t p;
+    true
+  end
+  else false
+
+let find t p = H.find_opt t p
+let mem t p = H.mem t p
+let size t = H.length t
+let iter f t = H.iter f t
+let fold f t acc = H.fold f t acc
+let clear t = H.reset t
+let prefixes t = H.fold (fun p _ acc -> p :: acc) t []

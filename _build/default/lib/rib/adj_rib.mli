@@ -1,0 +1,27 @@
+(** One Adj-RIB: the per-neighbor route store (RFC 4271 §3.2).
+
+    Used both inbound (Adj-RIB-In: unprocessed routes advertised {e by}
+    a neighbor) and outbound (Adj-RIB-Out: routes selected for
+    advertisement {e to} a neighbor).  Keyed by prefix; holds the path
+    attributes last exchanged for that prefix. *)
+
+type t
+
+val create : unit -> t
+
+type change = [ `New | `Changed | `Unchanged ]
+
+val set : t -> Bgp_addr.Prefix.t -> Bgp_route.Attrs.t -> change
+(** Record an announcement. [`Unchanged] means the identical attributes
+    were already present (a duplicate announcement). *)
+
+val remove : t -> Bgp_addr.Prefix.t -> bool
+(** Record a withdrawal; [false] when the prefix was not present. *)
+
+val find : t -> Bgp_addr.Prefix.t -> Bgp_route.Attrs.t option
+val mem : t -> Bgp_addr.Prefix.t -> bool
+val size : t -> int
+val iter : (Bgp_addr.Prefix.t -> Bgp_route.Attrs.t -> unit) -> t -> unit
+val fold : (Bgp_addr.Prefix.t -> Bgp_route.Attrs.t -> 'a -> 'a) -> t -> 'a -> 'a
+val clear : t -> unit
+val prefixes : t -> Bgp_addr.Prefix.t list

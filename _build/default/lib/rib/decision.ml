@@ -1,0 +1,97 @@
+module R = Bgp_route.Route
+module A = Bgp_route.Attrs
+module Peer = Bgp_route.Peer
+
+let default_local_pref = 100
+
+type rule =
+  | Local_origin
+  | Local_pref
+  | Path_length
+  | Origin
+  | Med
+  | Ebgp_over_ibgp
+  | Router_id
+  | Peer_address
+  | Identical
+
+let pp_rule ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Local_origin -> "local-origin"
+    | Local_pref -> "local-pref"
+    | Path_length -> "as-path-length"
+    | Origin -> "origin"
+    | Med -> "med"
+    | Ebgp_over_ibgp -> "ebgp-over-ibgp"
+    | Router_id -> "router-id"
+    | Peer_address -> "peer-address"
+    | Identical -> "identical")
+
+let local_pref_of r =
+  Option.value ~default:default_local_pref (R.attrs r).A.local_pref
+
+let med_of r = Option.value ~default:0 (R.attrs r).A.med
+
+let neighbor_as r = Bgp_route.As_path.first_hop (R.attrs r).A.as_path
+
+let compare_routes ~local_asn a b =
+  (* Each step returns [c] with c > 0 iff [a] preferred. *)
+  let steps =
+    [ ( Local_origin,
+        fun () ->
+          Bool.compare (Peer.is_local (R.from a)) (Peer.is_local (R.from b)) );
+      (Local_pref, fun () -> Int.compare (local_pref_of a) (local_pref_of b));
+      ( Path_length,
+        fun () -> Int.compare (R.as_path_length b) (R.as_path_length a) );
+      ( Origin,
+        fun () ->
+          Int.compare
+            (A.origin_to_int (R.attrs b).A.origin)
+            (A.origin_to_int (R.attrs a).A.origin) );
+      ( Med,
+        fun () ->
+          match neighbor_as a, neighbor_as b with
+          | Some na, Some nb when Bgp_route.Asn.equal na nb ->
+            Int.compare (med_of b) (med_of a)
+          | _ -> 0 );
+      ( Ebgp_over_ibgp,
+        fun () ->
+          let is_ebgp r =
+            (not (Peer.is_local (R.from r)))
+            && not (Bgp_route.Asn.equal (R.from r).Peer.asn local_asn)
+          in
+          Bool.compare (is_ebgp a) (is_ebgp b) );
+      ( Router_id,
+        fun () ->
+          Bgp_addr.Ipv4.compare (R.from b).Peer.router_id
+            (R.from a).Peer.router_id );
+      ( Peer_address,
+        fun () ->
+          Bgp_addr.Ipv4.compare (R.from b).Peer.addr (R.from a).Peer.addr )
+    ]
+  in
+  let rec go = function
+    | [] -> (0, Identical)
+    | (rule, step) :: rest ->
+      let c = step () in
+      if c <> 0 then (c, rule) else go rest
+  in
+  go steps
+
+let better ~local_asn a b = fst (compare_routes ~local_asn a b) > 0
+
+let select ~local_asn candidates =
+  (* Sorting by source peer first makes the fold's result independent
+     of candidate arrival order even though the ranking above is not a
+     total order (MED comparability depends on the pair). *)
+  let sorted =
+    List.sort (fun a b -> Peer.compare (R.from a) (R.from b)) candidates
+  in
+  match sorted with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best r -> if better ~local_asn r best then r else best)
+         first rest)

@@ -1,0 +1,21 @@
+(** The Loc-RIB: routes selected by the local speaker's decision
+    process (RFC 4271 §3.2).  One best route per prefix, with the
+    source peer retained so re-advertisement and split-horizon
+    filtering can consult it.
+
+    Note (paper §III.A): the Loc-RIB is distinct from the forwarding
+    table — changes here are pushed into {!Bgp_fib.Fib} by a separate
+    (and separately costed) step. *)
+
+type t
+
+val create : unit -> t
+val set : t -> Bgp_route.Route.t -> [ `New | `Changed | `Unchanged ]
+val remove : t -> Bgp_addr.Prefix.t -> Bgp_route.Route.t option
+(** Returns the evicted route, if any. *)
+
+val find : t -> Bgp_addr.Prefix.t -> Bgp_route.Route.t option
+val size : t -> int
+val iter : (Bgp_route.Route.t -> unit) -> t -> unit
+val fold : (Bgp_route.Route.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Bgp_route.Route.t list

@@ -1,0 +1,138 @@
+(** The three-RIB update engine: Adj-RIBs-In -> (import policy) ->
+    decision process -> Loc-RIB -> FIB deltas + (export policy) ->
+    Adj-RIBs-Out -> announcements (RFC 4271 §9).
+
+    This module is {e pure protocol logic} — it knows nothing about
+    time, scheduling, or cost.  Every {!update} returns an {!outcome}
+    that (a) tells the caller what to transmit and what to install in
+    the FIB, and (b) carries work counters that the simulated router
+    converts into CPU cycles. *)
+
+type t
+
+(** A configured route aggregate (RFC 4271 section 9.2.2.2, CIDR).
+    When any strictly-more-specific route is selected into the Loc-RIB,
+    the router originates the aggregate locally. *)
+type aggregate_config = {
+  agg_prefix : Bgp_addr.Prefix.t;
+  agg_as_set : bool;
+      (** carry contributor ASes in an AS_SET (loop-safe aggregation);
+          otherwise the aggregate has an empty path and sets
+          ATOMIC_AGGREGATE when path information was dropped *)
+  agg_summary_only : bool;
+      (** suppress advertisement of the more-specifics while the
+          aggregate is active *)
+}
+
+val create :
+  ?import:Bgp_policy.Policy.t ->
+  ?export:Bgp_policy.Policy.t ->
+  ?aggregates:aggregate_config list ->
+  ?cluster_id:Bgp_addr.Ipv4.t ->
+  local_asn:Bgp_route.Asn.t ->
+  router_id:Bgp_addr.Ipv4.t ->
+  unit ->
+  t
+(** [import]/[export] are default policies for peers added without
+    per-peer overrides (both default to accept-all).  [cluster_id]
+    (default: the router id) identifies this router's reflection
+    cluster when peers are added with [~rr_client:true]. *)
+
+val local_asn : t -> Bgp_route.Asn.t
+val router_id : t -> Bgp_addr.Ipv4.t
+
+val add_peer :
+  ?import:Bgp_policy.Policy.t -> ?export:Bgp_policy.Policy.t ->
+  ?rr_client:bool -> ?up:bool -> t -> Bgp_route.Peer.t -> unit
+(** [rr_client] (default false) marks an IBGP peer as a
+    route-reflection client (RFC 4456): the router reflects routes
+    between clients and the rest of the IBGP mesh, stamping
+    ORIGINATOR_ID and growing CLUSTER_LIST.  Without reflection, IBGP
+    routes are never re-advertised to IBGP peers (RFC 4271 §9.2).
+
+    [up] (default true) marks the peer as advertisable; a router
+    normally registers peers with [~up:false] and flips them with
+    {!set_peer_up} when the session reaches Established.
+    @raise Invalid_argument if the peer id is already registered or the
+    peer is {!Bgp_route.Peer.local}. *)
+
+val set_peer_up : t -> Bgp_route.Peer.t -> bool -> unit
+(** Enable/disable advertisement to a registered peer.  Down peers are
+    skipped by the export step of every decision ({!announce},
+    {!withdraw}); their Adj-RIB-Out is only mutated by {!export_full}
+    and {!peer_down}. *)
+
+val peers : t -> Bgp_route.Peer.t list
+val loc_rib : t -> Loc_rib.t
+val adj_in_size : t -> Bgp_route.Peer.t -> int
+val adj_out_size : t -> Bgp_route.Peer.t -> int
+
+(** One item the router must send to a neighbor. *)
+type announcement = {
+  dest : Bgp_route.Peer.t;
+  ann_prefix : Bgp_addr.Prefix.t;
+  ann_attrs : Bgp_route.Attrs.t option;  (** [None] = withdraw *)
+}
+
+val pp_announcement : Format.formatter -> announcement -> unit
+
+type outcome = {
+  adj_in_change : [ `New | `Changed | `Unchanged | `Removed | `Absent | `Loop ];
+      (** What happened in the source Adj-RIB-In. [`Loop] means the
+          announcement was rejected by AS-loop detection (and any
+          previous route from that peer removed). *)
+  loc_changed : bool;
+  fib_deltas : Bgp_fib.Fib.delta list;
+  announcements : announcement list;
+  candidates : int;   (** routes considered by the decision process *)
+  policy_work : int;  (** condition evaluations across import+export *)
+}
+
+val no_op_outcome : outcome
+
+val announce :
+  t -> from:Bgp_route.Peer.t -> Bgp_addr.Prefix.t -> Bgp_route.Attrs.t ->
+  outcome
+(** Process one announced prefix from a neighbor.
+    @raise Invalid_argument for an unregistered peer. *)
+
+val withdraw : t -> from:Bgp_route.Peer.t -> Bgp_addr.Prefix.t -> outcome
+(** Process one withdrawn prefix from a neighbor. *)
+
+val inject_local :
+  t -> prefix:Bgp_addr.Prefix.t -> next_hop:Bgp_addr.Ipv4.t -> outcome
+(** Originate a route locally (it wins every decision). *)
+
+val inject_local_route :
+  t -> prefix:Bgp_addr.Prefix.t -> attrs:Bgp_route.Attrs.t -> outcome
+(** Originate a route locally with explicit attributes (e.g. when
+    replaying a saved table through a route server). *)
+
+val withdraw_local : t -> prefix:Bgp_addr.Prefix.t -> outcome
+(** Remove a locally originated route. *)
+
+val export_full : t -> Bgp_route.Peer.t -> announcement list
+(** Initial table sync to a newly Established peer: computes and
+    records the full Adj-RIB-Out for that peer and returns the
+    corresponding announcements (Phase 2 of the benchmark).  Announces
+    nothing for prefixes whose best route came from that same peer. *)
+
+val refresh : t -> Bgp_route.Peer.t -> announcement list
+(** RFC 2918 route refresh: drop the peer's Adj-RIB-Out bookkeeping and
+    recompute + resend the full advertisement set. *)
+
+val peer_down : t -> Bgp_route.Peer.t -> outcome
+(** Session loss: mark the peer down, flush its Adj-RIB-In and Adj-RIB-Out and
+    re-run the decision process for every prefix it contributed.  The
+    returned outcome aggregates all resulting deltas/announcements. *)
+
+(** Cumulative work statistics (for the cost model and EXPERIMENTS). *)
+type stats = {
+  updates_processed : int;
+  decisions_run : int;
+  loc_rib_changes : int;
+  announcements_emitted : int;
+  policy_units : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/route/as_path.ml: Asn Format List

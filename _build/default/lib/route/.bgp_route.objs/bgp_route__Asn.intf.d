@@ -1,0 +1,1 @@
+lib/route/asn.mli: Format

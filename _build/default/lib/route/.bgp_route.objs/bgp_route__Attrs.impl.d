@@ -1,0 +1,1 @@
+lib/route/attrs.ml: As_path Asn Bgp_addr Bool Community Format Int List Option

@@ -1,0 +1,1 @@
+lib/route/attrs.mli: As_path Asn Bgp_addr Community Format

@@ -1,0 +1,1 @@
+lib/route/community.ml: Asn Format Int

@@ -1,0 +1,1 @@
+lib/route/community.mli: Asn Format

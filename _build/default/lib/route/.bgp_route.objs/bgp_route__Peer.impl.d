@@ -1,0 +1,1 @@
+lib/route/peer.ml: Asn Bgp_addr Format Int

@@ -1,0 +1,1 @@
+lib/route/peer.mli: Asn Bgp_addr Format

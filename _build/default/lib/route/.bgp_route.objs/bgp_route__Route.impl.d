@@ -1,0 +1,1 @@
+lib/route/route.ml: As_path Attrs Bgp_addr Format Peer

@@ -1,0 +1,1 @@
+lib/route/route.mli: Attrs Bgp_addr Format Peer

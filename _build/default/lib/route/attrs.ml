@@ -1,0 +1,86 @@
+type origin = Igp | Egp | Incomplete
+
+let origin_to_int = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+let origin_of_int = function
+  | 0 -> Some Igp
+  | 1 -> Some Egp
+  | 2 -> Some Incomplete
+  | _ -> None
+
+let pp_origin ppf o =
+  Format.pp_print_string ppf
+    (match o with Igp -> "IGP" | Egp -> "EGP" | Incomplete -> "incomplete")
+
+type t = {
+  origin : origin;
+  as_path : As_path.t;
+  next_hop : Bgp_addr.Ipv4.t;
+  med : int option;
+  local_pref : int option;
+  atomic_aggregate : bool;
+  aggregator : (Asn.t * Bgp_addr.Ipv4.t) option;
+  communities : Community.t list;
+  originator_id : Bgp_addr.Ipv4.t option;
+  cluster_list : Bgp_addr.Ipv4.t list;
+}
+
+let make ?(origin = Igp) ?med ?local_pref ?(atomic_aggregate = false) ?aggregator
+    ?(communities = []) ?originator_id ?(cluster_list = []) ~as_path ~next_hop
+    () =
+  { origin; as_path; next_hop; med; local_pref; atomic_aggregate; aggregator;
+    communities; originator_id; cluster_list }
+
+let with_as_path as_path t = { t with as_path }
+let with_local_pref local_pref t = { t with local_pref }
+let with_med med t = { t with med }
+
+let add_community c t =
+  if List.exists (Community.equal c) t.communities then t
+  else { t with communities = c :: t.communities }
+
+let has_community c t = List.exists (Community.equal c) t.communities
+let prepend_as a t = { t with as_path = As_path.prepend a t.as_path }
+
+let equal a b =
+  a.origin = b.origin
+  && As_path.equal a.as_path b.as_path
+  && Bgp_addr.Ipv4.equal a.next_hop b.next_hop
+  && Option.equal Int.equal a.med b.med
+  && Option.equal Int.equal a.local_pref b.local_pref
+  && Bool.equal a.atomic_aggregate b.atomic_aggregate
+  && Option.equal
+       (fun (x, xa) (y, ya) -> Asn.equal x y && Bgp_addr.Ipv4.equal xa ya)
+       a.aggregator b.aggregator
+  && List.equal Community.equal
+       (List.sort Community.compare a.communities)
+       (List.sort Community.compare b.communities)
+  && Option.equal Bgp_addr.Ipv4.equal a.originator_id b.originator_id
+  && List.equal Bgp_addr.Ipv4.equal a.cluster_list b.cluster_list
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>origin=%a path=[%a] nh=%a" pp_origin t.origin
+    As_path.pp t.as_path Bgp_addr.Ipv4.pp t.next_hop;
+  Option.iter (Format.fprintf ppf " med=%d") t.med;
+  Option.iter (Format.fprintf ppf " lp=%d") t.local_pref;
+  if t.atomic_aggregate then Format.pp_print_string ppf " atomic";
+  (match t.communities with
+  | [] -> ()
+  | cs ->
+    Format.fprintf ppf " comm=%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Community.pp)
+      cs);
+  Option.iter
+    (fun o -> Format.fprintf ppf " originator=%a" Bgp_addr.Ipv4.pp o)
+    t.originator_id;
+  (match t.cluster_list with
+  | [] -> ()
+  | cl ->
+    Format.fprintf ppf " clusters=%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Bgp_addr.Ipv4.pp)
+      cl);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** Path attributes of a BGP route (RFC 4271 §5).
+
+    Carries the well-known mandatory attributes (ORIGIN, AS_PATH,
+    NEXT_HOP) plus the optional ones the decision process and the
+    benchmark's policy layer consult. *)
+
+type origin =
+  | Igp         (** learned from an interior protocol; most preferred *)
+  | Egp         (** learned via EGP *)
+  | Incomplete  (** other means (e.g. redistribution); least preferred *)
+
+val origin_to_int : origin -> int
+(** Wire encoding: IGP = 0, EGP = 1, INCOMPLETE = 2; also the
+    preference order (lower wins) used by the decision process. *)
+
+val origin_of_int : int -> origin option
+val pp_origin : Format.formatter -> origin -> unit
+
+type t = {
+  origin : origin;
+  as_path : As_path.t;
+  next_hop : Bgp_addr.Ipv4.t;
+  med : int option;          (** MULTI_EXIT_DISC; lower preferred, only
+                                 comparable between routes from the same
+                                 neighboring AS *)
+  local_pref : int option;   (** LOCAL_PREF; higher preferred; IBGP only *)
+  atomic_aggregate : bool;
+  aggregator : (Asn.t * Bgp_addr.Ipv4.t) option;
+  communities : Community.t list;
+  originator_id : Bgp_addr.Ipv4.t option;
+      (** ORIGINATOR_ID (RFC 4456): router id of the route's IBGP
+          originator, stamped by a route reflector *)
+  cluster_list : Bgp_addr.Ipv4.t list;
+      (** CLUSTER_LIST (RFC 4456): reflection path, most recent cluster
+          first; loop protection for reflector topologies *)
+}
+
+val make :
+  ?origin:origin ->
+  ?med:int ->
+  ?local_pref:int ->
+  ?atomic_aggregate:bool ->
+  ?aggregator:Asn.t * Bgp_addr.Ipv4.t ->
+  ?communities:Community.t list ->
+  ?originator_id:Bgp_addr.Ipv4.t ->
+  ?cluster_list:Bgp_addr.Ipv4.t list ->
+  as_path:As_path.t ->
+  next_hop:Bgp_addr.Ipv4.t ->
+  unit ->
+  t
+(** Default origin is [Igp]; optional attributes default to absent. *)
+
+val with_as_path : As_path.t -> t -> t
+val with_local_pref : int option -> t -> t
+val with_med : int option -> t -> t
+val add_community : Community.t -> t -> t
+val has_community : Community.t -> t -> bool
+val prepend_as : Asn.t -> t -> t
+(** Prepend to the AS path (used when exporting over EBGP). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

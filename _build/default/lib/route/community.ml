@@ -1,0 +1,22 @@
+type t = int
+
+let make asn v =
+  if v < 0 || v > 0xFFFF then invalid_arg "Community.make: value out of range";
+  (Asn.to_int asn lsl 16) lor v
+
+let of_int32_value n = n land 0xFFFF_FFFF
+let to_int32_value t = t
+let asn_part t = Asn.of_int (t lsr 16)
+let value_part t = t land 0xFFFF
+let no_export = 0xFFFFFF01
+let no_advertise = 0xFFFFFF02
+let no_export_subconfed = 0xFFFFFF03
+let is_well_known t = t land 0xFFFF0000 = 0xFFFF0000
+let equal = Int.equal
+let compare = Int.compare
+
+let pp ppf t =
+  if t = no_export then Format.pp_print_string ppf "no-export"
+  else if t = no_advertise then Format.pp_print_string ppf "no-advertise"
+  else if t = no_export_subconfed then Format.pp_print_string ppf "no-export-subconfed"
+  else Format.fprintf ppf "%d:%d" (t lsr 16) (t land 0xFFFF)

@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  asn : Asn.t;
+  router_id : Bgp_addr.Ipv4.t;
+  addr : Bgp_addr.Ipv4.t;
+}
+
+let make ~id ~asn ~router_id ~addr = { id; asn; router_id; addr }
+
+let local =
+  { id = -1; asn = Asn.reserved; router_id = Bgp_addr.Ipv4.zero;
+    addr = Bgp_addr.Ipv4.zero }
+
+let is_local t = t.id < 0
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let pp ppf t =
+  if is_local t then Format.pp_print_string ppf "local"
+  else
+    Format.fprintf ppf "peer%d(%a,%a)" t.id Asn.pp t.asn Bgp_addr.Ipv4.pp
+      t.addr

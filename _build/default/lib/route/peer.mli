@@ -1,0 +1,24 @@
+(** Identity of a BGP neighbor, as the RIBs and decision process see it.
+
+    The decision process needs the neighbor's AS (for MED
+    comparability and EBGP-vs-IBGP ranking), its BGP identifier (the
+    §9.1.2.2 tie-break), and its peering address (final tie-break). *)
+
+type t = {
+  id : int;                   (** dense local index, assigned by the router *)
+  asn : Asn.t;                (** the neighbor's AS *)
+  router_id : Bgp_addr.Ipv4.t;(** the neighbor's BGP identifier *)
+  addr : Bgp_addr.Ipv4.t;     (** the peering address *)
+}
+
+val make :
+  id:int -> asn:Asn.t -> router_id:Bgp_addr.Ipv4.t -> addr:Bgp_addr.Ipv4.t -> t
+
+val local : t
+(** Pseudo-peer for locally originated routes (id -1). Local routes
+    win every tie-break against learned routes. *)
+
+val is_local : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

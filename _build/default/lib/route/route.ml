@@ -1,0 +1,26 @@
+type t = {
+  prefix : Bgp_addr.Prefix.t;
+  attrs : Attrs.t;
+  from : Peer.t;
+}
+
+let make ~prefix ~attrs ~from = { prefix; attrs; from }
+
+let local ~prefix ~next_hop =
+  { prefix;
+    attrs = Attrs.make ~as_path:As_path.empty ~next_hop ();
+    from = Peer.local }
+
+let prefix t = t.prefix
+let attrs t = t.attrs
+let from t = t.from
+let as_path_length t = As_path.length t.attrs.Attrs.as_path
+
+let equal a b =
+  Bgp_addr.Prefix.equal a.prefix b.prefix
+  && Attrs.equal a.attrs b.attrs
+  && Peer.equal a.from b.from
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a via %a [%a]@]" Bgp_addr.Prefix.pp t.prefix
+    Peer.pp t.from Attrs.pp t.attrs

@@ -1,0 +1,21 @@
+(** A route: a destination prefix, its path attributes, and the peer it
+    was learned from.  This is the unit stored in the RIBs and the unit
+    the benchmark counts as one "transaction". *)
+
+type t = {
+  prefix : Bgp_addr.Prefix.t;
+  attrs : Attrs.t;
+  from : Peer.t;
+}
+
+val make : prefix:Bgp_addr.Prefix.t -> attrs:Attrs.t -> from:Peer.t -> t
+
+val local : prefix:Bgp_addr.Prefix.t -> next_hop:Bgp_addr.Ipv4.t -> t
+(** A locally originated route with an empty AS path. *)
+
+val prefix : t -> Bgp_addr.Prefix.t
+val attrs : t -> Attrs.t
+val from : t -> Peer.t
+val as_path_length : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

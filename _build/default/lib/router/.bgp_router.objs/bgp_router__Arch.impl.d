@@ -1,0 +1,1 @@
+lib/router/arch.ml: Format List String

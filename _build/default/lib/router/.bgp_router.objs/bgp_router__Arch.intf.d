@@ -1,0 +1,1 @@
+lib/router/arch.mli: Format

@@ -1,0 +1,1 @@
+lib/router/power.ml: Arch Bgp_sim Float Format List Printf

@@ -1,0 +1,1 @@
+lib/router/power.mli: Arch Bgp_sim Format

@@ -1,0 +1,1 @@
+lib/router/router.ml: Arch Bgp_addr Bgp_fib Bgp_fsm Bgp_netsim Bgp_rib Bgp_route Bgp_sim Bgp_wire Float Format Hashtbl List Option Printf Queue

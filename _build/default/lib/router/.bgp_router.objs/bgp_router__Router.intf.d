@@ -1,0 +1,1 @@
+lib/router/router.mli: Arch Bgp_addr Bgp_fib Bgp_fsm Bgp_netsim Bgp_policy Bgp_rib Bgp_route Bgp_sim

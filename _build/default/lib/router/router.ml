@@ -1,0 +1,572 @@
+module Engine = Bgp_sim.Engine
+module Sched = Bgp_sim.Sched
+module Channel = Bgp_netsim.Channel
+module Msg = Bgp_wire.Msg
+module Session = Bgp_fsm.Session
+module Peer = Bgp_route.Peer
+module Rib_manager = Bgp_rib.Rib_manager
+module Fib = Bgp_fib.Fib
+
+type procs =
+  | Xorp of {
+      bgp : Sched.proc;
+      policy : Sched.proc;
+      rib : Sched.proc;
+      fea : Sched.proc;
+      rtrmgr : Sched.proc;
+    }
+  | Ios of {
+      ios : Sched.proc;
+      pacing : float;
+      pending : (unit -> unit) Queue.t;  (* paced message processors *)
+      mutable pacer_busy : bool;
+    }
+
+type peer_link = {
+  peer : Peer.t;
+  mutable session : Session.t option;  (* set right after creation *)
+  mutable last_rx_size : int;
+  max_prefixes : int option;  (* per-peer prefix-limit protection *)
+  (* MRAI (RFC 4271 section 9.2.1.1): advertisements pending the
+     per-peer MinRouteAdvertisementInterval timer. Later decisions for
+     the same prefix overwrite earlier ones (only the final state is
+     advertised when the timer fires). *)
+  mrai_pending : (Bgp_addr.Prefix.t, Bgp_route.Attrs.t option) Hashtbl.t;
+  mutable mrai_armed : bool;
+}
+
+type counters = {
+  transactions : int;
+  updates_rx : int;
+  msgs_rx : int;
+  msgs_tx : int;
+  bytes_rx : int;
+  bytes_tx : int;
+  first_work_at : float option;
+  last_transaction_at : float option;
+}
+
+type t = {
+  engine : Engine.t;
+  arch : Arch.t;
+  sched : Sched.t;
+  rib : Rib_manager.t;
+  fib : Fib.t;
+  fwd : Bgp_netsim.Forwarding.t;
+  procs : procs;
+  mrai : float option;
+  peers : (int, peer_link) Hashtbl.t;
+  mutable transactions : int;
+  mutable updates_rx : int;
+  mutable msgs_rx : int;
+  mutable msgs_tx : int;
+  mutable bytes_rx : int;
+  mutable bytes_tx : int;
+  mutable first_work_at : float option;
+  mutable last_transaction_at : float option;
+  mutable inflight : int;  (* update messages still in the pipeline *)
+}
+
+let timer_service engine =
+  { Session.arm_timer =
+      (fun delay fn ->
+        let h = Engine.schedule engine ~delay fn in
+        fun () -> Engine.cancel h) }
+
+let make_forwarding arch sched =
+  match arch.Arch.forwarding with
+  | Arch.Kernel_shared
+      { interrupt_cycles_per_packet; forwarding_cycles_per_packet;
+        forwarding_weight } ->
+    (* Install the weight once; demand changes keep it. *)
+    Sched.set_forwarding_demand sched ~weight:forwarding_weight
+      ~cycles_per_sec:0.0 ();
+    Bgp_netsim.Forwarding.create
+      (Bgp_netsim.Forwarding.Shared
+         { sched; interrupt_cycles_per_packet; forwarding_cycles_per_packet })
+      ~line_rate_mbps:arch.Arch.line_rate_mbps
+  | Arch.Dedicated_pps capacity_pps ->
+    Bgp_netsim.Forwarding.create
+      (Bgp_netsim.Forwarding.Dedicated { capacity_pps })
+      ~line_rate_mbps:arch.Arch.line_rate_mbps
+
+let start_rtrmgr engine sched arch proc =
+  if arch.Arch.rtrmgr_period > 0.0 && arch.Arch.rtrmgr_cycles > 0.0 then begin
+    let rec tick () =
+      Sched.submit sched proc ~cycles:arch.Arch.rtrmgr_cycles (fun () -> ());
+      ignore (Engine.schedule engine ~delay:arch.Arch.rtrmgr_period tick)
+    in
+    ignore (Engine.schedule engine ~delay:arch.Arch.rtrmgr_period tick)
+  end
+
+let create ?import ?export ?mrai engine arch ~local_asn ~router_id =
+  let sched =
+    Sched.create engine ~hz:(Arch.effective_hz arch) ~pool:arch.Arch.pool
+  in
+  let procs =
+    match arch.Arch.software with
+    | Arch.Xorp_pipeline ->
+      let bgp = Sched.add_proc sched "xorp_bgp" in
+      let policy = Sched.add_proc sched "xorp_policy" in
+      let rib = Sched.add_proc sched "xorp_rib" in
+      let fea = Sched.add_proc sched "xorp_fea" in
+      let rtrmgr = Sched.add_proc sched "xorp_rtrmgr" in
+      start_rtrmgr engine sched arch rtrmgr;
+      Xorp { bgp; policy; rib; fea; rtrmgr }
+    | Arch.Monolithic { pacing_delay_per_msg } ->
+      Ios
+        { ios = Sched.add_proc sched "ios"; pacing = pacing_delay_per_msg;
+          pending = Queue.create (); pacer_busy = false }
+  in
+  let fwd = make_forwarding arch sched in
+  { engine; arch; sched;
+    rib = Rib_manager.create ?import ?export ~local_asn ~router_id ();
+    fib = Fib.create (); fwd; procs; mrai; peers = Hashtbl.create 8;
+    transactions = 0; updates_rx = 0; msgs_rx = 0; msgs_tx = 0; bytes_rx = 0;
+    bytes_tx = 0; first_work_at = None; last_transaction_at = None;
+    inflight = 0 }
+
+let arch t = t.arch
+let engine t = t.engine
+let sched t = t.sched
+let rib t = t.rib
+let fib t = t.fib
+let forwarding t = t.fwd
+
+let set_cross_traffic t traffic = Bgp_netsim.Forwarding.set_offered t.fwd traffic
+
+(* ------------------------------------------------------------------ *)
+(* Cost helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cost t = t.arch.Arch.cost
+
+let rx_cycles t ~bytes ~announced ~withdrawn =
+  let c = cost t in
+  c.Arch.cyc_per_msg_rx
+  +. (float_of_int bytes *. c.Arch.cyc_per_byte)
+  +. (float_of_int announced *. c.Arch.cyc_per_prefix_parse)
+  +. (float_of_int withdrawn *. c.Arch.cyc_per_withdraw_parse)
+
+let delta_cycles (c : Arch.cost_model) deltas =
+  List.fold_left
+    (fun acc d ->
+      acc
+      +.
+      match d with
+      | Fib.Replace _ -> c.Arch.cyc_per_fib_replace
+      | Fib.Add _ | Fib.Withdraw _ -> c.Arch.cyc_per_fib_delta)
+    0.0 deltas
+
+(* Aggregate of RIB outcomes for one inbound update. *)
+type update_work = {
+  mutable w_candidates : int;
+  mutable w_policy : int;
+  mutable w_loc_changes : int;
+  mutable w_deltas : Fib.delta list;
+  mutable w_anns : Rib_manager.announcement list;
+}
+
+let run_rib_update t ~from (u : Msg.update) =
+  let w =
+    { w_candidates = 0; w_policy = 0; w_loc_changes = 0; w_deltas = [];
+      w_anns = [] }
+  in
+  let absorb (o : Rib_manager.outcome) =
+    w.w_candidates <- w.w_candidates + o.Rib_manager.candidates;
+    w.w_policy <- w.w_policy + o.Rib_manager.policy_work;
+    if o.Rib_manager.loc_changed then w.w_loc_changes <- w.w_loc_changes + 1;
+    w.w_deltas <- w.w_deltas @ o.Rib_manager.fib_deltas;
+    w.w_anns <- w.w_anns @ o.Rib_manager.announcements
+  in
+  List.iter (fun p -> absorb (Rib_manager.withdraw t.rib ~from p)) u.Msg.withdrawn;
+  (match u.Msg.attrs with
+  | Some attrs ->
+    List.iter (fun p -> absorb (Rib_manager.announce t.rib ~from p attrs)) u.Msg.nlri
+  | None -> ());
+  w
+
+(* ------------------------------------------------------------------ *)
+(* Transmission                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let link t peer =
+  match Hashtbl.find_opt t.peers peer.Peer.id with
+  | Some l -> l
+  | None ->
+    invalid_arg (Printf.sprintf "Router: unattached peer id %d" peer.Peer.id)
+
+let link_session l =
+  match l.session with
+  | Some s -> s
+  | None -> invalid_arg "Router: session not initialized"
+
+(* Send a message to a peer, charging [proc] for the send path. *)
+let transmit t proc peer msg =
+  let c = cost t in
+  let bytes = Bgp_wire.Codec.encoded_size msg in
+  let cycles =
+    c.Arch.cyc_per_msg_tx +. (float_of_int bytes *. c.Arch.cyc_per_byte)
+  in
+  Sched.submit t.sched proc ~cycles (fun () ->
+      ignore (Session.send (link_session (link t peer)) msg))
+
+let tx_proc_of t =
+  match t.procs with Xorp { bgp; _ } -> bgp | Ios { ios; _ } -> ios
+
+(* Flush a peer's MRAI buffer: withdrawals batched together, then
+   announcements grouped by identical attributes, each group one
+   UPDATE. *)
+let rec mrai_flush t lnk =
+  let withdrawn = ref [] in
+  let groups = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun prefix attrs_opt ->
+      match attrs_opt with
+      | None -> withdrawn := prefix :: !withdrawn
+      | Some attrs ->
+        let key = Format.asprintf "%a" Bgp_route.Attrs.pp attrs in
+        let prefixes, _ =
+          Option.value ~default:([], attrs) (Hashtbl.find_opt groups key)
+        in
+        Hashtbl.replace groups key (prefix :: prefixes, attrs))
+    lnk.mrai_pending;
+  Hashtbl.reset lnk.mrai_pending;
+  let msgs =
+    (if !withdrawn = [] then [] else [ Msg.withdrawal !withdrawn ])
+    @ Hashtbl.fold
+        (fun _ (prefixes, attrs) acc -> Msg.announcement attrs prefixes :: acc)
+        groups []
+  in
+  if msgs <> [] then begin
+    List.iter (fun msg -> transmit t (tx_proc_of t) lnk.peer msg) msgs;
+    true
+  end
+  else false
+
+and mrai_arm t lnk interval =
+  lnk.mrai_armed <- true;
+  ignore
+    (Engine.schedule t.engine ~delay:interval (fun () ->
+         if Hashtbl.length lnk.mrai_pending > 0 then begin
+           ignore (mrai_flush t lnk);
+           mrai_arm t lnk interval
+         end
+         else lnk.mrai_armed <- false))
+
+(* Route one decision's advertisement toward a peer, immediately or
+   through the MRAI buffer. *)
+let emit_announcement t tx_proc (a : Rib_manager.announcement) =
+  match t.mrai with
+  | None ->
+    (* XORP-style: one UPDATE per announcement as decisions are made. *)
+    let msg =
+      match a.Rib_manager.ann_attrs with
+      | Some attrs -> Msg.announcement attrs [ a.Rib_manager.ann_prefix ]
+      | None -> Msg.withdrawal [ a.Rib_manager.ann_prefix ]
+    in
+    transmit t tx_proc a.Rib_manager.dest msg
+  | Some interval ->
+    let lnk = link t a.Rib_manager.dest in
+    Hashtbl.replace lnk.mrai_pending a.Rib_manager.ann_prefix
+      a.Rib_manager.ann_attrs;
+    if not lnk.mrai_armed then begin
+      ignore (mrai_flush t lnk);
+      mrai_arm t lnk interval
+    end
+
+(* XORP emits one UPDATE per announcement as decisions are made. *)
+let announcement_msgs anns =
+  List.map
+    (fun (a : Rib_manager.announcement) ->
+      ( a.Rib_manager.dest,
+        match a.Rib_manager.ann_attrs with
+        | Some attrs -> Msg.announcement attrs [ a.Rib_manager.ann_prefix ]
+        | None -> Msg.withdrawal [ a.Rib_manager.ann_prefix ] ))
+    anns
+
+(* Pack a full-table export (Phase 2) into large UPDATEs: consecutive
+   announcements sharing attributes ride in one message. *)
+let pack_export anns =
+  let max_per_msg = 200 in
+  let rec go acc current_attrs current_prefixes = function
+    | [] ->
+      let acc =
+        if current_prefixes = [] then acc
+        else
+          match current_attrs with
+          | Some attrs -> Msg.announcement attrs (List.rev current_prefixes) :: acc
+          | None -> acc
+      in
+      List.rev acc
+    | (a : Rib_manager.announcement) :: rest -> (
+      match a.Rib_manager.ann_attrs with
+      | None -> go acc current_attrs current_prefixes rest
+      | Some attrs -> (
+        match current_attrs with
+        | Some cur
+          when Bgp_route.Attrs.equal cur attrs
+               && List.length current_prefixes < max_per_msg ->
+          go acc current_attrs (a.Rib_manager.ann_prefix :: current_prefixes) rest
+        | Some cur ->
+          go
+            (Msg.announcement cur (List.rev current_prefixes) :: acc)
+            (Some attrs)
+            [ a.Rib_manager.ann_prefix ] rest
+        | None -> go acc (Some attrs) [ a.Rib_manager.ann_prefix ] rest))
+  in
+  go [] None [] anns
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline stages                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let note_transactions t n =
+  t.transactions <- t.transactions + n;
+  t.last_transaction_at <- Some (Engine.now t.engine);
+  t.inflight <- t.inflight - 1
+
+let finish_update t tx_proc (w : update_work) ~prefixes =
+  (* Emit per-decision announcements, then count the transactions. *)
+  List.iter (emit_announcement t tx_proc) w.w_anns;
+  note_transactions t prefixes
+
+let process_update_xorp t ~from ~bytes (u : Msg.update) =
+  match t.procs with
+  | Ios _ -> assert false
+  | Xorp { bgp; policy; rib; fea; _ } ->
+    let c = cost t in
+    let announced = List.length u.Msg.nlri in
+    let withdrawn = List.length u.Msg.withdrawn in
+    let prefixes = announced + withdrawn in
+    let n_peers = max 1 (List.length (Rib_manager.peers t.rib)) in
+    Sched.submit t.sched bgp ~cycles:(rx_cycles t ~bytes ~announced ~withdrawn)
+      (fun () ->
+        (* Policy stage: cost estimated from fan-out (the real policy
+           work is folded into the rib stage costing below; this stage
+           models the XORP process hop). *)
+        let policy_cycles =
+          float_of_int (prefixes * n_peers) *. c.Arch.cyc_per_policy_unit
+        in
+        Sched.submit t.sched policy ~cycles:policy_cycles (fun () ->
+            (* Decision stage: run the actual RIB machinery, then charge
+               for what it did. *)
+            let w = run_rib_update t ~from u in
+            let rib_cycles =
+              (float_of_int w.w_candidates *. c.Arch.cyc_per_candidate)
+              +. (float_of_int w.w_loc_changes *. c.Arch.cyc_per_rib_change)
+              +. float_of_int (List.length w.w_anns)
+                 *. c.Arch.cyc_per_announcement
+              (* prefixes that produced no decision at all still burn a
+                 lookup *)
+              +. Float.max 0.0
+                   (float_of_int (prefixes - w.w_candidates)
+                   *. (0.5 *. c.Arch.cyc_per_candidate))
+            in
+            Sched.submit t.sched rib ~cycles:rib_cycles (fun () ->
+                match w.w_deltas with
+                | [] -> finish_update t bgp w ~prefixes
+                | deltas ->
+                  let fea_cycles =
+                    c.Arch.cyc_per_fib_msg +. delta_cycles c deltas
+                  in
+                  Sched.submit t.sched fea ~cycles:fea_cycles (fun () ->
+                      ignore (Fib.apply_all t.fib deltas);
+                      finish_update t bgp w ~prefixes))))
+
+let rec ios_pump t =
+  match t.procs with
+  | Xorp _ -> assert false
+  | Ios p ->
+    if (not p.pacer_busy) && not (Queue.is_empty p.pending) then begin
+      p.pacer_busy <- true;
+      let work = Queue.pop p.pending in
+      ignore
+        (Engine.schedule t.engine ~delay:p.pacing (fun () ->
+             (* work() submits the CPU job; completion re-pumps *)
+             work ()))
+    end
+
+and ios_done t =
+  match t.procs with
+  | Xorp _ -> assert false
+  | Ios p ->
+    p.pacer_busy <- false;
+    ios_pump t
+
+let process_update_ios t ~from ~bytes (u : Msg.update) =
+  match t.procs with
+  | Xorp _ -> assert false
+  | Ios p ->
+    let c = cost t in
+    let announced = List.length u.Msg.nlri in
+    let withdrawn = List.length u.Msg.withdrawn in
+    let prefixes = announced + withdrawn in
+    Queue.add
+      (fun () ->
+        let w = run_rib_update t ~from u in
+        let cycles =
+          rx_cycles t ~bytes ~announced ~withdrawn
+          +. (float_of_int w.w_candidates *. c.Arch.cyc_per_candidate)
+          +. (float_of_int w.w_loc_changes *. c.Arch.cyc_per_rib_change)
+          +. delta_cycles c w.w_deltas
+          +. (float_of_int (List.length w.w_anns) *. c.Arch.cyc_per_announcement)
+        in
+        Sched.submit t.sched p.ios ~cycles (fun () ->
+            ignore (Fib.apply_all t.fib w.w_deltas);
+            List.iter (emit_announcement t p.ios) w.w_anns;
+            note_transactions t prefixes;
+            ios_done t))
+      p.pending;
+    ios_pump t
+
+(* Prefix-limit protection: a peer announcing more prefixes than
+   configured gets a CEASE, the standard operator defense against
+   leaks (and against the worm-scale storms of paper section II). *)
+let over_prefix_limit t peer_link (u : Msg.update) =
+  match peer_link.max_prefixes with
+  | None -> false
+  | Some limit ->
+    Rib_manager.adj_in_size t.rib peer_link.peer + List.length u.Msg.nlri
+    > limit
+
+let on_update t peer_link (u : Msg.update) =
+  let now = Engine.now t.engine in
+  if t.first_work_at = None then t.first_work_at <- Some now;
+  t.updates_rx <- t.updates_rx + 1;
+  if over_prefix_limit t peer_link u then
+    (* Session teardown; the FSM sends CEASE and on_down flushes the
+       peer's contribution. *)
+    Option.iter Session.stop peer_link.session
+  else begin
+    t.inflight <- t.inflight + 1;
+    let bytes = peer_link.last_rx_size in
+    match t.arch.Arch.software with
+    | Arch.Xorp_pipeline -> process_update_xorp t ~from:peer_link.peer ~bytes u
+    | Arch.Monolithic _ -> process_update_ios t ~from:peer_link.peer ~bytes u
+  end
+
+(* Ship a full advertisement set to one peer, packed into large
+   updates, charging per-prefix announcement-building cycles. *)
+let send_packed t peer_link anns =
+  let msgs = pack_export anns in
+  let tx_proc =
+    match t.procs with Xorp { bgp; _ } -> bgp | Ios { ios; _ } -> ios
+  in
+  let c = cost t in
+  List.iter
+    (fun msg ->
+      t.inflight <- t.inflight + 1;
+      let per_prefix =
+        float_of_int (Msg.nlri_count msg) *. c.Arch.cyc_per_announcement
+      in
+      Sched.submit t.sched tx_proc ~cycles:per_prefix (fun () ->
+          t.inflight <- t.inflight - 1;
+          ignore (Session.send (link_session peer_link) msg)))
+    msgs
+
+(* Phase 2: a peer reached Established; if we already hold routes, ship
+   the full table. *)
+let on_established t peer_link =
+  Rib_manager.set_peer_up t.rib peer_link.peer true;
+  send_packed t peer_link (Rib_manager.export_full t.rib peer_link.peer)
+
+(* RFC 2918: the peer asked for a refresh. Only IPv4 unicast exists
+   here; other AFI/SAFI pairs are ignored, as the RFC prescribes for
+   unadvertised families. *)
+let on_refresh t peer_link ~afi ~safi =
+  if afi = 1 && safi = 1 then
+    send_packed t peer_link (Rib_manager.refresh t.rib peer_link.peer)
+
+let attach_peer ?max_prefixes t ~peer ~channel ~side =
+  if Hashtbl.mem t.peers peer.Peer.id then
+    invalid_arg (Printf.sprintf "Router.attach_peer: duplicate id %d" peer.Peer.id);
+  Rib_manager.add_peer ~up:false t.rib peer;
+  let cfg =
+    { (Bgp_fsm.Fsm.default_config ~asn:(Rib_manager.local_asn t.rib)
+         ~router_id:(Rib_manager.router_id t.rib))
+      with Bgp_fsm.Fsm.passive = true }
+  in
+  let io = Channel.session_io channel side ~connect_side:false in
+  let lnk =
+    { peer; session = None; last_rx_size = 0; max_prefixes;
+      mrai_pending = Hashtbl.create 16; mrai_armed = false }
+  in
+  let hooks =
+    { Session.on_update = (fun u -> on_update t lnk u);
+      on_refresh = (fun afi safi -> on_refresh t lnk ~afi ~safi);
+      on_established = (fun () -> on_established t lnk);
+      on_down =
+        (fun _reason ->
+          (* Session loss invalidates everything the peer contributed;
+             the repair work flows through the pipeline like any other
+             burst (paper: "a link is down or another router failed"). *)
+          let o = Rib_manager.peer_down t.rib lnk.peer in
+          match o.Rib_manager.fib_deltas, o.Rib_manager.announcements with
+          | [], [] -> ()
+          | deltas, anns ->
+            t.inflight <- t.inflight + 1;
+            let c = cost t in
+            let proc =
+              match t.procs with
+              | Xorp { fea; _ } -> fea
+              | Ios { ios; _ } -> ios
+            in
+            let cycles =
+              c.Arch.cyc_per_fib_msg +. delta_cycles c deltas
+              +. (float_of_int (List.length anns) *. c.Arch.cyc_per_announcement)
+            in
+            Sched.submit t.sched proc ~cycles (fun () ->
+                ignore (Fib.apply_all t.fib deltas);
+                List.iter
+                  (fun (dest, msg) -> transmit t proc dest msg)
+                  (announcement_msgs anns);
+                t.inflight <- t.inflight - 1));
+      on_tx_msg =
+        (fun _ bytes ->
+          t.msgs_tx <- t.msgs_tx + 1;
+          t.bytes_tx <- t.bytes_tx + bytes);
+      on_rx_msg =
+        (fun _ bytes ->
+          t.msgs_rx <- t.msgs_rx + 1;
+          t.bytes_rx <- t.bytes_rx + bytes;
+          lnk.last_rx_size <- bytes) }
+  in
+  let session = Session.create cfg (timer_service t.engine) io hooks in
+  lnk.session <- Some session;
+  Hashtbl.replace t.peers peer.Peer.id lnk;
+  Channel.set_receiver channel side (fun bytes -> Session.feed session bytes);
+  Channel.set_on_connected channel side (fun () -> Session.connected session);
+  Channel.set_on_closed channel side (fun () -> Session.closed session);
+  Session.start session
+
+let session_state t peer = Session.state (link_session (link t peer))
+
+let idle t =
+  t.inflight = 0
+  &&
+  match t.procs with
+  | Xorp { bgp; policy; rib; fea; _ } ->
+    Sched.queue_length t.sched bgp = 0
+    && Sched.queue_length t.sched policy = 0
+    && Sched.queue_length t.sched rib = 0
+    && Sched.queue_length t.sched fea = 0
+  | Ios { ios; pending; pacer_busy; _ } ->
+    Sched.queue_length t.sched ios = 0 && Queue.is_empty pending
+    && not pacer_busy
+
+let counters t =
+  { transactions = t.transactions; updates_rx = t.updates_rx;
+    msgs_rx = t.msgs_rx; msgs_tx = t.msgs_tx; bytes_rx = t.bytes_rx;
+    bytes_tx = t.bytes_tx; first_work_at = t.first_work_at;
+    last_transaction_at = t.last_transaction_at }
+
+let reset_counters t =
+  t.transactions <- 0;
+  t.updates_rx <- 0;
+  t.msgs_rx <- 0;
+  t.msgs_tx <- 0;
+  t.bytes_rx <- 0;
+  t.bytes_tx <- 0;
+  t.first_work_at <- None;
+  t.last_transaction_at <- None

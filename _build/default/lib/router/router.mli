@@ -1,0 +1,74 @@
+(** The router under test: protocol engine + architecture model.
+
+    Assembles, inside one simulation engine:
+    - a passive BGP {!Bgp_fsm.Session} per attached peer,
+    - the {!Bgp_rib.Rib_manager} three-RIB update engine,
+    - a {!Bgp_fib.Fib} forwarding table,
+    - a {!Bgp_netsim.Forwarding} data-plane model, and
+    - the architecture's CPU: either the five-process XORP pipeline
+      (xorp_bgp -> xorp_policy -> xorp_rib -> xorp_fea, with
+      xorp_rtrmgr housekeeping) on a {!Bgp_sim.Sched} pool, or the
+      monolithic paced model for the commercial black box.
+
+    Protocol work happens logically when messages arrive, but its
+    {e completion} — and therefore the transactions-per-second metric —
+    is gated by simulated CPU-cycle jobs flowing through the process
+    pipeline, which is where architecture differences and cross-traffic
+    interference show up. *)
+
+type t
+
+val create :
+  ?import:Bgp_policy.Policy.t ->
+  ?export:Bgp_policy.Policy.t ->
+  ?mrai:float ->
+  Bgp_sim.Engine.t ->
+  Arch.t ->
+  local_asn:Bgp_route.Asn.t ->
+  router_id:Bgp_addr.Ipv4.t ->
+  t
+(** [mrai]: enable RFC 4271 section 9.2.1.1 MinRouteAdvertisementInterval
+    batching of outbound advertisements (seconds between flushes per
+    peer).  Off by default — XORP 1.3, as benchmarked by the paper,
+    advertises per decision. *)
+
+val arch : t -> Arch.t
+val engine : t -> Bgp_sim.Engine.t
+val sched : t -> Bgp_sim.Sched.t
+val rib : t -> Bgp_rib.Rib_manager.t
+val fib : t -> Bgp_fib.Fib.t
+val forwarding : t -> Bgp_netsim.Forwarding.t
+
+val attach_peer :
+  ?max_prefixes:int -> t -> peer:Bgp_route.Peer.t ->
+  channel:Bgp_netsim.Channel.t -> side:Bgp_netsim.Channel.side -> unit
+(** Register a neighbor reachable over [channel]/[side] and start a
+    passive session on it.  The peer's id must be unique.
+    [max_prefixes] enables prefix-limit protection: an announcement
+    pushing the peer's Adj-RIB-In beyond the limit tears the session
+    down with a CEASE and flushes the peer's routes. *)
+
+val session_state : t -> Bgp_route.Peer.t -> Bgp_fsm.Fsm.state
+
+val set_cross_traffic : t -> Bgp_netsim.Traffic.t -> unit
+
+val idle : t -> bool
+(** No control-plane work queued or in flight (the criterion the
+    harness uses to detect the end of a phase). *)
+
+type counters = {
+  transactions : int;
+      (** prefixes fully processed through to FIB/Loc-RIB completion *)
+  updates_rx : int;
+  msgs_rx : int;
+  msgs_tx : int;
+  bytes_rx : int;
+  bytes_tx : int;
+  first_work_at : float option;
+      (** virtual time the first update of the window arrived *)
+  last_transaction_at : float option;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+(** Zero the window counters (phase boundary). *)

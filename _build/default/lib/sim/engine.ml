@@ -1,0 +1,71 @@
+type handle = { mutable state : [ `Pending | `Cancelled | `Fired ]; fn : unit -> unit }
+
+type t = {
+  heap : handle Heap.t;
+  mutable time : float;
+  mutable seq : int;
+  mutable live : int;
+  mutable dispatched : int;
+  mutable limit : int;
+}
+
+exception Too_many_events
+
+let create () =
+  { heap = Heap.create (); time = 0.0; seq = 0; live = 0; dispatched = 0;
+    limit = max_int }
+
+let now t = t.time
+
+let schedule_at t ~time fn =
+  let time = if time < t.time then t.time else time in
+  let h = { state = `Pending; fn } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap ~time ~seq:t.seq h;
+  h
+
+let schedule t ~delay fn = schedule_at t ~time:(t.time +. max 0.0 delay) fn
+
+let cancel h =
+  match h.state with
+  | `Pending -> h.state <- `Cancelled
+  | `Cancelled | `Fired -> ()
+
+let cancelled h = h.state = `Cancelled
+
+let fire t h =
+  t.live <- t.live - 1;
+  match h.state with
+  | `Cancelled -> ()
+  | `Fired -> assert false
+  | `Pending ->
+    h.state <- `Fired;
+    t.dispatched <- t.dispatched + 1;
+    if t.dispatched > t.limit then raise Too_many_events;
+    h.fn ()
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, _, h) ->
+    t.time <- time;
+    fire t h;
+    true
+
+let run ?until t =
+  let keep_going () =
+    match Heap.peek t.heap with
+    | None -> false
+    | Some (time, _, _) ->
+      (match until with Some u when time > u -> false | _ -> true)
+  in
+  while keep_going () do
+    ignore (step t)
+  done;
+  (* When bounded, advance the clock to the bound so callers can rely
+     on [now] after [run ~until]. *)
+  match until with Some u when u > t.time -> t.time <- u | _ -> ()
+
+let pending t = t.live
+let set_event_limit t n = t.limit <- n

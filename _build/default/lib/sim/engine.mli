@@ -1,0 +1,47 @@
+(** The discrete-event simulation core.
+
+    Virtual time is in seconds (float).  Events scheduled for the same
+    instant fire in scheduling order, so runs are fully deterministic.
+    Everything in the benchmark — message transmission, CPU job
+    completion, protocol timers, trace sampling — is an event on one
+    engine. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, seconds. *)
+
+type handle
+(** A scheduled event, cancellable until it fires. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. max 0 delay]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant; a [time] in the past fires immediately
+    (at [now]). *)
+
+val cancel : handle -> unit
+(** Idempotent; cancelling a fired event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val run : ?until:float -> t -> unit
+(** Process events until the queue drains or virtual time would exceed
+    [until] (events at exactly [until] still fire). *)
+
+val step : t -> bool
+(** Fire the single next event; [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of events still queued (cancelled entries are counted until
+    their scheduled time is reached and they are reaped). *)
+
+exception Too_many_events
+
+val set_event_limit : t -> int -> unit
+(** Safety valve for runaway simulations: {!run} raises
+    {!Too_many_events} after this many dispatched events
+    (default [max_int]). *)

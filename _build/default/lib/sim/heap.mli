@@ -1,0 +1,19 @@
+(** Binary min-heap used as the simulator's event queue.
+
+    Entries are ordered by [(time, seq)] where [seq] is a caller-chosen
+    tiebreaker (the engine uses a monotone counter so that events
+    scheduled for the same instant fire in FIFO order — determinism the
+    whole benchmark depends on). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum entry. *)
+
+val peek : 'a t -> (float * int * 'a) option
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/speaker/speaker.ml: Bgp_addr Bgp_fsm Bgp_netsim Bgp_route Bgp_sim Bgp_wire Hashtbl List Option Printf Workload

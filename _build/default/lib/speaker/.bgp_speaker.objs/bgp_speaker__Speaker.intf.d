@@ -1,0 +1,1 @@
+lib/speaker/speaker.mli: Bgp_addr Bgp_fsm Bgp_netsim Bgp_route Bgp_sim Hashtbl

@@ -1,0 +1,1 @@
+lib/speaker/table_io.ml: Array Bgp_addr Bgp_route Buffer Fun List Option Printf Result String Workload

@@ -1,0 +1,1 @@
+lib/speaker/table_io.mli: Bgp_addr Bgp_route

@@ -1,0 +1,1 @@
+lib/speaker/workload.ml: Array Bgp_route List

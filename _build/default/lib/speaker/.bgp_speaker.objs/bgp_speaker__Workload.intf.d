@@ -1,0 +1,1 @@
+lib/speaker/workload.mli: Bgp_addr Bgp_route

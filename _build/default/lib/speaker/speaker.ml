@@ -1,0 +1,88 @@
+module Engine = Bgp_sim.Engine
+module Channel = Bgp_netsim.Channel
+module Session = Bgp_fsm.Session
+module Msg = Bgp_wire.Msg
+
+type t = {
+  mutable session : Session.t option;  (* set once in [create] *)
+  mutable established_cb : unit -> unit;
+  mutable updates_received : int;
+  mutable prefixes_received : int;
+  mutable withdrawals_received : int;
+  received : (Bgp_addr.Prefix.t, Bgp_route.Attrs.t) Hashtbl.t;
+}
+
+let session t =
+  match t.session with
+  | Some s -> s
+  | None -> invalid_arg "Speaker: not initialized"
+
+let timer_service engine =
+  { Session.arm_timer =
+      (fun delay fn ->
+        let h = Engine.schedule engine ~delay fn in
+        fun () -> Engine.cancel h) }
+
+let create engine ~asn ~router_id ~channel ~side =
+  let cfg = Bgp_fsm.Fsm.default_config ~asn ~router_id in
+  let io = Channel.session_io channel side ~connect_side:true in
+  let t =
+    { session = None; established_cb = (fun () -> ()); updates_received = 0;
+      prefixes_received = 0; withdrawals_received = 0;
+      received = Hashtbl.create 1024 }
+  in
+  let hooks =
+    { Session.null_hooks with
+      Session.on_update =
+        (fun u ->
+          t.updates_received <- t.updates_received + 1;
+          t.prefixes_received <- t.prefixes_received + List.length u.Msg.nlri;
+          t.withdrawals_received <-
+            t.withdrawals_received + List.length u.Msg.withdrawn;
+          List.iter (fun p -> Hashtbl.remove t.received p) u.Msg.withdrawn;
+          Option.iter
+            (fun attrs ->
+              List.iter (fun p -> Hashtbl.replace t.received p attrs) u.Msg.nlri)
+            u.Msg.attrs);
+      on_established = (fun () -> t.established_cb ()) }
+  in
+  t.session <- Some (Session.create cfg (timer_service engine) io hooks);
+  Channel.set_receiver channel side (fun bytes -> Session.feed (session t) bytes);
+  Channel.set_on_connected channel side (fun () -> Session.connected (session t));
+  Channel.set_on_closed channel side (fun () -> Session.closed (session t));
+  t
+
+let start t = Session.start (session t)
+let stop t = Session.stop (session t)
+let state t = Session.state (session t)
+let established t = state t = Bgp_fsm.Fsm.Established
+let on_established t cb = t.established_cb <- cb
+
+let require_established t name =
+  if not (established t) then
+    invalid_arg (Printf.sprintf "Speaker.%s: session not established" name)
+
+let announce t ~packing ~attrs prefixes =
+  require_established t "announce";
+  let chunks = Workload.chunk packing prefixes in
+  List.iter
+    (fun nlri -> ignore (Session.send (session t) (Msg.announcement attrs nlri)))
+    chunks;
+  List.length chunks
+
+let withdraw t ~packing prefixes =
+  require_established t "withdraw";
+  let chunks = Workload.chunk packing prefixes in
+  List.iter
+    (fun wd -> ignore (Session.send (session t) (Msg.withdrawal wd)))
+    chunks;
+  List.length chunks
+
+let request_refresh t =
+  require_established t "request_refresh";
+  ignore (Session.send (session t) Msg.route_refresh)
+
+let updates_received t = t.updates_received
+let prefixes_received t = t.prefixes_received
+let withdrawals_received t = t.withdrawals_received
+let received_prefix_set t = t.received

@@ -1,0 +1,57 @@
+(** A benchmark BGP speaker (Fig. 1): the active endpoint that drives
+    the router under test.
+
+    Speakers have no RIB and no cost model — they are ideal load
+    generators, as in the paper's methodology, so the measured
+    bottleneck is always the router. *)
+
+type t
+
+val create :
+  Bgp_sim.Engine.t ->
+  asn:Bgp_route.Asn.t ->
+  router_id:Bgp_addr.Ipv4.t ->
+  channel:Bgp_netsim.Channel.t ->
+  side:Bgp_netsim.Channel.side ->
+  t
+(** An active (connecting) speaker on one side of a channel.  Call
+    {!start} to bring the session up. *)
+
+val start : t -> unit
+val stop : t -> unit
+val state : t -> Bgp_fsm.Fsm.state
+val established : t -> bool
+
+val on_established : t -> (unit -> unit) -> unit
+(** Replaces the establishment callback (fires each time the session
+    reaches Established). *)
+
+val announce :
+  t -> packing:int -> attrs:Bgp_route.Attrs.t -> Bgp_addr.Prefix.t array -> int
+(** [announce t ~packing ~attrs prefixes] transmits the prefixes as
+    UPDATE messages carrying [packing] prefixes each (1 = the paper's
+    "small packets", 500 = "large packets").  Returns the number of
+    messages sent.
+    @raise Invalid_argument if the session is not Established. *)
+
+val withdraw : t -> packing:int -> Bgp_addr.Prefix.t array -> int
+(** Same, with withdrawal messages. *)
+
+val request_refresh : t -> unit
+(** Send a ROUTE-REFRESH (RFC 2918) asking the router to resend its
+    full Adj-RIB-Out for IPv4 unicast.
+    @raise Invalid_argument if the session is not Established. *)
+
+val updates_received : t -> int
+(** UPDATE messages the router sent us (Phase 2 transfers, Phase 3
+    re-advertisements). *)
+
+val prefixes_received : t -> int
+(** Announced prefixes contained in those updates. *)
+
+val withdrawals_received : t -> int
+
+val received_prefix_set : t -> (Bgp_addr.Prefix.t, Bgp_route.Attrs.t) Hashtbl.t
+(** Live view of the routes currently advertised to this speaker
+    (announcements minus withdrawals) — the benchmark's correctness
+    check that the router really transferred its table. *)

@@ -1,0 +1,23 @@
+let path ~origin_asn ~len =
+  if len < 1 then invalid_arg "Workload.path: length must be >= 1";
+  (* Deterministic filler in the private-AS range, never colliding with
+     benchmark speaker/router ASes (which live below 64512). *)
+  let filler i = Bgp_route.Asn.of_int (64512 + (i mod 1000)) in
+  Bgp_route.As_path.of_asns
+    (origin_asn :: List.init (len - 1) filler)
+
+let attrs ?med ~speaker_asn ~next_hop ~path_len () =
+  Bgp_route.Attrs.make ?med ~as_path:(path ~origin_asn:speaker_asn ~len:path_len)
+    ~next_hop ()
+
+let chunk n arr =
+  if n < 1 then invalid_arg "Workload.chunk: size must be >= 1";
+  let len = Array.length arr in
+  let rec go start acc =
+    if start >= len then List.rev acc
+    else
+      let stop = min len (start + n) in
+      let piece = Array.to_list (Array.sub arr start (stop - start)) in
+      go stop (piece :: acc)
+  in
+  go 0 []

@@ -1,0 +1,1 @@
+lib/stats/chart.ml: Array Buffer Float List Printf String

@@ -1,0 +1,23 @@
+(** Online univariate statistics (Welford), used by the bench harness
+    to summarize repeated measurements. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Sample variance; 0 with fewer than two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** +inf when empty. *)
+
+val max_value : t -> float
+(** -inf when empty. *)
+
+val of_list : float list -> t
+val pp : Format.formatter -> t -> unit

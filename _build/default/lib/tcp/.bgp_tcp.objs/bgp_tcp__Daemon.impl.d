@@ -1,0 +1,1 @@
+lib/tcp/daemon.ml: Bgp_fib Bgp_fsm Bgp_rib Bgp_route Bgp_wire Endpoint Event_loop Format List Option Printf

@@ -1,0 +1,1 @@
+lib/tcp/daemon.mli: Bgp_addr Bgp_fib Bgp_policy Bgp_rib Bgp_route Event_loop

@@ -1,0 +1,1 @@
+lib/tcp/endpoint.ml: Bgp_fsm Bytes Event_loop String Unix

@@ -1,0 +1,1 @@
+lib/tcp/endpoint.mli: Bgp_fsm Bgp_wire Event_loop

@@ -1,0 +1,1 @@
+lib/tcp/event_loop.ml: Bgp_fsm Float List Unix

@@ -1,0 +1,1 @@
+lib/tcp/event_loop.mli: Bgp_fsm Unix

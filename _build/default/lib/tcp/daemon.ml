@@ -1,0 +1,179 @@
+module Session = Bgp_fsm.Session
+module Fsm = Bgp_fsm.Fsm
+module Msg = Bgp_wire.Msg
+module Rib = Bgp_rib.Rib_manager
+module Fib = Bgp_fib.Fib
+module Peer = Bgp_route.Peer
+
+type neighbor = {
+  endpoint : Endpoint.t;
+  rr_client : bool;  (* treat this neighbor as a reflection client *)
+  mutable peer : Peer.t option;  (* identity learned from the OPEN *)
+}
+
+type t = {
+  loop : Event_loop.t;
+  rib : Rib.t;
+  fib : Fib.t;
+  log : string -> unit;
+  mutable neighbors : neighbor list;
+  mutable next_peer_id : int;
+}
+
+let logf t fmt = Printf.ksprintf t.log fmt
+
+let neighbor_of_peer t peer =
+  List.find_opt
+    (fun nb ->
+      match nb.peer with
+      | Some p -> Peer.equal p peer
+      | None -> false)
+    t.neighbors
+
+(* One UPDATE per announcement, except consecutive announcements with
+   identical attributes to the same peer, which are packed together. *)
+let messages_of_announcements anns =
+  let max_pack = 200 in
+  let rec go acc current = function
+    | [] -> List.rev (Option.to_list (Option.map close current) @ acc)
+    | (a : Rib.announcement) :: rest -> (
+      match a.Rib.ann_attrs, current with
+      | None, Some c -> go (close c :: acc) None (a :: rest)
+      | None, None ->
+        go ((a.Rib.dest, Msg.withdrawal [ a.Rib.ann_prefix ]) :: acc) None rest
+      | Some attrs, Some (dest, cattrs, prefixes)
+        when Peer.equal dest a.Rib.dest
+             && Bgp_route.Attrs.equal attrs cattrs
+             && List.length prefixes < max_pack ->
+        go acc (Some (dest, cattrs, a.Rib.ann_prefix :: prefixes)) rest
+      | Some attrs, Some c ->
+        go (close c :: acc) (Some (a.Rib.dest, attrs, [ a.Rib.ann_prefix ])) rest
+      | Some attrs, None ->
+        go acc (Some (a.Rib.dest, attrs, [ a.Rib.ann_prefix ])) rest)
+  and close (dest, attrs, prefixes) =
+    (dest, Msg.announcement attrs (List.rev prefixes))
+  in
+  go [] None anns
+
+let send_announcements t anns =
+  List.iter
+    (fun (dest, msg) ->
+      match neighbor_of_peer t dest with
+      | Some nb ->
+        if not (Endpoint.send nb.endpoint msg) then
+          logf t "warn: dropped %s to %s (session not established)"
+            (Msg.kind_name msg)
+            (Format.asprintf "%a" Peer.pp dest)
+      | None -> ())
+    (messages_of_announcements anns)
+
+let apply_outcome t (o : Rib.outcome) =
+  ignore (Fib.apply_all t.fib o.Rib.fib_deltas);
+  send_announcements t o.Rib.announcements
+
+let on_update t nb (u : Msg.update) =
+  match nb.peer with
+  | None -> ()
+  | Some peer ->
+    List.iter
+      (fun p -> apply_outcome t (Rib.withdraw t.rib ~from:peer p))
+      u.Msg.withdrawn;
+    Option.iter
+      (fun attrs ->
+        List.iter
+          (fun p -> apply_outcome t (Rib.announce t.rib ~from:peer p attrs))
+          u.Msg.nlri)
+      u.Msg.attrs
+
+let on_established t nb () =
+  match Fsm.peer_open (Session.fsm (Endpoint.session nb.endpoint)) with
+  | None -> logf t "error: established without a peer OPEN?"
+  | Some o ->
+    (match nb.peer with
+    | None ->
+      let peer =
+        Peer.make ~id:t.next_peer_id ~asn:o.Msg.opn_asn
+          ~router_id:o.Msg.opn_bgp_id ~addr:o.Msg.opn_bgp_id
+      in
+      t.next_peer_id <- t.next_peer_id + 1;
+      nb.peer <- Some peer;
+      Rib.add_peer ~rr_client:nb.rr_client ~up:true t.rib peer
+    | Some peer -> Rib.set_peer_up t.rib peer true);
+    let peer = Option.get nb.peer in
+    logf t "session with %s established"
+      (Format.asprintf "%a" Peer.pp peer);
+    send_announcements t (Rib.export_full t.rib peer)
+
+let on_down t nb reason =
+  match nb.peer with
+  | None -> ()
+  | Some peer ->
+    logf t "session with %s down: %s" (Format.asprintf "%a" Peer.pp peer) reason;
+    apply_outcome t (Rib.peer_down t.rib peer)
+
+let on_refresh t nb afi safi =
+  match nb.peer with
+  | Some peer when afi = 1 && safi = 1 ->
+    send_announcements t (Rib.refresh t.rib peer)
+  | _ -> ()
+
+let create ?import ?export ?aggregates ?(log = fun _ -> ()) loop ~asn
+    ~router_id () =
+  { loop; rib = Rib.create ?import ?export ?aggregates ~local_asn:asn ~router_id ();
+    fib = Fib.create (); log; neighbors = []; next_peer_id = 0 }
+
+let hooks_for t nb_holder =
+  let with_nb f = match !nb_holder with Some nb -> f nb | None -> () in
+  { Session.null_hooks with
+    Session.on_update = (fun u -> with_nb (fun nb -> on_update t nb u));
+    on_refresh = (fun afi safi -> with_nb (fun nb -> on_refresh t nb afi safi));
+    on_established = (fun () -> with_nb (fun nb -> on_established t nb ()));
+    on_down = (fun reason -> with_nb (fun nb -> on_down t nb reason)) }
+
+let session_cfg t ~passive =
+  { (Fsm.default_config ~asn:(Rib.local_asn t.rib)
+       ~router_id:(Rib.router_id t.rib))
+    with Fsm.passive }
+
+let add_endpoint t ~rr_client make =
+  (* The hooks need the neighbor record, which needs the endpoint: tie
+     the knot through an option initialized right after construction
+     (no session event can fire before the loop next runs). *)
+  let nb_holder = ref None in
+  let endpoint = make (hooks_for t nb_holder) in
+  let nb = { endpoint; rr_client; peer = None } in
+  nb_holder := Some nb;
+  t.neighbors <- nb :: t.neighbors;
+  Endpoint.start endpoint
+
+let listen ?(rr_client = false) t ~port =
+  add_endpoint t ~rr_client (fun hooks ->
+      Endpoint.listen t.loop ~port ~cfg:(session_cfg t ~passive:true) ~hooks)
+
+let connect ?(rr_client = false) t ~port =
+  add_endpoint t ~rr_client (fun hooks ->
+      Endpoint.connect t.loop ~port ~cfg:(session_cfg t ~passive:false) ~hooks)
+
+let originate t prefix =
+  apply_outcome t
+    (Rib.inject_local t.rib ~prefix ~next_hop:(Rib.router_id t.rib))
+
+let originate_route t prefix attrs =
+  apply_outcome t (Rib.inject_local_route t.rib ~prefix ~attrs)
+
+let withdraw_origin t prefix =
+  apply_outcome t (Rib.withdraw_local t.rib ~prefix)
+
+let rib t = t.rib
+let fib t = t.fib
+let routes t = Bgp_rib.Loc_rib.to_list (Rib.loc_rib t.rib)
+
+let established_peers t =
+  List.length
+    (List.filter
+       (fun nb -> Endpoint.state nb.endpoint = Fsm.Established)
+       t.neighbors)
+
+let stop t =
+  List.iter (fun nb -> Endpoint.close nb.endpoint) t.neighbors;
+  t.neighbors <- []

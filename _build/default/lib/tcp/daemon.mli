@@ -1,0 +1,56 @@
+(** A small but real BGP daemon: the protocol engine ({!Bgp_rib}),
+    policies, and aggregation wired to real TCP sessions on an
+    {!Event_loop}.
+
+    Unlike the benchmark's simulated router, the daemon has no cost
+    model — it processes messages as fast as OCaml runs.  It exists so
+    the library is usable as an actual (loopback-scoped) BGP speaker:
+    originate routes, peer with neighbors, and watch tables converge
+    across a multi-hop topology (see [bin/bgpd.ml] and the daemon
+    tests, which run a three-node chain in one process).
+
+    Neighbor identity (ASN, router id) is learned from the OPEN
+    exchange, so peers need no pre-declaration beyond a TCP port. *)
+
+type t
+
+val create :
+  ?import:Bgp_policy.Policy.t ->
+  ?export:Bgp_policy.Policy.t ->
+  ?aggregates:Bgp_rib.Rib_manager.aggregate_config list ->
+  ?log:(string -> unit) ->
+  Event_loop.t ->
+  asn:Bgp_route.Asn.t ->
+  router_id:Bgp_addr.Ipv4.t ->
+  unit ->
+  t
+
+val listen : ?rr_client:bool -> t -> port:int -> unit
+(** Accept one neighbor on 127.0.0.1:[port].  [rr_client] (default
+    false) marks the neighbor as a route-reflection client (RFC 4456;
+    only meaningful for IBGP neighbors).
+    @raise Unix.Unix_error if the port cannot be bound. *)
+
+val connect : ?rr_client:bool -> t -> port:int -> unit
+(** Actively peer with a daemon listening on 127.0.0.1:[port]. *)
+
+val originate : t -> Bgp_addr.Prefix.t -> unit
+(** Inject a locally originated route (next hop = our router id) and
+    propagate it to established neighbors. *)
+
+val originate_route : t -> Bgp_addr.Prefix.t -> Bgp_route.Attrs.t -> unit
+(** Originate with explicit attributes (used when replaying a saved
+    table file through the daemon). *)
+
+val withdraw_origin : t -> Bgp_addr.Prefix.t -> unit
+
+val rib : t -> Bgp_rib.Rib_manager.t
+val fib : t -> Bgp_fib.Fib.t
+val routes : t -> Bgp_route.Route.t list
+(** Current Loc-RIB contents. *)
+
+val established_peers : t -> int
+(** Number of sessions currently Established. *)
+
+val stop : t -> unit
+(** Cease all sessions and close all sockets. *)

@@ -1,0 +1,113 @@
+module Session = Bgp_fsm.Session
+module Fsm = Bgp_fsm.Fsm
+
+type role = Listener of Unix.file_descr | Connector of int
+
+type t = {
+  loop : Event_loop.t;
+  role : role;
+  mutable conn : Unix.file_descr option;
+  mutable session : Session.t option;
+}
+
+let session t =
+  match t.session with
+  | Some s -> s
+  | None -> invalid_arg "Endpoint: not initialized"
+
+let close_conn t =
+  match t.conn with
+  | None -> ()
+  | Some fd ->
+    Event_loop.unwatch t.loop fd;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.conn <- None
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes off len in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let install_conn t fd =
+  close_conn t;
+  Unix.set_nonblock fd;
+  t.conn <- Some fd;
+  let buf = Bytes.create 65536 in
+  Event_loop.watch_read t.loop fd (fun () ->
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 ->
+        close_conn t;
+        Session.closed (session t)
+      | n -> Session.feed (session t) (Bytes.sub_string buf 0 n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) ->
+        close_conn t;
+        Session.closed (session t));
+  (* Tell the FSM once we are back at the loop's top level. *)
+  Event_loop.post t.loop (fun () -> Session.connected (session t))
+
+let io_of t ~active =
+  { Session.out_bytes =
+      (fun bytes ->
+        match t.conn with
+        | None -> ()
+        | Some fd -> (
+          (* Loopback demo volumes: briefly clear O_NONBLOCK and write
+             it all. *)
+          try
+            Unix.clear_nonblock fd;
+            write_all fd (Bytes.of_string bytes) 0 (String.length bytes);
+            Unix.set_nonblock fd
+          with Unix.Unix_error _ ->
+            close_conn t;
+            Session.closed (session t)));
+    start_connect =
+      (fun () ->
+        if active then
+          match t.role with
+          | Connector port -> (
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            try
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              install_conn t fd
+            with Unix.Unix_error _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Event_loop.post t.loop (fun () -> Session.failed (session t)))
+          | Listener _ -> ());
+    close = (fun () -> close_conn t) }
+
+let listen loop ~port ~cfg ~hooks =
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen lfd 1;
+  let t = { loop; role = Listener lfd; conn = None; session = None } in
+  let cfg = { cfg with Fsm.passive = true } in
+  t.session <-
+    Some (Session.create cfg (Event_loop.timer_service loop) (io_of t ~active:false) hooks);
+  Event_loop.watch_read loop lfd (fun () ->
+      match Unix.accept lfd with
+      | fd, _ -> install_conn t fd
+      | exception Unix.Unix_error _ -> ());
+  t
+
+let connect loop ~port ~cfg ~hooks =
+  let t = { loop; role = Connector port; conn = None; session = None } in
+  t.session <-
+    Some (Session.create cfg (Event_loop.timer_service loop) (io_of t ~active:true) hooks);
+  t
+
+let start t = Session.start (session t)
+let stop t = Session.stop (session t)
+let state t = Session.state (session t)
+let send t msg = Session.send (session t) msg
+
+let close t =
+  Session.stop (session t);
+  close_conn t;
+  match t.role with
+  | Listener lfd ->
+    Event_loop.unwatch t.loop lfd;
+    (try Unix.close lfd with Unix.Unix_error _ -> ())
+  | Connector _ -> ()

@@ -1,0 +1,37 @@
+(** BGP speakers over real loopback TCP sockets.
+
+    This is the interop proof for the wire codec and FSM: the exact
+    bytes produced by {!Bgp_wire.Codec} travel through the kernel's TCP
+    stack between two endpoints in one process (or two — the socket
+    layer doesn't care).
+
+    Single-connection model: one endpoint listens, the other connects;
+    collision handling (RFC 4271 §6.8) is out of scope, as in the
+    simulated transport. *)
+
+type t
+
+val listen :
+  Event_loop.t -> port:int -> cfg:Bgp_fsm.Fsm.config ->
+  hooks:Bgp_fsm.Session.hooks -> t
+(** Passive endpoint on 127.0.0.1:[port].  [cfg.passive] is forced on.
+    Accepts exactly one connection at a time; a new connection replaces
+    a dead one.
+    @raise Unix.Unix_error if the port cannot be bound. *)
+
+val connect :
+  Event_loop.t -> port:int -> cfg:Bgp_fsm.Fsm.config ->
+  hooks:Bgp_fsm.Session.hooks -> t
+(** Active endpoint connecting to 127.0.0.1:[port].  The connection is
+    attempted when the FSM asks for it (i.e. after {!start}). *)
+
+val start : t -> unit
+val stop : t -> unit
+val session : t -> Bgp_fsm.Session.t
+val state : t -> Bgp_fsm.Fsm.state
+
+val send : t -> Bgp_wire.Msg.t -> bool
+(** Send an UPDATE (requires Established). *)
+
+val close : t -> unit
+(** Tear down sockets and unregister from the loop. *)

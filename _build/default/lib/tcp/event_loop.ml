@@ -1,0 +1,73 @@
+type timer = { fire_at : float; fn : unit -> unit; mutable live : bool }
+
+type t = {
+  mutable readers : (Unix.file_descr * (unit -> unit)) list;
+  mutable timers : timer list;
+  mutable posted : (unit -> unit) list;
+}
+
+let create () = { readers = []; timers = []; posted = [] }
+
+let watch_read t fd fn =
+  t.readers <- (fd, fn) :: List.remove_assoc fd t.readers
+
+let unwatch t fd = t.readers <- List.remove_assoc fd t.readers
+
+let after t delay fn =
+  let timer = { fire_at = Unix.gettimeofday () +. delay; fn; live = true } in
+  t.timers <- timer :: t.timers;
+  fun () -> timer.live <- false
+
+let post t fn = t.posted <- t.posted @ [ fn ]
+
+let timer_service t =
+  { Bgp_fsm.Session.arm_timer = (fun delay fn -> after t delay fn) }
+
+let run_due_timers t =
+  let now = Unix.gettimeofday () in
+  let due, rest = List.partition (fun tm -> tm.live && tm.fire_at <= now) t.timers in
+  t.timers <- List.filter (fun tm -> tm.live) rest;
+  List.iter (fun tm -> tm.fn ()) due
+
+let run_posted t =
+  let posted = t.posted in
+  t.posted <- [];
+  List.iter (fun fn -> fn ()) posted
+
+let next_timer_in t =
+  let now = Unix.gettimeofday () in
+  List.fold_left
+    (fun acc tm -> if tm.live then Float.min acc (Float.max 0.0 (tm.fire_at -. now)) else acc)
+    0.1 t.timers
+
+let run t ~until ~timeout =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if until () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      run_posted t;
+      run_due_timers t;
+      if until () then true
+      else begin
+        let fds = List.map fst t.readers in
+        let wait = Float.min 0.05 (next_timer_in t) in
+        (match Unix.select fds [] [] wait with
+        | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              match List.assoc_opt fd t.readers with
+              | Some fn -> fn ()
+              | None -> ())
+            readable
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go ()
+      end
+    end
+  in
+  go ()
+
+let stop_watching_all t =
+  t.readers <- [];
+  t.timers <- [];
+  t.posted <- []

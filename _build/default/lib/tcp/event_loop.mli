@@ -1,0 +1,29 @@
+(** A small single-threaded [select]-based event loop with wall-clock
+    timers — the real-world counterpart of the simulator's engine, used
+    to drive {!Bgp_fsm.Session}s over actual sockets. *)
+
+type t
+
+val create : unit -> t
+
+val watch_read : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** Invoke the callback whenever the descriptor is readable.  Replaces
+    any previous watcher for the descriptor. *)
+
+val unwatch : t -> Unix.file_descr -> unit
+
+val after : t -> float -> (unit -> unit) -> unit -> unit
+(** [after t delay fn] schedules [fn] in [delay] wall-clock seconds and
+    returns a cancel thunk. *)
+
+val post : t -> (unit -> unit) -> unit
+(** Run a thunk on the next loop iteration (breaks reentrancy). *)
+
+val timer_service : t -> Bgp_fsm.Session.timer_service
+(** Adapter for sessions. *)
+
+val run : t -> until:(unit -> bool) -> timeout:float -> bool
+(** Pump the loop until [until ()] is true (returns [true]) or
+    [timeout] wall-clock seconds elapse (returns [false]). *)
+
+val stop_watching_all : t -> unit

@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Bgp_addr Bgp_route Buffer Char List Msg Option Printf String

@@ -1,0 +1,1 @@
+lib/wire/msg.ml: Bgp_addr Bgp_route Format List

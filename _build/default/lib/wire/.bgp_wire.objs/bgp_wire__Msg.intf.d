@@ -1,0 +1,1 @@
+lib/wire/msg.mli: Bgp_addr Bgp_route Format

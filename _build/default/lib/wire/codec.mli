@@ -1,0 +1,52 @@
+(** Binary encoding and decoding of BGP-4 messages (RFC 4271 §4).
+
+    The encoder produces exact wire images (16-byte all-ones marker,
+    network byte order, one- or two-octet attribute lengths with the
+    Extended Length flag as needed).  The decoder validates everything
+    the RFC requires and reports failures using the notification error
+    taxonomy of {!Msg.error}, so a session can answer a malformed
+    message with the RFC-mandated NOTIFICATION. *)
+
+val encode : Msg.t -> string
+(** Wire image of a message.
+    @raise Invalid_argument if the message would exceed
+    {!Msg.max_len} bytes or contains unencodable fields (e.g. a hold
+    time outside 16 bits). *)
+
+val encoded_size : Msg.t -> int
+(** [String.length (encode m)], without exposing the buffer. *)
+
+val decode : string -> (Msg.t, Msg.error) result
+(** Decode a buffer holding exactly one message; trailing bytes are a
+    {!Msg.Bad_message_length} error. *)
+
+val decode_at : string -> pos:int -> (Msg.t * int, Msg.error) result
+(** Decode one message starting at [pos]; returns the message and the
+    number of bytes consumed.  The buffer may extend beyond the
+    message. *)
+
+val required_length : string -> pos:int -> avail:int -> (int option, Msg.error) result
+(** Stream framing support: given [avail] readable bytes at [pos],
+    returns [Some n] when the next message occupies [n] bytes ([n] may
+    exceed [avail]; read more and retry), [None] when even the header
+    is incomplete, or a header error (bad marker / bad length) that
+    must terminate the session. *)
+
+(** {1 Attribute wire constants} — exposed for tests and for malformed
+    message construction in failure-injection suites. *)
+
+val attr_origin : int
+val attr_as_path : int
+val attr_next_hop : int
+val attr_med : int
+val attr_local_pref : int
+val attr_atomic_aggregate : int
+val attr_aggregator : int
+val attr_community : int
+val attr_originator_id : int
+val attr_cluster_list : int
+
+val flag_optional : int
+val flag_transitive : int
+val flag_partial : int
+val flag_extended : int

@@ -1,0 +1,1 @@
+test/test_addr.ml: Alcotest Array Bgp_addr Float Hashtbl Ipv4 List Option Prefix Prefix_gen Prefix_set Printf QCheck2 QCheck_alcotest

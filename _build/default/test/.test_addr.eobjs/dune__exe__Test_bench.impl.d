@@ -1,0 +1,1 @@
+test/test_bench.ml: Alcotest Array Bgp_addr Bgp_fsm Bgp_netsim Bgp_rib Bgp_route Bgp_router Bgp_sim Bgp_speaker Bgpmark Float Hashtbl List Option Printf String

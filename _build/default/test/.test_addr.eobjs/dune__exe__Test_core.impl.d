@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bgp_router Bgp_stats Bgpmark Float Format List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_daemon.ml: Alcotest Bgp_addr Bgp_fib Bgp_rib Bgp_route Bgp_tcp Fun List Option Unix

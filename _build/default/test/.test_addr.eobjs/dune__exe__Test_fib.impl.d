@@ -1,0 +1,1 @@
+test/test_fib.ml: Alcotest Array Bgp_addr Bgp_fib Dir24_8 Fib Hash_lpm Hashtbl List Patricia Printf QCheck2 QCheck_alcotest

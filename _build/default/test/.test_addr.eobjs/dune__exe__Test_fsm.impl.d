@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Bgp_addr Bgp_fsm Bgp_route Bgp_wire Framer Fsm List Printf QCheck2 QCheck_alcotest Session String

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Bgp_addr Bgp_fib Bgp_netsim Bgp_sim Buffer Bytes Channel Char Float Forwarding Ip_packet List Printf QCheck2 QCheck_alcotest String Traffic

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Bgp_addr Bgp_policy Bgp_route List Policy QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rib.ml: Alcotest Array Bgp_addr Bgp_fib Bgp_policy Bgp_rib Bgp_route Decision Format Hashtbl List Loc_rib Option QCheck2 QCheck_alcotest Rib_manager

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest As_path Asn Attrs Bgp_addr Bgp_route Community Format List Option Peer QCheck2 QCheck_alcotest Route

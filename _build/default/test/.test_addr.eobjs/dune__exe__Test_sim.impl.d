@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bgp_sim Engine Float Fun Heap List Printf QCheck2 QCheck_alcotest Rng Sched Trace

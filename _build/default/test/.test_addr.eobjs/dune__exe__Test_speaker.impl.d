@@ -1,0 +1,1 @@
+test/test_speaker.ml: Alcotest Array Bgp_addr Bgp_route Bgp_speaker Filename Fun List Option QCheck2 QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Bgp_addr Bgp_fsm Bgp_route Bgp_speaker Bgp_tcp Bgp_wire Buffer Bytes Char List String Unix

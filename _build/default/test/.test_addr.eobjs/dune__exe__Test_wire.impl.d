@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Bgp_addr Bgp_route Bgp_wire Buffer Bytes Char Codec Format List Msg Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,308 @@
+open Bgp_addr
+
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+(* ------------------------------------------------------------------ *)
+(* Ipv4                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Ipv4.to_string (ip s)))
+    [ "0.0.0.0"; "255.255.255.255"; "10.0.0.1"; "192.168.255.254"; "1.2.3.4" ]
+
+let test_ipv4_octets () =
+  let a = Ipv4.of_octets 10 20 30 40 in
+  Alcotest.(check string) "octets" "10.20.30.40" (Ipv4.to_string a);
+  let x, y, z, w = Ipv4.to_octets a in
+  Alcotest.(check (list int)) "back" [ 10; 20; 30; 40 ] [ x; y; z; w ]
+
+let test_ipv4_parse_errors () =
+  List.iter
+    (fun s ->
+      match Ipv4.of_string s with
+      | Ok _ -> Alcotest.failf "should reject %S" s
+      | Error _ -> ())
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "1.2.3.4 "; " 1.2.3.4"; "a.b.c.d";
+      "1..2.3"; "1.2.3.-4"; "01.2.3.4.5"; "1.2.3.4/8"; "1234.1.1.1" ]
+
+let test_ipv4_order () =
+  Alcotest.(check bool) "lt" true (Ipv4.compare (ip "1.0.0.0") (ip "2.0.0.0") < 0);
+  Alcotest.(check bool)
+    "128 > 127" true
+    (Ipv4.compare (ip "128.0.0.0") (ip "127.255.255.255") > 0)
+
+let test_ipv4_bits () =
+  let a = ip "128.0.0.1" in
+  Alcotest.(check bool) "bit0" true (Ipv4.bit a 0);
+  Alcotest.(check bool) "bit1" false (Ipv4.bit a 1);
+  Alcotest.(check bool) "bit31" true (Ipv4.bit a 31);
+  Alcotest.check_raises "bit32" (Invalid_argument "Ipv4.bit: index out of range")
+    (fun () -> ignore (Ipv4.bit a 32))
+
+let test_ipv4_mask () =
+  Alcotest.(check string) "/8" "255.0.0.0" (Ipv4.to_string (Ipv4.mask 8));
+  Alcotest.(check string) "/0" "0.0.0.0" (Ipv4.to_string (Ipv4.mask 0));
+  Alcotest.(check string) "/32" "255.255.255.255" (Ipv4.to_string (Ipv4.mask 32));
+  Alcotest.(check string) "/19" "255.255.224.0" (Ipv4.to_string (Ipv4.mask 19));
+  Alcotest.(check string) "apply" "10.1.0.0"
+    (Ipv4.to_string (Ipv4.apply_mask (ip "10.1.2.3") 16))
+
+let test_ipv4_arith () =
+  Alcotest.(check string) "succ" "1.2.3.5" (Ipv4.to_string (Ipv4.succ (ip "1.2.3.4")));
+  Alcotest.(check string) "wrap" "0.0.0.0" (Ipv4.to_string (Ipv4.succ Ipv4.broadcast));
+  Alcotest.(check string) "add 256" "1.2.4.4"
+    (Ipv4.to_string (Ipv4.add (ip "1.2.3.4") 256))
+
+let test_common_prefix_len () =
+  let check a b expect =
+    Alcotest.(check int)
+      (Printf.sprintf "%s %s" a b)
+      expect
+      (Ipv4.common_prefix_len (ip a) (ip b))
+  in
+  check "0.0.0.0" "0.0.0.0" 32;
+  check "0.0.0.0" "128.0.0.0" 0;
+  check "10.0.0.0" "10.0.0.1" 31;
+  check "10.0.0.0" "10.128.0.0" 8;
+  check "192.168.1.0" "192.168.1.128" 24
+
+(* ------------------------------------------------------------------ *)
+(* Prefix                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_prefix_canonical () =
+  let p = Prefix.make (ip "10.1.2.3") 16 in
+  Alcotest.(check string) "canonical" "10.1.0.0/16" (Prefix.to_string p);
+  Alcotest.(check bool) "equal" true (Prefix.equal p (pfx "10.1.0.0/16"))
+
+let test_prefix_parse () =
+  Alcotest.(check string) "p24" "192.168.1.0/24" (Prefix.to_string (pfx "192.168.1.0/24"));
+  Alcotest.(check string) "bare /32" "1.2.3.4/32" (Prefix.to_string (pfx "1.2.3.4"));
+  List.iter
+    (fun s ->
+      match Prefix.of_string s with
+      | Ok _ -> Alcotest.failf "should reject %S" s
+      | Error _ -> ())
+    [ "10.0.0.1/24"; "10.0.0.0/33"; "10.0.0.0/-1"; "10.0.0.0/"; "/24"; "10.0.0.0/2 4" ]
+
+let test_prefix_mem_subsumes () =
+  let p = pfx "10.0.0.0/8" in
+  Alcotest.(check bool) "mem in" true (Prefix.mem (ip "10.200.3.4") p);
+  Alcotest.(check bool) "mem out" false (Prefix.mem (ip "11.0.0.0") p);
+  Alcotest.(check bool) "subsumes" true (Prefix.subsumes p (pfx "10.42.0.0/16"));
+  Alcotest.(check bool) "not subsumes" false
+    (Prefix.subsumes (pfx "10.42.0.0/16") p);
+  Alcotest.(check bool) "self" true (Prefix.subsumes p p);
+  Alcotest.(check bool) "default subsumes all" true
+    (Prefix.subsumes Prefix.default (pfx "203.0.113.0/24"))
+
+let test_prefix_range () =
+  let p = pfx "192.168.1.0/24" in
+  Alcotest.(check string) "first" "192.168.1.0" (Ipv4.to_string (Prefix.first p));
+  Alcotest.(check string) "last" "192.168.1.255" (Ipv4.to_string (Prefix.last p));
+  Alcotest.(check (float 0.1)) "size" 256.0 (Prefix.size p);
+  Alcotest.(check (float 1.0)) "size default" (Float.pow 2.0 32.0)
+    (Prefix.size Prefix.default)
+
+let test_prefix_split () =
+  match Prefix.split (pfx "10.0.0.0/8") with
+  | None -> Alcotest.fail "split /8 must succeed"
+  | Some (lo, hi) ->
+    Alcotest.(check string) "lo" "10.0.0.0/9" (Prefix.to_string lo);
+    Alcotest.(check string) "hi" "10.128.0.0/9" (Prefix.to_string hi);
+    Alcotest.(check bool) "split /32" true (Prefix.split (pfx "1.2.3.4/32") = None)
+
+let test_prefix_wire_octets () =
+  List.iter
+    (fun (s, n) -> Alcotest.(check int) s n (Prefix.wire_octets (pfx s)))
+    [ ("0.0.0.0/0", 0); ("10.0.0.0/8", 1); ("10.128.0.0/9", 2); ("10.1.0.0/16", 2);
+      ("10.1.1.0/24", 3); ("10.1.1.0/25", 4); ("10.1.1.1/32", 4) ]
+
+(* ------------------------------------------------------------------ *)
+(* Prefix_set                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_set_basic () =
+  let s = Prefix_set.of_list [ pfx "10.0.0.0/8"; pfx "10.1.0.0/16"; pfx "192.168.0.0/16" ] in
+  Alcotest.(check int) "cardinal" 3 (Prefix_set.cardinal s);
+  Alcotest.(check bool) "mem" true (Prefix_set.mem (pfx "10.1.0.0/16") s);
+  Alcotest.(check bool) "not mem" false (Prefix_set.mem (pfx "10.1.0.0/17") s)
+
+let test_set_covering () =
+  let s = Prefix_set.of_list [ pfx "10.0.0.0/8"; pfx "10.1.0.0/16"; pfx "0.0.0.0/0" ] in
+  let covers = Prefix_set.covering (pfx "10.1.2.0/24") s in
+  Alcotest.(check (list string)) "covering"
+    [ "0.0.0.0/0"; "10.0.0.0/8"; "10.1.0.0/16" ]
+    (List.map Prefix.to_string covers);
+  Alcotest.(check (option string)) "best" (Some "10.1.0.0/16")
+    (Option.map Prefix.to_string (Prefix_set.best_covering (pfx "10.1.2.0/24") s));
+  Alcotest.(check bool) "covers addr" true (Prefix_set.covers_addr (ip "10.9.9.9") s);
+  Alcotest.(check bool) "empty covers nothing" false
+    (Prefix_set.covers_addr (ip "10.9.9.9") Prefix_set.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Prefix_gen                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  let a = Prefix_gen.table ~seed:7 ~n:500 () in
+  let b = Prefix_gen.table ~seed:7 ~n:500 () in
+  Alcotest.(check bool) "same" true
+    (Array.for_all2 Prefix.equal a b);
+  let c = Prefix_gen.table ~seed:8 ~n:500 () in
+  Alcotest.(check bool) "different seed differs" false
+    (Array.for_all2 Prefix.equal a c)
+
+let test_gen_distinct () =
+  let t = Prefix_gen.table ~seed:1 ~n:5000 () in
+  let set = Hashtbl.create 8192 in
+  Array.iter (fun p -> Hashtbl.replace set p ()) t;
+  Alcotest.(check int) "all distinct" 5000 (Hashtbl.length set)
+
+let test_gen_prefix_property () =
+  (* A longer table extends a shorter one for the same seed. *)
+  let small = Prefix_gen.table ~seed:3 ~n:100 () in
+  let big = Prefix_gen.table ~seed:3 ~n:1000 () in
+  Array.iteri
+    (fun i p -> Alcotest.(check bool) "extends" true (Prefix.equal p big.(i)))
+    small
+
+let test_gen_shape () =
+  let t = Prefix_gen.table ~seed:42 ~n:20_000 () in
+  let hist = Prefix_gen.length_histogram t in
+  let count l = Option.value ~default:0 (List.assoc_opt l hist) in
+  (* Mode must be /24 and short prefixes must be rare. *)
+  List.iter
+    (fun (l, c) ->
+      if l <> 24 && c >= count 24 then
+        Alcotest.failf "mode is /%d (%d) not /24 (%d)" l c (count 24))
+    hist;
+  Alcotest.(check bool) "short tail thin" true (count 8 * 20 < count 24);
+  List.iter
+    (fun (l, _) ->
+      if l < 8 || l > 24 then Alcotest.failf "unexpected length /%d" l)
+    hist
+
+let test_gen_valid_space () =
+  let t = Prefix_gen.table ~seed:42 ~n:5000 () in
+  Array.iter
+    (fun p ->
+      let o, _, _, _ = Ipv4.to_octets (Prefix.addr p) in
+      if o = 0 || o = 127 || o > 223 then
+        Alcotest.failf "prefix %s outside plausible unicast space"
+          (Prefix.to_string p))
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_ipv4 =
+  QCheck2.Gen.map Ipv4.of_int (QCheck2.Gen.int_range 0 0xFFFF_FFFF)
+
+let arb_prefix =
+  QCheck2.Gen.map2
+    (fun a l -> Prefix.make a l)
+    arb_ipv4
+    (QCheck2.Gen.int_range 0 32)
+
+let prop_ipv4_string_roundtrip =
+  QCheck2.Test.make ~name:"ipv4 to_string/of_string roundtrip" ~count:1000
+    arb_ipv4 (fun a ->
+      match Ipv4.of_string (Ipv4.to_string a) with
+      | Ok b -> Ipv4.equal a b
+      | Error _ -> false)
+
+let prop_prefix_string_roundtrip =
+  QCheck2.Test.make ~name:"prefix to_string/of_string roundtrip" ~count:1000
+    arb_prefix (fun p ->
+      match Prefix.of_string (Prefix.to_string p) with
+      | Ok q -> Prefix.equal p q
+      | Error _ -> false)
+
+let prop_mask_idempotent =
+  QCheck2.Test.make ~name:"apply_mask idempotent" ~count:1000
+    QCheck2.Gen.(pair arb_ipv4 (int_range 0 32))
+    (fun (a, l) ->
+      let m = Ipv4.apply_mask a l in
+      Ipv4.equal m (Ipv4.apply_mask m l))
+
+let prop_common_prefix_symmetric =
+  QCheck2.Test.make ~name:"common_prefix_len symmetric and consistent" ~count:1000
+    QCheck2.Gen.(pair arb_ipv4 arb_ipv4)
+    (fun (a, b) ->
+      let l = Ipv4.common_prefix_len a b in
+      l = Ipv4.common_prefix_len b a
+      && l >= 0 && l <= 32
+      && Ipv4.equal (Ipv4.apply_mask a l) (Ipv4.apply_mask b l)
+      && (l = 32 || Ipv4.bit a l <> Ipv4.bit b l))
+
+let prop_subsumes_partial_order =
+  QCheck2.Test.make ~name:"subsumes is a partial order" ~count:1000
+    QCheck2.Gen.(triple arb_prefix arb_prefix arb_prefix)
+    (fun (p, q, r) ->
+      Prefix.subsumes p p
+      && ((not (Prefix.subsumes p q && Prefix.subsumes q p)) || Prefix.equal p q)
+      && ((not (Prefix.subsumes p q && Prefix.subsumes q r)) || Prefix.subsumes p r))
+
+let prop_split_partitions =
+  QCheck2.Test.make ~name:"split partitions the prefix" ~count:1000 arb_prefix
+    (fun p ->
+      match Prefix.split p with
+      | None -> Prefix.len p = 32
+      | Some (lo, hi) ->
+        Prefix.subsumes p lo && Prefix.subsumes p hi
+        && (not (Prefix.subsumes lo hi))
+        && (not (Prefix.subsumes hi lo))
+        && Prefix.size lo +. Prefix.size hi = Prefix.size p)
+
+let prop_mem_first_last =
+  QCheck2.Test.make ~name:"first/last bound membership" ~count:1000 arb_prefix
+    (fun p ->
+      Prefix.mem (Prefix.first p) p
+      && Prefix.mem (Prefix.last p) p
+      && (Prefix.len p = 0
+         || not (Prefix.mem (Ipv4.succ (Prefix.last p)) p)
+         || Ipv4.equal (Prefix.last p) Ipv4.broadcast))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "bgp_addr"
+    [ ( "ipv4",
+        [ Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "octets" `Quick test_ipv4_octets;
+          Alcotest.test_case "parse errors" `Quick test_ipv4_parse_errors;
+          Alcotest.test_case "ordering" `Quick test_ipv4_order;
+          Alcotest.test_case "bits" `Quick test_ipv4_bits;
+          Alcotest.test_case "masks" `Quick test_ipv4_mask;
+          Alcotest.test_case "arithmetic" `Quick test_ipv4_arith;
+          Alcotest.test_case "common prefix length" `Quick test_common_prefix_len
+        ] );
+      ( "prefix",
+        [ Alcotest.test_case "canonicalization" `Quick test_prefix_canonical;
+          Alcotest.test_case "parsing" `Quick test_prefix_parse;
+          Alcotest.test_case "mem/subsumes" `Quick test_prefix_mem_subsumes;
+          Alcotest.test_case "first/last/size" `Quick test_prefix_range;
+          Alcotest.test_case "split" `Quick test_prefix_split;
+          Alcotest.test_case "wire octets" `Quick test_prefix_wire_octets
+        ] );
+      ( "prefix_set",
+        [ Alcotest.test_case "basic" `Quick test_set_basic;
+          Alcotest.test_case "covering" `Quick test_set_covering
+        ] );
+      ( "prefix_gen",
+        [ Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "distinct" `Quick test_gen_distinct;
+          Alcotest.test_case "prefix property" `Quick test_gen_prefix_property;
+          Alcotest.test_case "length distribution shape" `Quick test_gen_shape;
+          Alcotest.test_case "plausible address space" `Quick test_gen_valid_space
+        ] );
+      qsuite "properties"
+        [ prop_ipv4_string_roundtrip; prop_prefix_string_roundtrip;
+          prop_mask_idempotent; prop_common_prefix_symmetric;
+          prop_subsumes_partial_order; prop_split_partitions;
+          prop_mem_first_last ]
+    ]

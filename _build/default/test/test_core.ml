@@ -1,0 +1,242 @@
+(* Unit tests for the benchmark-definition and reporting modules:
+   Scenario (Table I), Arch (Table II), Sweep/Figures plumbing, and the
+   bgp_stats helpers. *)
+
+module Scenario = Bgpmark.Scenario
+module Arch = Bgp_router.Arch
+module Chart = Bgp_stats.Chart
+module Moments = Bgp_stats.Moments
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Scenario (Table I)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_table1_structure () =
+  Alcotest.(check int) "eight scenarios" 8 (List.length Scenario.all);
+  List.iteri
+    (fun i sc -> Alcotest.(check int) "ids in order" (i + 1) sc.Scenario.id)
+    Scenario.all;
+  (* Table I row: FIB changes everywhere except scenarios 5-6. *)
+  List.iter
+    (fun sc ->
+      let expect = not (List.mem sc.Scenario.id [ 5; 6 ]) in
+      Alcotest.(check bool)
+        (Printf.sprintf "fib changes scenario %d" sc.Scenario.id)
+        expect
+        (Scenario.forwarding_table_changes sc))
+    Scenario.all;
+  (* packet sizes alternate small/large *)
+  List.iter
+    (fun sc ->
+      let expect_small = sc.Scenario.id mod 2 = 1 in
+      Alcotest.(check int)
+        (Printf.sprintf "packing scenario %d" sc.Scenario.id)
+        (if expect_small then 1 else 500)
+        (Scenario.packing sc))
+    Scenario.all
+
+let test_scenario_phases () =
+  Alcotest.(check int) "startup measures phase 1" 1
+    (Scenario.measures_phase (Scenario.of_id_exn 1));
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "others measure phase 3" 3
+        (Scenario.measures_phase (Scenario.of_id_exn id)))
+    [ 3; 4; 5; 6; 7; 8 ];
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "speaker 2 usage" (id >= 5)
+        (Scenario.uses_speaker2 (Scenario.of_id_exn id)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_scenario_lookup () =
+  Alcotest.(check bool) "of_id 0" true (Scenario.of_id 0 = None);
+  Alcotest.(check bool) "of_id 9" true (Scenario.of_id 9 = None);
+  Alcotest.check_raises "of_id_exn"
+    (Invalid_argument "Scenario.of_id_exn: 9 not in 1-8") (fun () ->
+      ignore (Scenario.of_id_exn 9));
+  let rendered = Scenario.table1 () in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("table1 has " ^ s) true (contains rendered s))
+    [ "start-up"; "ending"; "incremental"; "WITHDRAW"; "ANNOUNCE" ]
+
+let test_custom_large_packing () =
+  Alcotest.(check int) "custom large" 100
+    (Scenario.packing ~large:100 (Scenario.of_id_exn 2));
+  Alcotest.(check int) "small unaffected" 1
+    (Scenario.packing ~large:100 (Scenario.of_id_exn 1))
+
+(* ------------------------------------------------------------------ *)
+(* Arch (Table II)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_arch_table2 () =
+  Alcotest.(check int) "four systems" 4 (List.length Arch.all);
+  Alcotest.(check (list string)) "order"
+    [ "pentium3"; "xeon"; "ixp2400"; "cisco3620" ]
+    (List.map (fun a -> a.Arch.name) Arch.all);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "lookup" true (Arch.by_name a.Arch.name = Some a))
+    Arch.all;
+  Alcotest.(check bool) "case insensitive" true (Arch.by_name "XEON" <> None);
+  Alcotest.(check bool) "unknown" true (Arch.by_name "cray" = None)
+
+let test_arch_parameters_sane () =
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "positive clock" true (a.Arch.clock_hz > 0.0);
+      Alcotest.(check bool) "positive pool" true (a.Arch.pool > 0.0);
+      Alcotest.(check bool) "line rate" true (a.Arch.line_rate_mbps > 0.0);
+      Alcotest.(check bool) "effective hz" true (Arch.effective_hz a > 0.0))
+    Arch.all;
+  (* The paper's hardware facts *)
+  Alcotest.(check (float 1.0)) "p3 clock MHz" 800.0 (Arch.pentium3.Arch.clock_hz /. 1e6);
+  Alcotest.(check (float 1.0)) "xeon clock GHz" 3.0 (Arch.xeon.Arch.clock_hz /. 1e9);
+  Alcotest.(check (float 1.0)) "p3 line rate" 315.0 Arch.pentium3.Arch.line_rate_mbps;
+  Alcotest.(check (float 1.0)) "cisco line rate" 78.0 Arch.cisco3620.Arch.line_rate_mbps;
+  (* structural facts *)
+  (match Arch.ixp2400.Arch.forwarding with
+  | Arch.Dedicated_pps _ -> ()
+  | Arch.Kernel_shared _ -> Alcotest.fail "ixp must have dedicated forwarding");
+  match Arch.cisco3620.Arch.software with
+  | Arch.Monolithic { pacing_delay_per_msg } ->
+    Alcotest.(check bool) "pacing ~93ms" true
+      (Float.abs (pacing_delay_per_msg -. 0.093) < 1e-9)
+  | Arch.Xorp_pipeline -> Alcotest.fail "cisco must be monolithic"
+
+let test_arch_rendering () =
+  List.iter
+    (fun a ->
+      let line = Format.asprintf "%a" Arch.pp a in
+      Alcotest.(check bool) "mentions name" true (contains line a.Arch.name);
+      let diagram = Format.asprintf "%a" Arch.pp_block_diagram a in
+      Alcotest.(check bool) "diagram nonempty" true (String.length diagram > 40))
+    Arch.all
+
+(* ------------------------------------------------------------------ *)
+(* Moments                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_moments () =
+  let m = Moments.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check int) "count" 8 (Moments.count m);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Moments.mean m);
+  Alcotest.(check (float 1e-6)) "variance (sample)" (32.0 /. 7.0) (Moments.variance m);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Moments.min_value m);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Moments.max_value m);
+  let empty = Moments.create () in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Moments.mean empty);
+  Alcotest.(check (float 0.0)) "empty var" 0.0 (Moments.variance empty);
+  let single = Moments.of_list [ 42.0 ] in
+  Alcotest.(check (float 0.0)) "single var" 0.0 (Moments.variance single)
+
+let prop_moments_match_naive =
+  QCheck2.Test.make ~name:"welford matches naive mean/stddev" ~count:300
+    QCheck2.Gen.(list_size (int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = Moments.of_list xs in
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+      in
+      Float.abs (Moments.mean m -. mean) < 1e-6
+      && Float.abs (Moments.variance m -. var) < 1e-4)
+
+(* ------------------------------------------------------------------ *)
+(* Chart                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let series = { Chart.label = "s"; points = [ (0.0, 1.0); (1.0, 10.0); (2.0, 100.0) ] }
+
+let test_chart_render () =
+  let out = Chart.render ~x_label:"x" ~y_label:"y" [ series ] in
+  Alcotest.(check bool) "has glyph" true (contains out "*");
+  Alcotest.(check bool) "legend" true (contains out "* = s");
+  let log = Chart.render ~log_y:true ~x_label:"x" ~y_label:"y" [ series ] in
+  Alcotest.(check bool) "log notes scale" true (contains log "log scale");
+  let empty = Chart.render ~x_label:"x" ~y_label:"y" [] in
+  Alcotest.(check bool) "empty message" true (contains empty "no data")
+
+let test_chart_tsv () =
+  let s2 = { Chart.label = "t"; points = [ (0.0, 5.0); (3.0, 6.0) ] } in
+  let tsv = Chart.to_tsv [ series; s2 ] in
+  let lines = String.split_on_char '\n' (String.trim tsv) in
+  Alcotest.(check int) "header + 4 xs" 5 (List.length lines);
+  Alcotest.(check string) "header" "x\ts\tt" (List.hd lines);
+  Alcotest.(check bool) "gap cell" true (contains tsv "3\t\t6")
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_structure () =
+  let config = { Bgpmark.Harness.default_config with Bgpmark.Harness.table_size = 200 } in
+  let sweep =
+    Bgpmark.Sweep.run ~config ~levels:[ 0.0; 200.0 ]
+      ~archs:[ Arch.pentium3; Arch.ixp2400 ]
+      (Scenario.of_id_exn 5)
+  in
+  Alcotest.(check int) "two series" 2 (List.length sweep.Bgpmark.Sweep.series);
+  let p3 = List.hd sweep.Bgpmark.Sweep.series in
+  (* levels 0, 200, plus the 315 line-rate point *)
+  Alcotest.(check int) "p3 points" 3 (List.length p3.Bgpmark.Sweep.points);
+  Alcotest.(check bool) "degradation >= 1" true (Bgpmark.Sweep.degradation p3 >= 1.0);
+  let ixp = List.nth sweep.Bgpmark.Sweep.series 1 in
+  Alcotest.(check (float 0.02)) "ixp flat" 1.0 (Bgpmark.Sweep.degradation ixp);
+  let rendered = Bgpmark.Sweep.render sweep in
+  Alcotest.(check bool) "render mentions benchmark" true
+    (contains rendered "Benchmark 5")
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_figures_fig4_contrast () =
+  let config = { Bgpmark.Harness.default_config with Bgpmark.Harness.table_size = 300 } in
+  match Bgpmark.Figures.fig4 ~config () with
+  | [ small; large ] ->
+    Alcotest.(check int) "small is scenario 1" 1 small.Bgpmark.Figures.scenario_id;
+    Alcotest.(check int) "large is scenario 2" 2 large.Bgpmark.Figures.scenario_id;
+    Alcotest.(check bool) "both verified" true
+      (small.Bgpmark.Figures.result.Bgpmark.Harness.verified = Ok ()
+      && large.Bgpmark.Figures.result.Bgpmark.Harness.verified = Ok ());
+    (* small packets take longer on the same workload *)
+    Alcotest.(check bool) "small slower" true
+      (small.Bgpmark.Figures.result.Bgpmark.Harness.measure_seconds
+      > large.Bgpmark.Figures.result.Bgpmark.Harness.measure_seconds);
+    let txt = Bgpmark.Figures.render_cpu small in
+    Alcotest.(check bool) "renders processes" true (contains txt "xorp_bgp")
+  | _ -> Alcotest.fail "fig4 must produce two panels"
+
+let () =
+  Alcotest.run "bgpmark core"
+    [ ( "scenario",
+        [ Alcotest.test_case "table1 structure" `Quick test_scenario_table1_structure;
+          Alcotest.test_case "phases" `Quick test_scenario_phases;
+          Alcotest.test_case "lookup and render" `Quick test_scenario_lookup;
+          Alcotest.test_case "custom packing" `Quick test_custom_large_packing
+        ] );
+      ( "arch",
+        [ Alcotest.test_case "table2" `Quick test_arch_table2;
+          Alcotest.test_case "parameters sane" `Quick test_arch_parameters_sane;
+          Alcotest.test_case "rendering" `Quick test_arch_rendering
+        ] );
+      ( "moments",
+        Alcotest.test_case "fixed values" `Quick test_moments
+        :: List.map QCheck_alcotest.to_alcotest [ prop_moments_match_naive ] );
+      ( "chart",
+        [ Alcotest.test_case "render" `Quick test_chart_render;
+          Alcotest.test_case "tsv" `Quick test_chart_tsv
+        ] );
+      ("sweep", [ Alcotest.test_case "structure" `Quick test_sweep_structure ]);
+      ( "figures",
+        [ Alcotest.test_case "fig4 contrast" `Quick test_figures_fig4_contrast ] )
+    ]

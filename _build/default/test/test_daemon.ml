@@ -1,0 +1,165 @@
+(* Multi-hop daemon tests: real BGP over real loopback TCP between
+   three daemons in one process — the "downstream user" configuration
+   (a tiny AS chain: A -- B -- C). *)
+
+module Daemon = Bgp_tcp.Daemon
+module Loop = Bgp_tcp.Event_loop
+module R = Bgp_route.Route
+module As_path = Bgp_route.As_path
+
+let ip = Bgp_addr.Ipv4.of_string_exn
+let pfx = Bgp_addr.Prefix.of_string_exn
+let asn = Bgp_route.Asn.of_int
+let base_port = 43100 + (Unix.getpid () mod 400)
+
+(* A(65101) listens p1; B(65102) connects to A, listens p2; C(65103)
+   connects to B. *)
+let with_chain ?aggregates_b f =
+  let loop = Loop.create () in
+  let p1 = base_port and p2 = base_port + 1 in
+  let a = Daemon.create loop ~asn:(asn 65101) ~router_id:(ip "10.0.0.1") () in
+  let b =
+    Daemon.create ?aggregates:aggregates_b loop ~asn:(asn 65102)
+      ~router_id:(ip "10.0.0.2") ()
+  in
+  let c = Daemon.create loop ~asn:(asn 65103) ~router_id:(ip "10.0.0.3") () in
+  Daemon.listen a ~port:p1;
+  Daemon.listen b ~port:p2;
+  Daemon.connect b ~port:p1;
+  Daemon.connect c ~port:p2;
+  let all_up () =
+    Daemon.established_peers a = 1
+    && Daemon.established_peers b = 2
+    && Daemon.established_peers c = 1
+  in
+  if not (Loop.run loop ~until:all_up ~timeout:10.0) then
+    Alcotest.fail "chain failed to establish";
+  Fun.protect
+    ~finally:(fun () ->
+      Daemon.stop a;
+      Daemon.stop b;
+      Daemon.stop c)
+    (fun () -> f loop a b c)
+
+let wait loop what cond =
+  if not (Loop.run loop ~until:cond ~timeout:10.0) then
+    Alcotest.failf "timed out waiting for %s" what
+
+let find_route d prefix =
+  List.find_opt (fun r -> Bgp_addr.Prefix.equal (R.prefix r) prefix) (Daemon.routes d)
+
+let test_propagation_chain () =
+  with_chain (fun loop a b c ->
+      Daemon.originate a (pfx "198.51.100.0/24");
+      wait loop "propagation to C" (fun () ->
+          find_route c (pfx "198.51.100.0/24") <> None);
+      (* B sees path [A]; C sees path [B, A]. *)
+      (match find_route b (pfx "198.51.100.0/24") with
+      | Some r ->
+        Alcotest.(check (list int)) "path at B" [ 65101 ]
+          (List.map Bgp_route.Asn.to_int
+             (As_path.to_asn_list (R.attrs r).Bgp_route.Attrs.as_path))
+      | None -> Alcotest.fail "B missing route");
+      (match find_route c (pfx "198.51.100.0/24") with
+      | Some r ->
+        Alcotest.(check (list int)) "path at C" [ 65102; 65101 ]
+          (List.map Bgp_route.Asn.to_int
+             (As_path.to_asn_list (R.attrs r).Bgp_route.Attrs.as_path));
+        (* next hop rewritten at each EBGP hop: C's next hop is B *)
+        Alcotest.(check string) "next hop at C" "10.0.0.2"
+          (Bgp_addr.Ipv4.to_string (R.attrs r).Bgp_route.Attrs.next_hop)
+      | None -> Alcotest.fail "C missing route");
+      (* FIBs were updated along the way *)
+      Alcotest.(check int) "B fib" 1 (Bgp_fib.Fib.size (Daemon.fib b));
+      Alcotest.(check int) "C fib" 1 (Bgp_fib.Fib.size (Daemon.fib c));
+      (* withdraw at the origin propagates *)
+      Daemon.withdraw_origin a (pfx "198.51.100.0/24");
+      wait loop "withdraw to C" (fun () ->
+          find_route c (pfx "198.51.100.0/24") = None);
+      Alcotest.(check int) "C fib empty" 0 (Bgp_fib.Fib.size (Daemon.fib c)))
+
+let test_aggregation_at_transit () =
+  let aggs =
+    [ { Bgp_rib.Rib_manager.agg_prefix = pfx "198.51.0.0/16"; agg_as_set = true;
+        agg_summary_only = true } ]
+  in
+  with_chain ~aggregates_b:aggs (fun loop a _b c ->
+      Daemon.originate a (pfx "198.51.100.0/24");
+      Daemon.originate a (pfx "198.51.101.0/24");
+      (* C hears only B's summary, never the /24s *)
+      wait loop "summary at C" (fun () ->
+          find_route c (pfx "198.51.0.0/16") <> None);
+      Alcotest.(check bool) "specific suppressed" true
+        (find_route c (pfx "198.51.100.0/24") = None);
+      match find_route c (pfx "198.51.0.0/16") with
+      | Some r ->
+        let path = (R.attrs r).Bgp_route.Attrs.as_path in
+        (* B prepended itself; the AS_SET carries A *)
+        Alcotest.(check bool) "path has B" true (As_path.contains (asn 65102) path);
+        Alcotest.(check bool) "as-set has A" true (As_path.contains (asn 65101) path)
+      | None -> Alcotest.fail "summary missing")
+
+let test_session_loss_withdraws () =
+  with_chain (fun loop a b c ->
+      Daemon.originate a (pfx "203.0.113.0/24");
+      wait loop "route at C" (fun () -> find_route c (pfx "203.0.113.0/24") <> None);
+      (* kill A entirely: B must withdraw from C *)
+      Daemon.stop a;
+      wait loop "withdraw reaches C" (fun () ->
+          find_route c (pfx "203.0.113.0/24") = None);
+      Alcotest.(check int) "B cleaned up" 0 (List.length (Daemon.routes b)))
+
+(* IBGP route reflection over real TCP: three routers in ONE AS.
+   Clients A and C peer only with reflector B; without RFC 4456 their
+   routes would never reach each other. *)
+let test_ibgp_route_reflection () =
+  let loop = Loop.create () in
+  let p1 = base_port + 10 and p2 = base_port + 11 in
+  let mk last = Daemon.create loop ~asn:(asn 65200) ~router_id:(ip ("10.1.0." ^ string_of_int last)) () in
+  let a = mk 1 and b = mk 2 and c = mk 3 in
+  (* B listens on both ports and marks both neighbors as clients. *)
+  Daemon.listen ~rr_client:true b ~port:p1;
+  Daemon.listen ~rr_client:true b ~port:p2;
+  Daemon.connect a ~port:p1;
+  Daemon.connect c ~port:p2;
+  let all_up () =
+    Daemon.established_peers a = 1
+    && Daemon.established_peers b = 2
+    && Daemon.established_peers c = 1
+  in
+  if not (Loop.run loop ~until:all_up ~timeout:10.0) then
+    Alcotest.fail "IBGP sessions failed to establish";
+  Fun.protect
+    ~finally:(fun () -> Daemon.stop a; Daemon.stop b; Daemon.stop c)
+    (fun () ->
+      Daemon.originate a (pfx "203.0.113.0/24");
+      wait loop "reflection to C" (fun () ->
+          find_route c (pfx "203.0.113.0/24") <> None);
+      match find_route c (pfx "203.0.113.0/24") with
+      | Some r ->
+        let at = R.attrs r in
+        (* IBGP end to end: no AS prepending anywhere *)
+        Alcotest.(check int) "empty as path" 0
+          (As_path.length at.Bgp_route.Attrs.as_path);
+        (* the reflector stamped its bookkeeping *)
+        Alcotest.(check (option string)) "originator is A" (Some "10.1.0.1")
+          (Option.map Bgp_addr.Ipv4.to_string at.Bgp_route.Attrs.originator_id);
+        Alcotest.(check (list string)) "cluster list is B" [ "10.1.0.2" ]
+          (List.map Bgp_addr.Ipv4.to_string at.Bgp_route.Attrs.cluster_list);
+        (* next hop preserved across reflection *)
+        Alcotest.(check string) "next hop is A" "10.1.0.1"
+          (Bgp_addr.Ipv4.to_string at.Bgp_route.Attrs.next_hop)
+      | None -> Alcotest.fail "reflected route missing")
+
+let () =
+  Alcotest.run "bgp daemon"
+    [ ( "chain",
+        [ Alcotest.test_case "propagation A->B->C" `Quick test_propagation_chain;
+          Alcotest.test_case "aggregation at transit" `Quick
+            test_aggregation_at_transit;
+          Alcotest.test_case "session loss withdraws" `Quick
+            test_session_loss_withdraws;
+          Alcotest.test_case "IBGP route reflection over TCP" `Quick
+            test_ibgp_route_reflection
+        ] )
+    ]

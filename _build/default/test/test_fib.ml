@@ -1,0 +1,364 @@
+open Bgp_fib
+module P = Bgp_addr.Prefix
+module I = Bgp_addr.Ipv4
+
+let ip = I.of_string_exn
+let pfx = P.of_string_exn
+
+let nh port = { Fib.nh_addr = ip (Printf.sprintf "10.0.0.%d" port); nh_port = port }
+
+(* ------------------------------------------------------------------ *)
+(* Patricia unit tests                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_str t a =
+  match Patricia.lookup (ip a) t with
+  | Some (p, v) -> Printf.sprintf "%s=%d" (P.to_string p) v
+  | None -> "none"
+
+let test_patricia_basic () =
+  let t =
+    Patricia.empty
+    |> Patricia.add (pfx "10.0.0.0/8") 1
+    |> Patricia.add (pfx "10.1.0.0/16") 2
+    |> Patricia.add (pfx "10.1.2.0/24") 3
+    |> Patricia.add (pfx "192.168.0.0/16") 4
+  in
+  Alcotest.(check int) "cardinal" 4 (Patricia.cardinal t);
+  Alcotest.(check string) "most specific" "10.1.2.0/24=3" (lookup_str t "10.1.2.99");
+  Alcotest.(check string) "mid" "10.1.0.0/16=2" (lookup_str t "10.1.3.1");
+  Alcotest.(check string) "least" "10.0.0.0/8=1" (lookup_str t "10.2.0.1");
+  Alcotest.(check string) "other" "192.168.0.0/16=4" (lookup_str t "192.168.9.9");
+  Alcotest.(check string) "miss" "none" (lookup_str t "172.16.0.1")
+
+let test_patricia_default_route () =
+  let t = Patricia.add P.default 0 Patricia.empty in
+  Alcotest.(check string) "default catches all" "0.0.0.0/0=0" (lookup_str t "8.8.8.8");
+  let t = Patricia.add (pfx "8.0.0.0/8") 1 t in
+  Alcotest.(check string) "specific beats default" "8.0.0.0/8=1" (lookup_str t "8.8.8.8")
+
+let test_patricia_replace () =
+  let t = Patricia.add (pfx "10.0.0.0/8") 1 Patricia.empty in
+  let t = Patricia.add (pfx "10.0.0.0/8") 99 t in
+  Alcotest.(check int) "still one entry" 1 (Patricia.cardinal t);
+  Alcotest.(check (option int)) "replaced" (Some 99)
+    (Patricia.find_exact (pfx "10.0.0.0/8") t)
+
+let test_patricia_remove () =
+  let t =
+    Patricia.empty
+    |> Patricia.add (pfx "10.0.0.0/8") 1
+    |> Patricia.add (pfx "10.1.0.0/16") 2
+  in
+  let t = Patricia.remove (pfx "10.1.0.0/16") t in
+  Alcotest.(check int) "one left" 1 (Patricia.cardinal t);
+  Alcotest.(check string) "falls back" "10.0.0.0/8=1" (lookup_str t "10.1.0.1");
+  let t = Patricia.remove (pfx "10.0.0.0/8") t in
+  Alcotest.(check bool) "empty" true (Patricia.is_empty t);
+  (* removing a missing prefix is a no-op *)
+  let t2 = Patricia.add (pfx "10.0.0.0/8") 1 Patricia.empty in
+  let t3 = Patricia.remove (pfx "11.0.0.0/8") t2 in
+  Alcotest.(check int) "no-op remove" 1 (Patricia.cardinal t3)
+
+let test_patricia_slash32 () =
+  let t =
+    Patricia.empty
+    |> Patricia.add (pfx "10.0.0.1/32") 1
+    |> Patricia.add (pfx "10.0.0.0/31") 2
+  in
+  Alcotest.(check string) "host route" "10.0.0.1/32=1" (lookup_str t "10.0.0.1");
+  Alcotest.(check string) "host sibling" "10.0.0.0/31=2" (lookup_str t "10.0.0.0")
+
+let test_patricia_persistence () =
+  let t1 = Patricia.add (pfx "10.0.0.0/8") 1 Patricia.empty in
+  let t2 = Patricia.add (pfx "10.1.0.0/16") 2 t1 in
+  (* t1 is unchanged by the second add *)
+  Alcotest.(check int) "t1 size" 1 (Patricia.cardinal t1);
+  Alcotest.(check string) "t1 lookup" "10.0.0.0/8=1" (lookup_str t1 "10.1.0.1");
+  Alcotest.(check string) "t2 lookup" "10.1.0.0/16=2" (lookup_str t2 "10.1.0.1")
+
+let test_patricia_lookup_prefix () =
+  let t =
+    Patricia.empty
+    |> Patricia.add (pfx "10.0.0.0/8") 1
+    |> Patricia.add (pfx "10.1.0.0/16") 2
+  in
+  (match Patricia.lookup_prefix (pfx "10.1.2.0/24") t with
+  | Some (p, 2) -> Alcotest.(check string) "cover" "10.1.0.0/16" (P.to_string p)
+  | _ -> Alcotest.fail "expected 10.1.0.0/16");
+  match Patricia.lookup_prefix (pfx "11.0.0.0/8") t with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no cover expected"
+
+let test_patricia_subtree_count () =
+  let t =
+    Patricia.empty
+    |> Patricia.add (pfx "10.0.0.0/8") 1
+    |> Patricia.add (pfx "10.1.0.0/16") 2
+    |> Patricia.add (pfx "10.2.0.0/16") 3
+    |> Patricia.add (pfx "192.168.0.0/16") 4
+  in
+  Alcotest.(check int) "under 10/8" 3 (Patricia.subtree_count t (pfx "10.0.0.0/8"));
+  Alcotest.(check int) "under 10.1/16" 1 (Patricia.subtree_count t (pfx "10.1.0.0/16"));
+  Alcotest.(check int) "under default" 4 (Patricia.subtree_count t P.default);
+  Alcotest.(check int) "none" 0 (Patricia.subtree_count t (pfx "172.16.0.0/12"))
+
+(* ------------------------------------------------------------------ *)
+(* Model-based property tests: Patricia vs Hash_lpm vs naive           *)
+(* ------------------------------------------------------------------ *)
+
+(* A step script drives all implementations identically. *)
+type step = SAdd of P.t * int | SRemove of P.t
+
+let gen_prefix =
+  QCheck2.Gen.(
+    (* Small universe to force collisions, nesting and removals of
+       present entries. *)
+    let* len = oneofl [ 0; 4; 8; 12; 16; 20; 24; 28; 32 ] in
+    let* a = int_range 0 255 in
+    let* b = oneofl [ 0; 64; 128 ] in
+    return (P.make (I.of_octets 10 a b 1) len))
+
+let gen_step =
+  QCheck2.Gen.(
+    let* p = gen_prefix in
+    let* v = int_range 0 1000 in
+    let* add = frequency [ (3, return true); (1, return false) ] in
+    return (if add then SAdd (p, v) else SRemove p))
+
+let gen_script = QCheck2.Gen.(list_size (int_range 0 120) gen_step)
+
+(* Naive reference: association list keyed by prefix. *)
+let naive_apply model = function
+  | SAdd (p, v) -> (p, v) :: List.remove_assoc p model
+  | SRemove p -> List.remove_assoc p model
+
+let naive_lookup model a =
+  List.fold_left
+    (fun best (p, v) ->
+      if P.mem a p then
+        match best with
+        | Some (bp, _) when P.len bp >= P.len p -> best
+        | _ -> Some (p, v)
+      else best)
+    None model
+
+let run_script script =
+  let model = List.fold_left naive_apply [] script in
+  let pat =
+    List.fold_left
+      (fun t -> function
+        | SAdd (p, v) -> Patricia.add p v t
+        | SRemove p -> Patricia.remove p t)
+      Patricia.empty script
+  in
+  let hash = Hash_lpm.create () in
+  List.iter
+    (function
+      | SAdd (p, v) -> Hash_lpm.insert hash p v
+      | SRemove p -> ignore (Hash_lpm.remove hash p))
+    script;
+  (model, pat, hash)
+
+let probe_addrs =
+  [ "10.0.0.1"; "10.17.64.1"; "10.255.128.1"; "10.128.0.1"; "11.0.0.1";
+    "0.0.0.0"; "255.255.255.255"; "10.3.128.200" ]
+  |> List.map ip
+
+let prop_patricia_vs_model =
+  QCheck2.Test.make ~name:"patricia agrees with naive model" ~count:300 gen_script
+    (fun script ->
+      let model, pat, _ = run_script script in
+      Patricia.cardinal pat = List.length model
+      && List.for_all
+           (fun a ->
+             let expect = naive_lookup model a in
+             let got = Patricia.lookup a pat in
+             match expect, got with
+             | None, None -> true
+             | Some (p, v), Some (q, w) -> P.equal p q && v = w
+             | _ -> false)
+           probe_addrs)
+
+let prop_hash_vs_model =
+  QCheck2.Test.make ~name:"hash_lpm agrees with naive model" ~count:300 gen_script
+    (fun script ->
+      let model, _, hash = run_script script in
+      Hash_lpm.size hash = List.length model
+      && List.for_all
+           (fun a ->
+             match naive_lookup model a, Hash_lpm.lookup hash a with
+             | None, None -> true
+             | Some (p, v), Some (q, w) -> P.equal p q && v = w
+             | _ -> false)
+           probe_addrs)
+
+let prop_patricia_invariants =
+  QCheck2.Test.make ~name:"patricia invariants hold" ~count:300 gen_script
+    (fun script ->
+      let _, pat, _ = run_script script in
+      match Patricia.check_invariants pat with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_patricia_find_exact =
+  QCheck2.Test.make ~name:"find_exact matches model membership" ~count:300
+    gen_script (fun script ->
+      let model, pat, _ = run_script script in
+      List.for_all
+        (fun (p, v) -> Patricia.find_exact p pat = Some v)
+        model)
+
+(* ------------------------------------------------------------------ *)
+(* Dir24_8                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_dir24_agreement () =
+  let table = Bgp_addr.Prefix_gen.table ~seed:11 ~n:2000 () in
+  let bindings = Array.to_list (Array.mapi (fun i p -> (p, i)) table) in
+  let dir = Dir24_8.build bindings in
+  let pat =
+    List.fold_left (fun t (p, v) -> Patricia.add p v t) Patricia.empty bindings
+  in
+  Alcotest.(check int) "size" 2000 (Dir24_8.size dir);
+  (* Probe with the first address of every prefix plus perturbations. *)
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun a ->
+          let expect = Patricia.lookup a pat in
+          let got = Dir24_8.lookup dir a in
+          match expect, got with
+          | None, None -> ()
+          | Some (ep, ev), Some (gp, gv) ->
+            if not (P.equal ep gp && ev = gv) then
+              Alcotest.failf "disagree at %s: patricia %s=%d dir %s=%d"
+                (I.to_string a) (P.to_string ep) ev (P.to_string gp) gv
+          | Some (ep, _), None ->
+            Alcotest.failf "dir miss at %s (expected %s)" (I.to_string a)
+              (P.to_string ep)
+          | None, Some (gp, _) ->
+            Alcotest.failf "dir spurious at %s: %s" (I.to_string a)
+              (P.to_string gp))
+        [ P.first p; P.last p; I.add (P.first p) 1 ])
+    table
+
+let test_dir24_long_prefixes () =
+  let bindings =
+    [ (pfx "10.0.0.0/8", 1); (pfx "10.1.1.128/25", 2); (pfx "10.1.1.192/26", 3);
+      (pfx "10.1.1.200/32", 4) ]
+  in
+  let dir = Dir24_8.build bindings in
+  let check a expect =
+    match Dir24_8.lookup dir (ip a) with
+    | Some (_, v) -> Alcotest.(check int) a expect v
+    | None -> Alcotest.failf "miss at %s" a
+  in
+  check "10.1.1.200" 4;
+  check "10.1.1.201" 3;
+  check "10.1.1.129" 2;
+  check "10.1.1.1" 1;
+  check "10.9.9.9" 1;
+  Alcotest.(check bool) "memory accounted" true (Dir24_8.memory_bytes dir > 1 lsl 24)
+
+(* Model-based check vs Patricia over random small tables (kept to a
+   modest count: each build allocates the 32 MB first-level table). *)
+let prop_dir24_vs_patricia =
+  QCheck2.Test.make ~name:"dir24_8 agrees with patricia" ~count:15
+    QCheck2.Gen.(list_size (int_range 1 60) (pair gen_prefix (int_range 0 100)))
+    (fun bindings ->
+      (* dedup with later-wins like Dir24_8.build *)
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun (p, v) -> Hashtbl.replace tbl p v) bindings;
+      let dedup = Hashtbl.fold (fun p v acc -> (p, v) :: acc) tbl [] in
+      let dir = Dir24_8.build dedup in
+      let pat =
+        List.fold_left (fun t (p, v) -> Patricia.add p v t) Patricia.empty dedup
+      in
+      List.for_all
+        (fun (p, _) ->
+          List.for_all
+            (fun a ->
+              match Patricia.lookup a pat, Dir24_8.lookup dir a with
+              | None, None -> true
+              | Some (ep, ev), Some (gp, gv) -> P.equal ep gp && ev = gv
+              | _ -> false)
+            [ P.first p; P.last p ])
+        dedup)
+
+let test_dir24_duplicate_bindings () =
+  let dir = Dir24_8.build [ (pfx "10.0.0.0/8", 1); (pfx "10.0.0.0/8", 2) ] in
+  Alcotest.(check int) "dedup" 1 (Dir24_8.size dir);
+  match Dir24_8.lookup dir (ip "10.1.1.1") with
+  | Some (_, 2) -> ()
+  | _ -> Alcotest.fail "later binding must win"
+
+(* ------------------------------------------------------------------ *)
+(* Fib (deltas + stats)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fib_deltas () =
+  let f = Fib.create () in
+  Alcotest.(check bool) "add" true (Fib.apply f (Fib.Add (pfx "10.0.0.0/8", nh 1)));
+  Alcotest.(check bool) "dup add no-op" false
+    (Fib.apply f (Fib.Add (pfx "10.0.0.0/8", nh 1)));
+  Alcotest.(check bool) "replace" true
+    (Fib.apply f (Fib.Replace (pfx "10.0.0.0/8", nh 2)));
+  Alcotest.(check bool) "same replace no-op" false
+    (Fib.apply f (Fib.Replace (pfx "10.0.0.0/8", nh 2)));
+  Alcotest.(check int) "size" 1 (Fib.size f);
+  Alcotest.(check bool) "withdraw" true (Fib.apply f (Fib.Withdraw (pfx "10.0.0.0/8")));
+  Alcotest.(check bool) "missing withdraw no-op" false
+    (Fib.apply f (Fib.Withdraw (pfx "10.0.0.0/8")));
+  Alcotest.(check int) "empty" 0 (Fib.size f);
+  let s = Fib.stats f in
+  Alcotest.(check int) "adds" 2 s.Fib.adds;
+  Alcotest.(check int) "replaces" 2 s.Fib.replaces;
+  Alcotest.(check int) "withdraws" 2 s.Fib.withdraws
+
+let test_fib_lookup_and_snapshot () =
+  let f = Fib.create () in
+  let changed =
+    Fib.apply_all f
+      [ Fib.Add (pfx "10.0.0.0/8", nh 1); Fib.Add (pfx "10.1.0.0/16", nh 2);
+        Fib.Add (pfx "10.1.0.0/16", nh 2) ]
+  in
+  Alcotest.(check int) "changed" 2 changed;
+  (match Fib.lookup f (ip "10.1.2.3") with
+  | Some (p, h) ->
+    Alcotest.(check string) "lpm" "10.1.0.0/16" (P.to_string p);
+    Alcotest.(check int) "port" 2 h.Fib.nh_port
+  | None -> Alcotest.fail "lookup miss");
+  let snap = Fib.snapshot f in
+  ignore (Fib.apply f (Fib.Withdraw (pfx "10.1.0.0/16")));
+  Alcotest.(check int) "snapshot immutable" 2 (Patricia.cardinal snap);
+  Alcotest.(check int) "fib shrunk" 1 (Fib.size f);
+  Alcotest.(check int) "lookup counted" 1 (Fib.stats f).Fib.lookups
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "bgp_fib"
+    [ ( "patricia",
+        [ Alcotest.test_case "basic lpm" `Quick test_patricia_basic;
+          Alcotest.test_case "default route" `Quick test_patricia_default_route;
+          Alcotest.test_case "replace" `Quick test_patricia_replace;
+          Alcotest.test_case "remove" `Quick test_patricia_remove;
+          Alcotest.test_case "host routes" `Quick test_patricia_slash32;
+          Alcotest.test_case "persistence" `Quick test_patricia_persistence;
+          Alcotest.test_case "lookup_prefix" `Quick test_patricia_lookup_prefix;
+          Alcotest.test_case "subtree_count" `Quick test_patricia_subtree_count
+        ] );
+      qsuite "model-based"
+        [ prop_patricia_vs_model; prop_hash_vs_model; prop_patricia_invariants;
+          prop_patricia_find_exact ];
+      ( "dir24_8",
+        Alcotest.test_case "agrees with patricia" `Slow test_dir24_agreement
+        :: Alcotest.test_case "long prefixes" `Quick test_dir24_long_prefixes
+        :: Alcotest.test_case "duplicates" `Quick test_dir24_duplicate_bindings
+        :: List.map QCheck_alcotest.to_alcotest [ prop_dir24_vs_patricia ] );
+      ( "fib",
+        [ Alcotest.test_case "delta semantics" `Quick test_fib_deltas;
+          Alcotest.test_case "lookup and snapshot" `Quick test_fib_lookup_and_snapshot
+        ] )
+    ]

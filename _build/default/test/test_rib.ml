@@ -1,0 +1,787 @@
+open Bgp_rib
+module A = Bgp_route.Attrs
+module R = Bgp_route.Route
+module As_path = Bgp_route.As_path
+module Asn = Bgp_route.Asn
+module Peer = Bgp_route.Peer
+module Community = Bgp_route.Community
+module Fib = Bgp_fib.Fib
+module Policy = Bgp_policy.Policy
+
+let ip = Bgp_addr.Ipv4.of_string_exn
+let pfx = Bgp_addr.Prefix.of_string_exn
+let asn = Asn.of_int
+
+let local_asn = asn 65000
+let router_id = ip "192.0.2.254"
+
+let peer1 =
+  Peer.make ~id:0 ~asn:(asn 65001) ~router_id:(ip "192.0.2.1") ~addr:(ip "192.0.2.1")
+
+let peer2 =
+  Peer.make ~id:1 ~asn:(asn 65002) ~router_id:(ip "192.0.2.2") ~addr:(ip "192.0.2.2")
+
+let ibgp_peer =
+  Peer.make ~id:2 ~asn:local_asn ~router_id:(ip "192.0.2.3") ~addr:(ip "192.0.2.3")
+
+let attrs ?origin ?med ?local_pref ?(communities = []) ~nh path =
+  A.make ?origin ?med ?local_pref ~communities
+    ~as_path:(As_path.of_asns (List.map asn path))
+    ~next_hop:(ip nh) ()
+
+let route ~prefix ~from ?origin ?med ?local_pref ?(communities = []) ~nh path =
+  R.make ~prefix:(pfx prefix)
+    ~attrs:(attrs ?origin ?med ?local_pref ~communities ~nh path)
+    ~from
+
+(* ------------------------------------------------------------------ *)
+(* Decision process                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_winner name expected_rule winner loser =
+  let c, rule = Decision.compare_routes ~local_asn winner loser in
+  if c <= 0 then Alcotest.failf "%s: wrong winner" name;
+  Alcotest.(check string) (name ^ " rule")
+    (Format.asprintf "%a" Decision.pp_rule expected_rule)
+    (Format.asprintf "%a" Decision.pp_rule rule);
+  (* Antisymmetry *)
+  let c', _ = Decision.compare_routes ~local_asn loser winner in
+  if c' >= 0 then Alcotest.failf "%s: not antisymmetric" name
+
+let test_decision_local_pref () =
+  check_winner "local pref" Decision.Local_pref
+    (route ~prefix:"10.0.0.0/8" ~from:peer1 ~local_pref:200 ~nh:"192.0.2.1"
+       [ 65001; 1; 2; 3 ])
+    (route ~prefix:"10.0.0.0/8" ~from:peer2 ~local_pref:100 ~nh:"192.0.2.2" [ 65002 ])
+
+let test_decision_default_local_pref () =
+  (* Missing LOCAL_PREF counts as 100. *)
+  check_winner "default lp" Decision.Local_pref
+    (route ~prefix:"10.0.0.0/8" ~from:peer1 ~local_pref:150 ~nh:"192.0.2.1"
+       [ 65001; 9; 9 ])
+    (route ~prefix:"10.0.0.0/8" ~from:peer2 ~nh:"192.0.2.2" [ 65002 ])
+
+let test_decision_path_length () =
+  check_winner "path length" Decision.Path_length
+    (route ~prefix:"10.0.0.0/8" ~from:peer2 ~nh:"192.0.2.2" [ 65002; 7 ])
+    (route ~prefix:"10.0.0.0/8" ~from:peer1 ~nh:"192.0.2.1" [ 65001; 7; 8 ])
+
+let test_decision_origin () =
+  check_winner "origin" Decision.Origin
+    (route ~prefix:"10.0.0.0/8" ~from:peer1 ~origin:A.Igp ~nh:"192.0.2.1" [ 65001 ])
+    (route ~prefix:"10.0.0.0/8" ~from:peer2 ~origin:A.Incomplete ~nh:"192.0.2.2"
+       [ 65002 ])
+
+let test_decision_med_same_neighbor () =
+  (* Same neighbor AS: lower MED wins. *)
+  check_winner "med" Decision.Med
+    (route ~prefix:"10.0.0.0/8" ~from:peer1 ~med:10 ~nh:"192.0.2.1" [ 7018; 1 ])
+    (route ~prefix:"10.0.0.0/8" ~from:peer2 ~med:50 ~nh:"192.0.2.2" [ 7018; 2 ])
+
+let test_decision_med_different_neighbor () =
+  (* Different neighbor AS: MED is skipped, falls through to router id. *)
+  let a = route ~prefix:"10.0.0.0/8" ~from:peer1 ~med:500 ~nh:"192.0.2.1" [ 7018; 1 ] in
+  let b = route ~prefix:"10.0.0.0/8" ~from:peer2 ~med:10 ~nh:"192.0.2.2" [ 701; 2 ] in
+  let c, rule = Decision.compare_routes ~local_asn a b in
+  Alcotest.(check bool) "peer1 wins by router id" true (c > 0);
+  Alcotest.(check string) "rule" "router-id"
+    (Format.asprintf "%a" Decision.pp_rule rule)
+
+let test_decision_missing_med_is_best () =
+  check_winner "missing med" Decision.Med
+    (route ~prefix:"10.0.0.0/8" ~from:peer2 ~nh:"192.0.2.2" [ 7018; 2 ])
+    (route ~prefix:"10.0.0.0/8" ~from:peer1 ~med:5 ~nh:"192.0.2.1" [ 7018; 1 ])
+
+let test_decision_ebgp_over_ibgp () =
+  check_winner "ebgp" Decision.Ebgp_over_ibgp
+    (route ~prefix:"10.0.0.0/8" ~from:peer2 ~nh:"192.0.2.2" [ 65002 ])
+    (route ~prefix:"10.0.0.0/8" ~from:ibgp_peer ~nh:"192.0.2.3" [ 65009 ])
+
+let test_decision_local_wins () =
+  let local = R.local ~prefix:(pfx "10.0.0.0/8") ~next_hop:(ip "0.0.0.1") in
+  check_winner "local" Decision.Local_origin local
+    (route ~prefix:"10.0.0.0/8" ~from:peer1 ~local_pref:10000 ~nh:"192.0.2.1" [ 1 ])
+
+let test_decision_router_id_tiebreak () =
+  check_winner "router id" Decision.Router_id
+    (route ~prefix:"10.0.0.0/8" ~from:peer1 ~nh:"192.0.2.1" [ 65001 ])
+    (route ~prefix:"10.0.0.0/8" ~from:peer2 ~nh:"192.0.2.2" [ 65002 ])
+
+let test_select_permutation_invariant () =
+  let rs =
+    [ route ~prefix:"10.0.0.0/8" ~from:peer1 ~nh:"192.0.2.1" [ 65001; 4; 5 ];
+      route ~prefix:"10.0.0.0/8" ~from:peer2 ~nh:"192.0.2.2" [ 65002; 4 ];
+      route ~prefix:"10.0.0.0/8" ~from:ibgp_peer ~nh:"192.0.2.3" [ 65009; 4; 5; 6 ]
+    ]
+  in
+  let best = Decision.select ~local_asn rs in
+  (match best with
+  | Some r -> Alcotest.(check int) "shortest path wins" 1 (R.from r).Peer.id
+  | None -> Alcotest.fail "select none");
+  (* every permutation gives the same winner *)
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest) (perms (List.filter (fun y -> y != x) l)))
+        l
+  in
+  List.iter
+    (fun p ->
+      match Decision.select ~local_asn p, best with
+      | Some a, Some b ->
+        if not (R.equal a b) then Alcotest.fail "permutation changed winner"
+      | _ -> Alcotest.fail "select none")
+    (perms rs);
+  Alcotest.(check bool) "empty" true (Decision.select ~local_asn [] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Rib_manager                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fresh ?import ?export () =
+  let t = Rib_manager.create ?import ?export ~local_asn ~router_id () in
+  Rib_manager.add_peer t peer1;
+  Rib_manager.add_peer t peer2;
+  t
+
+let test_first_announcement () =
+  let t = fresh () in
+  let o =
+    Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.1" [ 65001; 7 ])
+  in
+  Alcotest.(check bool) "new" true (o.Rib_manager.adj_in_change = `New);
+  Alcotest.(check bool) "loc changed" true o.Rib_manager.loc_changed;
+  (match o.Rib_manager.fib_deltas with
+  | [ Fib.Add (p, nh) ] ->
+    Alcotest.(check string) "prefix" "203.0.113.0/24" (Bgp_addr.Prefix.to_string p);
+    Alcotest.(check int) "port" 0 nh.Fib.nh_port;
+    Alcotest.(check string) "nh" "192.0.2.1" (Bgp_addr.Ipv4.to_string nh.Fib.nh_addr)
+  | _ -> Alcotest.fail "expected one Add");
+  (* announced to peer2 only (split horizon), with our AS prepended and
+     next-hop-self *)
+  (match o.Rib_manager.announcements with
+  | [ { Rib_manager.dest; ann_attrs = Some a; _ } ] ->
+    Alcotest.(check int) "dest" 1 dest.Peer.id;
+    Alcotest.(check (option int)) "first hop is us" (Some 65000)
+      (Option.map Asn.to_int (As_path.first_hop a.A.as_path));
+    Alcotest.(check string) "next hop self" "192.0.2.254"
+      (Bgp_addr.Ipv4.to_string a.A.next_hop)
+  | _ -> Alcotest.fail "expected one announcement to peer2");
+  Alcotest.(check int) "adj_in" 1 (Rib_manager.adj_in_size t peer1);
+  Alcotest.(check int) "adj_out peer2" 1 (Rib_manager.adj_out_size t peer2);
+  Alcotest.(check int) "adj_out peer1 empty" 0 (Rib_manager.adj_out_size t peer1)
+
+let test_duplicate_announcement_noop () =
+  let t = fresh () in
+  let a = attrs ~nh:"192.0.2.1" [ 65001; 7 ] in
+  ignore (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24") a);
+  let o = Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24") a in
+  Alcotest.(check bool) "unchanged" true (o.Rib_manager.adj_in_change = `Unchanged);
+  Alcotest.(check bool) "no loc change" false o.Rib_manager.loc_changed;
+  Alcotest.(check int) "no deltas" 0 (List.length o.Rib_manager.fib_deltas);
+  Alcotest.(check int) "no announcements" 0 (List.length o.Rib_manager.announcements)
+
+let test_longer_path_no_fib_change () =
+  (* Scenario 5/6 analog: second peer offers a worse route. *)
+  let t = fresh () in
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001; 7 ]));
+  let o =
+    Rib_manager.announce t ~from:peer2 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.2" [ 65002; 7; 8; 9 ])
+  in
+  Alcotest.(check bool) "adj-in new" true (o.Rib_manager.adj_in_change = `New);
+  Alcotest.(check bool) "loc unchanged" false o.Rib_manager.loc_changed;
+  Alcotest.(check int) "no fib deltas" 0 (List.length o.Rib_manager.fib_deltas);
+  Alcotest.(check int) "no announcements" 0 (List.length o.Rib_manager.announcements);
+  Alcotest.(check int) "candidates considered" 2 o.Rib_manager.candidates
+
+let test_shorter_path_replaces () =
+  (* Scenario 7/8 analog: second peer offers a better route. *)
+  let t = fresh () in
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001; 7; 8; 9 ]));
+  let o =
+    Rib_manager.announce t ~from:peer2 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.2" [ 65002; 7 ])
+  in
+  Alcotest.(check bool) "loc changed" true o.Rib_manager.loc_changed;
+  (match o.Rib_manager.fib_deltas with
+  | [ Fib.Replace (_, nh) ] -> Alcotest.(check int) "new port" 1 nh.Fib.nh_port
+  | _ -> Alcotest.fail "expected Replace");
+  (* peer1 gets the new best; peer2 gets a withdraw of the stale
+     advertisement (the new best came from peer2 itself). *)
+  let to1 = List.filter (fun a -> a.Rib_manager.dest.Peer.id = 0) o.Rib_manager.announcements in
+  let to2 = List.filter (fun a -> a.Rib_manager.dest.Peer.id = 1) o.Rib_manager.announcements in
+  (match to1 with
+  | [ { Rib_manager.ann_attrs = Some _; _ } ] -> ()
+  | _ -> Alcotest.fail "peer1 should get announcement");
+  match to2 with
+  | [ { Rib_manager.ann_attrs = None; _ } ] -> ()
+  | _ -> Alcotest.fail "peer2 should get withdraw"
+
+let test_withdraw_falls_back () =
+  let t = fresh () in
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001; 7 ]));
+  ignore
+    (Rib_manager.announce t ~from:peer2 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.2" [ 65002; 7; 8 ]));
+  let o = Rib_manager.withdraw t ~from:peer1 (pfx "203.0.113.0/24") in
+  Alcotest.(check bool) "removed" true (o.Rib_manager.adj_in_change = `Removed);
+  Alcotest.(check bool) "loc changed" true o.Rib_manager.loc_changed;
+  (match o.Rib_manager.fib_deltas with
+  | [ Fib.Replace (_, nh) ] -> Alcotest.(check int) "fallback port" 1 nh.Fib.nh_port
+  | _ -> Alcotest.fail "expected Replace to fallback");
+  (* withdraw of the last route clears everything *)
+  let o2 = Rib_manager.withdraw t ~from:peer2 (pfx "203.0.113.0/24") in
+  (match o2.Rib_manager.fib_deltas with
+  | [ Fib.Withdraw _ ] -> ()
+  | _ -> Alcotest.fail "expected Withdraw");
+  Alcotest.(check int) "loc empty" 0 (Loc_rib.size (Rib_manager.loc_rib t));
+  (* withdrawing again is a no-op *)
+  let o3 = Rib_manager.withdraw t ~from:peer2 (pfx "203.0.113.0/24") in
+  Alcotest.(check bool) "absent" true (o3.Rib_manager.adj_in_change = `Absent)
+
+let test_loop_detection () =
+  let t = fresh () in
+  let o =
+    Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.1" [ 65001; 65000; 7 ])
+  in
+  Alcotest.(check bool) "loop" true (o.Rib_manager.adj_in_change = `Loop);
+  Alcotest.(check int) "nothing stored" 0 (Rib_manager.adj_in_size t peer1);
+  Alcotest.(check int) "loc empty" 0 (Loc_rib.size (Rib_manager.loc_rib t));
+  (* a looping re-announcement of an existing route removes it *)
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001; 7 ]));
+  let o2 =
+    Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.1" [ 65001; 65000 ])
+  in
+  Alcotest.(check bool) "loop drop" true (o2.Rib_manager.adj_in_change = `Loop);
+  Alcotest.(check int) "route dropped" 0 (Loc_rib.size (Rib_manager.loc_rib t))
+
+let test_local_injection_wins () =
+  let t = fresh () in
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001 ]));
+  let o = Rib_manager.inject_local t ~prefix:(pfx "203.0.113.0/24") ~next_hop:(ip "0.0.0.1") in
+  Alcotest.(check bool) "loc changed" true o.Rib_manager.loc_changed;
+  match Loc_rib.find (Rib_manager.loc_rib t) (pfx "203.0.113.0/24") with
+  | Some r -> Alcotest.(check bool) "local" true (Peer.is_local (R.from r))
+  | None -> Alcotest.fail "loc missing"
+
+let test_export_full () =
+  let t = fresh () in
+  let table = Bgp_addr.Prefix_gen.table ~seed:5 ~n:50 () in
+  Array.iter
+    (fun p ->
+      ignore (Rib_manager.announce t ~from:peer1 p (attrs ~nh:"192.0.2.1" [ 65001; 3 ])))
+    table;
+  (* peer2's adj-out was already populated incrementally; flush it by
+     using a third, late-joining peer as in Phase 2. *)
+  let peer3 =
+    Peer.make ~id:7 ~asn:(asn 65007) ~router_id:(ip "192.0.2.7") ~addr:(ip "192.0.2.7")
+  in
+  Rib_manager.add_peer t peer3;
+  let anns = Rib_manager.export_full t peer3 in
+  Alcotest.(check int) "all announced" 50 (List.length anns);
+  Alcotest.(check int) "adj out" 50 (Rib_manager.adj_out_size t peer3);
+  List.iter
+    (fun a ->
+      match a.Rib_manager.ann_attrs with
+      | Some at ->
+        Alcotest.(check (option int)) "prepended" (Some 65000)
+          (Option.map Asn.to_int (As_path.first_hop at.A.as_path))
+      | None -> Alcotest.fail "export_full must not withdraw")
+    anns;
+  (* idempotent: syncing again announces nothing new *)
+  Alcotest.(check int) "idempotent" 0 (List.length (Rib_manager.export_full t peer3))
+
+let test_refresh_resends () =
+  let t = fresh () in
+  let table = Bgp_addr.Prefix_gen.table ~seed:8 ~n:20 () in
+  Array.iter
+    (fun p ->
+      ignore (Rib_manager.announce t ~from:peer1 p (attrs ~nh:"192.0.2.1" [ 65001 ])))
+    table;
+  Alcotest.(check int) "adj-out populated" 20 (Rib_manager.adj_out_size t peer2);
+  (* a second export_full is a no-op; refresh forces the resend *)
+  Alcotest.(check int) "export_full idempotent" 0
+    (List.length (Rib_manager.export_full t peer2));
+  let again = Rib_manager.refresh t peer2 in
+  Alcotest.(check int) "refresh resends all" 20 (List.length again);
+  Alcotest.(check int) "adj-out restored" 20 (Rib_manager.adj_out_size t peer2)
+
+let test_peer_down () =
+  let t = fresh () in
+  let table = Bgp_addr.Prefix_gen.table ~seed:6 ~n:30 () in
+  Array.iter
+    (fun p ->
+      ignore (Rib_manager.announce t ~from:peer1 p (attrs ~nh:"192.0.2.1" [ 65001 ])))
+    table;
+  (* ten of them also known via peer2 (longer path) *)
+  Array.iteri
+    (fun i p ->
+      if i < 10 then
+        ignore
+          (Rib_manager.announce t ~from:peer2 p (attrs ~nh:"192.0.2.2" [ 65002; 9 ])))
+    table;
+  let o = Rib_manager.peer_down t peer1 in
+  Alcotest.(check int) "adj_in flushed" 0 (Rib_manager.adj_in_size t peer1);
+  Alcotest.(check int) "loc keeps fallbacks" 10 (Loc_rib.size (Rib_manager.loc_rib t));
+  let withdraws =
+    List.filter (function Fib.Withdraw _ -> true | _ -> false) o.Rib_manager.fib_deltas
+  in
+  let replaces =
+    List.filter (function Fib.Replace _ -> true | _ -> false) o.Rib_manager.fib_deltas
+  in
+  Alcotest.(check int) "withdraws" 20 (List.length withdraws);
+  Alcotest.(check int) "replaces" 10 (List.length replaces)
+
+let test_import_policy_filters () =
+  let reject_peer1 =
+    Policy.make ~name:"no-65001"
+      [ { Policy.term_name = "kill"; conds = [ Policy.Neighbor_as (asn 65001) ];
+          verdict = Policy.Reject }
+      ]
+  in
+  let t = Rib_manager.create ~import:reject_peer1 ~local_asn ~router_id () in
+  Rib_manager.add_peer t peer1;
+  Rib_manager.add_peer t peer2;
+  let o =
+    Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.1" [ 65001; 7 ])
+  in
+  Alcotest.(check bool) "stored in adj-in" true (o.Rib_manager.adj_in_change = `New);
+  Alcotest.(check bool) "but not selected" false o.Rib_manager.loc_changed;
+  Alcotest.(check int) "loc empty" 0 (Loc_rib.size (Rib_manager.loc_rib t));
+  (* peer2's route passes *)
+  let o2 =
+    Rib_manager.announce t ~from:peer2 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.2" [ 65002; 7; 8; 9 ])
+  in
+  Alcotest.(check bool) "peer2 selected" true o2.Rib_manager.loc_changed
+
+let test_import_policy_local_pref_overrides () =
+  (* Classic Gao-Rexford: prefer customer (peer2) via LOCAL_PREF even
+     though its path is longer. *)
+  let prefer_peer2 =
+    Policy.make ~name:"prefer-65002"
+      [ { Policy.term_name = "customer"; conds = [ Policy.Neighbor_as (asn 65002) ];
+          verdict = Policy.Accept [ Policy.Set_local_pref 200 ] }
+      ]
+  in
+  let t = Rib_manager.create ~import:prefer_peer2 ~local_asn ~router_id () in
+  Rib_manager.add_peer t peer1;
+  Rib_manager.add_peer t peer2;
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001 ]));
+  ignore
+    (Rib_manager.announce t ~from:peer2 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.2" [ 65002; 7; 8; 9 ]));
+  match Loc_rib.find (Rib_manager.loc_rib t) (pfx "203.0.113.0/24") with
+  | Some r -> Alcotest.(check int) "peer2 won" 1 (R.from r).Peer.id
+  | None -> Alcotest.fail "loc missing"
+
+let test_no_export_community () =
+  let t = fresh () in
+  let o =
+    Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+      (attrs ~communities:[ Community.no_export ] ~nh:"192.0.2.1" [ 65001 ])
+  in
+  Alcotest.(check bool) "selected" true o.Rib_manager.loc_changed;
+  Alcotest.(check int) "not exported to ebgp peer" 0
+    (List.length o.Rib_manager.announcements)
+
+let test_stats_accumulate () =
+  let t = fresh () in
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001 ]));
+  ignore (Rib_manager.withdraw t ~from:peer1 (pfx "203.0.113.0/24"));
+  let s = Rib_manager.stats t in
+  Alcotest.(check int) "updates" 2 s.Rib_manager.updates_processed;
+  Alcotest.(check int) "decisions" 2 s.Rib_manager.decisions_run;
+  Alcotest.(check int) "loc changes" 2 s.Rib_manager.loc_rib_changes;
+  Alcotest.(check bool) "announcements" true (s.Rib_manager.announcements_emitted >= 2);
+  Alcotest.(check bool) "policy work" true (s.Rib_manager.policy_units > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Route reflection (RFC 4456) and IBGP rules                          *)
+(* ------------------------------------------------------------------ *)
+
+let ibgp_a =
+  Peer.make ~id:10 ~asn:local_asn ~router_id:(ip "10.0.0.10") ~addr:(ip "10.0.0.10")
+
+let ibgp_b =
+  Peer.make ~id:11 ~asn:local_asn ~router_id:(ip "10.0.0.11") ~addr:(ip "10.0.0.11")
+
+let ibgp_c =
+  Peer.make ~id:12 ~asn:local_asn ~router_id:(ip "10.0.0.12") ~addr:(ip "10.0.0.12")
+
+let test_ibgp_no_readvertisement () =
+  (* Base RFC 4271 rule: IBGP-learned routes never go to IBGP peers. *)
+  let t = Rib_manager.create ~local_asn ~router_id () in
+  Rib_manager.add_peer t ibgp_a;
+  Rib_manager.add_peer t ibgp_b;
+  Rib_manager.add_peer t peer1 (* EBGP *);
+  let o =
+    Rib_manager.announce t ~from:ibgp_a (pfx "203.0.113.0/24")
+      (attrs ~local_pref:100 ~nh:"10.0.0.10" [ 64999 ])
+  in
+  let dests = List.map (fun a -> a.Rib_manager.dest.Peer.id) o.Rib_manager.announcements in
+  Alcotest.(check (list int)) "only the EBGP peer hears it" [ 0 ] dests
+
+let test_reflection_client_to_all () =
+  let t = Rib_manager.create ~local_asn ~router_id () in
+  Rib_manager.add_peer ~rr_client:true t ibgp_a;
+  Rib_manager.add_peer t ibgp_b (* non-client *);
+  Rib_manager.add_peer ~rr_client:true t ibgp_c (* another client *);
+  let o =
+    Rib_manager.announce t ~from:ibgp_a (pfx "203.0.113.0/24")
+      (attrs ~nh:"10.0.0.10" [ 64999 ])
+  in
+  let dests =
+    List.sort compare
+      (List.map (fun a -> a.Rib_manager.dest.Peer.id) o.Rib_manager.announcements)
+  in
+  (* client route reflects to non-clients and other clients alike *)
+  Alcotest.(check (list int)) "reflected to b and c" [ 11; 12 ] dests;
+  List.iter
+    (fun a ->
+      match a.Rib_manager.ann_attrs with
+      | Some at ->
+        Alcotest.(check (option string)) "originator stamped" (Some "10.0.0.10")
+          (Option.map Bgp_addr.Ipv4.to_string at.A.originator_id);
+        Alcotest.(check (list string)) "cluster list grew" [ "192.0.2.254" ]
+          (List.map Bgp_addr.Ipv4.to_string at.A.cluster_list);
+        (* reflection must not touch path or next hop *)
+        Alcotest.(check int) "path preserved" 1 (As_path.length at.A.as_path);
+        Alcotest.(check string) "next hop preserved" "10.0.0.10"
+          (Bgp_addr.Ipv4.to_string at.A.next_hop)
+      | None -> Alcotest.fail "expected announcements")
+    o.Rib_manager.announcements
+
+let test_reflection_nonclient_to_clients_only () =
+  let t = Rib_manager.create ~local_asn ~router_id () in
+  Rib_manager.add_peer t ibgp_a (* non-client source *);
+  Rib_manager.add_peer t ibgp_b (* non-client *);
+  Rib_manager.add_peer ~rr_client:true t ibgp_c (* client *);
+  let o =
+    Rib_manager.announce t ~from:ibgp_a (pfx "203.0.113.0/24")
+      (attrs ~nh:"10.0.0.10" [ 64999 ])
+  in
+  let dests = List.map (fun a -> a.Rib_manager.dest.Peer.id) o.Rib_manager.announcements in
+  Alcotest.(check (list int)) "only the client hears it" [ 12 ] dests
+
+let test_reflection_loop_rejected () =
+  let t = Rib_manager.create ~local_asn ~router_id () in
+  Rib_manager.add_peer ~rr_client:true t ibgp_a;
+  (* our own cluster id (defaults to router id) in the CLUSTER_LIST *)
+  let looped =
+    A.make ~cluster_list:[ router_id ] ~originator_id:(ip "10.0.0.10")
+      ~as_path:Bgp_route.As_path.empty ~next_hop:(ip "10.0.0.10") ()
+  in
+  let o = Rib_manager.announce t ~from:ibgp_a (pfx "203.0.113.0/24") looped in
+  Alcotest.(check bool) "rejected as loop" true (o.Rib_manager.adj_in_change = `Loop);
+  Alcotest.(check int) "nothing selected" 0 (Loc_rib.size (Rib_manager.loc_rib t));
+  (* our own router id as ORIGINATOR_ID is equally fatal *)
+  let self_originated =
+    A.make ~originator_id:router_id ~as_path:Bgp_route.As_path.empty
+      ~next_hop:(ip "10.0.0.10") ()
+  in
+  let o2 = Rib_manager.announce t ~from:ibgp_a (pfx "198.51.100.0/24") self_originated in
+  Alcotest.(check bool) "self-originated rejected" true
+    (o2.Rib_manager.adj_in_change = `Loop)
+
+let test_ebgp_learned_goes_to_ibgp () =
+  (* EBGP routes flow to IBGP peers without reflection config. *)
+  let t = Rib_manager.create ~local_asn ~router_id () in
+  Rib_manager.add_peer t peer1;
+  Rib_manager.add_peer t ibgp_a;
+  let o =
+    Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.1" [ 65001 ])
+  in
+  let to_ibgp =
+    List.filter (fun a -> a.Rib_manager.dest.Peer.id = 10) o.Rib_manager.announcements
+  in
+  match to_ibgp with
+  | [ { Rib_manager.ann_attrs = Some at; _ } ] ->
+    (* no AS prepend, no next-hop-self on the IBGP leg *)
+    Alcotest.(check int) "path unchanged" 1 (As_path.length at.A.as_path);
+    Alcotest.(check string) "next hop unchanged" "192.0.2.1"
+      (Bgp_addr.Ipv4.to_string at.A.next_hop)
+  | _ -> Alcotest.fail "ibgp peer should hear the ebgp route"
+
+(* ------------------------------------------------------------------ *)
+(* Route aggregation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_with_aggregates aggs =
+  let t = Rib_manager.create ~aggregates:aggs ~local_asn ~router_id () in
+  Rib_manager.add_peer t peer1;
+  Rib_manager.add_peer t peer2;
+  t
+
+let agg_16 ?(as_set = true) ?(summary_only = false) () =
+  { Rib_manager.agg_prefix = pfx "203.0.0.0/16"; agg_as_set = as_set;
+    agg_summary_only = summary_only }
+
+let test_aggregate_activation () =
+  let t = fresh_with_aggregates [ agg_16 () ] in
+  let o1 =
+    Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.1" [ 65001; 7018 ])
+  in
+  (* the /24 plus the freshly activated /16 aggregate *)
+  let prefixes =
+    List.map
+      (fun d -> Bgp_addr.Prefix.to_string (Bgp_fib.Fib.delta_prefix d))
+      o1.Rib_manager.fib_deltas
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "fib deltas"
+    [ "203.0.0.0/16"; "203.0.113.0/24" ]
+    prefixes;
+  (match Loc_rib.find (Rib_manager.loc_rib t) (pfx "203.0.0.0/16") with
+  | None -> Alcotest.fail "aggregate not in loc-rib"
+  | Some r ->
+    Alcotest.(check bool) "locally originated" true (Peer.is_local (R.from r));
+    let a = R.attrs r in
+    (* AS_SET carries the contributor ASes *)
+    Alcotest.(check bool) "as-set has 65001" true
+      (As_path.contains (asn 65001) a.A.as_path);
+    Alcotest.(check bool) "as-set has 7018" true
+      (As_path.contains (asn 7018) a.A.as_path);
+    Alcotest.(check bool) "aggregator attribute" true (a.A.aggregator <> None));
+  (* the aggregate is advertised to peer2 alongside the specific *)
+  Alcotest.(check int) "peer2 hears both" 2 (Rib_manager.adj_out_size t peer2)
+
+let test_aggregate_deactivation () =
+  let t = fresh_with_aggregates [ agg_16 () ] in
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001 ]));
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.42.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001 ]));
+  Alcotest.(check int) "loc has 3" 3 (Loc_rib.size (Rib_manager.loc_rib t));
+  (* withdrawing one contributor keeps the aggregate *)
+  ignore (Rib_manager.withdraw t ~from:peer1 (pfx "203.0.42.0/24"));
+  Alcotest.(check bool) "aggregate survives" true
+    (Loc_rib.find (Rib_manager.loc_rib t) (pfx "203.0.0.0/16") <> None);
+  (* withdrawing the last one deactivates it *)
+  let o = Rib_manager.withdraw t ~from:peer1 (pfx "203.0.113.0/24") in
+  Alcotest.(check int) "loc empty" 0 (Loc_rib.size (Rib_manager.loc_rib t));
+  let withdrawn =
+    List.filter_map
+      (function
+        | Bgp_fib.Fib.Withdraw p -> Some (Bgp_addr.Prefix.to_string p)
+        | _ -> None)
+      o.Rib_manager.fib_deltas
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "both withdrawn from fib"
+    [ "203.0.0.0/16"; "203.0.113.0/24" ]
+    withdrawn
+
+let test_aggregate_atomic_flag () =
+  let t = fresh_with_aggregates [ agg_16 ~as_set:false () ] in
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001; 7018 ]));
+  match Loc_rib.find (Rib_manager.loc_rib t) (pfx "203.0.0.0/16") with
+  | None -> Alcotest.fail "aggregate missing"
+  | Some r ->
+    let a = R.attrs r in
+    Alcotest.(check bool) "atomic set" true a.A.atomic_aggregate;
+    Alcotest.(check int) "empty path" 0 (As_path.length a.A.as_path)
+
+let test_aggregate_summary_only () =
+  let t = fresh_with_aggregates [ agg_16 ~summary_only:true () ] in
+  let o =
+    Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+      (attrs ~nh:"192.0.2.1" [ 65001 ])
+  in
+  (* only the aggregate is exported; the specific is suppressed *)
+  Alcotest.(check int) "peer2 hears only the summary" 1
+    (Rib_manager.adj_out_size t peer2);
+  let announced_prefixes =
+    List.filter_map
+      (fun a ->
+        match a.Rib_manager.ann_attrs with
+        | Some _ -> Some (Bgp_addr.Prefix.to_string a.Rib_manager.ann_prefix)
+        | None -> None)
+      o.Rib_manager.announcements
+  in
+  Alcotest.(check bool) "summary announced" true
+    (List.mem "203.0.0.0/16" announced_prefixes);
+  (* deactivation unsuppresses: nothing left to export here, but the
+     adj-out must drop the aggregate *)
+  ignore (Rib_manager.withdraw t ~from:peer1 (pfx "203.0.113.0/24"));
+  Alcotest.(check int) "adj-out empty" 0 (Rib_manager.adj_out_size t peer2)
+
+let test_aggregate_fib_covers_traffic () =
+  (* End state: an address under a withdrawn specific still matches the
+     aggregate while other specifics remain. *)
+  let t = fresh_with_aggregates [ agg_16 () ] in
+  let fib = Bgp_fib.Fib.create () in
+  let replay o = ignore (Bgp_fib.Fib.apply_all fib o.Rib_manager.fib_deltas) in
+  replay
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001 ]));
+  replay
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.42.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001 ]));
+  replay (Rib_manager.withdraw t ~from:peer1 (pfx "203.0.42.0/24"));
+  match Bgp_fib.Fib.lookup fib (ip "203.0.42.9") with
+  | Some (p, _) ->
+    Alcotest.(check string) "falls back to aggregate" "203.0.0.0/16"
+      (Bgp_addr.Prefix.to_string p)
+  | None -> Alcotest.fail "aggregate should cover"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_peer =
+  QCheck2.Gen.(
+    map
+      (fun i ->
+        Peer.make ~id:i
+          ~asn:(asn (65001 + i))
+          ~router_id:(Bgp_addr.Ipv4.of_octets 192 0 2 (i + 1))
+          ~addr:(Bgp_addr.Ipv4.of_octets 192 0 2 (i + 1)))
+      (int_range 0 4))
+
+let gen_candidate =
+  QCheck2.Gen.(
+    let* peer = gen_peer in
+    let* lp = option (int_range 0 300) in
+    let* med = option (int_range 0 100) in
+    let* plen = int_range 1 5 in
+    let* path = list_size (return plen) (int_range 1 65535) in
+    let* origin = oneofl [ A.Igp; A.Egp; A.Incomplete ] in
+    return
+      (route ~prefix:"10.0.0.0/8" ~from:peer ~origin ?med ?local_pref:lp
+         ~nh:(Bgp_addr.Ipv4.to_string peer.Peer.addr)
+         path))
+
+let prop_select_permutation_invariant =
+  QCheck2.Test.make ~name:"select permutation-invariant" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 6) gen_candidate)
+    (fun cands ->
+      (* Dedup by peer: one route per peer as in real adj-ins. *)
+      let seen = Hashtbl.create 8 in
+      let cands =
+        List.filter
+          (fun r ->
+            let id = (R.from r).Peer.id in
+            if Hashtbl.mem seen id then false
+            else begin
+              Hashtbl.add seen id ();
+              true
+            end)
+          cands
+      in
+      match Decision.select ~local_asn cands with
+      | None -> cands = []
+      | Some best -> (
+        match Decision.select ~local_asn (List.rev cands) with
+        | Some best' -> R.equal best best'
+        | None -> false))
+
+let prop_select_returns_maximal =
+  QCheck2.Test.make ~name:"select's winner beats or ties every candidate"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 6) gen_candidate)
+    (fun cands ->
+      let seen = Hashtbl.create 8 in
+      let cands =
+        List.filter
+          (fun r ->
+            let id = (R.from r).Peer.id in
+            if Hashtbl.mem seen id then false
+            else (Hashtbl.add seen id (); true))
+          cands
+      in
+      match Decision.select ~local_asn cands with
+      | None -> cands = []
+      | Some best ->
+        List.for_all
+          (fun r ->
+            R.equal r best || fst (Decision.compare_routes ~local_asn r best) <= 0)
+          cands)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "bgp_rib"
+    [ ( "decision",
+        [ Alcotest.test_case "local pref" `Quick test_decision_local_pref;
+          Alcotest.test_case "default local pref" `Quick test_decision_default_local_pref;
+          Alcotest.test_case "path length" `Quick test_decision_path_length;
+          Alcotest.test_case "origin" `Quick test_decision_origin;
+          Alcotest.test_case "med same neighbor" `Quick test_decision_med_same_neighbor;
+          Alcotest.test_case "med different neighbor" `Quick
+            test_decision_med_different_neighbor;
+          Alcotest.test_case "missing med best" `Quick test_decision_missing_med_is_best;
+          Alcotest.test_case "ebgp over ibgp" `Quick test_decision_ebgp_over_ibgp;
+          Alcotest.test_case "local wins" `Quick test_decision_local_wins;
+          Alcotest.test_case "router id tiebreak" `Quick test_decision_router_id_tiebreak;
+          Alcotest.test_case "select permutations" `Quick test_select_permutation_invariant
+        ] );
+      ( "rib_manager",
+        [ Alcotest.test_case "first announcement" `Quick test_first_announcement;
+          Alcotest.test_case "duplicate is no-op" `Quick test_duplicate_announcement_noop;
+          Alcotest.test_case "longer path: no FIB change" `Quick
+            test_longer_path_no_fib_change;
+          Alcotest.test_case "shorter path: FIB replace" `Quick test_shorter_path_replaces;
+          Alcotest.test_case "withdraw falls back" `Quick test_withdraw_falls_back;
+          Alcotest.test_case "AS loop detection" `Quick test_loop_detection;
+          Alcotest.test_case "local injection wins" `Quick test_local_injection_wins;
+          Alcotest.test_case "export_full" `Quick test_export_full;
+          Alcotest.test_case "refresh resends" `Quick test_refresh_resends;
+          Alcotest.test_case "peer down" `Quick test_peer_down;
+          Alcotest.test_case "import policy filters" `Quick test_import_policy_filters;
+          Alcotest.test_case "import policy local-pref" `Quick
+            test_import_policy_local_pref_overrides;
+          Alcotest.test_case "no-export community" `Quick test_no_export_community;
+          Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate
+        ] );
+      ( "route reflection",
+        [ Alcotest.test_case "ibgp no re-advertisement" `Quick
+            test_ibgp_no_readvertisement;
+          Alcotest.test_case "client reflects to all" `Quick
+            test_reflection_client_to_all;
+          Alcotest.test_case "non-client reflects to clients only" `Quick
+            test_reflection_nonclient_to_clients_only;
+          Alcotest.test_case "reflection loop rejected" `Quick
+            test_reflection_loop_rejected;
+          Alcotest.test_case "ebgp route reaches ibgp" `Quick
+            test_ebgp_learned_goes_to_ibgp
+        ] );
+      ( "aggregation",
+        [ Alcotest.test_case "activation with AS_SET" `Quick test_aggregate_activation;
+          Alcotest.test_case "deactivation" `Quick test_aggregate_deactivation;
+          Alcotest.test_case "atomic aggregate flag" `Quick test_aggregate_atomic_flag;
+          Alcotest.test_case "summary-only suppression" `Quick
+            test_aggregate_summary_only;
+          Alcotest.test_case "fib covers withdrawn specific" `Quick
+            test_aggregate_fib_covers_traffic
+        ] );
+      qsuite "properties"
+        [ prop_select_permutation_invariant; prop_select_returns_maximal ]
+    ]

@@ -1,0 +1,204 @@
+open Bgp_route
+
+let asn = Asn.of_int
+let ip = Bgp_addr.Ipv4.of_string_exn
+let pfx = Bgp_addr.Prefix.of_string_exn
+
+(* ------------------------------------------------------------------ *)
+(* Asn                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_asn_range () =
+  Alcotest.(check int) "roundtrip" 7018 (Asn.to_int (asn 7018));
+  Alcotest.(check bool) "none below" true (Asn.of_int_opt (-1) = None);
+  Alcotest.(check bool) "none above" true (Asn.of_int_opt 65536 = None);
+  Alcotest.(check bool) "max ok" true (Asn.of_int_opt 65535 <> None);
+  Alcotest.(check bool) "private" true (Asn.is_private (asn 64512));
+  Alcotest.(check bool) "not private" false (Asn.is_private (asn 7018))
+
+(* ------------------------------------------------------------------ *)
+(* As_path                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let path asns = As_path.of_asns (List.map asn asns)
+
+let test_path_length () =
+  Alcotest.(check int) "empty" 0 (As_path.length As_path.empty);
+  Alcotest.(check int) "seq" 3 (As_path.length (path [ 1; 2; 3 ]));
+  let with_set =
+    As_path.of_segments
+      [ As_path.Seq [ asn 1; asn 2 ]; As_path.Set [ asn 3; asn 4; asn 5 ] ]
+  in
+  (* RFC: an AS_SET counts as a single hop. *)
+  Alcotest.(check int) "set counts 1" 3 (As_path.length with_set)
+
+let test_path_prepend () =
+  let p = As_path.prepend (asn 100) (path [ 1; 2 ]) in
+  Alcotest.(check int) "len" 3 (As_path.length p);
+  Alcotest.(check (option int)) "first hop" (Some 100)
+    (Option.map Asn.to_int (As_path.first_hop p));
+  let p5 = As_path.prepend_n (asn 9) 5 As_path.empty in
+  Alcotest.(check int) "prepend_n" 5 (As_path.length p5);
+  (* Prepending onto a leading Set starts a fresh sequence. *)
+  let onto_set = As_path.prepend (asn 1) (As_path.of_segments [ As_path.Set [ asn 2 ] ]) in
+  Alcotest.(check int) "onto set" 2 (As_path.length onto_set);
+  Alcotest.(check (option int)) "first hop onto set" (Some 1)
+    (Option.map Asn.to_int (As_path.first_hop onto_set))
+
+let test_path_contains () =
+  let p =
+    As_path.of_segments [ As_path.Seq [ asn 1; asn 2 ]; As_path.Set [ asn 7 ] ]
+  in
+  Alcotest.(check bool) "in seq" true (As_path.contains (asn 2) p);
+  Alcotest.(check bool) "in set" true (As_path.contains (asn 7) p);
+  Alcotest.(check bool) "absent" false (As_path.contains (asn 9) p)
+
+let test_path_ends () =
+  let p = path [ 10; 20; 30 ] in
+  Alcotest.(check (option int)) "first" (Some 10)
+    (Option.map Asn.to_int (As_path.first_hop p));
+  Alcotest.(check (option int)) "origin" (Some 30)
+    (Option.map Asn.to_int (As_path.origin_as p));
+  Alcotest.(check (option int)) "empty first" None
+    (Option.map Asn.to_int (As_path.first_hop As_path.empty))
+
+let test_path_set_equality () =
+  let a = As_path.of_segments [ As_path.Set [ asn 1; asn 2 ] ] in
+  let b = As_path.of_segments [ As_path.Set [ asn 2; asn 1 ] ] in
+  Alcotest.(check bool) "sets unordered" true (As_path.equal a b);
+  Alcotest.(check bool) "hash agrees" true (As_path.hash a = As_path.hash b);
+  let c = As_path.of_segments [ As_path.Seq [ asn 1; asn 2 ] ] in
+  Alcotest.(check bool) "seq ordered" false
+    (As_path.equal c (As_path.of_segments [ As_path.Seq [ asn 2; asn 1 ] ]))
+
+let test_path_validation () =
+  Alcotest.check_raises "empty segment" (Invalid_argument "As_path: empty segment")
+    (fun () -> ignore (As_path.of_segments [ As_path.Seq [] ]));
+  let too_long = List.init 256 (fun i -> asn (i + 1)) in
+  Alcotest.check_raises "long segment"
+    (Invalid_argument "As_path: segment longer than 255") (fun () ->
+      ignore (As_path.of_segments [ As_path.Seq too_long ]))
+
+let test_path_pp () =
+  let p =
+    As_path.of_segments [ As_path.Seq [ asn 7018; asn 701 ]; As_path.Set [ asn 3356 ] ]
+  in
+  Alcotest.(check string) "pp" "7018 701 {3356}" (Format.asprintf "%a" As_path.pp p)
+
+(* ------------------------------------------------------------------ *)
+(* Community                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_community () =
+  let c = Community.make (asn 7018) 666 in
+  Alcotest.(check string) "pp" "7018:666" (Format.asprintf "%a" Community.pp c);
+  Alcotest.(check int) "asn part" 7018 (Asn.to_int (Community.asn_part c));
+  Alcotest.(check int) "value part" 666 (Community.value_part c);
+  Alcotest.(check bool) "well known" true (Community.is_well_known Community.no_export);
+  Alcotest.(check bool) "ordinary" false (Community.is_well_known c);
+  Alcotest.(check string) "no-export" "no-export"
+    (Format.asprintf "%a" Community.pp Community.no_export)
+
+(* ------------------------------------------------------------------ *)
+(* Attrs and Route                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let base_attrs () =
+  Attrs.make ~as_path:(path [ 1; 2; 3 ]) ~next_hop:(ip "10.0.0.1") ()
+
+let test_attrs_builders () =
+  let a = base_attrs () in
+  Alcotest.(check bool) "defaults" true (a.Attrs.origin = Attrs.Igp);
+  Alcotest.(check bool) "no med" true (a.Attrs.med = None);
+  let a2 = Attrs.with_local_pref (Some 200) a in
+  Alcotest.(check (option int)) "lp" (Some 200) a2.Attrs.local_pref;
+  let a3 = Attrs.prepend_as (asn 99) a in
+  Alcotest.(check int) "prepended" 4 (As_path.length a3.Attrs.as_path);
+  let a4 = Attrs.add_community Community.no_export a in
+  Alcotest.(check bool) "has community" true
+    (Attrs.has_community Community.no_export a4);
+  (* add_community is idempotent *)
+  let a5 = Attrs.add_community Community.no_export a4 in
+  Alcotest.(check int) "idempotent" 1 (List.length a5.Attrs.communities)
+
+let test_attrs_equal () =
+  let a = base_attrs () in
+  Alcotest.(check bool) "refl" true (Attrs.equal a a);
+  Alcotest.(check bool) "lp differs" false
+    (Attrs.equal a (Attrs.with_local_pref (Some 1) a));
+  (* community order is irrelevant *)
+  let c1 = Community.make (asn 1) 1 and c2 = Community.make (asn 2) 2 in
+  let x = Attrs.add_community c1 (Attrs.add_community c2 a) in
+  let y = Attrs.add_community c2 (Attrs.add_community c1 a) in
+  Alcotest.(check bool) "communities unordered" true (Attrs.equal x y)
+
+let test_route () =
+  let peer =
+    Peer.make ~id:0 ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
+      ~addr:(ip "192.0.2.1")
+  in
+  let r = Route.make ~prefix:(pfx "203.0.113.0/24") ~attrs:(base_attrs ()) ~from:peer in
+  Alcotest.(check int) "path length" 3 (Route.as_path_length r);
+  Alcotest.(check bool) "not local" false (Peer.is_local (Route.from r));
+  let l = Route.local ~prefix:(pfx "198.51.100.0/24") ~next_hop:(ip "0.0.0.1") in
+  Alcotest.(check bool) "local" true (Peer.is_local (Route.from l));
+  Alcotest.(check int) "local empty path" 0 (Route.as_path_length l)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_asn = QCheck2.Gen.map Asn.of_int (QCheck2.Gen.int_range 1 65535)
+
+let gen_seg =
+  QCheck2.Gen.(
+    bind bool (fun is_set ->
+        map
+          (fun l -> if is_set then As_path.Set l else As_path.Seq l)
+          (list_size (int_range 1 8) gen_asn)))
+
+let gen_path = QCheck2.Gen.(map As_path.of_segments (list_size (int_range 0 4) gen_seg))
+
+let prop_prepend_increments =
+  QCheck2.Test.make ~name:"prepend increments length by one" ~count:500
+    QCheck2.Gen.(pair gen_asn gen_path)
+    (fun (a, p) -> As_path.length (As_path.prepend a p) = As_path.length p + 1)
+
+let prop_prepend_contains =
+  QCheck2.Test.make ~name:"prepended AS is contained and is first hop" ~count:500
+    QCheck2.Gen.(pair gen_asn gen_path)
+    (fun (a, p) ->
+      let p' = As_path.prepend a p in
+      As_path.contains a p' && As_path.first_hop p' = Some a)
+
+let prop_path_equal_refl =
+  QCheck2.Test.make ~name:"as_path equal is reflexive, compare agrees" ~count:500
+    QCheck2.Gen.(pair gen_path gen_path)
+    (fun (a, b) ->
+      As_path.equal a a
+      && As_path.compare a a = 0
+      && As_path.equal a b = (As_path.compare a b = 0))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "bgp_route"
+    [ ("asn", [ Alcotest.test_case "range and predicates" `Quick test_asn_range ]);
+      ( "as_path",
+        [ Alcotest.test_case "length" `Quick test_path_length;
+          Alcotest.test_case "prepend" `Quick test_path_prepend;
+          Alcotest.test_case "contains" `Quick test_path_contains;
+          Alcotest.test_case "first hop / origin" `Quick test_path_ends;
+          Alcotest.test_case "set equality" `Quick test_path_set_equality;
+          Alcotest.test_case "validation" `Quick test_path_validation;
+          Alcotest.test_case "pretty printing" `Quick test_path_pp
+        ] );
+      ("community", [ Alcotest.test_case "encode/known" `Quick test_community ]);
+      ( "attrs",
+        [ Alcotest.test_case "builders" `Quick test_attrs_builders;
+          Alcotest.test_case "equality" `Quick test_attrs_equal
+        ] );
+      ("route", [ Alcotest.test_case "construction" `Quick test_route ]);
+      qsuite "properties"
+        [ prop_prepend_increments; prop_prepend_contains; prop_path_equal_refl ]
+    ]

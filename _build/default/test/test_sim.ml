@@ -1,0 +1,445 @@
+open Bgp_sim
+
+let feq ?(eps = 1e-6) name expect got =
+  if Float.abs (expect -. got) > eps then
+    Alcotest.failf "%s: expected %.9f got %.9f" name expect got
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter
+    (fun (t, s) -> Heap.push h ~time:t ~seq:s (t, s))
+    [ (3.0, 1); (1.0, 2); (2.0, 3); (1.0, 1); (0.5, 9) ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, _, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "sorted by (time, seq)"
+    [ (0.5, 9); (1.0, 1); (1.0, 2); (2.0, 3); (3.0, 1) ]
+    (List.rev !order);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_stress () =
+  let h = Heap.create () in
+  let rng = Rng.create 1 in
+  for i = 0 to 9999 do
+    Heap.push h ~time:(Rng.float rng 100.0) ~seq:i ()
+  done;
+  Alcotest.(check int) "size" 10000 (Heap.size h);
+  let last = ref neg_infinity in
+  let ok = ref true in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (t, _, ()) ->
+      if t < !last then ok := false;
+      last := t;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check bool) "monotone" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_order_and_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note s () = log := (s, Engine.now e) :: !log in
+  ignore (Engine.schedule e ~delay:2.0 (note "b"));
+  ignore (Engine.schedule e ~delay:1.0 (note "a"));
+  ignore (Engine.schedule e ~delay:2.0 (note "c"));
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order and times"
+    [ ("a", 1.0); ("b", 2.0); ("c", 2.0) ]
+    (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.cancel h;
+  Engine.run e;
+  Alcotest.(check bool) "not fired" false !fired;
+  Alcotest.(check bool) "cancelled" true (Engine.cancelled h)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Engine.schedule e ~delay:1.0 tick)
+  in
+  ignore (Engine.schedule e ~delay:1.0 tick);
+  Engine.run ~until:5.5 e;
+  Alcotest.(check int) "five ticks" 5 !count;
+  feq "clock at bound" 5.5 (Engine.now e);
+  Engine.run ~until:7.0 e;
+  Alcotest.(check int) "two more" 7 !count
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule e ~delay:0.0 (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
+
+let test_engine_event_limit () =
+  let e = Engine.create () in
+  Engine.set_event_limit e 10;
+  let rec forever () = ignore (Engine.schedule e ~delay:1.0 forever) in
+  ignore (Engine.schedule e ~delay:1.0 forever);
+  Alcotest.check_raises "limit" Engine.Too_many_events (fun () -> Engine.run e)
+
+let test_engine_past_event () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:5.0 (fun () -> ()));
+  Engine.run e;
+  let t = ref 0.0 in
+  ignore (Engine.schedule_at e ~time:1.0 (fun () -> t := Engine.now e));
+  Engine.run e;
+  feq "clamped to now" 5.0 !t
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let diff = ref false in
+  for _ = 1 to 20 do
+    if Rng.int (Rng.create 42) 1000000 <> Rng.int c 1000000 then diff := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !diff
+
+let test_rng_ranges () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of range: %d" v;
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of range: %f" f;
+    let e = Rng.exponential r ~mean:3.0 in
+    if e < 0.0 then Alcotest.fail "negative exponential"
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 11 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 4.0) > 0.2 then
+    Alcotest.failf "exponential mean drifted: %f" mean
+
+let test_rng_split_independent () =
+  let r = Rng.create 5 in
+  let s = Rng.split r in
+  (* Streams must not be identical. *)
+  let same = ref true in
+  for _ = 1 to 10 do
+    if Rng.int r 1000000 <> Rng.int s 1000000 then same := false
+  done;
+  Alcotest.(check bool) "split differs" false !same
+
+(* ------------------------------------------------------------------ *)
+(* Sched                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_sched ~pool f =
+  let e = Engine.create () in
+  let s = Sched.create e ~hz:1000.0 ~pool in
+  f e s
+
+let test_sched_single_job () =
+  with_sched ~pool:1.0 (fun e s ->
+      let p = Sched.add_proc s "p" in
+      let t_done = ref 0.0 in
+      Sched.submit s p ~cycles:500.0 (fun () -> t_done := Engine.now e);
+      Engine.run e;
+      feq "cycles/hz" 0.5 !t_done)
+
+let test_sched_sharing_one_core () =
+  with_sched ~pool:1.0 (fun e s ->
+      let p1 = Sched.add_proc s "p1" and p2 = Sched.add_proc s "p2" in
+      let d1 = ref 0.0 and d2 = ref 0.0 in
+      Sched.submit s p1 ~cycles:500.0 (fun () -> d1 := Engine.now e);
+      Sched.submit s p2 ~cycles:500.0 (fun () -> d2 := Engine.now e);
+      Engine.run e;
+      (* Each runs at 0.5 core: both finish at 1.0s. *)
+      feq "p1" 1.0 !d1;
+      feq "p2" 1.0 !d2)
+
+let test_sched_two_cores_pipeline () =
+  with_sched ~pool:2.0 (fun e s ->
+      let p1 = Sched.add_proc s "p1" and p2 = Sched.add_proc s "p2" in
+      let d1 = ref 0.0 and d2 = ref 0.0 in
+      Sched.submit s p1 ~cycles:500.0 (fun () -> d1 := Engine.now e);
+      Sched.submit s p2 ~cycles:500.0 (fun () -> d2 := Engine.now e);
+      Engine.run e;
+      (* Both at full core speed. *)
+      feq "p1" 0.5 !d1;
+      feq "p2" 0.5 !d2)
+
+let test_sched_proc_capped_at_one_core () =
+  with_sched ~pool:2.0 (fun e s ->
+      let p = Sched.add_proc s "p" in
+      let t_done = ref 0.0 in
+      Sched.submit s p ~cycles:1000.0 (fun () -> t_done := Engine.now e);
+      Engine.run e;
+      (* A single-threaded process cannot use the second core. *)
+      feq "capped" 1.0 !t_done)
+
+let test_sched_fifo_within_proc () =
+  with_sched ~pool:1.0 (fun e s ->
+      let p = Sched.add_proc s "p" in
+      let log = ref [] in
+      Sched.submit s p ~cycles:100.0 (fun () -> log := ("a", Engine.now e) :: !log);
+      Sched.submit s p ~cycles:100.0 (fun () -> log := ("b", Engine.now e) :: !log);
+      Alcotest.(check int) "queued" 2 (Sched.queue_length s p);
+      Engine.run e;
+      match List.rev !log with
+      | [ ("a", ta); ("b", tb) ] ->
+        feq "a" 0.1 ta;
+        feq "b" 0.2 tb
+      | _ -> Alcotest.fail "wrong order")
+
+let test_sched_interrupt_steals () =
+  with_sched ~pool:1.0 (fun e s ->
+      let p = Sched.add_proc s "p" in
+      (* interrupts take 50% of the pool *)
+      Sched.set_interrupt_demand s ~cycles_per_sec:500.0;
+      let t_done = ref 0.0 in
+      Sched.submit s p ~cycles:500.0 (fun () -> t_done := Engine.now e);
+      Engine.run ~until:10.0 e;
+      feq "half speed" 1.0 !t_done)
+
+let test_sched_interrupt_change_midway () =
+  with_sched ~pool:1.0 (fun e s ->
+      let p = Sched.add_proc s "p" in
+      let t_done = ref 0.0 in
+      Sched.submit s p ~cycles:1000.0 (fun () -> t_done := Engine.now e);
+      (* After 0.5s at full speed (500 cycles done), interrupts eat 50%:
+         the remaining 500 cycles take 1.0s more. *)
+      ignore
+        (Engine.schedule e ~delay:0.5 (fun () ->
+             Sched.set_interrupt_demand s ~cycles_per_sec:500.0));
+      Engine.run ~until:10.0 e;
+      feq "piecewise" 1.5 !t_done)
+
+let test_sched_forwarding_priority_and_loss () =
+  with_sched ~pool:1.0 (fun e s ->
+      (* Forwarding wants 95% of the core, weight 8. *)
+      Sched.set_forwarding_demand s ~cycles_per_sec:950.0 ();
+      feq "alone: fully served" 1.0 (Sched.forwarding_ratio s);
+      let p = Sched.add_proc s "p" in
+      Sched.submit s p ~cycles:1000.0 (fun () -> ());
+      (* With one user proc: forwarding gets 8/9 of the core = 888.9
+         cycles/s < demand -> ratio ~0.9356. *)
+      feq ~eps:1e-3 "contended ratio" (8.0 /. 9.0 /. 0.95) (Sched.forwarding_ratio s);
+      Engine.run ~until:20.0 e;
+      (* Queue drained: forwarding fully served again. *)
+      feq "recovered" 1.0 (Sched.forwarding_ratio s))
+
+let test_sched_forwarding_moderate_unaffected () =
+  with_sched ~pool:1.0 (fun e s ->
+      (* Moderate forwarding demand (35%) is fully served even while a
+         user process runs, because weight 8 >> 1. *)
+      Sched.set_forwarding_demand s ~cycles_per_sec:350.0 ();
+      let p = Sched.add_proc s "p" in
+      let t_done = ref 0.0 in
+      Sched.submit s p ~cycles:650.0 (fun () -> t_done := Engine.now e);
+      feq "served" 1.0 (Sched.forwarding_ratio s);
+      Engine.run ~until:10.0 e;
+      (* User got the remaining 65%. *)
+      feq ~eps:1e-3 "user speed" 1.0 !t_done)
+
+let test_sched_accounting () =
+  with_sched ~pool:1.0 (fun e s ->
+      let p = Sched.add_proc s "p" in
+      Sched.set_interrupt_demand s ~cycles_per_sec:200.0;
+      Sched.submit s p ~cycles:400.0 (fun () -> ());
+      Engine.run ~until:1.0 e;
+      (* Force the accounting boundary at t=1.0. *)
+      let acc = Sched.take_accounting s in
+      feq "elapsed" 1.0 acc.Sched.acc_elapsed;
+      feq ~eps:1e-3 "interrupt cycles" 200.0 acc.Sched.acc_interrupt;
+      (match acc.Sched.acc_procs with
+      | [ ("p", c) ] -> feq ~eps:1e-3 "proc cycles" 400.0 c
+      | _ -> Alcotest.fail "proc accounting");
+      (* Second window is empty. *)
+      Engine.run ~until:2.0 e;
+      let acc2 = Sched.take_accounting s in
+      (match acc2.Sched.acc_procs with
+      | [ ("p", c) ] -> feq ~eps:1e-3 "idle window" 0.0 c
+      | _ -> Alcotest.fail "proc accounting 2");
+      feq ~eps:1e-3 "interrupts continue" 200.0 acc2.Sched.acc_interrupt)
+
+let test_sched_zero_cycle_job () =
+  with_sched ~pool:1.0 (fun e s ->
+      let p = Sched.add_proc s "p" in
+      let fired = ref false in
+      Sched.submit s p ~cycles:0.0 (fun () -> fired := true);
+      Engine.run e;
+      Alcotest.(check bool) "zero job completes" true !fired)
+
+let test_sched_many_jobs_throughput () =
+  with_sched ~pool:1.0 (fun e s ->
+      let p = Sched.add_proc s "p" in
+      let completed = ref 0 in
+      for _ = 1 to 1000 do
+        Sched.submit s p ~cycles:10.0 (fun () -> incr completed)
+      done;
+      Engine.run e;
+      Alcotest.(check int) "all done" 1000 !completed;
+      (* 10000 cycles at 1000 Hz = 10 s *)
+      feq ~eps:1e-3 "total time" 10.0 (Engine.now e))
+
+(* Work conservation: with n busy single-core processes on a pool of
+   size m and no background load, total completion time of equal jobs
+   is (total cycles) / (hz * min(n, m)). *)
+let prop_sched_work_conserving =
+  QCheck2.Test.make ~name:"scheduler is work-conserving" ~count:100
+    QCheck2.Gen.(
+      triple (int_range 1 6) (int_range 1 4) (int_range 1 20))
+    (fun (nprocs, pool, kilocycles) ->
+      let e = Engine.create () in
+      let s = Sched.create e ~hz:1000.0 ~pool:(float_of_int pool) in
+      let cycles = float_of_int (kilocycles * 1000) in
+      let done_count = ref 0 in
+      for i = 1 to nprocs do
+        let p = Sched.add_proc s (Printf.sprintf "p%d" i) in
+        Sched.submit s p ~cycles (fun () -> incr done_count)
+      done;
+      Engine.run e;
+      let expect =
+        float_of_int nprocs *. cycles
+        /. (1000.0 *. float_of_int (min nprocs pool))
+      in
+      !done_count = nprocs
+      && Float.abs (Engine.now e -. expect) /. expect < 1e-6)
+
+(* FIFO per process: completion order within one process matches
+   submission order, regardless of interleaved load elsewhere. *)
+let prop_sched_fifo_per_proc =
+  QCheck2.Test.make ~name:"jobs complete FIFO within a process" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 20) (int_range 1 500))
+    (fun jobs ->
+      let e = Engine.create () in
+      let s = Sched.create e ~hz:1000.0 ~pool:1.0 in
+      let p = Sched.add_proc s "p" in
+      let other = Sched.add_proc s "other" in
+      Sched.submit s other ~cycles:5000.0 (fun () -> ());
+      let order = ref [] in
+      List.iteri
+        (fun i c ->
+          Sched.submit s p ~cycles:(float_of_int c) (fun () ->
+              order := i :: !order))
+        jobs;
+      Engine.run e;
+      List.rev !order = List.init (List.length jobs) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_sampling () =
+  let e = Engine.create () in
+  let s = Sched.create e ~hz:1000.0 ~pool:1.0 in
+  let p = Sched.add_proc s "worker" in
+  let tr = Trace.start e s ~interval:1.0 () in
+  (* Busy for the first 2 s at 100%, then idle. *)
+  Sched.submit s p ~cycles:2000.0 (fun () -> ());
+  Engine.run ~until:4.0 e;
+  Trace.stop tr;
+  let ss = Trace.samples tr in
+  Alcotest.(check int) "four+final samples" 4 (List.length ss);
+  (match ss with
+  | s1 :: s2 :: s3 :: _ ->
+    feq ~eps:0.5 "first second busy" 100.0 (Trace.total_user_percent s1);
+    feq ~eps:0.5 "second second busy" 100.0 (Trace.total_user_percent s2);
+    feq ~eps:0.5 "third second idle" 0.0 (Trace.total_user_percent s3)
+  | _ -> Alcotest.fail "samples");
+  let rows = Trace.to_rows tr in
+  Alcotest.(check bool) "has worker series" true (List.mem_assoc "worker" rows);
+  Alcotest.(check bool) "has interrupts series" true
+    (List.mem_assoc "interrupts" rows)
+
+let test_trace_interrupt_series () =
+  let e = Engine.create () in
+  let s = Sched.create e ~hz:1000.0 ~pool:1.0 in
+  ignore (Sched.add_proc s "w");
+  let tr = Trace.start e s ~interval:1.0 () in
+  Sched.set_interrupt_demand s ~cycles_per_sec:300.0;
+  Engine.run ~until:3.0 e;
+  Trace.stop tr;
+  List.iter
+    (fun sample -> feq ~eps:0.5 "irq 30%" 30.0 sample.Trace.s_interrupt)
+    (Trace.samples tr)
+
+let () =
+  Alcotest.run "bgp_sim"
+    [ ( "heap",
+        [ Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "stress" `Quick test_heap_stress
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "order and time" `Quick test_engine_order_and_time;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "event limit" `Quick test_engine_event_limit;
+          Alcotest.test_case "past event clamped" `Quick test_engine_past_event
+        ] );
+      ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent
+        ] );
+      ( "sched",
+        [ Alcotest.test_case "single job" `Quick test_sched_single_job;
+          Alcotest.test_case "sharing one core" `Quick test_sched_sharing_one_core;
+          Alcotest.test_case "two cores pipeline" `Quick test_sched_two_cores_pipeline;
+          Alcotest.test_case "per-proc core cap" `Quick test_sched_proc_capped_at_one_core;
+          Alcotest.test_case "fifo within proc" `Quick test_sched_fifo_within_proc;
+          Alcotest.test_case "interrupts steal cpu" `Quick test_sched_interrupt_steals;
+          Alcotest.test_case "interrupt change midway" `Quick
+            test_sched_interrupt_change_midway;
+          Alcotest.test_case "forwarding priority and loss" `Quick
+            test_sched_forwarding_priority_and_loss;
+          Alcotest.test_case "moderate forwarding unaffected" `Quick
+            test_sched_forwarding_moderate_unaffected;
+          Alcotest.test_case "accounting" `Quick test_sched_accounting;
+          Alcotest.test_case "zero-cycle job" `Quick test_sched_zero_cycle_job;
+          Alcotest.test_case "many jobs throughput" `Quick test_sched_many_jobs_throughput
+        ] );
+      ( "sched-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sched_work_conserving; prop_sched_fifo_per_proc ] );
+      ( "trace",
+        [ Alcotest.test_case "sampling" `Quick test_trace_sampling;
+          Alcotest.test_case "interrupt series" `Quick test_trace_interrupt_series
+        ] )
+    ]

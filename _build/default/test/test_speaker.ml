@@ -1,0 +1,219 @@
+(* Tests for the workload construction and table serialization. *)
+
+module Workload = Bgp_speaker.Workload
+module Table_io = Bgp_speaker.Table_io
+module As_path = Bgp_route.As_path
+module A = Bgp_route.Attrs
+
+let asn = Bgp_route.Asn.of_int
+let ip = Bgp_addr.Ipv4.of_string_exn
+let pfx = Bgp_addr.Prefix.of_string_exn
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_path () =
+  let p = Workload.path ~origin_asn:(asn 65001) ~len:4 in
+  Alcotest.(check int) "length" 4 (As_path.length p);
+  Alcotest.(check (option int)) "starts at speaker" (Some 65001)
+    (Option.map Bgp_route.Asn.to_int (As_path.first_hop p));
+  let p1 = Workload.path ~origin_asn:(asn 65001) ~len:1 in
+  Alcotest.(check int) "singleton" 1 (As_path.length p1);
+  Alcotest.check_raises "zero rejected"
+    (Invalid_argument "Workload.path: length must be >= 1") (fun () ->
+      ignore (Workload.path ~origin_asn:(asn 65001) ~len:0))
+
+let test_workload_chunk () =
+  let arr = Array.init 7 (fun i -> i) in
+  Alcotest.(check (list (list int))) "chunks of 3"
+    [ [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 6 ] ]
+    (Workload.chunk 3 arr);
+  Alcotest.(check (list (list int))) "chunk of 1" [ [ 0 ] ]
+    (Workload.chunk 1 [| 0 |]);
+  Alcotest.(check (list (list int))) "empty" [] (Workload.chunk 5 [||]);
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Workload.chunk: size must be >= 1") (fun () ->
+      ignore (Workload.chunk 0 arr))
+
+let prop_chunk_partition =
+  QCheck2.Test.make ~name:"chunk partitions without loss or reorder" ~count:300
+    QCheck2.Gen.(pair (int_range 1 20) (array_size (int_range 0 100) int))
+    (fun (n, arr) ->
+      let chunks = Workload.chunk n arr in
+      List.concat chunks = Array.to_list arr
+      && List.for_all (fun c -> List.length c <= n && c <> []) chunks)
+
+(* ------------------------------------------------------------------ *)
+(* Table_io line format                                                *)
+(* ------------------------------------------------------------------ *)
+
+let entry ?(origin = A.Igp) ?med ?lp ?(comms = []) ~path prefix =
+  { Table_io.e_prefix = pfx prefix; e_path = path; e_origin = origin;
+    e_med = med; e_local_pref = lp; e_communities = comms }
+
+let seq asns = As_path.of_asns (List.map asn asns)
+
+let entry_eq a b =
+  Bgp_addr.Prefix.equal a.Table_io.e_prefix b.Table_io.e_prefix
+  && As_path.equal a.Table_io.e_path b.Table_io.e_path
+  && a.Table_io.e_origin = b.Table_io.e_origin
+  && a.Table_io.e_med = b.Table_io.e_med
+  && a.Table_io.e_local_pref = b.Table_io.e_local_pref
+  && List.equal Bgp_route.Community.equal a.Table_io.e_communities
+       b.Table_io.e_communities
+
+let roundtrip_line e =
+  match Table_io.entry_of_line (Table_io.entry_to_line e) with
+  | Ok e' -> e'
+  | Error m -> Alcotest.failf "parse failed on %S: %s" (Table_io.entry_to_line e) m
+
+let test_line_roundtrip_basic () =
+  let e = entry ~path:(seq [ 7018; 701 ]) "203.0.113.0/24" in
+  Alcotest.(check bool) "basic" true (entry_eq e (roundtrip_line e));
+  let full =
+    entry ~origin:A.Incomplete ~med:42 ~lp:150
+      ~comms:[ Bgp_route.Community.make (asn 7018) 666 ]
+      ~path:(seq [ 7018; 701; 3356 ])
+      "10.0.0.0/8"
+  in
+  Alcotest.(check bool) "full" true (entry_eq full (roundtrip_line full))
+
+let test_line_roundtrip_as_set () =
+  let p =
+    As_path.of_segments
+      [ As_path.Seq [ asn 7018 ]; As_path.Set [ asn 3356; asn 2914 ];
+        As_path.Seq [ asn 174 ] ]
+  in
+  let e = entry ~path:p "192.0.2.0/24" in
+  Alcotest.(check bool) "as_set" true (entry_eq e (roundtrip_line e));
+  Alcotest.(check bool) "rendered braces" true
+    (String.contains (Table_io.entry_to_line e) '{')
+
+let test_line_roundtrip_empty_path () =
+  let e = entry ~path:As_path.empty "198.51.100.0/24" in
+  Alcotest.(check bool) "empty path" true (entry_eq e (roundtrip_line e))
+
+let test_line_errors () =
+  List.iter
+    (fun line ->
+      match Table_io.entry_of_line line with
+      | Ok _ -> Alcotest.failf "should reject %S" line
+      | Error _ -> ())
+    [ ""; "203.0.113.0/24"; "notaprefix path=1";
+      "203.0.113.0/24 path=0" (* AS 0 *); "203.0.113.0/24 path=1 bogus";
+      "203.0.113.0/24 path=1 med=abc"; "203.0.113.0/24 path={1,2";
+      "203.0.113.0/24 path=1 comm=1:999999"; "10.0.0.1/24 path=1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_file_roundtrip () =
+  let entries = Table_io.synthesize ~seed:5 ~n:200 ~speaker_asn:(asn 65001) () in
+  let file = Filename.temp_file "bgpmark" ".table" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Table_io.save file entries;
+      match Table_io.load file with
+      | Error m -> Alcotest.failf "load failed: %s" m
+      | Ok loaded ->
+        Alcotest.(check int) "count" 200 (List.length loaded);
+        List.iter2
+          (fun a b ->
+            if not (entry_eq a b) then
+              Alcotest.failf "entry mismatch: %s vs %s" (Table_io.entry_to_line a)
+                (Table_io.entry_to_line b))
+          entries loaded)
+
+let test_file_reports_bad_line () =
+  let file = Filename.temp_file "bgpmark" ".table" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "# comment\n\n203.0.113.0/24 path=1\nbroken line here\n";
+      close_out oc;
+      match Table_io.load file with
+      | Ok _ -> Alcotest.fail "should fail"
+      | Error m ->
+        Alcotest.(check bool) "mentions line 4" true
+          (String.length m >= 6 && String.sub m 0 6 = "line 4"))
+
+let test_synthesize_shape () =
+  let entries = Table_io.synthesize ~seed:1 ~n:500 ~speaker_asn:(asn 65001) () in
+  Alcotest.(check int) "count" 500 (List.length entries);
+  List.iter
+    (fun e ->
+      let l = As_path.length e.Table_io.e_path in
+      if l < 2 || l > 6 then Alcotest.failf "path length %d out of range" l;
+      Alcotest.(check (option int)) "origin as" (Some 65001)
+        (Option.map Bgp_route.Asn.to_int (As_path.first_hop e.Table_io.e_path)))
+    entries;
+  (* path lengths vary *)
+  let lengths =
+    List.sort_uniq compare
+      (List.map (fun e -> As_path.length e.Table_io.e_path) entries)
+  in
+  Alcotest.(check bool) "varied" true (List.length lengths >= 4);
+  (* deterministic *)
+  let again = Table_io.synthesize ~seed:1 ~n:500 ~speaker_asn:(asn 65001) () in
+  Alcotest.(check bool) "deterministic" true (List.for_all2 entry_eq entries again)
+
+let test_to_attrs () =
+  let e =
+    entry ~med:9 ~path:(seq [ 65001; 7018 ]) "203.0.113.0/24"
+  in
+  let attrs = Table_io.to_attrs ~next_hop:(ip "192.0.2.1") e in
+  Alcotest.(check (option int)) "med" (Some 9) attrs.A.med;
+  Alcotest.(check string) "next hop" "192.0.2.1"
+    (Bgp_addr.Ipv4.to_string attrs.A.next_hop);
+  Alcotest.(check int) "path" 2 (As_path.length attrs.A.as_path)
+
+(* Random entry property roundtrip *)
+let gen_entry =
+  QCheck2.Gen.(
+    let* a = int_range 0 0xFFFF_FFFF in
+    let* len = int_range 8 32 in
+    let* npath = int_range 0 5 in
+    let* path = list_size (return npath) (int_range 1 65535) in
+    let* origin = oneofl [ A.Igp; A.Egp; A.Incomplete ] in
+    let* med = option (int_range 0 10000) in
+    let* lp = option (int_range 0 10000) in
+    let* ncomm = int_range 0 3 in
+    let* comms = list_size (return ncomm) (pair (int_range 1 65535) (int_range 0 65535)) in
+    return
+      { Table_io.e_prefix = Bgp_addr.Prefix.make (Bgp_addr.Ipv4.of_int a) len;
+        e_path = As_path.of_asns (List.map asn path);
+        e_origin = origin; e_med = med; e_local_pref = lp;
+        e_communities = List.map (fun (a, v) -> Bgp_route.Community.make (asn a) v) comms })
+
+let prop_line_roundtrip =
+  QCheck2.Test.make ~name:"entry line roundtrip" ~count:500 gen_entry (fun e ->
+      match Table_io.entry_of_line (Table_io.entry_to_line e) with
+      | Ok e' -> entry_eq e e'
+      | Error _ -> false)
+
+let qtests tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "bgp_speaker"
+    [ ( "workload",
+        Alcotest.test_case "path construction" `Quick test_workload_path
+        :: Alcotest.test_case "chunking" `Quick test_workload_chunk
+        :: qtests [ prop_chunk_partition ] );
+      ( "table_io lines",
+        Alcotest.test_case "roundtrip basic" `Quick test_line_roundtrip_basic
+        :: Alcotest.test_case "roundtrip as_set" `Quick test_line_roundtrip_as_set
+        :: Alcotest.test_case "roundtrip empty path" `Quick
+             test_line_roundtrip_empty_path
+        :: Alcotest.test_case "rejects malformed" `Quick test_line_errors
+        :: Alcotest.test_case "to_attrs" `Quick test_to_attrs
+        :: qtests [ prop_line_roundtrip ] );
+      ( "table_io files",
+        [ Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          Alcotest.test_case "bad line reported" `Quick test_file_reports_bad_line;
+          Alcotest.test_case "synthesize shape" `Quick test_synthesize_shape
+        ] )
+    ]

@@ -1,0 +1,114 @@
+(* Real-socket interop: two BGP endpoints over loopback TCP in one
+   process, driven by the select loop. *)
+
+module Fsm = Bgp_fsm.Fsm
+module Session = Bgp_fsm.Session
+module Msg = Bgp_wire.Msg
+
+let ip = Bgp_addr.Ipv4.of_string_exn
+let asn = Bgp_route.Asn.of_int
+let port_base = 42100 + (Unix.getpid () mod 500)
+
+let attrs =
+  Bgp_route.Attrs.make
+    ~as_path:(Bgp_route.As_path.of_asns [ asn 65001; asn 7018 ])
+    ~next_hop:(ip "127.0.0.1") ()
+
+let test_loopback_session () =
+  let loop = Bgp_tcp.Event_loop.create () in
+  let port = port_base in
+  let received = ref 0 in
+  let listener_hooks =
+    { Session.null_hooks with
+      Session.on_update =
+        (fun u -> received := !received + List.length u.Msg.nlri) }
+  in
+  let listener =
+    Bgp_tcp.Endpoint.listen loop ~port
+      ~cfg:(Fsm.default_config ~asn:(asn 65000) ~router_id:(ip "10.0.0.1"))
+      ~hooks:listener_hooks
+  in
+  let connector =
+    Bgp_tcp.Endpoint.connect loop ~port
+      ~cfg:(Fsm.default_config ~asn:(asn 65001) ~router_id:(ip "10.0.0.2"))
+      ~hooks:Session.null_hooks
+  in
+  Bgp_tcp.Endpoint.start listener;
+  Bgp_tcp.Endpoint.start connector;
+  let both_up () =
+    Bgp_tcp.Endpoint.state listener = Fsm.Established
+    && Bgp_tcp.Endpoint.state connector = Fsm.Established
+  in
+  if not (Bgp_tcp.Event_loop.run loop ~until:both_up ~timeout:10.0) then
+    Alcotest.failf "sessions did not establish (listener %s, connector %s)"
+      (Fsm.state_name (Bgp_tcp.Endpoint.state listener))
+      (Fsm.state_name (Bgp_tcp.Endpoint.state connector));
+  (* push 1000 prefixes in 10 large updates over the real socket *)
+  let table = Bgp_addr.Prefix_gen.table ~seed:3 ~n:1000 () in
+  List.iter
+    (fun chunk -> ignore (Bgp_tcp.Endpoint.send connector (Msg.announcement attrs chunk)))
+    (Bgp_speaker.Workload.chunk 100 table);
+  let all_received () = !received = 1000 in
+  if not (Bgp_tcp.Event_loop.run loop ~until:all_received ~timeout:10.0) then
+    Alcotest.failf "only %d/1000 prefixes received" !received;
+  Bgp_tcp.Endpoint.close connector;
+  Bgp_tcp.Endpoint.close listener
+
+let test_notification_on_garbage () =
+  let loop = Bgp_tcp.Event_loop.create () in
+  let port = port_base + 1 in
+  let down_reason = ref "" in
+  let listener =
+    Bgp_tcp.Endpoint.listen loop ~port
+      ~cfg:(Fsm.default_config ~asn:(asn 65000) ~router_id:(ip "10.0.0.1"))
+      ~hooks:
+        { Session.null_hooks with
+          Session.on_down = (fun r -> down_reason := r) }
+  in
+  Bgp_tcp.Endpoint.start listener;
+  (* A raw TCP client that talks garbage instead of BGP. *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let connected () = Bgp_tcp.Endpoint.state listener <> Fsm.Active in
+  ignore (Bgp_tcp.Event_loop.run loop ~until:connected ~timeout:5.0);
+  ignore (Unix.write fd (Bytes.make 32 '\x00') 0 32);
+  let is_down () = Bgp_tcp.Endpoint.state listener = Fsm.Idle in
+  if not (Bgp_tcp.Event_loop.run loop ~until:is_down ~timeout:5.0) then
+    Alcotest.fail "listener should reset on garbage";
+  (* The listener sent us its OPEN first, then a NOTIFICATION for the
+     garbage: walk the messages and confirm the last one is type 3. *)
+  let buf = Buffer.create 128 in
+  let chunk = Bytes.create 128 in
+  (try
+     let rec slurp () =
+       match Unix.read fd chunk 0 128 with
+       | 0 -> ()
+       | n ->
+         Buffer.add_subbytes buf chunk 0 n;
+         slurp ()
+     in
+     slurp ()
+   with Unix.Unix_error _ -> ());
+  let data = Buffer.contents buf in
+  let rec last_type pos acc =
+    if pos + 19 > String.length data then acc
+    else
+      let len = (Char.code data.[pos + 16] lsl 8) lor Char.code data.[pos + 17] in
+      let ty = Char.code data.[pos + 18] in
+      if len < 19 then acc else last_type (pos + len) (Some ty)
+  in
+  (match last_type 0 None with
+  | Some ty -> Alcotest.(check int) "last message is NOTIFICATION" 3 ty
+  | None -> Alcotest.fail "no reply messages captured");
+  Unix.close fd;
+  Bgp_tcp.Endpoint.close listener;
+  Alcotest.(check bool) "reason recorded" true (!down_reason <> "")
+
+let () =
+  Alcotest.run "bgp_tcp"
+    [ ( "loopback",
+        [ Alcotest.test_case "full session over real TCP" `Quick test_loopback_session;
+          Alcotest.test_case "garbage triggers notification" `Quick
+            test_notification_on_garbage
+        ] )
+    ]
