@@ -364,6 +364,26 @@ let sim_test =
      Bgp_sim.Engine.run e)
 
 (* ------------------------------------------------------------------ *)
+(* Per-stage cost breakdown preamble                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One complete scenario-1 run per architecture, reporting where the
+   simulated cycles went stage by stage.  Also the `--smoke` payload:
+   a cheap end-to-end exercise of harness + pipeline + reporting. *)
+let print_stage_breakdowns () =
+  let sc = Scenario.of_id_exn 1 in
+  Format.printf
+    "Per-stage cycle breakdown (scenario %d, %d prefixes, small packets):@.@."
+    sc.Scenario.id bench_config.H.table_size;
+  List.iter
+    (fun arch ->
+      let r = H.run ~config:bench_config arch sc in
+      assert (r.H.verified = Ok ());
+      Format.printf "%s: %.1f transactions/s@.%a@." r.H.arch_name r.H.tps
+        Bgp_pipeline.Pipeline.pp_stage_stats r.H.stage_stats)
+    Arch.all
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -380,6 +400,13 @@ let all_tests =
   @ [ framer_test; forward_wire_test; gen_test; sim_test ]
 
 let () =
+  print_stage_breakdowns ();
+  (* --smoke: the breakdown runs above are a complete (if small)
+     harness exercise; stop before the wall-clock measurements. *)
+  if Array.mem "--smoke" Sys.argv then begin
+    print_endline "smoke OK";
+    exit 0
+  end;
   let cfg =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None
       ~stabilize:false ()

@@ -42,6 +42,7 @@ type result = {
   fib_size_end : int;
   fib_stats : Fib.stats;
   rib_stats : Bgp_rib.Rib_manager.stats;
+  stage_stats : Bgp_pipeline.Pipeline.stage_stat list;
   msgs_rx : int;
   msgs_tx : int;
   fwd_ratio_min : float;
@@ -226,6 +227,7 @@ let run ?(config = default_config) arch scenario =
     ~transactions:cfg.table_size;
 
   let phase1_counters = Router.counters router in
+  let phase1_stage_stats = Router.stage_stats router in
 
   (* --- Phase 2: speaker 2 sync (scenarios 5-8) --------------------- *)
   if Scenario.uses_speaker2 scenario then begin
@@ -276,6 +278,10 @@ let run ?(config = default_config) arch scenario =
   let counters =
     if measured_phase_is_1 then phase1_counters else Router.counters router
   in
+  let stage_stats =
+    if measured_phase_is_1 then phase1_stage_stats
+    else Router.stage_stats router
+  in
   Option.iter Trace.stop tracer;
   let trace = match tracer with Some t -> Trace.samples t | None -> [] in
   let measured = counters.Router.transactions in
@@ -309,12 +315,14 @@ let run ?(config = default_config) arch scenario =
     fib_size_end = Fib.size (Router.fib router);
     fib_stats = Fib.stats (Router.fib router);
     rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
+    stage_stats;
     msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
     fwd_ratio_min; verified }
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "@[<v>%s / %s:@,  %.1f transactions/s (%d prefixes in %.2fs virtual)@,  FIB end size %d; verification %s@]"
+    "@[<v>%s / %s:@,  %.1f transactions/s (%d prefixes in %.2fs virtual)@,  FIB end size %d; verification %s@,  per-stage breakdown (measured phase):@,  @[<v>%a@]@]"
     r.arch_name (Scenario.describe r.scenario) r.tps r.measured_prefixes
     r.measure_seconds r.fib_size_end
     (match r.verified with Ok () -> "OK" | Error e -> "FAILED: " ^ e)
+    Bgp_pipeline.Pipeline.pp_stage_stats r.stage_stats

@@ -1,0 +1,271 @@
+module Engine = Bgp_sim.Engine
+module Sched = Bgp_sim.Sched
+module Metrics = Bgp_stats.Metrics
+
+type stage_id =
+  | Wire_decode
+  | Import_policy
+  | Adj_rib_in
+  | Decision
+  | Fib_install
+  | Export_policy
+  | Mrai_pacing
+
+let all_stage_ids =
+  [ Wire_decode; Import_policy; Adj_rib_in; Decision; Fib_install;
+    Export_policy; Mrai_pacing ]
+
+let stage_name = function
+  | Wire_decode -> "wire-decode"
+  | Import_policy -> "import-policy"
+  | Adj_rib_in -> "adj-rib-in"
+  | Decision -> "decision"
+  | Fib_install -> "fib-install"
+  | Export_policy -> "export-policy"
+  | Mrai_pacing -> "mrai-pacing"
+
+type work = {
+  mutable w_bytes : int;
+  mutable w_announced : int;
+  mutable w_withdrawn : int;
+  mutable w_peers : int;
+  mutable w_candidates : int;
+  mutable w_loc_changes : int;
+  mutable w_fib_installs : int;
+  mutable w_fib_replaces : int;
+  mutable w_announcements : int;
+  mutable w_mrai_buffered : int;
+}
+
+let work ?(bytes = 0) ?(announced = 0) ?(withdrawn = 0) ?(peers = 0) () =
+  { w_bytes = bytes; w_announced = announced; w_withdrawn = withdrawn;
+    w_peers = peers; w_candidates = 0; w_loc_changes = 0; w_fib_installs = 0;
+    w_fib_replaces = 0; w_announcements = 0; w_mrai_buffered = 0 }
+
+let prefixes w = w.w_announced + w.w_withdrawn
+let fib_deltas w = w.w_fib_installs + w.w_fib_replaces
+
+type spec = {
+  sp_id : stage_id;
+  sp_proc : string option;
+  sp_cost : work -> float;
+  sp_units : work -> int;
+  sp_skip : work -> bool;
+}
+
+let spec ?proc ?(cost = fun _ -> 0.0) ?(units = fun _ -> 0)
+    ?(skip = fun _ -> false) id =
+  { sp_id = id; sp_proc = proc; sp_cost = cost; sp_units = units;
+    sp_skip = skip }
+
+let spec_id sp = sp.sp_id
+let spec_proc sp = sp.sp_proc
+
+type layout = Pipelined | Fused_paced of float
+
+type hooks = {
+  on_begin : stage_id -> unit;
+  on_finish : stage_id -> unit;
+  on_done : unit -> unit;
+}
+
+type stage = {
+  spec : spec;
+  proc : Sched.proc option;
+  m_units : Metrics.counter;
+  m_batches : Metrics.counter;
+  m_cycles : Metrics.histogram;
+}
+
+type batch = { b_work : work; b_hooks : hooks }
+
+type t = {
+  engine : Engine.t;
+  sched : Sched.t;
+  layout : layout;
+  stages : stage array;
+  procs : (string * Sched.proc) list;  (* creation order *)
+  fused_proc : Sched.proc option;      (* the single proc of a fused table *)
+  pending : batch Queue.t;             (* paced batches (fused layout) *)
+  mutable pacer_busy : bool;
+}
+
+let create ~engine ~sched ~metrics ~layout specs =
+  if specs = [] then invalid_arg "Pipeline.create: empty stage table";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun sp ->
+      if Hashtbl.mem seen sp.sp_id then
+        invalid_arg
+          (Printf.sprintf "Pipeline.create: duplicate stage %s"
+             (stage_name sp.sp_id));
+      Hashtbl.replace seen sp.sp_id ())
+    specs;
+  (* One scheduler process per distinct name, in table order. *)
+  let procs =
+    List.fold_left
+      (fun acc sp ->
+        match sp.sp_proc with
+        | Some name when not (List.mem_assoc name acc) ->
+          acc @ [ (name, Sched.add_proc sched name) ]
+        | Some _ | None -> acc)
+      [] specs
+  in
+  let fused_proc =
+    match layout with
+    | Pipelined -> None
+    | Fused_paced _ -> (
+      match procs with
+      | [ (_, p) ] -> Some p
+      | _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.create: fused layout needs exactly one process, got %d"
+             (List.length procs)))
+  in
+  let stages =
+    Array.of_list
+      (List.map
+         (fun sp ->
+           let name = stage_name sp.sp_id in
+           { spec = sp;
+             proc =
+               Option.map (fun n -> List.assoc n procs) sp.sp_proc;
+             m_units = Metrics.counter metrics ("pipeline." ^ name ^ ".units");
+             m_batches =
+               Metrics.counter metrics ("pipeline." ^ name ^ ".batches");
+             m_cycles =
+               Metrics.histogram metrics ("pipeline." ^ name ^ ".cycles") })
+         specs)
+  in
+  { engine; sched; layout; stages; procs; fused_proc;
+    pending = Queue.create (); pacer_busy = false }
+
+(* Charge accounting at dispatch (cost is decided there), unit counts at
+   completion (late stages' units are produced by earlier finish hooks,
+   e.g. MRAI buffering happens while Export_policy emits). *)
+let record_dispatch st cycles =
+  Metrics.incr st.m_batches;
+  Metrics.observe st.m_cycles cycles
+
+let record_finish st w = Metrics.incr ~by:(st.spec.sp_units w) st.m_units
+
+(* --- Pipelined layout: one scheduled job per proc-bearing stage. ---- *)
+
+let rec dispatch_from t b i =
+  if i >= Array.length t.stages then b.b_hooks.on_done ()
+  else begin
+    let st = t.stages.(i) in
+    if st.spec.sp_skip b.b_work then dispatch_from t b (i + 1)
+    else begin
+      b.b_hooks.on_begin st.spec.sp_id;
+      let cycles = st.spec.sp_cost b.b_work in
+      record_dispatch st cycles;
+      let complete () =
+        b.b_hooks.on_finish st.spec.sp_id;
+        record_finish st b.b_work;
+        dispatch_from t b (i + 1)
+      in
+      match st.proc with
+      | None -> complete ()  (* inline bookkeeping: no simulated CPU *)
+      | Some p -> Sched.submit t.sched p ~cycles complete
+    end
+  end
+
+(* --- Fused layout: all stages priced into one paced job. ------------ *)
+
+let dispatch_fused t b =
+  let n = Array.length t.stages in
+  let ran = Array.make n false in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i st ->
+      if not (st.spec.sp_skip b.b_work) then begin
+        ran.(i) <- true;
+        b.b_hooks.on_begin st.spec.sp_id;
+        let cycles = st.spec.sp_cost b.b_work in
+        record_dispatch st cycles;
+        total := !total +. cycles
+      end)
+    t.stages;
+  let proc = Option.get t.fused_proc in
+  Sched.submit t.sched proc ~cycles:!total (fun () ->
+      Array.iteri
+        (fun i st ->
+          if ran.(i) then begin
+            b.b_hooks.on_finish st.spec.sp_id;
+            record_finish st b.b_work
+          end)
+        t.stages;
+      b.b_hooks.on_done ())
+
+let rec pump t pacing =
+  if (not t.pacer_busy) && not (Queue.is_empty t.pending) then begin
+    t.pacer_busy <- true;
+    let b = Queue.pop t.pending in
+    ignore
+      (Engine.schedule t.engine ~delay:pacing (fun () ->
+           dispatch_fused t
+             { b with
+               b_hooks =
+                 { b.b_hooks with
+                   on_done =
+                     (fun () ->
+                       b.b_hooks.on_done ();
+                       t.pacer_busy <- false;
+                       pump t pacing) } }))
+  end
+
+let submit t w hooks =
+  let b = { b_work = w; b_hooks = hooks } in
+  match t.layout with
+  | Pipelined -> dispatch_from t b 0
+  | Fused_paced pacing ->
+    Queue.add b t.pending;
+    pump t pacing
+
+let procs t = t.procs
+
+let find_proc t name = List.assoc_opt name t.procs
+
+let stage_proc t id =
+  Array.fold_left
+    (fun acc st -> if st.spec.sp_id = id then st.proc else acc)
+    None t.stages
+
+let idle t =
+  Queue.is_empty t.pending
+  && (not t.pacer_busy)
+  && List.for_all (fun (_, p) -> Sched.queue_length t.sched p = 0) t.procs
+
+type stage_stat = {
+  st_stage : string;
+  st_proc : string option;
+  st_units : int;
+  st_batches : int;
+  st_cycles : float;
+}
+
+let stage_stats t =
+  Array.to_list
+    (Array.map
+       (fun st ->
+         { st_stage = stage_name st.spec.sp_id;
+           st_proc = st.spec.sp_proc;
+           st_units = Metrics.value st.m_units;
+           st_batches = Metrics.value st.m_batches;
+           st_cycles = Metrics.hist_sum st.m_cycles })
+       t.stages)
+
+let pp_stage_stats ppf stats =
+  Format.fprintf ppf "@[<v>%-14s %-12s %10s %10s %14s %12s@," "stage" "proc"
+    "units" "batches" "cycles" "cyc/batch";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-14s %-12s %10d %10d %14.0f %12.0f@," s.st_stage
+        (Option.value ~default:"-" s.st_proc)
+        s.st_units s.st_batches s.st_cycles
+        (if s.st_batches = 0 then 0.0
+         else s.st_cycles /. float_of_int s.st_batches))
+    stats;
+  Format.fprintf ppf "@]"

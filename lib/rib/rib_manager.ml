@@ -1,5 +1,6 @@
 module R = Bgp_route.Route
 module A = Bgp_route.Attrs
+module M = Bgp_stats.Metrics
 module Peer = Bgp_route.Peer
 module Policy = Bgp_policy.Policy
 module Fib = Bgp_fib.Fib
@@ -33,15 +34,21 @@ type t = {
   aggregates : agg_state list;
   local_routes : Adj_rib.t;  (* locally originated, keyed like an adj-in *)
   loc : Loc_rib.t;
-  mutable updates_processed : int;
-  mutable decisions_run : int;
-  mutable loc_rib_changes : int;
-  mutable announcements_emitted : int;
-  mutable policy_units : int;
+  (* Work counters live in a shared metrics registry so that a phase
+     boundary ({!Bgp_stats.Metrics.reset_all}) clears RIB, router, and
+     pipeline accounting together. *)
+  c_updates_processed : M.counter;
+  c_decisions_run : M.counter;
+  c_loc_rib_changes : M.counter;
+  c_announcements_emitted : M.counter;
+  c_policy_units : M.counter;
 }
 
 let create ?(import = Policy.accept_all) ?(export = Policy.accept_all)
-    ?(aggregates = []) ?cluster_id ~local_asn ~router_id () =
+    ?(aggregates = []) ?cluster_id ?metrics ~local_asn ~router_id () =
+  let metrics =
+    match metrics with Some m -> m | None -> M.create ()
+  in
   { local_asn; router_id;
     cluster_id = Option.value ~default:router_id cluster_id;
     default_import = import; default_export = export;
@@ -49,8 +56,11 @@ let create ?(import = Policy.accept_all) ?(export = Policy.accept_all)
     aggregates =
       List.map (fun agg_cfg -> { agg_cfg; agg_active = false }) aggregates;
     local_routes = Adj_rib.create (); loc = Loc_rib.create ();
-    updates_processed = 0; decisions_run = 0; loc_rib_changes = 0;
-    announcements_emitted = 0; policy_units = 0 }
+    c_updates_processed = M.counter metrics "rib.updates_processed";
+    c_decisions_run = M.counter metrics "rib.decisions_run";
+    c_loc_rib_changes = M.counter metrics "rib.loc_rib_changes";
+    c_announcements_emitted = M.counter metrics "rib.announcements_emitted";
+    c_policy_units = M.counter metrics "rib.policy_units" }
 
 let local_asn t = t.local_asn
 let router_id t = t.router_id
@@ -228,7 +238,7 @@ let sync_adj_out ps prefix desired =
 (* Re-run the decision process for [prefix] and propagate the result to
    Loc-RIB, FIB deltas, and Adj-RIBs-Out. *)
 let redecide t prefix =
-  t.decisions_run <- t.decisions_run + 1;
+  M.incr t.c_decisions_run;
   let cands, import_work = candidates_for t prefix in
   let best = Decision.select ~local_asn:t.local_asn cands in
   let work = ref import_work in
@@ -256,7 +266,7 @@ let redecide t prefix =
         in
         (true, delta))
   in
-  if loc_changed then t.loc_rib_changes <- t.loc_rib_changes + 1;
+  if loc_changed then M.incr t.c_loc_rib_changes;
   let announcements =
     if not loc_changed then []
     else
@@ -275,8 +285,8 @@ let redecide t prefix =
         t.peer_states []
       |> List.sort (fun a b -> Peer.compare a.dest b.dest)
   in
-  t.announcements_emitted <- t.announcements_emitted + List.length announcements;
-  t.policy_units <- t.policy_units + !work;
+  M.incr ~by:(List.length announcements) t.c_announcements_emitted;
+  M.incr ~by:!work t.c_policy_units;
   (loc_changed, fib_deltas, announcements, List.length cands, !work)
 
 (* ------------------------------------------------------------------ *)
@@ -339,8 +349,8 @@ let sweep_specifics t agg ~suppress =
             t.loc acc)
       t.peer_states []
   in
-  t.policy_units <- t.policy_units + !work;
-  t.announcements_emitted <- t.announcements_emitted + List.length anns;
+  M.incr ~by:!work t.c_policy_units;
+  M.incr ~by:(List.length anns) t.c_announcements_emitted;
   anns
 
 (* Re-evaluate one aggregate; returns the extra deltas/announcements it
@@ -393,7 +403,7 @@ and eval_aggregates t prefix =
 let finish t
     (adj_in_change :
       [ `New | `Changed | `Unchanged | `Removed | `Absent | `Loop ]) prefix =
-  t.updates_processed <- t.updates_processed + 1;
+  M.incr t.c_updates_processed;
   match adj_in_change with
   | `Unchanged | `Absent ->
     { no_op_outcome with adj_in_change }
@@ -425,7 +435,7 @@ let announce t ~from prefix attrs =
     let removed = Adj_rib.remove ps.adj_in prefix in
     if removed then finish t `Loop prefix
     else begin
-      t.updates_processed <- t.updates_processed + 1;
+      M.incr t.c_updates_processed;
       { no_op_outcome with adj_in_change = `Loop }
     end
   else finish t (Adj_rib.set ps.adj_in prefix attrs :> [ `New | `Changed | `Unchanged | `Removed | `Absent | `Loop ]) prefix
@@ -438,7 +448,7 @@ let withdraw t ~from prefix =
 let withdraw_local t ~prefix =
   if Adj_rib.remove t.local_routes prefix then finish t `Removed prefix
   else begin
-    t.updates_processed <- t.updates_processed + 1;
+    M.incr t.c_updates_processed;
     { no_op_outcome with adj_in_change = `Absent }
   end
 
@@ -463,8 +473,8 @@ let export_full t peer =
         | None -> acc)
       t.loc []
   in
-  t.policy_units <- t.policy_units + !work;
-  t.announcements_emitted <- t.announcements_emitted + List.length anns;
+  M.incr ~by:!work t.c_policy_units;
+  M.incr ~by:(List.length anns) t.c_announcements_emitted;
   List.sort (fun a b -> P.compare a.ann_prefix b.ann_prefix) anns
 
 let refresh t peer =
@@ -493,7 +503,7 @@ let peer_down t peer =
       { no_op_outcome with adj_in_change = `Removed }
       contributed
   in
-  t.updates_processed <- t.updates_processed + List.length contributed;
+  M.incr ~by:(List.length contributed) t.c_updates_processed;
   merged
 
 type stats = {
@@ -505,7 +515,8 @@ type stats = {
 }
 
 let stats (t : t) =
-  { updates_processed = t.updates_processed; decisions_run = t.decisions_run;
-    loc_rib_changes = t.loc_rib_changes;
-    announcements_emitted = t.announcements_emitted;
-    policy_units = t.policy_units }
+  { updates_processed = M.value t.c_updates_processed;
+    decisions_run = M.value t.c_decisions_run;
+    loc_rib_changes = M.value t.c_loc_rib_changes;
+    announcements_emitted = M.value t.c_announcements_emitted;
+    policy_units = M.value t.c_policy_units }

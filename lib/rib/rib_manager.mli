@@ -29,6 +29,7 @@ val create :
   ?export:Bgp_policy.Policy.t ->
   ?aggregates:aggregate_config list ->
   ?cluster_id:Bgp_addr.Ipv4.t ->
+  ?metrics:Bgp_stats.Metrics.t ->
   local_asn:Bgp_route.Asn.t ->
   router_id:Bgp_addr.Ipv4.t ->
   unit ->
@@ -36,7 +37,14 @@ val create :
 (** [import]/[export] are default policies for peers added without
     per-peer overrides (both default to accept-all).  [cluster_id]
     (default: the router id) identifies this router's reflection
-    cluster when peers are added with [~rr_client:true]. *)
+    cluster when peers are added with [~rr_client:true].
+
+    [metrics] is the registry the work counters ([rib.*]) register
+    into, shared with the owning router so one
+    {!Bgp_stats.Metrics.reset_all} clears all accounting together; by
+    default the manager keeps a private registry.
+    @raise Invalid_argument if [metrics] already holds [rib.*] names
+    (one registry backs at most one manager). *)
 
 val local_asn : t -> Bgp_route.Asn.t
 val router_id : t -> Bgp_addr.Ipv4.t

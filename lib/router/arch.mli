@@ -101,6 +101,36 @@ val by_name : string -> t option
 (** Case-insensitive lookup of ["pentium3"], ["xeon"], ["ixp2400"],
     ["cisco3620"]. *)
 
+(** {1 Stage tables}
+
+    An architecture's update path is declared, not hardwired: the
+    router builds a {!Bgp_pipeline.Pipeline} from [stage_table] +
+    [layout].  A new architecture is a new stage table (see DESIGN.md
+    "Update pipeline" for a worked example). *)
+
+val stage_table : t -> Bgp_pipeline.Pipeline.spec list
+(** The seven-stage per-update table with this architecture's cost
+    hooks.  XORP systems charge wire decode to [xorp_bgp], import
+    policy to [xorp_policy], the decision to [xorp_rib], and FIB
+    install to [xorp_fea]; the IOS black box charges every priced stage
+    to the single [ios] process. *)
+
+val layout : t -> Bgp_pipeline.Pipeline.layout
+(** [Pipelined] for the XORP process chain, [Fused_paced] (with the
+    per-message scheduler delay) for the monolithic IOS model. *)
+
+val tx_proc_name : t -> string
+(** The stage process charged for the message send path. *)
+
+val fib_proc_name : t -> string
+(** The stage process charged for out-of-band FIB repair work (peer
+    loss). *)
+
+val housekeeper_proc_name : t -> string option
+(** An extra, non-pipeline process for periodic housekeeping
+    ([xorp_rtrmgr]); [None] when the architecture has no such
+    process. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line summary. *)
 

@@ -6,21 +6,8 @@ module Session = Bgp_fsm.Session
 module Peer = Bgp_route.Peer
 module Rib_manager = Bgp_rib.Rib_manager
 module Fib = Bgp_fib.Fib
-
-type procs =
-  | Xorp of {
-      bgp : Sched.proc;
-      policy : Sched.proc;
-      rib : Sched.proc;
-      fea : Sched.proc;
-      rtrmgr : Sched.proc;
-    }
-  | Ios of {
-      ios : Sched.proc;
-      pacing : float;
-      pending : (unit -> unit) Queue.t;  (* paced message processors *)
-      mutable pacer_busy : bool;
-    }
+module Pipeline = Bgp_pipeline.Pipeline
+module Metrics = Bgp_stats.Metrics
 
 type peer_link = {
   peer : Peer.t;
@@ -53,15 +40,18 @@ type t = {
   rib : Rib_manager.t;
   fib : Fib.t;
   fwd : Bgp_netsim.Forwarding.t;
-  procs : procs;
+  pipeline : Pipeline.t;
+  tx_proc : Sched.proc;   (* message send path *)
+  fib_proc : Sched.proc;  (* out-of-band FIB repair (peer loss) *)
+  metrics : Metrics.t;
   mrai : float option;
   peers : (int, peer_link) Hashtbl.t;
-  mutable transactions : int;
-  mutable updates_rx : int;
-  mutable msgs_rx : int;
-  mutable msgs_tx : int;
-  mutable bytes_rx : int;
-  mutable bytes_tx : int;
+  c_transactions : Metrics.counter;
+  c_updates_rx : Metrics.counter;
+  c_msgs_rx : Metrics.counter;
+  c_msgs_tx : Metrics.counter;
+  c_bytes_rx : Metrics.counter;
+  c_bytes_tx : Metrics.counter;
   mutable first_work_at : float option;
   mutable last_transaction_at : float option;
   mutable inflight : int;  (* update messages still in the pipeline *)
@@ -99,31 +89,46 @@ let start_rtrmgr engine sched arch proc =
     ignore (Engine.schedule engine ~delay:arch.Arch.rtrmgr_period tick)
   end
 
-let create ?import ?export ?mrai engine arch ~local_asn ~router_id =
+let create ?import ?export ?mrai ?metrics engine arch ~local_asn ~router_id =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let c_transactions = Metrics.counter metrics "router.transactions" in
+  let c_updates_rx = Metrics.counter metrics "router.updates_rx" in
+  let c_msgs_rx = Metrics.counter metrics "router.msgs_rx" in
+  let c_msgs_tx = Metrics.counter metrics "router.msgs_tx" in
+  let c_bytes_rx = Metrics.counter metrics "router.bytes_rx" in
+  let c_bytes_tx = Metrics.counter metrics "router.bytes_tx" in
   let sched =
     Sched.create engine ~hz:(Arch.effective_hz arch) ~pool:arch.Arch.pool
   in
-  let procs =
-    match arch.Arch.software with
-    | Arch.Xorp_pipeline ->
-      let bgp = Sched.add_proc sched "xorp_bgp" in
-      let policy = Sched.add_proc sched "xorp_policy" in
-      let rib = Sched.add_proc sched "xorp_rib" in
-      let fea = Sched.add_proc sched "xorp_fea" in
-      let rtrmgr = Sched.add_proc sched "xorp_rtrmgr" in
-      start_rtrmgr engine sched arch rtrmgr;
-      Xorp { bgp; policy; rib; fea; rtrmgr }
-    | Arch.Monolithic { pacing_delay_per_msg } ->
-      Ios
-        { ios = Sched.add_proc sched "ios"; pacing = pacing_delay_per_msg;
-          pending = Queue.create (); pacer_busy = false }
+  (* The pipeline creates the stage processes in table order; the
+     housekeeper (not part of the update path) comes after, preserving
+     the historical bgp/policy/rib/fea/rtrmgr process numbering. *)
+  let pipeline =
+    Pipeline.create ~engine ~sched ~metrics ~layout:(Arch.layout arch)
+      (Arch.stage_table arch)
+  in
+  Option.iter
+    (fun name ->
+      let proc = Sched.add_proc sched name in
+      start_rtrmgr engine sched arch proc)
+    (Arch.housekeeper_proc_name arch);
+  let stage_proc name =
+    match Pipeline.find_proc pipeline name with
+    | Some p -> p
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Router.create: %s names no stage process %s"
+           arch.Arch.name name)
   in
   let fwd = make_forwarding arch sched in
   { engine; arch; sched;
-    rib = Rib_manager.create ?import ?export ~local_asn ~router_id ();
-    fib = Fib.create (); fwd; procs; mrai; peers = Hashtbl.create 8;
-    transactions = 0; updates_rx = 0; msgs_rx = 0; msgs_tx = 0; bytes_rx = 0;
-    bytes_tx = 0; first_work_at = None; last_transaction_at = None;
+    rib = Rib_manager.create ?import ?export ~metrics ~local_asn ~router_id ();
+    fib = Fib.create (); fwd; pipeline;
+    tx_proc = stage_proc (Arch.tx_proc_name arch);
+    fib_proc = stage_proc (Arch.fib_proc_name arch);
+    metrics; mrai; peers = Hashtbl.create 8;
+    c_transactions; c_updates_rx; c_msgs_rx; c_msgs_tx; c_bytes_rx;
+    c_bytes_tx; first_work_at = None; last_transaction_at = None;
     inflight = 0 }
 
 let arch t = t.arch
@@ -132,6 +137,9 @@ let sched t = t.sched
 let rib t = t.rib
 let fib t = t.fib
 let forwarding t = t.fwd
+let metrics t = t.metrics
+let pipeline t = t.pipeline
+let stage_stats t = Pipeline.stage_stats t.pipeline
 
 let set_cross_traffic t traffic = Bgp_netsim.Forwarding.set_offered t.fwd traffic
 
@@ -140,13 +148,6 @@ let set_cross_traffic t traffic = Bgp_netsim.Forwarding.set_offered t.fwd traffi
 (* ------------------------------------------------------------------ *)
 
 let cost t = t.arch.Arch.cost
-
-let rx_cycles t ~bytes ~announced ~withdrawn =
-  let c = cost t in
-  c.Arch.cyc_per_msg_rx
-  +. (float_of_int bytes *. c.Arch.cyc_per_byte)
-  +. (float_of_int announced *. c.Arch.cyc_per_prefix_parse)
-  +. (float_of_int withdrawn *. c.Arch.cyc_per_withdraw_parse)
 
 let delta_cycles (c : Arch.cost_model) deltas =
   List.fold_left
@@ -161,7 +162,6 @@ let delta_cycles (c : Arch.cost_model) deltas =
 (* Aggregate of RIB outcomes for one inbound update. *)
 type update_work = {
   mutable w_candidates : int;
-  mutable w_policy : int;
   mutable w_loc_changes : int;
   mutable w_deltas : Fib.delta list;
   mutable w_anns : Rib_manager.announcement list;
@@ -169,12 +169,10 @@ type update_work = {
 
 let run_rib_update t ~from (u : Msg.update) =
   let w =
-    { w_candidates = 0; w_policy = 0; w_loc_changes = 0; w_deltas = [];
-      w_anns = [] }
+    { w_candidates = 0; w_loc_changes = 0; w_deltas = []; w_anns = [] }
   in
   let absorb (o : Rib_manager.outcome) =
     w.w_candidates <- w.w_candidates + o.Rib_manager.candidates;
-    w.w_policy <- w.w_policy + o.Rib_manager.policy_work;
     if o.Rib_manager.loc_changed then w.w_loc_changes <- w.w_loc_changes + 1;
     w.w_deltas <- w.w_deltas @ o.Rib_manager.fib_deltas;
     w.w_anns <- w.w_anns @ o.Rib_manager.announcements
@@ -211,9 +209,6 @@ let transmit t proc peer msg =
   Sched.submit t.sched proc ~cycles (fun () ->
       ignore (Session.send (link_session (link t peer)) msg))
 
-let tx_proc_of t =
-  match t.procs with Xorp { bgp; _ } -> bgp | Ios { ios; _ } -> ios
-
 (* Flush a peer's MRAI buffer: withdrawals batched together, then
    announcements grouped by identical attributes, each group one
    UPDATE. *)
@@ -239,7 +234,7 @@ let rec mrai_flush t lnk =
         groups []
   in
   if msgs <> [] then begin
-    List.iter (fun msg -> transmit t (tx_proc_of t) lnk.peer msg) msgs;
+    List.iter (fun msg -> transmit t t.tx_proc lnk.peer msg) msgs;
     true
   end
   else false
@@ -255,8 +250,10 @@ and mrai_arm t lnk interval =
          else lnk.mrai_armed <- false))
 
 (* Route one decision's advertisement toward a peer, immediately or
-   through the MRAI buffer. *)
-let emit_announcement t tx_proc (a : Rib_manager.announcement) =
+   through the MRAI buffer.  [w] is the owning batch's work profile;
+   advertisements actually held back by an armed timer are counted
+   there. *)
+let emit_announcement t (w : Pipeline.work) (a : Rib_manager.announcement) =
   match t.mrai with
   | None ->
     (* XORP-style: one UPDATE per announcement as decisions are made. *)
@@ -265,9 +262,11 @@ let emit_announcement t tx_proc (a : Rib_manager.announcement) =
       | Some attrs -> Msg.announcement attrs [ a.Rib_manager.ann_prefix ]
       | None -> Msg.withdrawal [ a.Rib_manager.ann_prefix ]
     in
-    transmit t tx_proc a.Rib_manager.dest msg
+    transmit t t.tx_proc a.Rib_manager.dest msg
   | Some interval ->
     let lnk = link t a.Rib_manager.dest in
+    if lnk.mrai_armed then
+      w.Pipeline.w_mrai_buffered <- w.Pipeline.w_mrai_buffered + 1;
     Hashtbl.replace lnk.mrai_pending a.Rib_manager.ann_prefix
       a.Rib_manager.ann_attrs;
     if not lnk.mrai_armed then begin
@@ -318,107 +317,58 @@ let pack_export anns =
   go [] None [] anns
 
 (* ------------------------------------------------------------------ *)
-(* Pipeline stages                                                     *)
+(* The update pipeline                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let note_transactions t n =
-  t.transactions <- t.transactions + n;
+  Metrics.incr ~by:n t.c_transactions;
   t.last_transaction_at <- Some (Engine.now t.engine);
   t.inflight <- t.inflight - 1
 
-let finish_update t tx_proc (w : update_work) ~prefixes =
-  (* Emit per-decision announcements, then count the transactions. *)
-  List.iter (emit_announcement t tx_proc) w.w_anns;
-  note_transactions t prefixes
+(* Route one inbound UPDATE — all its NLRI as one batch — through the
+   architecture's stage table.  The protocol side effects ride on the
+   stage hooks:
 
-let process_update_xorp t ~from ~bytes (u : Msg.update) =
-  match t.procs with
-  | Ios _ -> assert false
-  | Xorp { bgp; policy; rib; fea; _ } ->
-    let c = cost t in
-    let announced = List.length u.Msg.nlri in
-    let withdrawn = List.length u.Msg.withdrawn in
-    let prefixes = announced + withdrawn in
-    let n_peers = max 1 (List.length (Rib_manager.peers t.rib)) in
-    Sched.submit t.sched bgp ~cycles:(rx_cycles t ~bytes ~announced ~withdrawn)
-      (fun () ->
-        (* Policy stage: cost estimated from fan-out (the real policy
-           work is folded into the rib stage costing below; this stage
-           models the XORP process hop). *)
-        let policy_cycles =
-          float_of_int (prefixes * n_peers) *. c.Arch.cyc_per_policy_unit
-        in
-        Sched.submit t.sched policy ~cycles:policy_cycles (fun () ->
-            (* Decision stage: run the actual RIB machinery, then charge
-               for what it did. *)
-            let w = run_rib_update t ~from u in
-            let rib_cycles =
-              (float_of_int w.w_candidates *. c.Arch.cyc_per_candidate)
-              +. (float_of_int w.w_loc_changes *. c.Arch.cyc_per_rib_change)
-              +. float_of_int (List.length w.w_anns)
-                 *. c.Arch.cyc_per_announcement
-              (* prefixes that produced no decision at all still burn a
-                 lookup *)
-              +. Float.max 0.0
-                   (float_of_int (prefixes - w.w_candidates)
-                   *. (0.5 *. c.Arch.cyc_per_candidate))
-            in
-            Sched.submit t.sched rib ~cycles:rib_cycles (fun () ->
-                match w.w_deltas with
-                | [] -> finish_update t bgp w ~prefixes
-                | deltas ->
-                  let fea_cycles =
-                    c.Arch.cyc_per_fib_msg +. delta_cycles c deltas
-                  in
-                  Sched.submit t.sched fea ~cycles:fea_cycles (fun () ->
-                      ignore (Fib.apply_all t.fib deltas);
-                      finish_update t bgp w ~prefixes))))
-
-let rec ios_pump t =
-  match t.procs with
-  | Xorp _ -> assert false
-  | Ios p ->
-    if (not p.pacer_busy) && not (Queue.is_empty p.pending) then begin
-      p.pacer_busy <- true;
-      let work = Queue.pop p.pending in
-      ignore
-        (Engine.schedule t.engine ~delay:p.pacing (fun () ->
-             (* work() submits the CPU job; completion re-pumps *)
-             work ()))
-    end
-
-and ios_done t =
-  match t.procs with
-  | Xorp _ -> assert false
-  | Ios p ->
-    p.pacer_busy <- false;
-    ios_pump t
-
-let process_update_ios t ~from ~bytes (u : Msg.update) =
-  match t.procs with
-  | Xorp _ -> assert false
-  | Ios p ->
-    let c = cost t in
-    let announced = List.length u.Msg.nlri in
-    let withdrawn = List.length u.Msg.withdrawn in
-    let prefixes = announced + withdrawn in
-    Queue.add
-      (fun () ->
-        let w = run_rib_update t ~from u in
-        let cycles =
-          rx_cycles t ~bytes ~announced ~withdrawn
-          +. (float_of_int w.w_candidates *. c.Arch.cyc_per_candidate)
-          +. (float_of_int w.w_loc_changes *. c.Arch.cyc_per_rib_change)
-          +. delta_cycles c w.w_deltas
-          +. (float_of_int (List.length w.w_anns) *. c.Arch.cyc_per_announcement)
-        in
-        Sched.submit t.sched p.ios ~cycles (fun () ->
-            ignore (Fib.apply_all t.fib w.w_deltas);
-            List.iter (emit_announcement t p.ios) w.w_anns;
-            note_transactions t prefixes;
-            ios_done t))
-      p.pending;
-    ios_pump t
+   - [Adj_rib_in]'s begin hook runs the RIB machinery and copies its
+     outcome into the work profile, which prices the decision and FIB
+     stages;
+   - [Fib_install]'s finish hook commits the deltas to the FIB;
+   - [Export_policy]'s finish hook emits the advertisements
+     (immediately, or into the MRAI buffers);
+   - the done hook books the transactions. *)
+let process_update t ~from ~bytes (u : Msg.update) =
+  let announced = List.length u.Msg.nlri in
+  let withdrawn = List.length u.Msg.withdrawn in
+  let prefixes = announced + withdrawn in
+  let n_peers = max 1 (List.length (Rib_manager.peers t.rib)) in
+  let w = Pipeline.work ~bytes ~announced ~withdrawn ~peers:n_peers () in
+  let deltas = ref [] in
+  let anns = ref [] in
+  let on_begin = function
+    | Pipeline.Adj_rib_in ->
+      let r = run_rib_update t ~from u in
+      w.Pipeline.w_candidates <- r.w_candidates;
+      w.Pipeline.w_loc_changes <- r.w_loc_changes;
+      List.iter
+        (function
+          | Fib.Replace _ ->
+            w.Pipeline.w_fib_replaces <- w.Pipeline.w_fib_replaces + 1
+          | Fib.Add _ | Fib.Withdraw _ ->
+            w.Pipeline.w_fib_installs <- w.Pipeline.w_fib_installs + 1)
+        r.w_deltas;
+      w.Pipeline.w_announcements <- List.length r.w_anns;
+      deltas := r.w_deltas;
+      anns := r.w_anns
+    | _ -> ()
+  in
+  let on_finish = function
+    | Pipeline.Fib_install -> ignore (Fib.apply_all t.fib !deltas)
+    | Pipeline.Export_policy -> List.iter (emit_announcement t w) !anns
+    | _ -> ()
+  in
+  Pipeline.submit t.pipeline w
+    { Pipeline.on_begin; on_finish;
+      on_done = (fun () -> note_transactions t prefixes) }
 
 (* Prefix-limit protection: a peer announcing more prefixes than
    configured gets a CEASE, the standard operator defense against
@@ -433,26 +383,20 @@ let over_prefix_limit t peer_link (u : Msg.update) =
 let on_update t peer_link (u : Msg.update) =
   let now = Engine.now t.engine in
   if t.first_work_at = None then t.first_work_at <- Some now;
-  t.updates_rx <- t.updates_rx + 1;
+  Metrics.incr t.c_updates_rx;
   if over_prefix_limit t peer_link u then
     (* Session teardown; the FSM sends CEASE and on_down flushes the
        peer's contribution. *)
     Option.iter Session.stop peer_link.session
   else begin
     t.inflight <- t.inflight + 1;
-    let bytes = peer_link.last_rx_size in
-    match t.arch.Arch.software with
-    | Arch.Xorp_pipeline -> process_update_xorp t ~from:peer_link.peer ~bytes u
-    | Arch.Monolithic _ -> process_update_ios t ~from:peer_link.peer ~bytes u
+    process_update t ~from:peer_link.peer ~bytes:peer_link.last_rx_size u
   end
 
 (* Ship a full advertisement set to one peer, packed into large
    updates, charging per-prefix announcement-building cycles. *)
 let send_packed t peer_link anns =
   let msgs = pack_export anns in
-  let tx_proc =
-    match t.procs with Xorp { bgp; _ } -> bgp | Ios { ios; _ } -> ios
-  in
   let c = cost t in
   List.iter
     (fun msg ->
@@ -460,7 +404,7 @@ let send_packed t peer_link anns =
       let per_prefix =
         float_of_int (Msg.nlri_count msg) *. c.Arch.cyc_per_announcement
       in
-      Sched.submit t.sched tx_proc ~cycles:per_prefix (fun () ->
+      Sched.submit t.sched t.tx_proc ~cycles:per_prefix (fun () ->
           t.inflight <- t.inflight - 1;
           ignore (Session.send (link_session peer_link) msg)))
     msgs
@@ -499,37 +443,33 @@ let attach_peer ?max_prefixes t ~peer ~channel ~side =
       on_down =
         (fun _reason ->
           (* Session loss invalidates everything the peer contributed;
-             the repair work flows through the pipeline like any other
-             burst (paper: "a link is down or another router failed"). *)
+             the repair work flows outside the update pipeline, charged
+             to the architecture's FIB process like any other burst
+             (paper: "a link is down or another router failed"). *)
           let o = Rib_manager.peer_down t.rib lnk.peer in
           match o.Rib_manager.fib_deltas, o.Rib_manager.announcements with
           | [], [] -> ()
           | deltas, anns ->
             t.inflight <- t.inflight + 1;
             let c = cost t in
-            let proc =
-              match t.procs with
-              | Xorp { fea; _ } -> fea
-              | Ios { ios; _ } -> ios
-            in
             let cycles =
               c.Arch.cyc_per_fib_msg +. delta_cycles c deltas
               +. (float_of_int (List.length anns) *. c.Arch.cyc_per_announcement)
             in
-            Sched.submit t.sched proc ~cycles (fun () ->
+            Sched.submit t.sched t.fib_proc ~cycles (fun () ->
                 ignore (Fib.apply_all t.fib deltas);
                 List.iter
-                  (fun (dest, msg) -> transmit t proc dest msg)
+                  (fun (dest, msg) -> transmit t t.fib_proc dest msg)
                   (announcement_msgs anns);
                 t.inflight <- t.inflight - 1));
       on_tx_msg =
         (fun _ bytes ->
-          t.msgs_tx <- t.msgs_tx + 1;
-          t.bytes_tx <- t.bytes_tx + bytes);
+          Metrics.incr t.c_msgs_tx;
+          Metrics.incr ~by:bytes t.c_bytes_tx);
       on_rx_msg =
         (fun _ bytes ->
-          t.msgs_rx <- t.msgs_rx + 1;
-          t.bytes_rx <- t.bytes_rx + bytes;
+          Metrics.incr t.c_msgs_rx;
+          Metrics.incr ~by:bytes t.c_bytes_rx;
           lnk.last_rx_size <- bytes) }
   in
   let session = Session.create cfg (timer_service t.engine) io hooks in
@@ -542,31 +482,21 @@ let attach_peer ?max_prefixes t ~peer ~channel ~side =
 
 let session_state t peer = Session.state (link_session (link t peer))
 
-let idle t =
-  t.inflight = 0
-  &&
-  match t.procs with
-  | Xorp { bgp; policy; rib; fea; _ } ->
-    Sched.queue_length t.sched bgp = 0
-    && Sched.queue_length t.sched policy = 0
-    && Sched.queue_length t.sched rib = 0
-    && Sched.queue_length t.sched fea = 0
-  | Ios { ios; pending; pacer_busy; _ } ->
-    Sched.queue_length t.sched ios = 0 && Queue.is_empty pending
-    && not pacer_busy
+let idle t = t.inflight = 0 && Pipeline.idle t.pipeline
 
 let counters t =
-  { transactions = t.transactions; updates_rx = t.updates_rx;
-    msgs_rx = t.msgs_rx; msgs_tx = t.msgs_tx; bytes_rx = t.bytes_rx;
-    bytes_tx = t.bytes_tx; first_work_at = t.first_work_at;
+  { transactions = Metrics.value t.c_transactions;
+    updates_rx = Metrics.value t.c_updates_rx;
+    msgs_rx = Metrics.value t.c_msgs_rx;
+    msgs_tx = Metrics.value t.c_msgs_tx;
+    bytes_rx = Metrics.value t.c_bytes_rx;
+    bytes_tx = Metrics.value t.c_bytes_tx;
+    first_work_at = t.first_work_at;
     last_transaction_at = t.last_transaction_at }
 
+(* A measurement-phase boundary: the whole registry — router counters,
+   RIB work counters, per-stage pipeline accounting — resets as one. *)
 let reset_counters t =
-  t.transactions <- 0;
-  t.updates_rx <- 0;
-  t.msgs_rx <- 0;
-  t.msgs_tx <- 0;
-  t.bytes_rx <- 0;
-  t.bytes_tx <- 0;
+  Metrics.reset_all t.metrics;
   t.first_work_at <- None;
   t.last_transaction_at <- None

@@ -5,16 +5,21 @@
     - the {!Bgp_rib.Rib_manager} three-RIB update engine,
     - a {!Bgp_fib.Fib} forwarding table,
     - a {!Bgp_netsim.Forwarding} data-plane model, and
-    - the architecture's CPU: either the five-process XORP pipeline
-      (xorp_bgp -> xorp_policy -> xorp_rib -> xorp_fea, with
-      xorp_rtrmgr housekeeping) on a {!Bgp_sim.Sched} pool, or the
-      monolithic paced model for the commercial black box.
+    - the architecture's CPU: a {!Bgp_pipeline.Pipeline} built from the
+      architecture's declarative stage table ({!Arch.stage_table}) on a
+      {!Bgp_sim.Sched} pool — the XORP process chain runs [Pipelined],
+      the commercial black box runs [Fused_paced].
 
     Protocol work happens logically when messages arrive, but its
     {e completion} — and therefore the transactions-per-second metric —
-    is gated by simulated CPU-cycle jobs flowing through the process
+    is gated by simulated CPU-cycle jobs flowing through the update
     pipeline, which is where architecture differences and cross-traffic
-    interference show up. *)
+    interference show up.
+
+    All instrumentation — router window counters, {!Bgp_rib.Rib_manager}
+    work counters, and per-stage pipeline accounting — lives in one
+    {!Bgp_stats.Metrics} registry, reset atomically at phase
+    boundaries. *)
 
 type t
 
@@ -22,6 +27,7 @@ val create :
   ?import:Bgp_policy.Policy.t ->
   ?export:Bgp_policy.Policy.t ->
   ?mrai:float ->
+  ?metrics:Bgp_stats.Metrics.t ->
   Bgp_sim.Engine.t ->
   Arch.t ->
   local_asn:Bgp_route.Asn.t ->
@@ -30,7 +36,12 @@ val create :
 (** [mrai]: enable RFC 4271 section 9.2.1.1 MinRouteAdvertisementInterval
     batching of outbound advertisements (seconds between flushes per
     peer).  Off by default — XORP 1.3, as benchmarked by the paper,
-    advertises per decision. *)
+    advertises per decision.
+
+    [metrics]: the registry everything registers into (default: a fresh
+    private one).  Supplying a shared registry lets a harness read all
+    router metrics through one handle; it must not already hold
+    [router.*], [rib.*], or [pipeline.*] names. *)
 
 val arch : t -> Arch.t
 val engine : t -> Bgp_sim.Engine.t
@@ -38,6 +49,17 @@ val sched : t -> Bgp_sim.Sched.t
 val rib : t -> Bgp_rib.Rib_manager.t
 val fib : t -> Bgp_fib.Fib.t
 val forwarding : t -> Bgp_netsim.Forwarding.t
+
+val metrics : t -> Bgp_stats.Metrics.t
+(** The unified registry behind {!counters}, the RIB work counters, and
+    the per-stage pipeline accounting. *)
+
+val pipeline : t -> Bgp_pipeline.Pipeline.t
+(** The instantiated update pipeline (stage procs, layout). *)
+
+val stage_stats : t -> Bgp_pipeline.Pipeline.stage_stat list
+(** Per-stage unit/batch/cycle breakdown for the current measurement
+    window (reset by {!reset_counters}). *)
 
 val attach_peer :
   ?max_prefixes:int -> t -> peer:Bgp_route.Peer.t ->
@@ -71,4 +93,6 @@ type counters = {
 
 val counters : t -> counters
 val reset_counters : t -> unit
-(** Zero the window counters (phase boundary). *)
+(** Zero the window counters (phase boundary).  Resets through the
+    shared registry ({!Bgp_stats.Metrics.reset_all}), so router, RIB,
+    and per-stage pipeline accounting clear together. *)

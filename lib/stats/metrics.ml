@@ -1,0 +1,114 @@
+type counter = { c_name : string; mutable c_value : int }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+(* Registration order is meaningful for reports, so entries are kept in
+   an ordered list alongside the name index. *)
+type entry = Counter of counter | Histogram of histogram
+
+type t = {
+  index : (string, entry) Hashtbl.t;
+  mutable entries : entry list;  (* reverse registration order *)
+}
+
+let create () = { index = Hashtbl.create 32; entries = [] }
+
+let entry_name = function
+  | Counter c -> c.c_name
+  | Histogram h -> h.h_name
+
+let register t e =
+  let name = entry_name e in
+  if Hashtbl.mem t.index name then
+    invalid_arg (Printf.sprintf "Metrics: %S already registered" name);
+  Hashtbl.replace t.index name e;
+  t.entries <- e :: t.entries
+
+let counter t name =
+  let c = { c_name = name; c_value = 0 } in
+  register t (Counter c);
+  c
+
+let incr ?(by = 1) c =
+  if by < 0 then
+    invalid_arg (Printf.sprintf "Metrics.incr: negative step %d on %s" by c.c_name);
+  c.c_value <- c.c_value + by
+
+let value c = c.c_value
+let counter_name c = c.c_name
+
+let find_counter t name =
+  match Hashtbl.find_opt t.index name with
+  | Some (Counter c) -> Some c
+  | Some (Histogram _) | None -> None
+
+let histogram t name =
+  let h = { h_name = name; h_count = 0; h_sum = 0.0; h_min = 0.0; h_max = 0.0 } in
+  register t (Histogram h);
+  h
+
+let observe h x =
+  if h.h_count = 0 then begin
+    h.h_min <- x;
+    h.h_max <- x
+  end
+  else begin
+    if x < h.h_min then h.h_min <- x;
+    if x > h.h_max then h.h_max <- x
+  end;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. x
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+let hist_mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+let hist_min h = h.h_min
+let hist_max h = h.h_max
+let histogram_name h = h.h_name
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.index name with
+  | Some (Histogram h) -> Some h
+  | Some (Counter _) | None -> None
+
+let reset_all t =
+  List.iter
+    (function
+      | Counter c -> c.c_value <- 0
+      | Histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.0;
+        h.h_min <- 0.0;
+        h.h_max <- 0.0)
+    t.entries
+
+let in_order t = List.rev t.entries
+
+let counters t =
+  List.filter_map
+    (function Counter c -> Some (c.c_name, c.c_value) | Histogram _ -> None)
+    (in_order t)
+
+let histograms t =
+  List.filter_map
+    (function
+      | Histogram h -> Some (h.h_name, (h.h_count, h.h_sum))
+      | Counter _ -> None)
+    (in_order t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (function
+      | Counter c -> Format.fprintf ppf "%-40s %12d@," c.c_name c.c_value
+      | Histogram h ->
+        Format.fprintf ppf "%-40s count %8d  sum %14.0f  mean %12.1f@," h.h_name
+          h.h_count h.h_sum (hist_mean h))
+    (in_order t);
+  Format.fprintf ppf "@]"

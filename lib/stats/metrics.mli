@@ -1,0 +1,74 @@
+(** A unified metrics registry: named monotonic counters and duration
+    histograms.
+
+    One registry instance is shared by everything that instruments a
+    single simulated router ({!Bgp_rib.Rib_manager}, the router, the
+    update-pipeline stages); each component registers its metrics
+    {e exactly once} at construction, and a phase boundary resets the
+    whole registry atomically ({!reset_all}) so no window counter can
+    be missed.
+
+    Counters count discrete events (updates, decisions, transactions);
+    histograms observe per-batch magnitudes (simulated CPU cycles, or
+    any duration-like quantity) and retain count / sum / min / max. *)
+
+type t
+(** A registry. *)
+
+type counter
+type histogram
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** Register a monotonic counter under [name].
+    @raise Invalid_argument if [name] is already registered. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to the counter.  @raise Invalid_argument if
+    [by] is negative (counters are monotonic between resets). *)
+
+val value : counter -> int
+val counter_name : counter -> string
+
+val find_counter : t -> string -> counter option
+(** Look up a previously registered counter. *)
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> histogram
+(** Register a histogram under [name].
+    @raise Invalid_argument if [name] is already registered. *)
+
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+(** 0 when empty. *)
+
+val hist_min : histogram -> float
+(** 0 when empty. *)
+
+val hist_max : histogram -> float
+(** 0 when empty. *)
+
+val histogram_name : histogram -> string
+val find_histogram : t -> string -> histogram option
+
+(** {1 Registry-wide operations} *)
+
+val reset_all : t -> unit
+(** Zero every counter and histogram (a measurement-phase boundary).
+    Registration is preserved. *)
+
+val counters : t -> (string * int) list
+(** All counters with current values, in registration order. *)
+
+val histograms : t -> (string * (int * float)) list
+(** All histograms as [(name, (count, sum))], in registration order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump of every metric, in registration order. *)
