@@ -383,6 +383,38 @@ let print_stage_breakdowns () =
         Bgp_pipeline.Pipeline.pp_stage_stats r.H.stage_stats)
     Arch.all
 
+(* Fault-injection smoke: both adversarial scenarios on one
+   architecture, asserting the router survived, answered every
+   malformed UPDATE with the predicted NOTIFICATION, and re-converged
+   after every teardown. *)
+let print_fault_smoke () =
+  let config = { bench_config with H.fault_rounds = 2 } in
+  Format.printf "Fault-injection smoke (%d prefixes, %d rounds):@.@."
+    config.H.table_size config.H.fault_rounds;
+  List.iter
+    (fun sc ->
+      let r = H.run ~config Arch.pentium3 sc in
+      assert (r.H.verified = Ok ());
+      let f = Option.get r.H.faults in
+      Format.printf
+        "%s: %.1f transactions/s; faults injected %d, malformed dropped %d, \
+         session restarts %d, re-convergence mean %.3fs@."
+        (Scenario.name sc) r.H.tps f.H.fr_injected f.H.fr_malformed_dropped
+        f.H.fr_session_restarts f.H.fr_reconverge_mean)
+    Scenario.adversarial;
+  Format.printf "@."
+
+let fault_tests =
+  List.map
+    (fun sc ->
+      Test.make ~name:(Printf.sprintf "faults/scenario%d" sc.Scenario.id)
+        (Staged.stage @@ fun () ->
+         let config = { bench_config with H.fault_rounds = 2 } in
+         let r = H.run ~config Arch.pentium3 sc in
+         assert (r.H.verified = Ok ());
+         r.H.tps))
+    Scenario.adversarial
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -396,11 +428,12 @@ let all_tests =
   @ wire_tests @ fib_tests
   @ [ rib_bench; decision_test ]
   @ policy_tests @ packing_tests @ decision_scaling_tests @ rib_agg_tests
-  @ workload_shape_tests @ mrai_tests
+  @ workload_shape_tests @ mrai_tests @ fault_tests
   @ [ framer_test; forward_wire_test; gen_test; sim_test ]
 
 let () =
   print_stage_breakdowns ();
+  print_fault_smoke ();
   (* --smoke: the breakdown runs above are a complete (if small)
      harness exercise; stop before the wall-clock measurements. *)
   if Array.mem "--smoke" Sys.argv then begin

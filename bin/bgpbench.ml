@@ -46,15 +46,22 @@ let resolve_archs = function [] -> Arch.all | l -> l
 
 let scenario_conv =
   let parse s =
-    match int_of_string_opt s with
-    | Some id when id >= 1 && id <= 8 -> Ok (Scenario.of_id_exn id)
-    | _ -> Error (`Msg (Printf.sprintf "scenario must be 1-8, got %S" s))
+    match Option.bind (int_of_string_opt s) Scenario.of_id with
+    | Some sc -> Ok sc
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "scenario must be 1-8 (or adversarial 9-10), got %S"
+              s))
   in
   Arg.conv (parse, fun ppf s -> Format.pp_print_int ppf s.Scenario.id)
 
 let scenarios_t =
-  let doc = "Scenarios to run (repeatable); default: all eight." in
-  Arg.(value & opt_all scenario_conv [] & info [ "s"; "scenario" ] ~docv:"1-8" ~doc)
+  let doc =
+    "Scenarios to run (repeatable); default: the paper's eight (9-10 are \
+     the adversarial fault-injection extensions)."
+  in
+  Arg.(value & opt_all scenario_conv [] & info [ "s"; "scenario" ] ~docv:"1-10" ~doc)
 
 let resolve_scenarios = function [] -> Scenario.all | l -> l
 
@@ -254,6 +261,53 @@ let peers_cmd =
          "Extension: transactions/s vs peering density (the paper uses           exactly two speakers)")
     Term.(const run $ size_t $ seed_t $ archs_t $ counts)
 
+let faults_cmd =
+  let run size packing seed rounds archs scenarios =
+    let scenarios =
+      match scenarios with [] -> Scenario.adversarial | l -> l
+    in
+    let failed = ref false in
+    List.iter
+      (fun scenario ->
+        List.iter
+          (fun arch ->
+            let config =
+              { (config_of size packing seed) with H.fault_rounds = rounds }
+            in
+            let r = H.run ~config arch scenario in
+            Format.printf "%a@." H.pp_result r;
+            Option.iter
+              (fun f ->
+                let pp_codes ppf codes =
+                  Format.pp_print_list
+                    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                    (fun ppf (c, s) -> Format.fprintf ppf "%d/%d" c s)
+                    ppf codes
+                in
+                if f.H.fr_expected <> [] then
+                  Format.printf
+                    "  expected NOTIFICATIONs (code/subcode): %a@.  answered \
+                     NOTIFICATIONs (code/subcode): %a@."
+                    pp_codes f.H.fr_expected pp_codes f.H.fr_answered)
+              r.H.faults;
+            if Result.is_error r.H.verified then failed := true)
+          (resolve_archs archs))
+      scenarios;
+    if !failed then exit 1
+  in
+  let rounds =
+    Arg.(
+      value & opt int 5
+      & info [ "rounds" ] ~docv:"N" ~doc:"Fault injections per run.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run the adversarial fault-injection scenarios (9: corrupted-update \
+          storm, 10: session flaps); exits non-zero if any verification \
+          fails")
+    Term.(const run $ size_t $ packing_t $ seed_t $ rounds $ archs_t $ scenarios_t)
+
 let all_cmd =
   let run size packing seed =
     let config = config_of size packing seed in
@@ -290,6 +344,6 @@ let main_cmd =
   let info = Cmd.info "bgpbench" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ scenarios_cmd; systems_cmd; table3_cmd; scenario_cmd; fig3_cmd; fig4_cmd;
-      fig5_cmd; fig6_cmd; power_cmd; peers_cmd; all_cmd ]
+      fig5_cmd; fig6_cmd; power_cmd; peers_cmd; faults_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

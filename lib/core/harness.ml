@@ -9,6 +9,10 @@ module Workload = Bgp_speaker.Workload
 module Peer = Bgp_route.Peer
 module Fib = Bgp_fib.Fib
 module Ipv4 = Bgp_addr.Ipv4
+module Fsm = Bgp_fsm.Fsm
+module Msg = Bgp_wire.Msg
+module Faults = Bgp_faults.Faults
+module Metrics = Bgp_stats.Metrics
 
 type config = {
   table_size : int;
@@ -22,13 +26,25 @@ type config = {
   varied_paths : bool;
   mrai : float option;
   timeout : float;
+  fault_rounds : int;
 }
 
 let default_config =
   { table_size = 10_000; large_packing = 500; cross_traffic = Traffic.none;
     seed = 42; trace_interval = None; setup_path_len = 3; longer_path_len = 6;
     shorter_path_len = 1; varied_paths = false; mrai = None;
-    timeout = 500_000.0 }
+    timeout = 500_000.0; fault_rounds = 5 }
+
+type fault_report = {
+  fr_injected : int;
+  fr_malformed_dropped : int;
+  fr_session_restarts : int;
+  fr_reconverge_count : int;
+  fr_reconverge_mean : float;
+  fr_reconverge_max : float;
+  fr_expected : (int * int) list;
+  fr_answered : (int * int) list;
+}
 
 type result = {
   arch_name : string;
@@ -46,6 +62,7 @@ type result = {
   msgs_rx : int;
   msgs_tx : int;
   fwd_ratio_min : float;
+  faults : fault_report option;
   verified : (unit, string) Stdlib.result;
 }
 
@@ -113,8 +130,31 @@ let verify (scenario : Scenario.t) cfg router s2_opt ~measured
   let fib = Router.fib router in
   let stats = Fib.stats fib in
   let n = cfg.table_size in
-  let* () = check "all prefixes measured" (measured = n) in
+  (* Adversarial scenarios re-inject the full table once per fault
+     round, so the measured phase processes [rounds * n] prefixes. *)
+  let expected_measured =
+    if Scenario.is_adversarial scenario then cfg.fault_rounds * n else n
+  in
+  let s2_holds_table () =
+    check "speaker 2 held the full table"
+      (match s2_opt with
+      | Some s2 -> Hashtbl.length (Speaker.received_prefix_set s2) = n
+      | None -> false)
+  in
+  let* () = check "all prefixes measured" (measured = expected_measured) in
   match scenario.Scenario.operation with
+  | Scenario.Corrupted_storm | Scenario.Session_flaps ->
+    let r = cfg.fault_rounds in
+    let* () = check "FIB restored after recovery" (Fib.size fib = n) in
+    let* () =
+      check "every fault flushed the table"
+        (stats.Fib.withdraws - fib_before.Fib.withdraws = r * n)
+    in
+    let* () =
+      check "every recovery re-installed the table"
+        (stats.Fib.adds - fib_before.Fib.adds = r * n)
+    in
+    s2_holds_table ()
   | Scenario.Startup_announce ->
     let* () = check "FIB holds the table" (Fib.size fib = n) in
     check "every prefix was an Add" (stats.Fib.adds - fib_before.Fib.adds = n)
@@ -143,7 +183,7 @@ let verify (scenario : Scenario.t) cfg router s2_opt ~measured
 (* The run                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(config = default_config) arch scenario =
+let run_standard ~config arch scenario =
   let cfg = config in
   let engine = Engine.create () in
   Engine.set_event_limit engine 500_000_000;
@@ -267,7 +307,11 @@ let run ?(config = default_config) arch scenario =
               (Speaker.announce s2 ~packing
                  ~attrs:(s2_attrs cfg.shorter_path_len)
                  table)
-          | Scenario.Startup_announce -> assert false);
+          | Scenario.Startup_announce | Scenario.Corrupted_storm
+          | Scenario.Session_flaps ->
+            (* Phase-1-measured and adversarial scenarios never reach
+               this driver. *)
+            assert false);
           wait_router_idle engine ~timeout router ~what:"measured phase"
             ~transactions:cfg.table_size )
     end
@@ -317,12 +361,198 @@ let run ?(config = default_config) arch scenario =
     rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
     stage_stats;
     msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
-    fwd_ratio_min; verified }
+    fwd_ratio_min; faults = None; verified }
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial runs (scenarios 9-10)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately a separate driver rather than more branches in
+   [run_standard]: the fault machinery (shared metrics registry, channel
+   taps, auto-restart) must stay completely out of the paper-faithful
+   path so Table III is bit-for-bit unaffected by this subsystem. *)
+let run_adversarial ~config arch scenario =
+  let cfg = config in
+  let rounds = cfg.fault_rounds in
+  let n = cfg.table_size in
+  let engine = Engine.create () in
+  Engine.set_event_limit engine 500_000_000;
+  let metrics = Metrics.create () in
+  let router =
+    Router.create ?mrai:cfg.mrai ~metrics engine arch ~local_asn:router_asn
+      ~router_id
+  in
+  let faults = Faults.create ~engine ~metrics () in
+  let ch1 = Channel.create engine () in
+  let ch2 = Channel.create engine () in
+  (* Speaker 1 is the adversarial peer: its transmissions pass through
+     the fault tap, and the router's replies on the same channel are
+     watched for NOTIFICATIONs at send time (a teardown NOTIFICATION
+     races the close, so receipt at the speaker is not guaranteed). *)
+  Router.attach_peer ~restart_delay:0.05 router ~peer:peer1 ~channel:ch1
+    ~side:Channel.B;
+  Router.attach_peer router ~peer:peer2 ~channel:ch2 ~side:Channel.B;
+  Faults.tap_adversarial faults ch1 Channel.A;
+  Faults.observe_notifications faults ch1 Channel.B;
+  let s1 =
+    Speaker.create engine ~asn:speaker1_asn ~router_id:speaker1_id ~channel:ch1
+      ~side:Channel.A
+  in
+  let s2 =
+    Speaker.create engine ~asn:speaker2_asn ~router_id:speaker2_id ~channel:ch2
+      ~side:Channel.A
+  in
+  Router.set_cross_traffic router cfg.cross_traffic;
+  let table = Bgp_addr.Prefix_gen.table ~seed:cfg.seed ~n () in
+  let attrs =
+    Workload.attrs ~speaker_asn:speaker1_asn ~next_hop:speaker1_id
+      ~path_len:cfg.setup_path_len ()
+  in
+  let packing = Scenario.packing ~large:cfg.large_packing scenario in
+  let timeout = cfg.timeout in
+
+  (* --- Phase 1: table injection (setup, always large packets) ------- *)
+  Speaker.start s1;
+  wait_established engine ~timeout s1;
+  ignore (Speaker.announce s1 ~packing:cfg.large_packing ~attrs table);
+  wait_router_idle engine ~timeout router ~what:"phase 1 table load"
+    ~transactions:n;
+
+  (* --- Phase 2: speaker 2 sync -------------------------------------- *)
+  Speaker.start s2;
+  wait_established engine ~timeout s2;
+  wait_until engine ~timeout ~what:"phase 2 table transfer" (fun () ->
+      Router.idle router
+      && Hashtbl.length (Speaker.received_prefix_set s2) = n);
+
+  (* --- Measurement: fault rounds ------------------------------------ *)
+  Router.reset_counters router;
+  let fib_before = Fib.stats (Router.fib router) in
+  for k = 1 to rounds do
+    let fault_at = Engine.now engine in
+    (match scenario.Scenario.operation with
+    | Scenario.Corrupted_storm ->
+      (* Corrupt the next UPDATE in flight: a small slice announcement
+         whose single message is mutated into a pre-validated malformed
+         image.  The router must answer with the predicted RFC 4271
+         NOTIFICATION and tear the session down; the slice therefore
+         contributes zero transactions. *)
+      Faults.arm_corrupt_next faults;
+      ignore
+        (Speaker.announce s1 ~packing ~attrs (Array.sub table 0 (min packing n)))
+    | Scenario.Session_flaps ->
+      (* Alternate the two teardown flavors: an unsolicited TCP reset
+         (close under the FSM's feet) and an orderly CEASE from the
+         speaker. *)
+      Faults.note_session_fault faults;
+      if k mod 2 = 1 then Channel.close ch1 else Speaker.stop s1
+    | _ -> assert false);
+    wait_until engine ~timeout
+      ~what:(Printf.sprintf "speaker teardown (round %d)" k) (fun () ->
+        Speaker.state s1 = Fsm.Idle);
+    (* The router side restarts passively after [restart_delay]; the
+       speaker must not reconnect before that or its OPEN hits a dead
+       socket.  Also wait for the peer-loss flush to drain: its
+       withdrawals to speaker 2 ride the FIB process and would
+       otherwise race (and cancel) the re-announced routes. *)
+    wait_until engine ~timeout
+      ~what:(Printf.sprintf "flush + session rearm (round %d)" k) (fun () ->
+        Router.idle router
+        && Router.session_state router peer1 = Fsm.Active);
+    Speaker.start s1;
+    wait_established engine ~timeout s1;
+    Faults.note_session_restart faults;
+    ignore (Speaker.announce s1 ~packing ~attrs table);
+    wait_until engine ~timeout
+      ~what:(Printf.sprintf "re-convergence (round %d)" k) (fun () ->
+        (Router.counters router).Router.transactions >= k * n
+        && Router.idle router
+        && Fib.size (Router.fib router) = n
+        && Hashtbl.length (Speaker.received_prefix_set s2) = n);
+    Faults.observe_reconvergence faults (Engine.now engine -. fault_at)
+  done;
+
+  (* --- Collect ------------------------------------------------------ *)
+  let counters = Router.counters router in
+  let measured = counters.Router.transactions in
+  let measure_seconds =
+    match counters.Router.first_work_at, counters.Router.last_transaction_at with
+    | Some t0, Some t1 when t1 > t0 -> t1 -. t0
+    | _ -> 0.0
+  in
+  let tps =
+    if measure_seconds > 0.0 then float_of_int measured /. measure_seconds
+    else 0.0
+  in
+  let fwd_ratio_min =
+    if cfg.cross_traffic.Traffic.mbps <= 0.0 then 1.0
+    else
+      Bgp_netsim.Forwarding.achieved_mbps (Router.forwarding router)
+      /. cfg.cross_traffic.Traffic.mbps
+  in
+  let rc_count, rc_mean, rc_max = Faults.reconvergence_stats faults in
+  let report =
+    { fr_injected = Faults.injected faults;
+      fr_malformed_dropped = Faults.malformed_dropped faults;
+      fr_session_restarts = Faults.session_restarts faults;
+      fr_reconverge_count = rc_count; fr_reconverge_mean = rc_mean;
+      fr_reconverge_max = rc_max;
+      fr_expected = List.map Msg.error_code (Faults.expected_errors faults);
+      fr_answered = List.map Msg.error_code (Faults.notifications_seen faults) }
+  in
+  let verified =
+    let* () = verify scenario cfg router (Some s2) ~measured ~fib_before in
+    let* () =
+      check "session restarted after every fault"
+        (Faults.session_restarts faults = rounds)
+    in
+    let* () =
+      check "re-convergence timed for every fault" (rc_count = rounds)
+    in
+    match scenario.Scenario.operation with
+    | Scenario.Corrupted_storm ->
+      let* () =
+        check "one malformed update injected per round"
+          (List.length (Faults.expected_errors faults) = rounds)
+      in
+      let* () =
+        check "router answered each malformed update with the predicted \
+               NOTIFICATION"
+          (Faults.all_answered faults)
+      in
+      check "malformed updates counted"
+        (Faults.malformed_dropped faults = rounds)
+    | _ ->
+      check "every session fault recorded" (Faults.injected faults = rounds)
+  in
+  { arch_name = arch.Arch.name; scenario; used = cfg; tps;
+    measured_prefixes = measured; measure_seconds;
+    setup_seconds = Engine.now engine -. measure_seconds; trace = [];
+    fib_size_end = Fib.size (Router.fib router);
+    fib_stats = Fib.stats (Router.fib router);
+    rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
+    stage_stats = Router.stage_stats router;
+    msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
+    fwd_ratio_min; faults = Some report; verified }
+
+let run ?(config = default_config) arch scenario =
+  if Scenario.is_adversarial scenario then run_adversarial ~config arch scenario
+  else run_standard ~config arch scenario
+
+let pp_faults ppf = function
+  | None -> ()
+  | Some f ->
+    Format.fprintf ppf
+      "@,  faults injected %d; malformed dropped %d; session restarts %d@,  \
+       re-convergence: %d events, mean %.3fs virtual, max %.3fs"
+      f.fr_injected f.fr_malformed_dropped f.fr_session_restarts
+      f.fr_reconverge_count f.fr_reconverge_mean f.fr_reconverge_max
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "@[<v>%s / %s:@,  %.1f transactions/s (%d prefixes in %.2fs virtual)@,  FIB end size %d; verification %s@,  per-stage breakdown (measured phase):@,  @[<v>%a@]@]"
+    "@[<v>%s / %s:@,  %.1f transactions/s (%d prefixes in %.2fs virtual)@,  FIB end size %d; verification %s%a@,  per-stage breakdown (measured phase):@,  @[<v>%a@]@]"
     r.arch_name (Scenario.describe r.scenario) r.tps r.measured_prefixes
     r.measure_seconds r.fib_size_end
     (match r.verified with Ok () -> "OK" | Error e -> "FAILED: " ^ e)
+    pp_faults r.faults
     Bgp_pipeline.Pipeline.pp_stage_stats r.stage_stats

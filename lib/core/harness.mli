@@ -34,11 +34,26 @@ type config = {
           (RFC 4271 section 9.2.1.1) — an ablation knob, off in the
           paper's XORP setup *)
   timeout : float;           (** virtual-seconds guard per run *)
+  fault_rounds : int;
+      (** fault injections per adversarial run (scenarios 9-10) *)
 }
 
 val default_config : config
 (** 10000 prefixes, packing 500, no cross-traffic, seed 42, no trace,
-    paths 3/6/1, timeout 500000 s. *)
+    paths 3/6/1, timeout 500000 s, 5 fault rounds. *)
+
+type fault_report = {
+  fr_injected : int;           (** [faults.injected] counter *)
+  fr_malformed_dropped : int;  (** malformed UPDATEs answered correctly *)
+  fr_session_restarts : int;   (** sessions brought back to Established *)
+  fr_reconverge_count : int;
+  fr_reconverge_mean : float;  (** mean fault-to-recovered virtual secs *)
+  fr_reconverge_max : float;
+  fr_expected : (int * int) list;
+      (** RFC 4271 (code, subcode) predicted per injected corruption *)
+  fr_answered : (int * int) list;
+      (** (code, subcode) of every NOTIFICATION the router transmitted *)
+}
 
 type result = {
   arch_name : string;
@@ -60,13 +75,18 @@ type result = {
   msgs_tx : int;  (** wire messages sent in the measured phase *)
   fwd_ratio_min : float;
       (** worst forwarding ratio observed (1.0 = no loss) *)
+  faults : fault_report option;
+      (** present for adversarial runs (scenarios 9-10) only *)
   verified : (unit, string) Stdlib.result;
       (** scenario-specific semantic checks (see DESIGN.md §6) *)
 }
 
 val run : ?config:config -> Bgp_router.Arch.t -> Scenario.t -> result
 (** Run one (architecture, scenario) cell.  Deterministic for a given
-    config.
+    config.  Adversarial scenarios (9-10) run [fault_rounds] rounds of
+    fault → NOTIFICATION/teardown → reconnect → full re-announcement,
+    so the measured phase covers [fault_rounds * table_size]
+    transactions and [faults] is populated.
     @raise Failure if a phase fails to converge within the timeout
     (with a diagnostic of what was stuck). *)
 

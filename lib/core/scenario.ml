@@ -3,6 +3,8 @@ type operation =
   | Ending_withdraw
   | Incremental_no_fib_change
   | Incremental_fib_change
+  | Corrupted_storm
+  | Session_flaps
 
 type packet_size = Small | Large
 
@@ -18,12 +20,23 @@ let all =
     { id = 7; operation = Incremental_fib_change; packet_size = Small };
     { id = 8; operation = Incremental_fib_change; packet_size = Large } ]
 
-let of_id id = List.find_opt (fun s -> s.id = id) all
+(* Adversarial extensions (not part of the paper's Table I, so not in
+   [all]: Table III iterates [all] and must keep its exact shape). *)
+let adversarial =
+  [ { id = 9; operation = Corrupted_storm; packet_size = Large };
+    { id = 10; operation = Session_flaps; packet_size = Large } ]
+
+let is_adversarial t =
+  match t.operation with
+  | Corrupted_storm | Session_flaps -> true
+  | _ -> false
+
+let of_id id = List.find_opt (fun s -> s.id = id) (all @ adversarial)
 
 let of_id_exn id =
   match of_id id with
   | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Scenario.of_id_exn: %d not in 1-8" id)
+  | None -> invalid_arg (Printf.sprintf "Scenario.of_id_exn: %d not in 1-10" id)
 
 let packing ?(large = 500) t =
   match t.packet_size with Small -> 1 | Large -> large
@@ -31,6 +44,7 @@ let packing ?(large = 500) t =
 let forwarding_table_changes t =
   match t.operation with
   | Startup_announce | Ending_withdraw | Incremental_fib_change -> true
+  | Corrupted_storm | Session_flaps -> true  (* flush + re-install per fault *)
   | Incremental_no_fib_change -> false
 
 let measures_phase t =
@@ -39,6 +53,7 @@ let measures_phase t =
 let uses_speaker2 t =
   match t.operation with
   | Incremental_no_fib_change | Incremental_fib_change -> true
+  | Corrupted_storm | Session_flaps -> true  (* export side must recover too *)
   | Startup_announce | Ending_withdraw -> false
 
 let name t = Printf.sprintf "scenario-%d" t.id
@@ -48,6 +63,8 @@ let op_string = function
   | Ending_withdraw -> "ending (withdrawals)"
   | Incremental_no_fib_change -> "incremental, longer path (no FIB change)"
   | Incremental_fib_change -> "incremental, shorter path (FIB change)"
+  | Corrupted_storm -> "adversarial: corrupted-update storm"
+  | Session_flaps -> "adversarial: session flaps mid-measurement"
 
 let describe t =
   Printf.sprintf "%s: %s, %s packets" (name t) (op_string t.operation)
@@ -72,6 +89,8 @@ let table1 () =
         | Ending_withdraw -> ("ending", "WITHDRAW")
         | Incremental_no_fib_change -> ("incremental", "ANNOUNCE")
         | Incremental_fib_change -> ("incremental", "ANNOUNCE")
+        | Corrupted_storm -> ("adversarial", "CORRUPT")
+        | Session_flaps -> ("adversarial", "FLAP")
       in
       Buffer.add_string b
         (Printf.sprintf "| %2d | %-20s | %-8s | %-11s | %-6s |\n" s.id op msg

@@ -11,16 +11,30 @@ type operation =
       (** Speaker 2 re-announces with a longer AS path (5-6) *)
   | Incremental_fib_change
       (** Speaker 2 re-announces with a shorter AS path (7-8) *)
+  | Corrupted_storm
+      (** Adversarial (9): rounds of pre-validated corrupted UPDATEs;
+          each must draw the exact RFC 4271 NOTIFICATION, then the
+          session recovers and the table re-converges *)
+  | Session_flaps
+      (** Adversarial (10): repeated session flaps (CEASE and TCP
+          reset alternating) mid-measurement, re-convergence timed *)
 
 type packet_size = Small | Large
 
 type t = { id : int; operation : operation; packet_size : packet_size }
 
 val all : t list
-(** Scenarios 1-8 in Table I order. *)
+(** Scenarios 1-8 in Table I order.  Deliberately excludes the
+    adversarial extensions so Table III keeps the paper's exact
+    shape. *)
+
+val adversarial : t list
+(** The fault-injection scenarios 9-10 (not part of the paper). *)
+
+val is_adversarial : t -> bool
 
 val of_id : int -> t option
-(** Scenario by its Table I number (1-8). *)
+(** Scenario by number: 1-8 from Table I, 9-10 adversarial. *)
 
 val of_id_exn : int -> t
 

@@ -6,6 +6,13 @@ type t = {
 
 let create () = { buf = ""; pos = 0; poisoned = None }
 
+(* A new transport connection is a new byte stream: leftover bytes and
+   any poison from the previous connection must not leak into it. *)
+let reset t =
+  t.buf <- "";
+  t.pos <- 0;
+  t.poisoned <- None
+
 let compact t =
   if t.pos > 0 then begin
     t.buf <- String.sub t.buf t.pos (String.length t.buf - t.pos);

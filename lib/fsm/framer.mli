@@ -12,6 +12,12 @@ val create : unit -> t
 val feed : t -> string -> unit
 (** Append received bytes. *)
 
+val reset : t -> unit
+(** Discard buffered bytes and clear any poison — a new transport
+    connection starts a fresh byte stream.  Called by
+    {!Bgp_fsm.Session} on reconnect so a session torn down by a decode
+    error can come back up. *)
+
 type result =
   | Msg of Bgp_wire.Msg.t * int  (** decoded message and its wire size *)
   | Need_more                    (** no complete message buffered *)

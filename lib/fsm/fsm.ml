@@ -75,18 +75,30 @@ let negotiate t (o : Msg.open_msg) =
   if t.cfg.hold_time = 0 || o.Msg.opn_hold_time = 0 then None
   else Some (float_of_int (min t.cfg.hold_time o.Msg.opn_hold_time))
 
+(* RFC 4271 §10 recommends a KeepaliveTime of one third of the Hold
+   Time; every (re)arm of the keepalive timer goes through here so the
+   ratio cannot drift between states. *)
+let keepalive_interval h = h /. 3.0
+
 let hold_actions hold =
   match hold with
   | None -> [ Cancel Hold; Cancel Keepalive ]
-  | Some h -> [ Arm (Hold, h); Arm (Keepalive, h /. 3.0) ]
+  | Some h -> [ Arm (Hold, h); Arm (Keepalive, keepalive_interval h) ]
+
+let rearm_keepalive t =
+  match t.hold with
+  | None -> []
+  | Some h -> [ Arm (Keepalive, keepalive_interval h) ]
 
 let reset_hold t = match t.hold with None -> [] | Some h -> [ Arm (Hold, h) ]
 
 let to_idle ?notify t reason =
   let send = match notify with None -> [] | Some e -> [ Send (Msg.Notification e) ] in
+  (* Timers are cancelled before the transport is torn down so no
+     cancelled-timer callback can ever observe a closed connection. *)
   ( { t with st = Idle; hold = None; popen = None },
     send
-    @ [ Close_connection; Cancel Connect_retry; Cancel Hold; Cancel Keepalive;
+    @ [ Cancel Connect_retry; Cancel Hold; Cancel Keepalive; Close_connection;
         Session_down reason ] )
 
 let fsm_error t = to_idle ~notify:Msg.Fsm_error t "FSM error"
@@ -152,9 +164,7 @@ let handle t ev =
   | Open_confirm, Timer_expired Hold ->
     to_idle ~notify:Msg.Hold_timer_expired t "hold timer (OpenConfirm)"
   | Open_confirm, Timer_expired Keepalive ->
-    ( t,
-      Send Msg.Keepalive
-      :: (match t.hold with None -> [] | Some h -> [ Arm (Keepalive, h /. 3.0) ]) )
+    (t, Send Msg.Keepalive :: rearm_keepalive t)
   | Open_confirm, (Tcp_closed | Tcp_failed) -> to_idle t "connection lost"
   | Open_confirm, Manual_stop -> to_idle ~notify:Msg.Cease t "manual stop"
   | Open_confirm, (Manual_start | Tcp_connected | Timer_expired Connect_retry) ->
@@ -172,9 +182,7 @@ let handle t ev =
   | Established, Timer_expired Hold ->
     to_idle ~notify:Msg.Hold_timer_expired t "hold timer expired"
   | Established, Timer_expired Keepalive ->
-    ( t,
-      Send Msg.Keepalive
-      :: (match t.hold with None -> [] | Some h -> [ Arm (Keepalive, h /. 3.0) ]) )
+    (t, Send Msg.Keepalive :: rearm_keepalive t)
   | Established, (Tcp_closed | Tcp_failed) -> to_idle t "connection lost"
   | Established, Manual_stop -> to_idle ~notify:Msg.Cease t "manual stop"
   | Established, (Manual_start | Tcp_connected | Timer_expired Connect_retry) ->

@@ -85,6 +85,7 @@ let stop t = dispatch t Fsm.Manual_stop
 
 let connected t =
   t.closed_flag <- false;
+  Framer.reset t.framer;
   dispatch t Fsm.Tcp_connected
 
 let failed t = dispatch t Fsm.Tcp_failed

@@ -2,12 +2,18 @@ module Engine = Bgp_sim.Engine
 
 type side = A | B
 
+type fate =
+  | Pass
+  | Drop
+  | Deliver of string * float  (* possibly-tampered payload, extra delay *)
+
 type dir_state = {
   mutable receiver : string -> unit;
   mutable on_connected : unit -> unit;
   mutable on_closed : unit -> unit;
   mutable busy_until : float;  (* serialization horizon of the sender *)
   mutable carried : int;
+  mutable tap : (string -> fate) option;
 }
 
 type t = {
@@ -17,17 +23,22 @@ type t = {
   a : dir_state;
   b : dir_state;
   mutable opened : bool;
+  (* Incremented on every connect/close.  In-flight deliveries capture
+     the generation at send time and are discarded if the connection
+     has turned over by delivery time, so bytes from a previous
+     connection can never leak into a reconnected stream. *)
+  mutable generation : int;
 }
 
 let blank () =
   { receiver = (fun _ -> ()); on_connected = (fun () -> ());
-    on_closed = (fun () -> ()); busy_until = 0.0; carried = 0 }
+    on_closed = (fun () -> ()); busy_until = 0.0; carried = 0; tap = None }
 
 let create engine ?(latency = 1e-4) ?(bandwidth_mbps = 1000.0) () =
   if latency < 0.0 then invalid_arg "Channel.create: negative latency";
   if bandwidth_mbps <= 0.0 then invalid_arg "Channel.create: bandwidth";
   { engine; latency; bandwidth_bps = bandwidth_mbps *. 1e6; a = blank ();
-    b = blank (); opened = false }
+    b = blank (); opened = false; generation = 0 }
 
 let this t = function A -> t.a | B -> t.b
 let other t = function A -> t.b | B -> t.a
@@ -35,10 +46,13 @@ let other t = function A -> t.b | B -> t.a
 let set_receiver t side f = (this t side).receiver <- f
 let set_on_connected t side f = (this t side).on_connected <- f
 let set_on_closed t side f = (this t side).on_closed <- f
+let set_tap t side f = (this t side).tap <- Some f
+let clear_tap t side = (this t side).tap <- None
 
 let connect t =
   if not t.opened then begin
     t.opened <- true;
+    t.generation <- t.generation + 1;
     ignore
       (Engine.schedule t.engine ~delay:t.latency (fun () ->
            if t.opened then begin
@@ -50,6 +64,7 @@ let connect t =
 let close t =
   if t.opened then begin
     t.opened <- false;
+    t.generation <- t.generation + 1;
     t.a.busy_until <- 0.0;
     t.b.busy_until <- 0.0;
     ignore
@@ -64,15 +79,25 @@ let send t side bytes =
   if t.opened && bytes <> "" then begin
     let src = this t side in
     let dst = other t side in
+    (* Serialization is charged for the bytes the sender transmitted;
+       what the tap does to them downstream does not refund it. *)
     src.carried <- src.carried + String.length bytes;
     let now = Engine.now t.engine in
     let start = Float.max now src.busy_until in
     let ser = float_of_int (8 * String.length bytes) /. t.bandwidth_bps in
     src.busy_until <- start +. ser;
-    let deliver_at = start +. ser +. t.latency in
-    ignore
-      (Engine.schedule_at t.engine ~time:deliver_at (fun () ->
-           if t.opened then dst.receiver bytes))
+    let fate = match src.tap with None -> Pass | Some f -> f bytes in
+    match fate with
+    | Drop -> ()
+    | Pass | Deliver _ ->
+      let bytes, extra =
+        match fate with Deliver (b, d) -> (b, d) | _ -> (bytes, 0.0)
+      in
+      let deliver_at = start +. ser +. t.latency +. extra in
+      let gen = t.generation in
+      ignore
+        (Engine.schedule_at t.engine ~time:deliver_at (fun () ->
+             if t.opened && t.generation = gen then dst.receiver bytes))
   end
 
 let session_io t side ~connect_side =

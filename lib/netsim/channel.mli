@@ -8,6 +8,13 @@
 
 type side = A | B
 
+type fate =
+  | Pass  (** deliver unchanged *)
+  | Drop  (** silently discard (transport-level loss) *)
+  | Deliver of string * float
+      (** deliver this (possibly tampered) payload with the given extra
+          delay on top of the channel latency (corruption/reordering) *)
+
 type t
 
 val create :
@@ -21,13 +28,27 @@ val set_receiver : t -> side -> (string -> unit) -> unit
 val set_on_connected : t -> side -> (unit -> unit) -> unit
 val set_on_closed : t -> side -> (unit -> unit) -> unit
 
+val set_tap : t -> side -> (string -> fate) -> unit
+(** Install a fault-injection tap on bytes {e sent by} [side]: every
+    [send] consults the tap to pass, drop, tamper with, or delay the
+    payload.  Serialization cost is always charged for the original
+    bytes.  The default (no tap) is exactly the loss-free channel —
+    taps exist for the {!Bgp_faults} adversarial scenarios and change
+    nothing until installed. *)
+
+val clear_tap : t -> side -> unit
+
 val connect : t -> unit
 (** Begin the (abstracted) handshake; both sides' [on_connected] fire
-    after one latency.  Idempotent while open. *)
+    after one latency.  Idempotent while open.  Reconnecting after
+    {!close} starts a new connection generation: bytes still in flight
+    from the previous connection are discarded, never delivered into
+    the new stream. *)
 
 val close : t -> unit
 (** Both sides' [on_closed] fire after one latency; in-flight bytes are
-    dropped. *)
+    dropped (as with a TCP RST).  Also how the fault injector models an
+    unsolicited peer reset. *)
 
 val is_open : t -> bool
 

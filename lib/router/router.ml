@@ -422,7 +422,7 @@ let on_refresh t peer_link ~afi ~safi =
   if afi = 1 && safi = 1 then
     send_packed t peer_link (Rib_manager.refresh t.rib peer_link.peer)
 
-let attach_peer ?max_prefixes t ~peer ~channel ~side =
+let attach_peer ?max_prefixes ?restart_delay t ~peer ~channel ~side =
   if Hashtbl.mem t.peers peer.Peer.id then
     invalid_arg (Printf.sprintf "Router.attach_peer: duplicate id %d" peer.Peer.id);
   Rib_manager.add_peer ~up:false t.rib peer;
@@ -447,7 +447,7 @@ let attach_peer ?max_prefixes t ~peer ~channel ~side =
              to the architecture's FIB process like any other burst
              (paper: "a link is down or another router failed"). *)
           let o = Rib_manager.peer_down t.rib lnk.peer in
-          match o.Rib_manager.fib_deltas, o.Rib_manager.announcements with
+          (match o.Rib_manager.fib_deltas, o.Rib_manager.announcements with
           | [], [] -> ()
           | deltas, anns ->
             t.inflight <- t.inflight + 1;
@@ -462,6 +462,18 @@ let attach_peer ?max_prefixes t ~peer ~channel ~side =
                   (fun (dest, msg) -> transmit t t.fib_proc dest msg)
                   (announcement_msgs anns);
                 t.inflight <- t.inflight - 1));
+          (* Operator-style automatic recovery (off by default): rearm
+             the passive session so a flapping peer can reconnect.  The
+             adversarial fault scenarios turn this on. *)
+          Option.iter
+            (fun delay ->
+              ignore
+                (Engine.schedule t.engine ~delay (fun () ->
+                     match lnk.session with
+                     | Some s when Session.state s = Bgp_fsm.Fsm.Idle ->
+                       Session.start s
+                     | _ -> ())))
+            restart_delay);
       on_tx_msg =
         (fun _ bytes ->
           Metrics.incr t.c_msgs_tx;

@@ -62,13 +62,17 @@ val stage_stats : t -> Bgp_pipeline.Pipeline.stage_stat list
     window (reset by {!reset_counters}). *)
 
 val attach_peer :
-  ?max_prefixes:int -> t -> peer:Bgp_route.Peer.t ->
+  ?max_prefixes:int -> ?restart_delay:float -> t -> peer:Bgp_route.Peer.t ->
   channel:Bgp_netsim.Channel.t -> side:Bgp_netsim.Channel.side -> unit
 (** Register a neighbor reachable over [channel]/[side] and start a
     passive session on it.  The peer's id must be unique.
     [max_prefixes] enables prefix-limit protection: an announcement
     pushing the peer's Adj-RIB-In beyond the limit tears the session
-    down with a CEASE and flushes the peer's routes. *)
+    down with a CEASE and flushes the peer's routes.
+    [restart_delay] enables automatic recovery: whenever the session
+    drops to Idle it is restarted (passively, waiting for the peer to
+    reconnect) after that many simulated seconds — required by the
+    adversarial flap scenarios, off by default. *)
 
 val session_state : t -> Bgp_route.Peer.t -> Bgp_fsm.Fsm.state
 

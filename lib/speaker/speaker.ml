@@ -9,6 +9,8 @@ type t = {
   mutable updates_received : int;
   mutable prefixes_received : int;
   mutable withdrawals_received : int;
+  mutable sessions_lost : int;
+  mutable notifications_rx : Bgp_wire.Msg.error list;  (* reversed *)
   received : (Bgp_addr.Prefix.t, Bgp_route.Attrs.t) Hashtbl.t;
 }
 
@@ -28,8 +30,8 @@ let create engine ~asn ~router_id ~channel ~side =
   let io = Channel.session_io channel side ~connect_side:true in
   let t =
     { session = None; established_cb = (fun () -> ()); updates_received = 0;
-      prefixes_received = 0; withdrawals_received = 0;
-      received = Hashtbl.create 1024 }
+      prefixes_received = 0; withdrawals_received = 0; sessions_lost = 0;
+      notifications_rx = []; received = Hashtbl.create 1024 }
   in
   let hooks =
     { Session.null_hooks with
@@ -44,7 +46,13 @@ let create engine ~asn ~router_id ~channel ~side =
             (fun attrs ->
               List.iter (fun p -> Hashtbl.replace t.received p attrs) u.Msg.nlri)
             u.Msg.attrs);
-      on_established = (fun () -> t.established_cb ()) }
+      on_established = (fun () -> t.established_cb ());
+      on_down = (fun _reason -> t.sessions_lost <- t.sessions_lost + 1);
+      on_rx_msg =
+        (fun msg _size ->
+          match msg with
+          | Msg.Notification e -> t.notifications_rx <- e :: t.notifications_rx
+          | _ -> ()) }
   in
   t.session <- Some (Session.create cfg (timer_service engine) io hooks);
   Channel.set_receiver channel side (fun bytes -> Session.feed (session t) bytes);
@@ -82,6 +90,8 @@ let request_refresh t =
   require_established t "request_refresh";
   ignore (Session.send (session t) Msg.route_refresh)
 
+let sessions_lost t = t.sessions_lost
+let notifications_received t = List.rev t.notifications_rx
 let updates_received t = t.updates_received
 let prefixes_received t = t.prefixes_received
 let withdrawals_received t = t.withdrawals_received

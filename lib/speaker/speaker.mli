@@ -26,6 +26,18 @@ val on_established : t -> (unit -> unit) -> unit
 (** Replaces the establishment callback (fires each time the session
     reaches Established). *)
 
+val sessions_lost : t -> int
+(** Times the session dropped out of Established/OpenSent/OpenConfirm
+    (FSM [Session_down]).  {!start} may be called again from Idle to
+    reconnect — the adversarial flap scenarios do. *)
+
+val notifications_received : t -> Bgp_wire.Msg.error list
+(** NOTIFICATION messages that actually arrived, in order.  A router
+    tearing a session down races its NOTIFICATION against the close
+    (RST semantics), so this can lag the router's sent count — the
+    fault harness observes the router's transmissions at the channel
+    tap instead. *)
+
 val announce :
   t -> packing:int -> attrs:Bgp_route.Attrs.t -> Bgp_addr.Prefix.t array -> int
 (** [announce t ~packing ~attrs prefixes] transmits the prefixes as

@@ -27,18 +27,29 @@ let run_due_timers t =
   let now = Unix.gettimeofday () in
   let due, rest = List.partition (fun tm -> tm.live && tm.fire_at <= now) t.timers in
   t.timers <- List.filter (fun tm -> tm.live) rest;
-  List.iter (fun tm -> tm.fn ()) due
+  (* Two timers due in the same tick must fire in deadline order, not
+     in the (reversed-insertion) list order: a hold timer armed before
+     a keepalive but due earlier would otherwise fire second. *)
+  let due = List.stable_sort (fun a b -> Float.compare a.fire_at b.fire_at) due in
+  List.iter (fun tm -> if tm.live then tm.fn ()) due
 
 let run_posted t =
   let posted = t.posted in
   t.posted <- [];
   List.iter (fun fn -> fn ()) posted
 
+(* Seconds until the earliest live timer, or [None] when no timer is
+   armed.  No artificial cap: the caller sleeps until something can
+   actually happen (a timer, a readable fd, or its own deadline). *)
 let next_timer_in t =
   let now = Unix.gettimeofday () in
   List.fold_left
-    (fun acc tm -> if tm.live then Float.min acc (Float.max 0.0 (tm.fire_at -. now)) else acc)
-    0.1 t.timers
+    (fun acc tm ->
+      if tm.live then
+        let d = Float.max 0.0 (tm.fire_at -. now) in
+        Some (match acc with None -> d | Some a -> Float.min a d)
+      else acc)
+    None t.timers
 
 let run t ~until ~timeout =
   let deadline = Unix.gettimeofday () +. timeout in
@@ -51,7 +62,20 @@ let run t ~until ~timeout =
       if until () then true
       else begin
         let fds = List.map fst t.readers in
-        let wait = Float.min 0.05 (next_timer_in t) in
+        (* Sleep until the next thing that can change state: the
+           earliest timer or the run deadline.  With neither closer
+           than the deadline the select blocks the whole remaining
+           window instead of busy-polling. *)
+        let to_deadline = Float.max 0.0 (deadline -. Unix.gettimeofday ()) in
+        let wait =
+          match next_timer_in t with
+          | None -> to_deadline
+          | Some d -> Float.min d to_deadline
+        in
+        (* [select] cannot take an infinite timeout ([timeout:infinity]
+           with no timer armed); an hourly wake-up is effectively
+           event-driven. *)
+        let wait = Float.min wait 3600.0 in
         (match Unix.select fds [] [] wait with
         | readable, _, _ ->
           List.iter

@@ -214,10 +214,15 @@ exception Fail of Msg.error
 
 let fail e = raise (Fail e)
 
-type reader = { buf : string; mutable pos : int; limit : int }
+(* [declared] is the length field of the enclosing header, threaded
+   through so truncation errors can report the length the sender
+   claimed (RFC 4271 §6.1: the erroneous Length field goes in the
+   NOTIFICATION data) rather than a meaningless 0. *)
+type reader = { buf : string; mutable pos : int; limit : int; declared : int }
 
 let ru8 r =
-  if r.pos >= r.limit then fail (Msg.Message_header_error (Msg.Bad_message_length 0));
+  if r.pos >= r.limit then
+    fail (Msg.Message_header_error (Msg.Bad_message_length r.declared));
   let v = Char.code r.buf.[r.pos] in
   r.pos <- r.pos + 1;
   v
@@ -232,10 +237,14 @@ let ru32 r =
 
 let r_ipv4 r = Bgp_addr.Ipv4.of_int (ru32 r)
 
-let r_prefix r =
+let r_prefix r stop =
   let len = ru8 r in
   if len > 32 then fail (Msg.Update_message_error Msg.Invalid_network_field);
   let octets = (len + 7) / 8 in
+  (* A prefix whose address octets run past the enclosing field is a
+     malformed NLRI, not a header-length problem. *)
+  if r.pos + octets > stop then
+    fail (Msg.Update_message_error Msg.Invalid_network_field);
   let a = ref 0 in
   for i = 0 to octets - 1 do
     a := !a lor (ru8 r lsl (24 - (8 * i)))
@@ -251,7 +260,7 @@ let r_prefix r =
 let r_prefixes_until r stop =
   let acc = ref [] in
   while r.pos < stop do
-    acc := r_prefix r :: !acc
+    acc := r_prefix r stop :: !acc
   done;
   if r.pos <> stop then fail (Msg.Update_message_error Msg.Invalid_network_field);
   List.rev !acc
@@ -349,7 +358,15 @@ type partial_attrs = {
 
 let decode_one_attr r stop acc =
   let flags = ru8 r in
+  (* An attribute header cut off by the Total Path Attribute Length is
+     an UPDATE-level malformation (RFC 4271 §6.3), not a header error:
+     the header itself framed fine. *)
+  if r.pos >= stop then
+    fail (Msg.Update_message_error Msg.Malformed_attribute_list);
   let code = ru8 r in
+  let len_octets = if flags land flag_extended <> 0 then 2 else 1 in
+  if r.pos + len_octets > stop then
+    fail (Msg.Update_message_error (Msg.Attribute_length_error code));
   let len = if flags land flag_extended <> 0 then ru16 r else ru8 r in
   if r.pos + len > stop then
     fail (Msg.Update_message_error (Msg.Attribute_length_error code));
@@ -534,7 +551,7 @@ let decode_at buf ~pos =
     let len, mtype = check_header buf ~pos in
     if pos + len > String.length buf then
       fail (Msg.Message_header_error (Msg.Bad_message_length len));
-    let r = { buf; pos = pos + Msg.header_len; limit = pos + len } in
+    let r = { buf; pos = pos + Msg.header_len; limit = pos + len; declared = len } in
     let msg =
       if mtype = type_open then decode_open r
       else if mtype = type_update then decode_update r

@@ -56,10 +56,14 @@ let test_scenario_phases () =
 
 let test_scenario_lookup () =
   Alcotest.(check bool) "of_id 0" true (Scenario.of_id 0 = None);
-  Alcotest.(check bool) "of_id 9" true (Scenario.of_id 9 = None);
+  Alcotest.(check bool) "of_id 9 is adversarial" true
+    (match Scenario.of_id 9 with
+    | Some s -> Scenario.is_adversarial s
+    | None -> false);
+  Alcotest.(check bool) "of_id 11" true (Scenario.of_id 11 = None);
   Alcotest.check_raises "of_id_exn"
-    (Invalid_argument "Scenario.of_id_exn: 9 not in 1-8") (fun () ->
-      ignore (Scenario.of_id_exn 9));
+    (Invalid_argument "Scenario.of_id_exn: 11 not in 1-10") (fun () ->
+      ignore (Scenario.of_id_exn 11));
   let rendered = Scenario.table1 () in
   List.iter
     (fun s ->

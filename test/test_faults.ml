@@ -1,0 +1,263 @@
+(* The fault-injection subsystem: corruption oracle, channel taps, and
+   the adversarial harness scenarios end to end. *)
+
+module Engine = Bgp_sim.Engine
+module Channel = Bgp_netsim.Channel
+module Msg = Bgp_wire.Msg
+module Codec = Bgp_wire.Codec
+module Metrics = Bgp_stats.Metrics
+module Faults = Bgp_faults.Faults
+module H = Bgpmark.Harness
+module Scenario = Bgpmark.Scenario
+module Arch = Bgp_router.Arch
+
+let ip = Bgp_addr.Ipv4.of_string_exn
+let asn = Bgp_route.Asn.of_int
+
+let sample_update n =
+  let table = Bgp_addr.Prefix_gen.table ~seed:7 ~n () in
+  let attrs =
+    Bgp_speaker.Workload.attrs ~speaker_asn:(asn 65001)
+      ~next_hop:(ip "192.0.2.1") ~path_len:3 ()
+  in
+  Msg.announcement attrs (Array.to_list table)
+
+let injector ?(profile = Faults.none) () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  (engine, Faults.create ~profile ~engine ~metrics ())
+
+(* ------------------------------------------------------------------ *)
+(* The corruption oracle                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_predict_clean () =
+  List.iter
+    (fun m ->
+      match Faults.predict (Codec.encode m) with
+      | None -> ()
+      | Some e ->
+        Alcotest.failf "clean %s predicted %s" (Msg.kind_name m)
+          (Format.asprintf "%a" Msg.pp_error e))
+    [ Msg.Keepalive;
+      Msg.open_msg ~asn:(asn 1) ~bgp_id:(ip "1.1.1.1") ();
+      sample_update 50 ]
+
+let test_predict_stalls () =
+  (* Shorter than a header, and a declared length past the buffer:
+     both stall the framer rather than raise, so predict must abstain. *)
+  let w = Codec.encode (sample_update 5) in
+  Alcotest.(check bool) "partial header" true
+    (Faults.predict (String.sub w 0 10) = None);
+  Alcotest.(check bool) "body not yet buffered" true
+    (Faults.predict (String.sub w 0 25) = None)
+
+let test_corrupt_prediction_holds () =
+  (* Every mutant the oracle emits must decode to exactly the predicted
+     RFC 4271 code/subcode. *)
+  let _, t = injector ~profile:{ Faults.none with Faults.seed = 3 } () in
+  List.iter
+    (fun m ->
+      let wire = Codec.encode m in
+      for _ = 1 to 50 do
+        match Faults.corrupt t wire with
+        | None -> Alcotest.fail "oracle found no failing mutation"
+        | Some (mutant, predicted) -> (
+          match Codec.decode mutant with
+          | Error e ->
+            Alcotest.(check (pair int int))
+              "predicted code/subcode" (Msg.error_code predicted)
+              (Msg.error_code e)
+          | Ok _ -> Alcotest.fail "mutant decoded cleanly")
+      done)
+    [ sample_update 2; sample_update 100; Msg.Keepalive ]
+
+let test_corrupt_deterministic () =
+  let wire = Codec.encode (sample_update 20) in
+  let run () =
+    let _, t = injector ~profile:{ Faults.none with Faults.seed = 11 } () in
+    List.init 20 (fun _ ->
+        match Faults.corrupt t wire with
+        | Some (m, e) -> (m, Msg.error_code e)
+        | None -> ("", (0, 0)))
+  in
+  Alcotest.(check bool) "same seed, same mutants" true (run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Channel taps                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tapped_channel profile =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let t = Faults.create ~profile ~engine ~metrics () in
+  let ch = Channel.create engine () in
+  let got = ref [] in
+  Channel.set_receiver ch Channel.B (fun bytes -> got := bytes :: !got);
+  Channel.connect ch;
+  Engine.run engine;
+  (engine, t, ch, got)
+
+let test_tap_loss () =
+  let engine, t, ch, got =
+    tapped_channel { Faults.none with Faults.seed = 5; drop_prob = 1.0 }
+  in
+  Faults.tap_adversarial t ch Channel.A;
+  for _ = 1 to 10 do
+    Channel.send ch Channel.A (Codec.encode Msg.Keepalive)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all dropped" 0 (List.length !got);
+  Alcotest.(check int) "all counted" 10 (Faults.injected t)
+
+let test_tap_off_is_transparent () =
+  let engine, t, ch, got = tapped_channel Faults.none in
+  Faults.tap_adversarial t ch Channel.A;
+  let wire = Codec.encode (sample_update 10) in
+  for _ = 1 to 10 do
+    Channel.send ch Channel.A wire
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all delivered" 10 (List.length !got);
+  Alcotest.(check bool) "unmodified" true (List.for_all (( = ) wire) !got);
+  Alcotest.(check int) "nothing counted" 0 (Faults.injected t)
+
+let test_tap_reorder_delay () =
+  (* Reordered messages arrive late but arrive. *)
+  let engine, t, ch, got =
+    tapped_channel
+      { Faults.none with
+        Faults.seed = 8; reorder_prob = 1.0; reorder_delay = 0.5 }
+  in
+  Faults.tap_adversarial t ch Channel.A;
+  Channel.send ch Channel.A (Codec.encode Msg.Keepalive);
+  Engine.run ~until:(Engine.now engine +. 0.01) engine;
+  Alcotest.(check int) "still in flight" 0 (List.length !got);
+  Engine.run engine;
+  Alcotest.(check int) "delivered late" 1 (List.length !got)
+
+let test_armed_corruption_observed () =
+  let engine, t, ch, got =
+    tapped_channel { Faults.none with Faults.seed = 13 }
+  in
+  Faults.tap_adversarial t ch Channel.A;
+  Faults.arm_corrupt_next t;
+  (* Keepalives are not UPDATEs: the armed mutation must wait. *)
+  Channel.send ch Channel.A (Codec.encode Msg.Keepalive);
+  let wire = Codec.encode (sample_update 30) in
+  Channel.send ch Channel.A wire;
+  Engine.run engine;
+  Alcotest.(check int) "both delivered" 2 (List.length !got);
+  (match Faults.expected_errors t with
+  | [ e ] -> (
+    let mutant = List.hd !got (* last received *) in
+    Alcotest.(check bool) "mutant differs" true (mutant <> wire);
+    match Codec.decode mutant with
+    | Error e' ->
+      Alcotest.(check (pair int int))
+        "mutant draws the predicted error" (Msg.error_code e)
+        (Msg.error_code e')
+    | Ok _ -> Alcotest.fail "mutant decoded cleanly")
+  | l -> Alcotest.failf "expected one prediction, got %d" (List.length l));
+  Alcotest.(check bool) "still awaiting the NOTIFICATION" false
+    (Faults.all_answered t)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial scenarios end to end                                    *)
+(* ------------------------------------------------------------------ *)
+
+let adv_config =
+  { H.default_config with H.table_size = 120; fault_rounds = 2 }
+
+let run_adv id =
+  let r = H.run ~config:adv_config Arch.pentium3 (Scenario.of_id_exn id) in
+  (match r.H.verified with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "scenario %d verification: %s" id e);
+  (r, Option.get r.H.faults)
+
+let test_scenario9 () =
+  let r, f = run_adv 9 in
+  Alcotest.(check int) "measured = rounds * n"
+    (adv_config.H.fault_rounds * adv_config.H.table_size)
+    r.H.measured_prefixes;
+  Alcotest.(check int) "one corruption per round" adv_config.H.fault_rounds
+    f.H.fr_injected;
+  Alcotest.(check int) "every malformed update answered"
+    adv_config.H.fault_rounds f.H.fr_malformed_dropped;
+  Alcotest.(check int) "restart per round" adv_config.H.fault_rounds
+    f.H.fr_session_restarts;
+  Alcotest.(check int) "re-convergence histogram" adv_config.H.fault_rounds
+    f.H.fr_reconverge_count;
+  Alcotest.(check bool) "positive recovery time" true
+    (f.H.fr_reconverge_mean > 0.0 && f.H.fr_reconverge_max >= f.H.fr_reconverge_mean);
+  (* The answered NOTIFICATION sequence must contain the expected one,
+     code pair by code pair, in order. *)
+  Alcotest.(check int) "prediction per round" adv_config.H.fault_rounds
+    (List.length f.H.fr_expected);
+  let rec subseq xs ys =
+    match xs, ys with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs', y :: ys' -> if x = y then subseq xs' ys' else subseq xs ys'
+  in
+  Alcotest.(check bool) "expected is a subsequence of answered" true
+    (subseq f.H.fr_expected f.H.fr_answered)
+
+let test_scenario10 () =
+  let r, f = run_adv 10 in
+  Alcotest.(check int) "measured = rounds * n"
+    (adv_config.H.fault_rounds * adv_config.H.table_size)
+    r.H.measured_prefixes;
+  Alcotest.(check int) "one session fault per round" adv_config.H.fault_rounds
+    f.H.fr_injected;
+  Alcotest.(check int) "restart per round" adv_config.H.fault_rounds
+    f.H.fr_session_restarts;
+  Alcotest.(check int) "no malformed messages" 0 f.H.fr_malformed_dropped;
+  Alcotest.(check int) "FIB restored" adv_config.H.table_size r.H.fib_size_end
+
+let test_determinism_end_to_end () =
+  let once () =
+    let r, f = run_adv 9 in
+    (r.H.tps, f.H.fr_expected, f.H.fr_reconverge_mean)
+  in
+  Alcotest.(check bool) "identical replays" true (once () = once ())
+
+let test_baseline_unaffected () =
+  (* The paper scenarios must not see the fault subsystem at all: a
+     standard run carries no fault report and never touches a tap. *)
+  let config = { H.default_config with H.table_size = 120 } in
+  let r = H.run ~config Arch.pentium3 (Scenario.of_id_exn 2) in
+  Alcotest.(check bool) "verified" true (r.H.verified = Ok ());
+  Alcotest.(check bool) "no fault report" true (r.H.faults = None)
+
+let () =
+  Alcotest.run "bgp_faults"
+    [ ( "oracle",
+        [ Alcotest.test_case "clean images predict no error" `Quick
+            test_predict_clean;
+          Alcotest.test_case "stalling images predict no error" `Quick
+            test_predict_stalls;
+          Alcotest.test_case "mutants draw the predicted error" `Quick
+            test_corrupt_prediction_holds;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_corrupt_deterministic
+        ] );
+      ( "taps",
+        [ Alcotest.test_case "loss" `Quick test_tap_loss;
+          Alcotest.test_case "inactive profile is transparent" `Quick
+            test_tap_off_is_transparent;
+          Alcotest.test_case "reorder delay" `Quick test_tap_reorder_delay;
+          Alcotest.test_case "armed corruption" `Quick
+            test_armed_corruption_observed
+        ] );
+      ( "adversarial scenarios",
+        [ Alcotest.test_case "scenario 9: corrupted-update storm" `Quick
+            test_scenario9;
+          Alcotest.test_case "scenario 10: session flaps" `Quick test_scenario10;
+          Alcotest.test_case "end-to-end determinism" `Quick
+            test_determinism_end_to_end;
+          Alcotest.test_case "paper scenarios untouched" `Quick
+            test_baseline_unaffected
+        ] )
+    ]

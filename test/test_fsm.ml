@@ -109,6 +109,61 @@ let test_keepalive_timer_resends () =
   Alcotest.(check bool) "rearms ka" true
     (has_action (function Fsm.Arm (Fsm.Keepalive, _) -> true | _ -> false) acts)
 
+let test_keepalive_rearm_interval () =
+  (* RFC 4271 §10: keepalive at one third of the negotiated hold time —
+     both the initial arm and every timer-driven re-arm. *)
+  let expected = 90.0 /. 3.0 in
+  let interval acts =
+    List.find_map
+      (function Fsm.Arm (Fsm.Keepalive, d) -> Some d | _ -> None)
+      acts
+  in
+  let t = Fsm.create cfg in
+  let t, _ = drive t [ Fsm.Manual_start; Fsm.Tcp_connected ] in
+  let t, acts = Fsm.handle t (Fsm.Msg_received peer_open) in
+  Alcotest.(check (option (float 1e-9))) "initial arm" (Some expected)
+    (interval acts);
+  let t, _ = Fsm.handle t (Fsm.Msg_received Msg.Keepalive) in
+  let t, acts = Fsm.handle t (Fsm.Timer_expired Fsm.Keepalive) in
+  Alcotest.(check (option (float 1e-9))) "re-arm in Established"
+    (Some expected) (interval acts);
+  (* ...and re-arming from Open_confirm uses the same interval. *)
+  let t2 = Fsm.create cfg in
+  let t2, _ =
+    drive t2 [ Fsm.Manual_start; Fsm.Tcp_connected; Fsm.Msg_received peer_open ]
+  in
+  let _, acts2 = Fsm.handle t2 (Fsm.Timer_expired Fsm.Keepalive) in
+  Alcotest.(check (option (float 1e-9))) "re-arm in Open_confirm"
+    (Some expected) (interval acts2);
+  ignore t
+
+let test_teardown_action_order () =
+  (* Teardown must cancel every timer before Close_connection: an action
+     interpreter that closes first could see a stale timer fire against
+     a dead connection.  The NOTIFICATION (if any) goes first, while the
+     connection is still up; Session_down is last. *)
+  let t = established () in
+  let _, acts = Fsm.handle t Fsm.Manual_stop in
+  let idx pred =
+    let rec go i = function
+      | [] -> Alcotest.fail "action missing"
+      | a :: rest -> if pred a then i else go (i + 1) rest
+    in
+    go 0 acts
+  in
+  let i_notify = idx (is_send_notification 6) in
+  let i_close = idx (function Fsm.Close_connection -> true | _ -> false) in
+  let i_down = idx (function Fsm.Session_down _ -> true | _ -> false) in
+  let cancels =
+    List.filteri (fun i _ -> i < i_close) acts
+    |> List.filter (function Fsm.Cancel _ -> true | _ -> false)
+    |> List.length
+  in
+  Alcotest.(check bool) "notification before close" true (i_notify < i_close);
+  Alcotest.(check int) "all three timers cancelled before close" 3 cancels;
+  Alcotest.(check bool) "session down last" true
+    (i_down = List.length acts - 1)
+
 let test_route_refresh_delivery () =
   let t = established () in
   let t, acts = Fsm.handle t (Fsm.Msg_received Msg.route_refresh) in
@@ -419,6 +474,10 @@ let () =
           Alcotest.test_case "hold expiry notifies" `Quick
             test_hold_expiry_sends_notification;
           Alcotest.test_case "keepalive timer" `Quick test_keepalive_timer_resends;
+          Alcotest.test_case "keepalive re-arm interval" `Quick
+            test_keepalive_rearm_interval;
+          Alcotest.test_case "teardown action order" `Quick
+            test_teardown_action_order;
           Alcotest.test_case "unexpected open" `Quick test_unexpected_open_in_established;
           Alcotest.test_case "notification resets" `Quick test_notification_resets;
           Alcotest.test_case "protocol error notifies" `Quick test_protocol_error_notifies;

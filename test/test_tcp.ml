@@ -104,11 +104,75 @@ let test_notification_on_garbage () =
   Bgp_tcp.Endpoint.close listener;
   Alcotest.(check bool) "reason recorded" true (!down_reason <> "")
 
+(* ------------------------------------------------------------------ *)
+(* Event-loop timers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_timer_firing_order () =
+  (* Let several timers all come due before the loop runs: they must
+     still fire in fire_at order, not insertion order. *)
+  let loop = Bgp_tcp.Event_loop.create () in
+  let fired = ref [] in
+  let note tag () = fired := tag :: !fired in
+  let (_ : unit -> unit) = Bgp_tcp.Event_loop.after loop 0.03 (note "c") in
+  let (_ : unit -> unit) = Bgp_tcp.Event_loop.after loop 0.01 (note "a") in
+  let (_ : unit -> unit) = Bgp_tcp.Event_loop.after loop 0.02 (note "b") in
+  Unix.sleepf 0.05;
+  ignore
+    (Bgp_tcp.Event_loop.run loop
+       ~until:(fun () -> List.length !fired = 3)
+       ~timeout:2.0);
+  Alcotest.(check (list string)) "deadline order" [ "a"; "b"; "c" ]
+    (List.rev !fired)
+
+let test_timer_cancel_within_batch () =
+  (* A timer cancelled by an earlier timer of the same due batch must
+     not fire. *)
+  let loop = Bgp_tcp.Event_loop.create () in
+  let fired = ref [] in
+  let cancel_b = ref ignore in
+  let (_ : unit -> unit) =
+    Bgp_tcp.Event_loop.after loop 0.01 (fun () ->
+        fired := "a" :: !fired;
+        !cancel_b ())
+  in
+  cancel_b :=
+    Bgp_tcp.Event_loop.after loop 0.02 (fun () -> fired := "b" :: !fired);
+  let (_ : unit -> unit) = Bgp_tcp.Event_loop.after loop 0.03 (fun () -> fired := "c" :: !fired) in
+  Unix.sleepf 0.05;
+  ignore
+    (Bgp_tcp.Event_loop.run loop
+       ~until:(fun () -> List.mem "c" !fired)
+       ~timeout:2.0);
+  Alcotest.(check (list string)) "b cancelled" [ "a"; "c" ] (List.rev !fired)
+
+let test_timer_beyond_old_poll_cap () =
+  (* The loop sleeps to the real next deadline now (no 100 ms poll
+     cap); a timer well past that cap must still fire on time. *)
+  let loop = Bgp_tcp.Event_loop.create () in
+  let fired = ref false in
+  let (_ : unit -> unit) = Bgp_tcp.Event_loop.after loop 0.25 (fun () -> fired := true) in
+  let t0 = Unix.gettimeofday () in
+  let ok =
+    Bgp_tcp.Event_loop.run loop ~until:(fun () -> !fired) ~timeout:5.0
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "fired" true ok;
+  Alcotest.(check bool) "not early" true (dt >= 0.24);
+  Alcotest.(check bool) "not stuck" true (dt < 2.0)
+
 let () =
   Alcotest.run "bgp_tcp"
     [ ( "loopback",
         [ Alcotest.test_case "full session over real TCP" `Quick test_loopback_session;
           Alcotest.test_case "garbage triggers notification" `Quick
             test_notification_on_garbage
+        ] );
+      ( "timers",
+        [ Alcotest.test_case "firing order" `Quick test_timer_firing_order;
+          Alcotest.test_case "cancel within due batch" `Quick
+            test_timer_cancel_within_batch;
+          Alcotest.test_case "beyond the old poll cap" `Quick
+            test_timer_beyond_old_poll_cap
         ] )
     ]

@@ -261,6 +261,75 @@ let test_trailing_garbage () =
     | Msg.Message_header_error (Msg.Bad_message_length _) -> true
     | _ -> false)
 
+let update_frame body =
+  let b = Buffer.create 32 in
+  for _ = 1 to 16 do Buffer.add_char b '\xFF' done;
+  let total = 19 + String.length body in
+  Buffer.add_char b (Char.chr (total lsr 8));
+  Buffer.add_char b (Char.chr (total land 0xFF));
+  Buffer.add_char b '\x02';
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let check_bad_length what w expected =
+  match Codec.decode w with
+  | Error (Msg.Message_header_error (Msg.Bad_message_length l)) ->
+    Alcotest.(check int) what expected l
+  | Error e ->
+    Alcotest.failf "%s: wrong error %s" what
+      (Format.asprintf "%a" Msg.pp_error e)
+  | Ok _ -> Alcotest.failf "%s: expected error" what
+
+let test_declared_length_reported () =
+  (* RFC 4271 §6.1: Bad_message_length carries the erroneous Length
+     field, so the NOTIFICATION data names the bad frame — never a
+     meaningless 0. *)
+  (* A body read that silently runs off the declared message end (the
+     attribute-length u16 here has only one byte left) must report the
+     header's declared length. *)
+  let w = update_frame "\x00\x02\x00\x00\x00" in
+  check_bad_length "reader overrun reports declared length" w
+    (String.length w);
+  (* An optional-parameters length claiming bytes past the message end
+     is itself the erroneous Length field. *)
+  let base = Codec.encode (Msg.open_msg ~asn:(asn 1) ~bgp_id:(ip "1.1.1.1") ()) in
+  check_bad_length "erroneous opt-param length" (set_byte base 28 200) 200;
+  (* And through the header path: a length field beyond the buffer. *)
+  check_bad_length "header-declared length"
+    (set_byte (set_byte base 16 0x12) 17 0x34)
+    0x1234
+
+let test_truncated_attr_bodies () =
+  (* Attribute header cut off after the flags octet: the attribute
+     list as a whole is malformed (§6.3). *)
+  expect_error "flags only" (update_frame "\x00\x00\x00\x01\x40") (function
+    | Msg.Update_message_error Msg.Malformed_attribute_list -> true
+    | _ -> false);
+  (* Extended-length attribute with only one of its two length octets:
+     Attribute Length Error naming the attribute. *)
+  expect_error "half extended length"
+    (update_frame "\x00\x00\x00\x03\x50\x0E\x01") (function
+    | Msg.Update_message_error (Msg.Attribute_length_error 0x0E) -> true
+    | _ -> false);
+  (* Declared attribute value longer than the remaining attribute
+     section: ORIGIN claiming 2 bytes with 1 present. *)
+  expect_error "value overruns section"
+    (update_frame "\x00\x00\x00\x04\x40\x01\x02\x00") (function
+    | Msg.Update_message_error (Msg.Attribute_length_error 0x01) -> true
+    | _ -> false)
+
+let test_truncated_nlri_body () =
+  (* NLRI whose prefix bytes are cut off by the message end. *)
+  let a = attrs [ 65001 ] in
+  let good = Codec.encode (Msg.announcement a [ pfx "203.0.113.0/24" ]) in
+  (* Drop the last NLRI byte and fix the header length so the frame is
+     complete but the /24 has only two address bytes. *)
+  let cut = String.length good - 1 in
+  let w = set_byte (set_byte (String.sub good 0 cut) 16 (cut lsr 8)) 17 (cut land 0xFF) in
+  expect_error "nlri cut" w (function
+    | Msg.Update_message_error Msg.Invalid_network_field -> true
+    | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Streaming / framing                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -385,6 +454,61 @@ let prop_corrupt_never_panics =
       match Codec.decode (Bytes.to_string b) with
       | Ok _ | Error _ -> true)
 
+let prop_multi_corrupt_never_panics =
+  (* Multi-byte corruption: up to 8 random flips on one encoding.  The
+     decoder must still return Ok or a typed error — in particular no
+     Invalid_argument escaping from out-of-bounds reads. *)
+  QCheck2.Test.make ~name:"multi-byte corruption yields Ok or typed error"
+    ~count:500
+    QCheck2.Gen.(
+      pair gen_update (list_size (int_range 1 8) (pair small_nat (int_range 0 255))))
+    (fun (m, flips) ->
+      let b = Bytes.of_string (Codec.encode m) in
+      List.iter
+        (fun (pos, v) -> Bytes.set b (pos mod Bytes.length b) (Char.chr v))
+        flips;
+      match Codec.decode (Bytes.to_string b) with
+      | Ok _ | Error _ -> true)
+
+let prop_truncation_never_panics =
+  (* Length-fixed truncation (the fault injector's second mutation):
+     cut the tail, rewrite the header length so the frame is complete.
+     Every cut point must decode or produce a well-formed Msg.error. *)
+  QCheck2.Test.make ~name:"length-fixed truncation yields Ok or typed error"
+    ~count:500
+    QCheck2.Gen.(pair gen_update small_nat)
+    (fun (m, cut) ->
+      let w = Codec.encode m in
+      let n = String.length w in
+      if n <= Msg.header_len then true
+      else begin
+        let total = Msg.header_len + (cut mod (n - Msg.header_len)) in
+        let b = Bytes.sub (Bytes.unsafe_of_string w) 0 total in
+        Bytes.set b 16 (Char.chr ((total lsr 8) land 0xFF));
+        Bytes.set b 17 (Char.chr (total land 0xFF));
+        match Codec.decode (Bytes.to_string b) with
+        | Ok _ -> true
+        | Error e ->
+          (* the error must itself be printable and carry a valid
+             RFC 4271 code pair *)
+          let c, _ = Msg.error_code e in
+          ignore (Format.asprintf "%a" Msg.pp_error e);
+          c >= 1 && c <= 6
+      end)
+
+let prop_raw_truncation_never_panics =
+  (* Raw truncation without the length fixup: the streaming entry
+     points must either ask for more bytes or return a typed error. *)
+  QCheck2.Test.make ~name:"raw truncation never raises" ~count:500
+    QCheck2.Gen.(pair gen_update small_nat)
+    (fun (m, keep) ->
+      let w = Codec.encode m in
+      let keep = keep mod (String.length w + 1) in
+      let cut = String.sub w 0 keep in
+      (match Codec.required_length cut ~pos:0 ~avail:keep with
+      | Ok _ | Error _ -> ());
+      match Codec.decode cut with Ok _ | Error _ -> true)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -412,7 +536,12 @@ let () =
           Alcotest.test_case "bad open fields" `Quick test_bad_open_fields;
           Alcotest.test_case "nlri without attrs" `Quick test_bad_update;
           Alcotest.test_case "prefix length 33" `Quick test_bad_prefix_length;
-          Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage
+          Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
+          Alcotest.test_case "declared length reported" `Quick
+            test_declared_length_reported;
+          Alcotest.test_case "truncated attribute bodies" `Quick
+            test_truncated_attr_bodies;
+          Alcotest.test_case "truncated nlri body" `Quick test_truncated_nlri_body
         ] );
       ( "framing",
         [ Alcotest.test_case "decode_at stream" `Quick test_decode_at_stream;
@@ -420,5 +549,6 @@ let () =
         ] );
       qsuite "properties"
         [ prop_update_roundtrip; prop_open_roundtrip; prop_encoded_size_consistent;
-          prop_corrupt_never_panics ]
+          prop_corrupt_never_panics; prop_multi_corrupt_never_panics;
+          prop_truncation_never_panics; prop_raw_truncation_never_panics ]
     ]
