@@ -415,6 +415,27 @@ let fault_tests =
          r.H.tps))
     Scenario.adversarial
 
+(* Multi-router topology: scenario 11 at growing graph sizes plus one
+   scenario-12 link failure.  These measure the wall-clock cost of
+   simulating the whole graph; the convergence numbers themselves are
+   virtual time, reported by `bgpbench topo`. *)
+let topo_tests =
+  let module Topology = Bgp_topo.Topology in
+  let module TB = Bgp_topo.Topo_bench in
+  List.map
+    (fun n ->
+      Test.make ~name:(Printf.sprintf "topo/convergence-ba%d" n)
+        (Staged.stage @@ fun () ->
+         let r = TB.run_convergence ~kind:Topology.Scale_free ~n () in
+         assert (r.TB.cr_verified = Ok ());
+         r.TB.cr_announce_s))
+    [ 4; 8; 16 ]
+  @ [ Test.make ~name:"topo/link-failure-ba16"
+        (Staged.stage @@ fun () ->
+         let r = TB.run_link_failure ~kind:Topology.Scale_free ~n:16 () in
+         assert (r.TB.lf_verified = Ok ());
+         r.TB.lf_heal_s) ]
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -428,7 +449,7 @@ let all_tests =
   @ wire_tests @ fib_tests
   @ [ rib_bench; decision_test ]
   @ policy_tests @ packing_tests @ decision_scaling_tests @ rib_agg_tests
-  @ workload_shape_tests @ mrai_tests @ fault_tests
+  @ workload_shape_tests @ mrai_tests @ fault_tests @ topo_tests
   @ [ framer_test; forward_wire_test; gen_test; sim_test ]
 
 let () =

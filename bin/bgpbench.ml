@@ -47,6 +47,12 @@ let resolve_archs = function [] -> Arch.all | l -> l
 let scenario_conv =
   let parse s =
     match Option.bind (int_of_string_opt s) Scenario.of_id with
+    | Some sc when Scenario.is_topo sc ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "scenario %d runs on a multi-router graph; use `bgpbench topo'"
+              sc.Scenario.id))
     | Some sc -> Ok sc
     | None ->
       Error
@@ -55,6 +61,13 @@ let scenario_conv =
               s))
   in
   Arg.conv (parse, fun ppf s -> Format.pp_print_int ppf s.Scenario.id)
+
+let json_t =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
+let print_json j = print_endline (Bgp_stats.Json.to_string_pretty j)
 
 let scenarios_t =
   let doc =
@@ -95,19 +108,22 @@ let varied_t =
           "Use an Internet-shaped workload (2-6 hop AS paths, mixed            origins/MEDs) instead of the paper's uniform paths.")
 
 let table3_cmd =
-  let run size packing seed varied archs scenarios no_paper =
+  let run size packing seed varied archs scenarios no_paper json =
     let t =
       Bgpmark.Table3.run
         ~config:(config_of ~varied size packing seed)
         ~archs:(resolve_archs archs)
         ~scenarios:(resolve_scenarios scenarios) ()
     in
-    print_string (Bgpmark.Table3.render ~compare_paper:(not no_paper) t);
-    print_endline "\nShape criteria (DESIGN.md section 5):";
-    List.iter
-      (fun (desc, ok) ->
-        Printf.printf "  [%s] %s\n" (if ok then "PASS" else "fail") desc)
-      (Bgpmark.Table3.shape_checks t)
+    if json then print_json (Bgpmark.Table3.to_json t)
+    else begin
+      print_string (Bgpmark.Table3.render ~compare_paper:(not no_paper) t);
+      print_endline "\nShape criteria (DESIGN.md section 5):";
+      List.iter
+        (fun (desc, ok) ->
+          Printf.printf "  [%s] %s\n" (if ok then "PASS" else "fail") desc)
+        (Bgpmark.Table3.shape_checks t)
+    end
   in
   let no_paper =
     Arg.(value & flag & info [ "no-paper" ] ~doc:"Omit the paper-comparison rows.")
@@ -117,7 +133,7 @@ let table3_cmd =
        ~doc:"Reproduce Table III: transactions/s, 8 scenarios x 4 systems")
     Term.(
       const run $ size_t $ packing_t $ seed_t $ varied_t $ archs_t
-      $ scenarios_t $ no_paper)
+      $ scenarios_t $ no_paper $ json_t)
 
 let scenario_cmd =
   let run size packing seed archs scenario cross trace =
@@ -240,15 +256,21 @@ let power_cmd =
     Term.(const run $ size_t $ packing_t $ seed_t $ archs_t $ scenarios_t)
 
 let peers_cmd =
-  let run size seed archs counts =
+  let run size seed archs counts json =
     let counts = match counts with [] -> [ 2; 4; 8; 16 ] | l -> l in
-    List.iter
-      (fun arch ->
-        print_string
-          (Bgpmark.Peers_sweep.render
-             (Bgpmark.Peers_sweep.run ~table_size:size ~seed ~counts arch));
-        print_newline ())
-      (resolve_archs archs)
+    let sweeps =
+      List.map
+        (fun arch -> Bgpmark.Peers_sweep.run ~table_size:size ~seed ~counts arch)
+        (resolve_archs archs)
+    in
+    if json then
+      print_json (Bgp_stats.Json.List (List.map Bgpmark.Peers_sweep.to_json sweeps))
+    else
+      List.iter
+        (fun sweep ->
+          print_string (Bgpmark.Peers_sweep.render sweep);
+          print_newline ())
+        sweeps
   in
   let counts =
     Arg.(
@@ -259,40 +281,49 @@ let peers_cmd =
     (Cmd.info "peers"
        ~doc:
          "Extension: transactions/s vs peering density (the paper uses           exactly two speakers)")
-    Term.(const run $ size_t $ seed_t $ archs_t $ counts)
+    Term.(const run $ size_t $ seed_t $ archs_t $ counts $ json_t)
 
 let faults_cmd =
-  let run size packing seed rounds archs scenarios =
+  let run size packing seed rounds archs scenarios json =
     let scenarios =
       match scenarios with [] -> Scenario.adversarial | l -> l
     in
     let failed = ref false in
-    List.iter
-      (fun scenario ->
-        List.iter
-          (fun arch ->
-            let config =
-              { (config_of size packing seed) with H.fault_rounds = rounds }
-            in
-            let r = H.run ~config arch scenario in
-            Format.printf "%a@." H.pp_result r;
-            Option.iter
-              (fun f ->
-                let pp_codes ppf codes =
-                  Format.pp_print_list
-                    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
-                    (fun ppf (c, s) -> Format.fprintf ppf "%d/%d" c s)
-                    ppf codes
-                in
-                if f.H.fr_expected <> [] then
-                  Format.printf
-                    "  expected NOTIFICATIONs (code/subcode): %a@.  answered \
-                     NOTIFICATIONs (code/subcode): %a@."
-                    pp_codes f.H.fr_expected pp_codes f.H.fr_answered)
-              r.H.faults;
-            if Result.is_error r.H.verified then failed := true)
-          (resolve_archs archs))
-      scenarios;
+    let results =
+      List.concat_map
+        (fun scenario ->
+          List.map
+            (fun arch ->
+              let config =
+                { (config_of size packing seed) with H.fault_rounds = rounds }
+              in
+              let r = H.run ~config arch scenario in
+              if Result.is_error r.H.verified then failed := true;
+              r)
+            (resolve_archs archs))
+        scenarios
+    in
+    if json then
+      print_json (Bgp_stats.Json.List (List.map H.result_json results))
+    else
+      List.iter
+        (fun r ->
+          Format.printf "%a@." H.pp_result r;
+          Option.iter
+            (fun f ->
+              let pp_codes ppf codes =
+                Format.pp_print_list
+                  ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                  (fun ppf (c, s) -> Format.fprintf ppf "%d/%d" c s)
+                  ppf codes
+              in
+              if f.H.fr_expected <> [] then
+                Format.printf
+                  "  expected NOTIFICATIONs (code/subcode): %a@.  answered \
+                   NOTIFICATIONs (code/subcode): %a@."
+                  pp_codes f.H.fr_expected pp_codes f.H.fr_answered)
+            r.H.faults)
+        results;
     if !failed then exit 1
   in
   let rounds =
@@ -306,7 +337,112 @@ let faults_cmd =
          "Run the adversarial fault-injection scenarios (9: corrupted-update \
           storm, 10: session flaps); exits non-zero if any verification \
           fails")
-    Term.(const run $ size_t $ packing_t $ seed_t $ rounds $ archs_t $ scenarios_t)
+    Term.(
+      const run $ size_t $ packing_t $ seed_t $ rounds $ archs_t $ scenarios_t
+      $ json_t)
+
+let topo_cmd =
+  let module Topology = Bgp_topo.Topology in
+  let module Net = Bgp_topo.Net in
+  let module TB = Bgp_topo.Topo_bench in
+  let kind_conv =
+    let parse s =
+      match Topology.kind_of_string s with
+      | Some k -> Ok k
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown topology %S (expected %s)" s
+                (String.concat ", "
+                   (List.map Topology.kind_to_string Topology.all_kinds))))
+    in
+    Arg.conv
+      (parse, fun ppf k -> Format.pp_print_string ppf (Topology.kind_to_string k))
+  in
+  let run kind nodes seed gao cut json smoke =
+    if smoke then begin
+      (* CI gate: a small clique must establish, converge, and verify. *)
+      let r = TB.run_convergence ~seed ~kind:Topology.Clique ~n:4 () in
+      match r.TB.cr_verified with
+      | Ok () ->
+        Printf.printf
+          "topo smoke: 4-clique converged (announce %.6fs, withdraw %.6fs)\n"
+          r.TB.cr_announce_s r.TB.cr_withdraw_s
+      | Error e ->
+        prerr_endline ("topo smoke FAILED: " ^ e);
+        exit 1
+    end
+    else begin
+      let sizes = match nodes with [] -> [ 4; 8; 16 ] | l -> List.sort_uniq compare l in
+      let mode = if gao then Net.Gao_rexford else Net.Transit in
+      let runs = TB.sweep ~mode ~seed ~kind ~sizes () in
+      let lf =
+        TB.run_link_failure ~mode ~seed ?cut ~kind
+          ~n:(List.fold_left max 2 sizes) ()
+      in
+      if json then
+        print_json
+          (Bgp_stats.Json.Obj
+             [ ("convergence", TB.convergence_runs_json runs);
+               ("link_failure", TB.link_failure_json lf) ])
+      else begin
+        print_string (TB.render_convergence_runs runs);
+        print_newline ();
+        print_string (TB.render_link_failure lf)
+      end;
+      let bad r = Result.is_error r in
+      if
+        bad lf.TB.lf_verified
+        || List.exists (fun r -> bad r.TB.cr_verified) runs
+      then exit 1
+    end
+  in
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv Topology.Scale_free
+      & info [ "k"; "kind" ] ~docv:"TOPOLOGY"
+          ~doc:
+            "Graph family: line, ring, star, grid, clique, or scale-free \
+             (seeded Barabasi-Albert).")
+  in
+  let nodes =
+    Arg.(
+      value & opt_all int []
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:"Node counts for the convergence sweep (repeatable); default 4 8 16.")
+  in
+  let gao =
+    Arg.(
+      value & flag
+      & info [ "gao-rexford" ]
+          ~doc:
+            "Use Gao-Rexford customer/peer/provider policies per edge \
+             instead of full-mesh transit.")
+  in
+  let cut =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' int int)) None
+      & info [ "cut" ] ~docv:"U,V"
+          ~doc:
+            "Edge to fail in the link-failure run (default: the first cut \
+             the graph survives).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI smoke: converge a small clique and exit non-zero on failure.")
+  in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:
+         "Multi-router topology benchmarks (scenario 11: convergence sweep; \
+          scenario 12: link failure and path hunting); exits non-zero if \
+          verification fails")
+    Term.(
+      const run $ kind $ nodes $ seed_t $ gao $ cut $ json_t $ smoke)
 
 let all_cmd =
   let run size packing seed =
@@ -344,6 +480,6 @@ let main_cmd =
   let info = Cmd.info "bgpbench" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ scenarios_cmd; systems_cmd; table3_cmd; scenario_cmd; fig3_cmd; fig4_cmd;
-      fig5_cmd; fig6_cmd; power_cmd; peers_cmd; faults_cmd; all_cmd ]
+      fig5_cmd; fig6_cmd; power_cmd; peers_cmd; faults_cmd; topo_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

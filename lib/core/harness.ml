@@ -143,6 +143,8 @@ let verify (scenario : Scenario.t) cfg router s2_opt ~measured
   in
   let* () = check "all prefixes measured" (measured = expected_measured) in
   match scenario.Scenario.operation with
+  | Scenario.Topo_convergence | Scenario.Topo_link_failure ->
+    Error "topology scenarios verify through Bgp_topo"
   | Scenario.Corrupted_storm | Scenario.Session_flaps ->
     let r = cfg.fault_rounds in
     let* () = check "FIB restored after recovery" (Fib.size fib = n) in
@@ -308,9 +310,10 @@ let run_standard ~config arch scenario =
                  ~attrs:(s2_attrs cfg.shorter_path_len)
                  table)
           | Scenario.Startup_announce | Scenario.Corrupted_storm
-          | Scenario.Session_flaps ->
-            (* Phase-1-measured and adversarial scenarios never reach
-               this driver. *)
+          | Scenario.Session_flaps | Scenario.Topo_convergence
+          | Scenario.Topo_link_failure ->
+            (* Phase-1-measured, adversarial, and topology scenarios
+               never reach this driver. *)
             assert false);
           wait_router_idle engine ~timeout router ~what:"measured phase"
             ~transactions:cfg.table_size )
@@ -536,7 +539,14 @@ let run_adversarial ~config arch scenario =
     fwd_ratio_min; faults = Some report; verified }
 
 let run ?(config = default_config) arch scenario =
-  if Scenario.is_adversarial scenario then run_adversarial ~config arch scenario
+  if Scenario.is_topo scenario then
+    invalid_arg
+      (Printf.sprintf
+         "Harness.run: %s is a multi-router topology scenario; run it \
+          through Bgp_topo (bgpbench topo)"
+         (Scenario.name scenario))
+  else if Scenario.is_adversarial scenario then
+    run_adversarial ~config arch scenario
   else run_standard ~config arch scenario
 
 let pp_faults ppf = function
@@ -556,3 +566,38 @@ let pp_result ppf r =
     (match r.verified with Ok () -> "OK" | Error e -> "FAILED: " ^ e)
     pp_faults r.faults
     Bgp_pipeline.Pipeline.pp_stage_stats r.stage_stats
+
+let fault_report_json (f : fault_report) =
+  let module J = Bgp_stats.Json in
+  let codes l = J.List (List.map (fun (c, s) -> J.List [ J.Int c; J.Int s ]) l) in
+  J.Obj
+    [ ("injected", J.Int f.fr_injected);
+      ("malformed_dropped", J.Int f.fr_malformed_dropped);
+      ("session_restarts", J.Int f.fr_session_restarts);
+      ("reconverge_count", J.Int f.fr_reconverge_count);
+      ("reconverge_mean_s", J.Float f.fr_reconverge_mean);
+      ("reconverge_max_s", J.Float f.fr_reconverge_max);
+      ("expected_notifications", codes f.fr_expected);
+      ("answered_notifications", codes f.fr_answered) ]
+
+let result_json (r : result) =
+  let module J = Bgp_stats.Json in
+  J.Obj
+    ([ ("arch", J.Str r.arch_name);
+       ("scenario", J.Int r.scenario.Scenario.id);
+       ("name", J.Str (Scenario.name r.scenario));
+       ("tps", J.Float r.tps);
+       ("transactions", J.Int r.measured_prefixes);
+       ("measure_s", J.Float r.measure_seconds);
+       ("setup_s", J.Float r.setup_seconds);
+       ("fib_size", J.Int r.fib_size_end);
+       ("msgs_rx", J.Int r.msgs_rx);
+       ("msgs_tx", J.Int r.msgs_tx);
+       ("fwd_ratio_min", J.Float r.fwd_ratio_min) ]
+    @ (match r.faults with
+      | None -> []
+      | Some f -> [ ("faults", fault_report_json f) ])
+    @
+    match r.verified with
+    | Ok () -> [ ("verified", J.Bool true) ]
+    | Error e -> [ ("verified", J.Bool false); ("error", J.Str e) ])

@@ -91,3 +91,7 @@ val run : ?config:config -> Bgp_router.Arch.t -> Scenario.t -> result
     (with a diagnostic of what was stuck). *)
 
 val pp_result : Format.formatter -> result -> unit
+
+val result_json : result -> Bgp_stats.Json.t
+(** Machine-readable form of one run — the per-cell record behind every
+    [--json] CLI flag (fault report and verification status included). *)

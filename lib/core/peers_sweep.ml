@@ -112,3 +112,18 @@ let render t =
            p.avg_candidates))
     t.points;
   Buffer.contents b
+
+let to_json t =
+  let module J = Bgp_stats.Json in
+  J.Obj
+    [ ("name", J.Str "peers-sweep");
+      ("arch", J.Str t.arch_name);
+      ( "points",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [ ("n_peers", J.Int p.n_peers);
+                   ("tps", J.Float p.tps);
+                   ("avg_candidates", J.Float p.avg_candidates) ])
+             t.points) ) ]

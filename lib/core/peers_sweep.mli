@@ -27,3 +27,6 @@ val run :
     @raise Invalid_argument for counts below 2. *)
 
 val render : t -> string
+
+val to_json : t -> Bgp_stats.Json.t
+(** Machine-readable sweep (the [bgpbench peers --json] payload). *)

@@ -5,6 +5,8 @@ type operation =
   | Incremental_fib_change
   | Corrupted_storm
   | Session_flaps
+  | Topo_convergence
+  | Topo_link_failure
 
 type packet_size = Small | Large
 
@@ -26,17 +28,29 @@ let adversarial =
   [ { id = 9; operation = Corrupted_storm; packet_size = Large };
     { id = 10; operation = Session_flaps; packet_size = Large } ]
 
+(* Multi-router topology scenarios (driven by [Bgp_topo], not by the
+   single-DUT harness; packet size is per-decision advertisement, i.e.
+   small, as the routers advertise XORP-style). *)
+let topo =
+  [ { id = 11; operation = Topo_convergence; packet_size = Small };
+    { id = 12; operation = Topo_link_failure; packet_size = Small } ]
+
 let is_adversarial t =
   match t.operation with
   | Corrupted_storm | Session_flaps -> true
   | _ -> false
 
-let of_id id = List.find_opt (fun s -> s.id = id) (all @ adversarial)
+let is_topo t =
+  match t.operation with
+  | Topo_convergence | Topo_link_failure -> true
+  | _ -> false
+
+let of_id id = List.find_opt (fun s -> s.id = id) (all @ adversarial @ topo)
 
 let of_id_exn id =
   match of_id id with
   | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Scenario.of_id_exn: %d not in 1-10" id)
+  | None -> invalid_arg (Printf.sprintf "Scenario.of_id_exn: %d not in 1-12" id)
 
 let packing ?(large = 500) t =
   match t.packet_size with Small -> 1 | Large -> large
@@ -45,6 +59,7 @@ let forwarding_table_changes t =
   match t.operation with
   | Startup_announce | Ending_withdraw | Incremental_fib_change -> true
   | Corrupted_storm | Session_flaps -> true  (* flush + re-install per fault *)
+  | Topo_convergence | Topo_link_failure -> true  (* every node's FIB moves *)
   | Incremental_no_fib_change -> false
 
 let measures_phase t =
@@ -54,7 +69,8 @@ let uses_speaker2 t =
   match t.operation with
   | Incremental_no_fib_change | Incremental_fib_change -> true
   | Corrupted_storm | Session_flaps -> true  (* export side must recover too *)
-  | Startup_announce | Ending_withdraw -> false
+  | Startup_announce | Ending_withdraw | Topo_convergence | Topo_link_failure
+    -> false
 
 let name t = Printf.sprintf "scenario-%d" t.id
 
@@ -65,6 +81,8 @@ let op_string = function
   | Incremental_fib_change -> "incremental, shorter path (FIB change)"
   | Corrupted_storm -> "adversarial: corrupted-update storm"
   | Session_flaps -> "adversarial: session flaps mid-measurement"
+  | Topo_convergence -> "topology: announce/withdraw convergence sweep"
+  | Topo_link_failure -> "topology: link failure and path hunting"
 
 let describe t =
   Printf.sprintf "%s: %s, %s packets" (name t) (op_string t.operation)
@@ -91,6 +109,8 @@ let table1 () =
         | Incremental_fib_change -> ("incremental", "ANNOUNCE")
         | Corrupted_storm -> ("adversarial", "CORRUPT")
         | Session_flaps -> ("adversarial", "FLAP")
+        | Topo_convergence -> ("topology", "ANNOUNCE")
+        | Topo_link_failure -> ("topology", "CUT")
       in
       Buffer.add_string b
         (Printf.sprintf "| %2d | %-20s | %-8s | %-11s | %-6s |\n" s.id op msg

@@ -18,6 +18,13 @@ type operation =
   | Session_flaps
       (** Adversarial (10): repeated session flaps (CEASE and TCP
           reset alternating) mid-measurement, re-convergence timed *)
+  | Topo_convergence
+      (** Topology (11): single-origin announce/withdraw convergence
+          over a multi-router graph, swept over topology size (driven
+          by [Bgp_topo], not this harness) *)
+  | Topo_link_failure
+      (** Topology (12): cut a link mid-graph and measure path hunting
+          plus re-convergence (driven by [Bgp_topo]) *)
 
 type packet_size = Small | Large
 
@@ -31,10 +38,17 @@ val all : t list
 val adversarial : t list
 (** The fault-injection scenarios 9-10 (not part of the paper). *)
 
+val topo : t list
+(** The multi-router topology scenarios 11-12 (not part of the paper);
+    they run through [Bgp_topo], and {!Harness.run} rejects them. *)
+
 val is_adversarial : t -> bool
 
+val is_topo : t -> bool
+
 val of_id : int -> t option
-(** Scenario by number: 1-8 from Table I, 9-10 adversarial. *)
+(** Scenario by number: 1-8 from Table I, 9-10 adversarial, 11-12
+    topology. *)
 
 val of_id_exn : int -> t
 

@@ -124,3 +124,19 @@ let shape_checks t =
           let a = v ~scenario:7 ~arch and b = v ~scenario:8 ~arch in
           Float.max a b <= 2.0 *. Float.min a b)
         [ "pentium3"; "xeon"; "ixp2400" ] ) ]
+
+let to_json t =
+  let module J = Bgp_stats.Json in
+  J.Obj
+    [ ("name", J.Str "table3");
+      ("table_size", J.Int t.config.Harness.table_size);
+      ("seed", J.Int t.config.Harness.seed);
+      ( "cells",
+        J.List
+          (List.concat_map
+             (fun (_, results) ->
+               List.map (fun (_, r) -> Harness.result_json r) results)
+             t.cells) );
+      ( "shape_checks",
+        J.Obj
+          (List.map (fun (desc, ok) -> (desc, J.Bool ok)) (shape_checks t)) ) ]

@@ -28,3 +28,7 @@ val render : ?compare_paper:bool -> t -> string
 val shape_checks : t -> (string * bool) list
 (** The DESIGN.md §5 shape criteria evaluated on this run:
     each [(description, holds?)]. *)
+
+val to_json : t -> Bgp_stats.Json.t
+(** The whole table plus its shape-check verdicts, machine-readable
+    (the [bgpbench table3 --json] payload). *)

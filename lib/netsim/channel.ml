@@ -23,6 +23,7 @@ type t = {
   a : dir_state;
   b : dir_state;
   mutable opened : bool;
+  mutable in_flight : int;  (* scheduled-but-undelivered payloads *)
   (* Incremented on every connect/close.  In-flight deliveries capture
      the generation at send time and are discarded if the connection
      has turned over by delivery time, so bytes from a previous
@@ -38,7 +39,7 @@ let create engine ?(latency = 1e-4) ?(bandwidth_mbps = 1000.0) () =
   if latency < 0.0 then invalid_arg "Channel.create: negative latency";
   if bandwidth_mbps <= 0.0 then invalid_arg "Channel.create: bandwidth";
   { engine; latency; bandwidth_bps = bandwidth_mbps *. 1e6; a = blank ();
-    b = blank (); opened = false; generation = 0 }
+    b = blank (); opened = false; in_flight = 0; generation = 0 }
 
 let this t = function A -> t.a | B -> t.b
 let other t = function A -> t.b | B -> t.a
@@ -95,8 +96,10 @@ let send t side bytes =
       in
       let deliver_at = start +. ser +. t.latency +. extra in
       let gen = t.generation in
+      t.in_flight <- t.in_flight + 1;
       ignore
         (Engine.schedule_at t.engine ~time:deliver_at (fun () ->
+             t.in_flight <- t.in_flight - 1;
              if t.opened && t.generation = gen then dst.receiver bytes))
   end
 
@@ -106,3 +109,4 @@ let session_io t side ~connect_side =
     close = (fun () -> close t) }
 
 let bytes_carried t side = (this t side).carried
+let in_flight t = t.in_flight

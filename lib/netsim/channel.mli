@@ -63,3 +63,9 @@ val session_io : t -> side -> connect_side:bool -> Bgp_fsm.Session.io
 
 val bytes_carried : t -> side -> int
 (** Total payload bytes this side has transmitted. *)
+
+val in_flight : t -> int
+(** Payloads scheduled but not yet delivered, both directions.  Stale
+    deliveries from a turned-over connection count until their delivery
+    time passes.  A multi-router convergence detector treats
+    [in_flight = 0] (on every channel) as "no bytes on the wire". *)

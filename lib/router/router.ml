@@ -25,6 +25,7 @@ type peer_link = {
 type counters = {
   transactions : int;
   updates_rx : int;
+  withdrawn_rx : int;
   msgs_rx : int;
   msgs_tx : int;
   bytes_rx : int;
@@ -48,6 +49,7 @@ type t = {
   peers : (int, peer_link) Hashtbl.t;
   c_transactions : Metrics.counter;
   c_updates_rx : Metrics.counter;
+  c_withdrawn_rx : Metrics.counter;
   c_msgs_rx : Metrics.counter;
   c_msgs_tx : Metrics.counter;
   c_bytes_rx : Metrics.counter;
@@ -55,6 +57,8 @@ type t = {
   mutable first_work_at : float option;
   mutable last_transaction_at : float option;
   mutable inflight : int;  (* update messages still in the pipeline *)
+  mutable route_observer : Bgp_addr.Prefix.t -> unit;
+      (* fired once per Loc-RIB best-route change, with the prefix *)
 }
 
 let timer_service engine =
@@ -93,6 +97,7 @@ let create ?import ?export ?mrai ?metrics engine arch ~local_asn ~router_id =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let c_transactions = Metrics.counter metrics "router.transactions" in
   let c_updates_rx = Metrics.counter metrics "router.updates_rx" in
+  let c_withdrawn_rx = Metrics.counter metrics "router.withdrawn_rx" in
   let c_msgs_rx = Metrics.counter metrics "router.msgs_rx" in
   let c_msgs_tx = Metrics.counter metrics "router.msgs_tx" in
   let c_bytes_rx = Metrics.counter metrics "router.bytes_rx" in
@@ -127,9 +132,10 @@ let create ?import ?export ?mrai ?metrics engine arch ~local_asn ~router_id =
     tx_proc = stage_proc (Arch.tx_proc_name arch);
     fib_proc = stage_proc (Arch.fib_proc_name arch);
     metrics; mrai; peers = Hashtbl.create 8;
-    c_transactions; c_updates_rx; c_msgs_rx; c_msgs_tx; c_bytes_rx;
+    c_transactions; c_updates_rx; c_withdrawn_rx; c_msgs_rx; c_msgs_tx;
+    c_bytes_rx;
     c_bytes_tx; first_work_at = None; last_transaction_at = None;
-    inflight = 0 }
+    inflight = 0; route_observer = ignore }
 
 let arch t = t.arch
 let engine t = t.engine
@@ -142,6 +148,7 @@ let pipeline t = t.pipeline
 let stage_stats t = Pipeline.stage_stats t.pipeline
 
 let set_cross_traffic t traffic = Bgp_netsim.Forwarding.set_offered t.fwd traffic
+let set_route_observer t f = t.route_observer <- f
 
 (* ------------------------------------------------------------------ *)
 (* Cost helpers                                                        *)
@@ -171,16 +178,23 @@ let run_rib_update t ~from (u : Msg.update) =
   let w =
     { w_candidates = 0; w_loc_changes = 0; w_deltas = []; w_anns = [] }
   in
-  let absorb (o : Rib_manager.outcome) =
+  let absorb prefix (o : Rib_manager.outcome) =
     w.w_candidates <- w.w_candidates + o.Rib_manager.candidates;
-    if o.Rib_manager.loc_changed then w.w_loc_changes <- w.w_loc_changes + 1;
+    if o.Rib_manager.loc_changed then begin
+      w.w_loc_changes <- w.w_loc_changes + 1;
+      t.route_observer prefix
+    end;
     w.w_deltas <- w.w_deltas @ o.Rib_manager.fib_deltas;
     w.w_anns <- w.w_anns @ o.Rib_manager.announcements
   in
-  List.iter (fun p -> absorb (Rib_manager.withdraw t.rib ~from p)) u.Msg.withdrawn;
+  List.iter
+    (fun p -> absorb p (Rib_manager.withdraw t.rib ~from p))
+    u.Msg.withdrawn;
   (match u.Msg.attrs with
   | Some attrs ->
-    List.iter (fun p -> absorb (Rib_manager.announce t.rib ~from p attrs)) u.Msg.nlri
+    List.iter
+      (fun p -> absorb p (Rib_manager.announce t.rib ~from p attrs))
+      u.Msg.nlri
   | None -> ());
   w
 
@@ -384,6 +398,7 @@ let on_update t peer_link (u : Msg.update) =
   let now = Engine.now t.engine in
   if t.first_work_at = None then t.first_work_at <- Some now;
   Metrics.incr t.c_updates_rx;
+  Metrics.incr ~by:(List.length u.Msg.withdrawn) t.c_withdrawn_rx;
   if over_prefix_limit t peer_link u then
     (* Session teardown; the FSM sends CEASE and on_down flushes the
        peer's contribution. *)
@@ -422,16 +437,17 @@ let on_refresh t peer_link ~afi ~safi =
   if afi = 1 && safi = 1 then
     send_packed t peer_link (Rib_manager.refresh t.rib peer_link.peer)
 
-let attach_peer ?max_prefixes ?restart_delay t ~peer ~channel ~side =
+let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
+    t ~peer ~channel ~side =
   if Hashtbl.mem t.peers peer.Peer.id then
     invalid_arg (Printf.sprintf "Router.attach_peer: duplicate id %d" peer.Peer.id);
-  Rib_manager.add_peer ~up:false t.rib peer;
+  Rib_manager.add_peer ?import ?export ~up:false t.rib peer;
   let cfg =
     { (Bgp_fsm.Fsm.default_config ~asn:(Rib_manager.local_asn t.rib)
          ~router_id:(Rib_manager.router_id t.rib))
-      with Bgp_fsm.Fsm.passive = true }
+      with Bgp_fsm.Fsm.passive = not active }
   in
-  let io = Channel.session_io channel side ~connect_side:false in
+  let io = Channel.session_io channel side ~connect_side:active in
   let lnk =
     { peer; session = None; last_rx_size = 0; max_prefixes;
       mrai_pending = Hashtbl.create 16; mrai_armed = false }
@@ -447,6 +463,9 @@ let attach_peer ?max_prefixes ?restart_delay t ~peer ~channel ~side =
              to the architecture's FIB process like any other burst
              (paper: "a link is down or another router failed"). *)
           let o = Rib_manager.peer_down t.rib lnk.peer in
+          List.iter
+            (fun d -> t.route_observer (Fib.delta_prefix d))
+            o.Rib_manager.fib_deltas;
           (match o.Rib_manager.fib_deltas, o.Rib_manager.announcements with
           | [], [] -> ()
           | deltas, anns ->
@@ -494,11 +513,44 @@ let attach_peer ?max_prefixes ?restart_delay t ~peer ~channel ~side =
 
 let session_state t peer = Session.state (link_session (link t peer))
 
+(* Originate (or withdraw) a prefix locally.  The FIB commit and the
+   resulting advertisements ride the FIB process, like a peer-loss
+   repair: origination is operator/IGP work, not an inbound UPDATE, so
+   it stays off the update pipeline.  Books one transaction when the
+   commit lands (the event a convergence detector keys on). *)
+let local_change t ~prefix outcome =
+  let now = Engine.now t.engine in
+  if t.first_work_at = None then t.first_work_at <- Some now;
+  if outcome.Rib_manager.loc_changed then t.route_observer prefix;
+  t.inflight <- t.inflight + 1;
+  let c = cost t in
+  let deltas = outcome.Rib_manager.fib_deltas in
+  let anns = outcome.Rib_manager.announcements in
+  let cycles =
+    c.Arch.cyc_per_fib_msg +. delta_cycles c deltas
+    +. (float_of_int (List.length anns) *. c.Arch.cyc_per_announcement)
+  in
+  Sched.submit t.sched t.fib_proc ~cycles (fun () ->
+      ignore (Fib.apply_all t.fib deltas);
+      List.iter
+        (fun (dest, msg) -> transmit t t.fib_proc dest msg)
+        (announcement_msgs anns);
+      note_transactions t 1)
+
+let originate t ~prefix =
+  local_change t ~prefix
+    (Rib_manager.inject_local t.rib ~prefix
+       ~next_hop:(Rib_manager.router_id t.rib))
+
+let withdraw_origin t ~prefix =
+  local_change t ~prefix (Rib_manager.withdraw_local t.rib ~prefix)
+
 let idle t = t.inflight = 0 && Pipeline.idle t.pipeline
 
 let counters t =
   { transactions = Metrics.value t.c_transactions;
     updates_rx = Metrics.value t.c_updates_rx;
+    withdrawn_rx = Metrics.value t.c_withdrawn_rx;
     msgs_rx = Metrics.value t.c_msgs_rx;
     msgs_tx = Metrics.value t.c_msgs_tx;
     bytes_rx = Metrics.value t.c_bytes_rx;

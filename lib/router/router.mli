@@ -62,21 +62,49 @@ val stage_stats : t -> Bgp_pipeline.Pipeline.stage_stat list
     window (reset by {!reset_counters}). *)
 
 val attach_peer :
-  ?max_prefixes:int -> ?restart_delay:float -> t -> peer:Bgp_route.Peer.t ->
+  ?max_prefixes:int -> ?restart_delay:float -> ?active:bool ->
+  ?import:Bgp_policy.Policy.t -> ?export:Bgp_policy.Policy.t ->
+  t -> peer:Bgp_route.Peer.t ->
   channel:Bgp_netsim.Channel.t -> side:Bgp_netsim.Channel.side -> unit
 (** Register a neighbor reachable over [channel]/[side] and start a
-    passive session on it.  The peer's id must be unique.
+    session on it.
+    @raise Invalid_argument if the peer's id is already attached
+    (the id names the neighbor in every RIB; silently rebinding it
+    would orphan the old session).
     [max_prefixes] enables prefix-limit protection: an announcement
     pushing the peer's Adj-RIB-In beyond the limit tears the session
     down with a CEASE and flushes the peer's routes.
     [restart_delay] enables automatic recovery: whenever the session
     drops to Idle it is restarted (passively, waiting for the peer to
     reconnect) after that many simulated seconds — required by the
-    adversarial flap scenarios, off by default. *)
+    adversarial flap scenarios, off by default.
+    [active] (default false) makes this side the connection opener —
+    router-to-router links in a {!Bgp_topo} graph designate exactly one
+    opener per edge; the benchmark router stays passive, as in the
+    paper's setup.
+    [import]/[export] install per-peer policies (e.g. the Gao–Rexford
+    relationship rules), overriding the router-wide defaults given to
+    {!create}. *)
 
 val session_state : t -> Bgp_route.Peer.t -> Bgp_fsm.Fsm.state
 
+val originate : t -> prefix:Bgp_addr.Prefix.t -> unit
+(** Originate [prefix] locally (next-hop self).  The FIB commit and the
+    advertisements to every Established peer are charged to the FIB
+    process, off the update pipeline; one transaction is booked when
+    the commit completes. *)
+
+val withdraw_origin : t -> prefix:Bgp_addr.Prefix.t -> unit
+(** Withdraw a locally originated prefix (counterpart of
+    {!originate}). *)
+
 val set_cross_traffic : t -> Bgp_netsim.Traffic.t -> unit
+
+val set_route_observer : t -> (Bgp_addr.Prefix.t -> unit) -> unit
+(** Install a hook fired once per Loc-RIB best-route change, with the
+    affected prefix — the signal a topology harness counts as one
+    path-exploration step (default: ignore).  Covers inbound-update
+    decisions, local (de)origination, and peer-loss flushes. *)
 
 val idle : t -> bool
 (** No control-plane work queued or in flight (the criterion the
@@ -86,6 +114,8 @@ type counters = {
   transactions : int;
       (** prefixes fully processed through to FIB/Loc-RIB completion *)
   updates_rx : int;
+  withdrawn_rx : int;
+      (** prefixes withdrawn in received UPDATEs *)
   msgs_rx : int;
   msgs_tx : int;
   bytes_rx : int;

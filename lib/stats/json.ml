@@ -1,0 +1,83 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_str f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+(* [indent < 0] means compact. *)
+let rec emit b ~indent ~level v =
+  let pad l =
+    if indent >= 0 then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (indent * l) ' ')
+    end
+  in
+  let sep () = Buffer.add_char b ',' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_str f)
+  | Str s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then sep ();
+        pad (level + 1);
+        emit b ~indent ~level:(level + 1) item)
+      items;
+    pad level;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then sep ();
+        pad (level + 1);
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b (if indent >= 0 then "\": " else "\":");
+        emit b ~indent ~level:(level + 1) item)
+      fields;
+    pad level;
+    Buffer.add_char b '}'
+
+let render ~indent v =
+  let b = Buffer.create 256 in
+  emit b ~indent ~level:0 v;
+  Buffer.contents b
+
+let to_string v = render ~indent:(-1) v
+let to_string_pretty v = render ~indent:2 v
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,24 @@
+(** A minimal JSON emitter for machine-readable benchmark output.
+
+    The repository deliberately carries no JSON dependency; every
+    [--json] flag of [bgpbench] renders through this module.  Emission
+    only — the perf-trajectory consumers ([BENCH_*.json]) never need to
+    parse JSON back inside this repo. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values render as [null] *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (RFC 8259 escaping). *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for artifacts meant to be diffed. *)
+
+val pp : Format.formatter -> t -> unit
+(** [to_string], as a formatter. *)

@@ -1,0 +1,95 @@
+module Policy = Bgp_policy.Policy
+module Community = Bgp_route.Community
+
+type relation = Customer | Peer | Provider
+
+let relation_to_string = function
+  | Customer -> "customer"
+  | Peer -> "peer"
+  | Provider -> "provider"
+
+let tier i =
+  if i < 0 then invalid_arg "Gao_rexford.tier: negative vertex";
+  let rec go acc v = if v < 1 then acc else go (acc + 1) (v lsr 1) in
+  go (-1) (i + 1)
+
+let relation_between ~self ~neighbor =
+  let ts = tier self and tn = tier neighbor in
+  if ts = tn then Peer else if ts < tn then Customer else Provider
+
+let local_pref = function Customer -> 200 | Peer -> 150 | Provider -> 100
+
+(* Tag namespace: a private community ASN so the tags can never collide
+   with workload communities. *)
+let tag_asn = Bgp_route.Asn.of_int 64511
+
+let learned_tag = function
+  | Customer -> Community.make tag_asn 101
+  | Peer -> Community.make tag_asn 102
+  | Provider -> Community.make tag_asn 103
+
+let import_policy rel =
+  Policy.make
+    ~name:(Printf.sprintf "gr-import-from-%s" (relation_to_string rel))
+    [ { Policy.term_name = "tag-and-rank";
+        conds = [];
+        verdict =
+          Policy.Accept
+            [ Policy.Add_community (learned_tag rel);
+              Policy.Set_local_pref (local_pref rel) ] } ]
+
+(* Valley-free propagation oracle: which vertices end up holding a
+   route to [origin]'s prefix in the stable state, as a pure graph
+   fixed point.  Class 0 = own or customer-learned (exportable to
+   everyone), 1 = peer-learned, 2 = provider-learned (both exportable
+   only to customers); prefer-customer selection means every vertex
+   settles on its minimal reachable class, so a monotone worklist over
+   (vertex, class) converges to exactly the protocol's reachable set. *)
+let reachable ~n ~edges ~origin =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let best = Array.make n 3 in
+  best.(origin) <- 0;
+  let q = Queue.create () in
+  Queue.add origin q;
+  while not (Queue.is_empty q) do
+    let x = Queue.pop q in
+    let cls = best.(x) in
+    List.iter
+      (fun y ->
+        let may_export =
+          cls = 0 || relation_between ~self:x ~neighbor:y = Customer
+        in
+        if may_export then begin
+          let cls_y =
+            match relation_between ~self:y ~neighbor:x with
+            | Customer -> 0
+            | Peer -> 1
+            | Provider -> 2
+          in
+          if cls_y < best.(y) then begin
+            best.(y) <- cls_y;
+            Queue.add y q
+          end
+        end)
+      adj.(x)
+  done;
+  Array.map (fun c -> c < 3) best
+
+let export_policy rel =
+  match rel with
+  | Customer ->
+    Policy.make ~name:"gr-export-to-customer" []
+  | Peer | Provider ->
+    Policy.make
+      ~name:(Printf.sprintf "gr-export-to-%s" (relation_to_string rel))
+      [ { Policy.term_name = "valley-free";
+          conds =
+            [ Policy.Any
+                [ Policy.Has_community (learned_tag Peer);
+                  Policy.Has_community (learned_tag Provider) ] ];
+          verdict = Policy.Reject } ]

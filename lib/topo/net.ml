@@ -1,0 +1,266 @@
+module Engine = Bgp_sim.Engine
+module Channel = Bgp_netsim.Channel
+module Arch = Bgp_router.Arch
+module Router = Bgp_router.Router
+module Rib_manager = Bgp_rib.Rib_manager
+module Loc_rib = Bgp_rib.Loc_rib
+module Fib = Bgp_fib.Fib
+module Peer = Bgp_route.Peer
+module Asn = Bgp_route.Asn
+module Attrs = Bgp_route.Attrs
+module Route = Bgp_route.Route
+module Ipv4 = Bgp_addr.Ipv4
+module Prefix = Bgp_addr.Prefix
+module Metrics = Bgp_stats.Metrics
+module Fsm = Bgp_fsm.Fsm
+
+type policy_mode = Transit | Gao_rexford
+
+let policy_mode_to_string = function
+  | Transit -> "transit"
+  | Gao_rexford -> "gao-rexford"
+
+type node = {
+  index : int;
+  asn : Asn.t;
+  addr : Ipv4.t;
+  router : Router.t;
+  origin : Prefix.t;
+  mutable peer_recs : (int * Peer.t) list;
+      (* neighbor vertex -> the Peer record naming it on this router *)
+  mutable loc_changes : int;
+  explored : (Prefix.t, int) Hashtbl.t;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  mode : policy_mode;
+  nodes : node array;
+  links : (int * int * Channel.t) list;
+  metrics : Metrics.t;
+  c_updates : Metrics.counter;
+  c_msgs : Metrics.counter;
+  c_withdrawn : Metrics.counter;
+  c_loc : Metrics.counter;
+  h_conv : Metrics.histogram;
+  mutable folded : int * int * int * int;
+      (* node totals already mirrored into the aggregate counters *)
+}
+
+let asn_of_index i = Asn.of_int (64512 + i)
+
+let addr_of_index i = Ipv4.of_octets 10 (i lsr 8) (i land 0xff) 1
+
+let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) topo =
+  let n = topo.Topology.n in
+  if n > 1023 then
+    invalid_arg
+      (Printf.sprintf
+         "Net.create: %d routers exceed the private ASN block (max 1023)" n);
+  let engine = Engine.create () in
+  let prefixes = Bgp_addr.Prefix_gen.table ~seed:topo.Topology.seed ~n () in
+  let nodes =
+    Array.init n (fun i ->
+        let asn = asn_of_index i in
+        let addr = addr_of_index i in
+        { index = i; asn; addr;
+          router = Router.create engine arch ~local_asn:asn ~router_id:addr;
+          origin = prefixes.(i);
+          peer_recs = []; loc_changes = 0; explored = Hashtbl.create 97 })
+  in
+  Array.iter
+    (fun nd ->
+      Router.set_route_observer nd.router (fun prefix ->
+          nd.loc_changes <- nd.loc_changes + 1;
+          let c = Option.value ~default:0 (Hashtbl.find_opt nd.explored prefix) in
+          Hashtbl.replace nd.explored prefix (c + 1)))
+    nodes;
+  let next_id = Array.make n 0 in
+  let fresh_id u =
+    let id = next_id.(u) in
+    next_id.(u) <- id + 1;
+    id
+  in
+  let policies ~self ~neighbor =
+    match mode with
+    | Transit -> (None, None)
+    | Gao_rexford ->
+      let rel = Gao_rexford.relation_between ~self ~neighbor in
+      (Some (Gao_rexford.import_policy rel),
+       Some (Gao_rexford.export_policy rel))
+  in
+  let links =
+    List.map
+      (fun (u, v) ->
+        let ch = Channel.create engine ~latency () in
+        let nu = nodes.(u) and nv = nodes.(v) in
+        let peer_v =
+          Peer.make ~id:(fresh_id u) ~asn:nv.asn ~router_id:nv.addr
+            ~addr:nv.addr
+        and peer_u =
+          Peer.make ~id:(fresh_id v) ~asn:nu.asn ~router_id:nu.addr
+            ~addr:nu.addr
+        in
+        let import_u, export_u = policies ~self:u ~neighbor:v
+        and import_v, export_v = policies ~self:v ~neighbor:u in
+        (* One session per link: the lower index listens, the higher
+           opens, so the FSM never needs §6.8 collision resolution. *)
+        Router.attach_peer ?import:import_u ?export:export_u nu.router
+          ~peer:peer_v ~channel:ch ~side:Channel.A;
+        Router.attach_peer ~active:true ?import:import_v ?export:export_v
+          nv.router ~peer:peer_u ~channel:ch ~side:Channel.B;
+        nu.peer_recs <- (v, peer_v) :: nu.peer_recs;
+        nv.peer_recs <- (u, peer_u) :: nv.peer_recs;
+        (u, v, ch))
+      topo.Topology.edges
+  in
+  let metrics = Metrics.create () in
+  { engine; topo; mode; nodes; links; metrics;
+    c_updates = Metrics.counter metrics "topo.updates_rx";
+    c_msgs = Metrics.counter metrics "topo.msgs_tx";
+    c_withdrawn = Metrics.counter metrics "topo.withdrawals_rx";
+    c_loc = Metrics.counter metrics "topo.loc_rib_changes";
+    h_conv = Metrics.histogram metrics "topo.convergence_s";
+    folded = (0, 0, 0, 0) }
+
+let engine t = t.engine
+let topology t = t.topo
+let mode t = t.mode
+let size t = Array.length t.nodes
+let router t i = t.nodes.(i).router
+let origin_prefix t i = t.nodes.(i).origin
+let asn_of t i = t.nodes.(i).asn
+let metrics t = t.metrics
+
+let totals t =
+  Array.fold_left
+    (fun (u, m, w, l) nd ->
+      let k = Router.counters nd.router in
+      ( u + k.Router.updates_rx, m + k.Router.msgs_tx,
+        w + k.Router.withdrawn_rx, l + nd.loc_changes ))
+    (0, 0, 0, 0) t.nodes
+
+let fold_totals t =
+  let (u, m, w, l) = totals t in
+  let (u0, m0, w0, l0) = t.folded in
+  Metrics.incr ~by:(u - u0) t.c_updates;
+  Metrics.incr ~by:(m - m0) t.c_msgs;
+  Metrics.incr ~by:(w - w0) t.c_withdrawn;
+  Metrics.incr ~by:(l - l0) t.c_loc;
+  t.folded <- (u, m, w, l)
+
+let wait_until t ~timeout ~what cond =
+  let deadline = Engine.now t.engine +. timeout in
+  (* Run before the first check: a just-injected fault (channel close,
+     link cut) breaks quiescence only once its notification event
+     fires, so the predicate must never be trusted on a cold queue.
+     Exponential polling step, capped: convergence times come from
+     event timestamps, not from this grid. *)
+  let rec go step =
+    Engine.run ~until:(Engine.now t.engine +. step) t.engine;
+    if cond () then ()
+    else if Engine.now t.engine >= deadline then
+      failwith
+        (Printf.sprintf "Net: timed out after %.0fs waiting for %s" timeout
+           what)
+    else go (Float.min 2.0 (step *. 1.5))
+  in
+  go 0.01
+
+let establish ?(timeout = 600.) t =
+  wait_until t ~timeout ~what:"session establishment" (fun () ->
+      Array.for_all
+        (fun nd ->
+          List.for_all
+            (fun (_, p) -> Router.session_state nd.router p = Fsm.Established)
+            nd.peer_recs)
+        t.nodes)
+
+let originate t i = Router.originate t.nodes.(i).router ~prefix:t.nodes.(i).origin
+
+let withdraw_origin t i =
+  Router.withdraw_origin t.nodes.(i).router ~prefix:t.nodes.(i).origin
+
+let originate_all t = Array.iteri (fun i _ -> originate t i) t.nodes
+
+let quiescent t =
+  Array.for_all (fun nd -> Router.idle nd.router) t.nodes
+  && List.for_all (fun (_, _, ch) -> Channel.in_flight ch = 0) t.links
+
+let converge ?(timeout = 600.) ~what t =
+  let t0 = Engine.now t.engine in
+  wait_until t ~timeout ~what (fun () -> quiescent t);
+  let t_end =
+    Array.fold_left
+      (fun acc nd ->
+        match (Router.counters nd.router).Router.last_transaction_at with
+        | Some x when x > acc -> x
+        | _ -> acc)
+      t0 t.nodes
+  in
+  let dt = t_end -. t0 in
+  Metrics.observe t.h_conv dt;
+  fold_totals t;
+  dt
+
+let cut_link t u v =
+  let u, v = if u < v then (u, v) else (v, u) in
+  match List.find_opt (fun (a, b, _) -> a = u && b = v) t.links with
+  | None -> invalid_arg (Printf.sprintf "Net.cut_link: no edge %d-%d" u v)
+  | Some (_, _, ch) ->
+    Channel.set_tap ch Channel.A (fun _ -> Channel.Drop);
+    Channel.set_tap ch Channel.B (fun _ -> Channel.Drop);
+    Channel.close ch
+
+type node_stats = {
+  ns_index : int;
+  ns_asn : int;
+  ns_updates_rx : int;
+  ns_msgs_tx : int;
+  ns_withdrawn_rx : int;
+  ns_loc_changes : int;
+  ns_loc_rib_size : int;
+  ns_fib_size : int;
+}
+
+let node_stats t i =
+  let nd = t.nodes.(i) in
+  let k = Router.counters nd.router in
+  { ns_index = i;
+    ns_asn = Asn.to_int nd.asn;
+    ns_updates_rx = k.Router.updates_rx;
+    ns_msgs_tx = k.Router.msgs_tx;
+    ns_withdrawn_rx = k.Router.withdrawn_rx;
+    ns_loc_changes = nd.loc_changes;
+    ns_loc_rib_size = Loc_rib.size (Rib_manager.loc_rib (Router.rib nd.router));
+    ns_fib_size = Fib.size (Router.fib nd.router) }
+
+let total_updates t =
+  let (u, _, _, _) = totals t in
+  u
+
+let explored_paths t i prefix =
+  Option.value ~default:0 (Hashtbl.find_opt t.nodes.(i).explored prefix)
+
+let reset_exploration t =
+  Array.iter (fun nd -> Hashtbl.reset nd.explored) t.nodes
+
+let loc_rib_fingerprint t i =
+  let rib = Rib_manager.loc_rib (Router.rib t.nodes.(i).router) in
+  let entries =
+    Loc_rib.fold
+      (fun r acc ->
+        let a = Route.attrs r in
+        Format.asprintf "%s|%a|%s"
+          (Prefix.to_string (Route.prefix r))
+          Bgp_route.As_path.pp a.Attrs.as_path
+          (Ipv4.to_string a.Attrs.next_hop)
+        :: acc)
+      rib []
+  in
+  String.concat "\n" (List.sort compare entries)
+
+let reachability t i j =
+  let rib = Rib_manager.loc_rib (Router.rib t.nodes.(i).router) in
+  Loc_rib.find rib t.nodes.(j).origin <> None

@@ -1,0 +1,115 @@
+(** A network of simulated routers: N {!Bgp_router.Router} instances
+    wired pairwise over {!Bgp_netsim.Channel}s on one shared event
+    loop, each with its own AS number, router id, and per-edge
+    policies.
+
+    Vertex [i] of the topology becomes AS [64512 + i] (the RFC 1930
+    private range) at address [10.<i/256>.<i%256>.1], originating
+    one seeded prefix ({!Bgp_addr.Prefix_gen} stream of the topology
+    seed).  For every edge the lower-index side listens passively and
+    the higher-index side opens the connection, so exactly one BGP
+    session runs per link (the FSM does not model §6.8 collision
+    resolution).
+
+    {b Convergence} is quiescence: every router idle (no update in the
+    pipeline, no queued CPU job) and no bytes in flight on any channel
+    — the only events left are keepalive-class timers.  Detection polls
+    the event loop, but the reported convergence {e time} is
+    event-precise simulated time: last transaction completion minus
+    injection start, independent of the polling grid. *)
+
+type policy_mode =
+  | Transit       (** accept-all everywhere: full-mesh transit *)
+  | Gao_rexford   (** {!Gao_rexford} relationship policies per edge *)
+
+val policy_mode_to_string : policy_mode -> string
+
+type t
+
+val create :
+  ?arch:Bgp_router.Arch.t ->
+  ?mode:policy_mode ->
+  ?latency:float ->
+  Topology.t ->
+  t
+(** Build the graph (default arch: the Pentium III software router;
+    default mode [Transit]; default per-link latency 100 us).  All
+    state lives on a fresh private engine; nothing is shared with any
+    single-DUT harness run. *)
+
+val engine : t -> Bgp_sim.Engine.t
+val topology : t -> Topology.t
+val mode : t -> policy_mode
+val size : t -> int
+val router : t -> int -> Bgp_router.Router.t
+val origin_prefix : t -> int -> Bgp_addr.Prefix.t
+(** The prefix vertex [i] originates. *)
+
+val asn_of : t -> int -> Bgp_route.Asn.t
+
+val metrics : t -> Bgp_stats.Metrics.t
+(** Aggregate network-level registry: [topo.updates_rx],
+    [topo.msgs_tx], [topo.withdrawals_rx], [topo.loc_rib_changes]
+    counters (summed over nodes at collection points) and the
+    [topo.convergence_s] histogram (one observation per
+    {!converge}). *)
+
+val establish : ?timeout:float -> t -> unit
+(** Bring every session to Established (default timeout 600 virtual
+    seconds).  @raise Failure on timeout. *)
+
+val originate : t -> int -> unit
+(** Vertex [i] announces its origin prefix. *)
+
+val withdraw_origin : t -> int -> unit
+val originate_all : t -> unit
+
+val quiescent : t -> bool
+
+val converge : ?timeout:float -> what:string -> t -> float
+(** Drive the event loop to quiescence and return the convergence time
+    in simulated seconds (last transaction completion − injection
+    start; 0 when the episode moved nothing).  Also observed into the
+    [topo.convergence_s] histogram and folded into the aggregate
+    counters.  @raise Failure on timeout (default 600 virtual
+    seconds). *)
+
+val cut_link : t -> int -> int -> unit
+(** Fail the edge [u]–[v]: install {!Bgp_netsim.Channel} drop taps on
+    both directions (any bytes already serialized die on the wire,
+    faults-style) and close the channel, so both ends detect the loss
+    and start path hunting.  @raise Invalid_argument if no such edge
+    exists. *)
+
+(** {1 Measurement} *)
+
+type node_stats = {
+  ns_index : int;
+  ns_asn : int;
+  ns_updates_rx : int;
+  ns_msgs_tx : int;
+  ns_withdrawn_rx : int;   (** prefixes withdrawn in received UPDATEs *)
+  ns_loc_changes : int;    (** Loc-RIB best-route changes *)
+  ns_loc_rib_size : int;
+  ns_fib_size : int;
+}
+
+val node_stats : t -> int -> node_stats
+val total_updates : t -> int
+(** Sum of [ns_updates_rx] — the update-amplification numerator. *)
+
+val explored_paths : t -> int -> Bgp_addr.Prefix.t -> int
+(** Loc-RIB changes vertex [i] went through for [prefix] since the
+    last {!reset_exploration} — the path-exploration count. *)
+
+val reset_exploration : t -> unit
+(** Zero the per-(vertex, prefix) exploration counters; done at an
+    episode boundary (e.g. post-convergence, before a link cut). *)
+
+val loc_rib_fingerprint : t -> int -> string
+(** Canonical rendering of vertex [i]'s Loc-RIB — (prefix, AS path,
+    next hop) sorted by prefix — for determinism comparisons. *)
+
+val reachability : t -> int -> int -> bool
+(** [reachability t i j]: does vertex [i] hold a route to vertex [j]'s
+    origin prefix? *)

@@ -1,0 +1,96 @@
+(** The two multi-router scenarios (11 and 12) and their reporting.
+
+    Scenario 11 — {e convergence}: one origin announces its prefix into
+    an established graph, the network runs to quiescence, then the
+    origin withdraws and the network drains again.  Reported per
+    topology size, so a sweep exposes how convergence time and update
+    amplification grow with the graph.
+
+    Scenario 12 — {e link failure}: every node originates, the network
+    converges, then one link is cut (drop taps + channel close, as in
+    the fault scenarios) and the re-convergence is measured together
+    with the path-hunting statistics — how many Loc-RIB changes each
+    (node, prefix) pair went through while healing.
+
+    Both runs verify the final state against a pure oracle: full
+    component reachability under [Transit], the {!Gao_rexford.reachable}
+    valley-free fixed point under [Gao_rexford]. *)
+
+type convergence_run = {
+  cr_kind : Topology.kind;
+  cr_n : int;
+  cr_seed : int;
+  cr_mode : Net.policy_mode;
+  cr_arch : string;
+  cr_edges : int;
+  cr_announce_s : float;   (** quiescence time after the announce *)
+  cr_withdraw_s : float;   (** quiescence time after the withdraw *)
+  cr_announce_updates : int;  (** UPDATEs received network-wide, announce episode *)
+  cr_withdraw_updates : int;
+  cr_msgs_tx : int;        (** total messages sent over the whole run *)
+  cr_reached : int;        (** nodes holding the route after the announce *)
+  cr_verified : (unit, string) result;
+}
+
+val run_convergence :
+  ?arch:Bgp_router.Arch.t ->
+  ?mode:Net.policy_mode ->
+  ?seed:int ->
+  kind:Topology.kind ->
+  n:int ->
+  unit ->
+  convergence_run
+(** Scenario 11 at one size.  Defaults: Pentium III, [Transit],
+    seed 42.  Vertex 0 is the origin. *)
+
+val sweep :
+  ?arch:Bgp_router.Arch.t ->
+  ?mode:Net.policy_mode ->
+  ?seed:int ->
+  kind:Topology.kind ->
+  sizes:int list ->
+  unit ->
+  convergence_run list
+(** Scenario 11 over a list of node counts (the paper's method of
+    plotting metric-vs-load, applied to graph size). *)
+
+type link_failure_run = {
+  lf_kind : Topology.kind;
+  lf_n : int;
+  lf_seed : int;
+  lf_mode : Net.policy_mode;
+  lf_arch : string;
+  lf_cut_u : int;
+  lf_cut_v : int;
+  lf_partitioned : bool;   (** the cut disconnects the graph *)
+  lf_baseline_s : float;   (** full-origination convergence before the cut *)
+  lf_heal_s : float;       (** re-convergence after the cut *)
+  lf_affected : int;       (** prefixes that saw any Loc-RIB change while healing *)
+  lf_max_explored : int;   (** max path-exploration count over (node, prefix) *)
+  lf_mean_explored : float;(** mean over the explored (node, prefix) pairs *)
+  lf_withdrawn_rx : int;   (** prefixes withdrawn in UPDATEs during healing *)
+  lf_verified : (unit, string) result;
+}
+
+val run_link_failure :
+  ?arch:Bgp_router.Arch.t ->
+  ?mode:Net.policy_mode ->
+  ?seed:int ->
+  ?cut:int * int ->
+  kind:Topology.kind ->
+  n:int ->
+  unit ->
+  link_failure_run
+(** Scenario 12.  Without [cut], fails the first edge whose removal
+    keeps the graph connected (falling back to the first edge on trees,
+    where the run then verifies the partition's unreachability instead
+    of healing).
+    @raise Invalid_argument if [cut] names a non-edge. *)
+
+(** {1 Reporting} *)
+
+val render_convergence_runs : convergence_run list -> string
+val render_link_failure : link_failure_run -> string
+
+val convergence_runs_json : convergence_run list -> Bgp_stats.Json.t
+val link_failure_json : link_failure_run -> Bgp_stats.Json.t

@@ -1,0 +1,96 @@
+type kind = Line | Ring | Star | Grid | Clique | Scale_free
+
+let kind_to_string = function
+  | Line -> "line"
+  | Ring -> "ring"
+  | Star -> "star"
+  | Grid -> "grid"
+  | Clique -> "clique"
+  | Scale_free -> "scale-free"
+
+let all_kinds = [ Line; Ring; Star; Grid; Clique; Scale_free ]
+
+let kind_of_string s =
+  List.find_opt (fun k -> kind_to_string k = s) all_kinds
+
+type t = { kind : kind; n : int; seed : int; edges : (int * int) list }
+
+let norm (u, v) = if u < v then (u, v) else (v, u)
+
+let dedup_sort edges =
+  List.sort_uniq compare (List.map norm edges)
+
+let line n = List.init (n - 1) (fun i -> (i, i + 1))
+
+let ring n = if n = 2 then line n else (0, n - 1) :: line n
+
+let star n = List.init (n - 1) (fun i -> (0, i + 1))
+
+(* Row-major grid, width ceil(sqrt n); right and down neighbors. *)
+let grid n =
+  let w = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    if (i + 1) mod w <> 0 && i + 1 < n then edges := (i, i + 1) :: !edges;
+    if i + w < n then edges := (i, i + w) :: !edges
+  done;
+  !edges
+
+let clique n =
+  List.concat (List.init n (fun u -> List.init (n - 1 - u) (fun k -> (u, u + 1 + k))))
+
+(* Barabási–Albert preferential attachment, m = 2: a seed triangle,
+   then each vertex v >= 3 wires to 2 distinct earlier vertices drawn
+   from the degree-weighted endpoint bag.  The bag is rebuilt per
+   vertex from the edge list, so the construction is a pure fold over
+   the RNG stream. *)
+let scale_free ~seed n =
+  if n <= 3 then clique n
+  else begin
+    let rng = Bgp_sim.Rng.create (Bgp_addr.Prefix_gen.mix64 (seed lxor 0x7090)) in
+    let edges = ref [ (0, 1); (0, 2); (1, 2) ] in
+    for v = 3 to n - 1 do
+      let bag =
+        Array.of_list
+          (List.concat_map (fun (a, b) -> [ a; b ]) !edges)
+      in
+      let targets = ref [] in
+      while List.length !targets < 2 do
+        let u = Bgp_sim.Rng.pick rng bag in
+        if not (List.mem u !targets) then targets := u :: !targets
+      done;
+      List.iter (fun u -> edges := (u, v) :: !edges) !targets
+    done;
+    !edges
+  end
+
+let make ?(seed = 42) kind ~n =
+  if n < 2 then
+    invalid_arg (Printf.sprintf "Topology.make: need at least 2 routers, got %d" n);
+  let edges =
+    match kind with
+    | Line -> line n
+    | Ring -> ring n
+    | Star -> star n
+    | Grid -> grid n
+    | Clique -> clique n
+    | Scale_free -> scale_free ~seed n
+  in
+  { kind; n; seed; edges = dedup_sort edges }
+
+let edge_count t = List.length t.edges
+
+let neighbors t i =
+  List.filter_map
+    (fun (u, v) ->
+      if u = i then Some v else if v = i then Some u else None)
+    t.edges
+  |> List.sort_uniq compare
+
+let degree t i = List.length (neighbors t i)
+
+let is_edge t u v = List.mem (norm (u, v)) t.edges
+
+let pp ppf t =
+  Format.fprintf ppf "%s(n=%d, seed=%d, %d edges)" (kind_to_string t.kind)
+    t.n t.seed (edge_count t)

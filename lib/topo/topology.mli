@@ -1,0 +1,37 @@
+(** Deterministic AS-graph generators.
+
+    Every topology is a pure function of [(kind, n, seed)], so any run
+    built on it is reproducible — the same design rule as
+    {!Bgp_addr.Prefix_gen} for tables.  Edges are undirected, stored
+    once as [(u, v)] with [u < v], sorted lexicographically.
+
+    The regular families ([Line] … [Clique]) ignore the seed entirely;
+    [Scale_free] is a seeded Barabási–Albert preferential-attachment
+    graph (m = 2), the standard stand-in for the Internet's AS-level
+    degree distribution (cf. the distributed BGP-simulation feasibility
+    study, arXiv:1304.4750). *)
+
+type kind = Line | Ring | Star | Grid | Clique | Scale_free
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+
+type t = private {
+  kind : kind;
+  n : int;        (** number of routers (vertices 0 .. n-1) *)
+  seed : int;
+  edges : (int * int) list;  (** u < v, sorted, duplicate-free *)
+}
+
+val make : ?seed:int -> kind -> n:int -> t
+(** Default seed 42.  Every kind yields a connected graph.
+    @raise Invalid_argument when [n < 2]. *)
+
+val edge_count : t -> int
+val neighbors : t -> int -> int list
+(** Ascending neighbor indices of one vertex. *)
+
+val degree : t -> int -> int
+val is_edge : t -> int -> int -> bool
+val pp : Format.formatter -> t -> unit

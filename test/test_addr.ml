@@ -267,6 +267,38 @@ let prop_mem_first_last =
          || not (Prefix.mem (Ipv4.succ (Prefix.last p)) p)
          || Ipv4.equal (Prefix.last p) Ipv4.broadcast))
 
+let prop_gen_same_seed_identical =
+  (* Any seed, any table size: re-generation yields the identical
+     stream — the repeatability every topology run depends on. *)
+  QCheck2.Test.make ~name:"prefix_gen same seed, identical stream" ~count:50
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 1 400))
+    (fun (seed, n) ->
+      let a = Prefix_gen.table ~seed ~n () in
+      let b = Prefix_gen.table ~seed ~n () in
+      Array.for_all2 Prefix.equal a b)
+
+let prop_gen_distinct_seeds_disjoint =
+  (* Streams of different seeds may share the odd prefix (the space is
+     finite) but must be overwhelmingly disjoint: allow at most 10%
+     overlap between two independently seeded tables. *)
+  QCheck2.Test.make ~name:"prefix_gen distinct seeds, mostly disjoint"
+    ~count:50
+    QCheck2.Gen.(
+      triple (int_range 0 1_000_000) (int_range 1 1_000_000)
+        (int_range 50 300))
+    (fun (s1, delta, n) ->
+      let s2 = s1 + delta in
+      let a = Prefix_gen.table ~seed:s1 ~n () in
+      let b = Prefix_gen.table ~seed:s2 ~n () in
+      let seen = Hashtbl.create (2 * n) in
+      Array.iter (fun p -> Hashtbl.replace seen p ()) a;
+      let shared =
+        Array.fold_left
+          (fun acc p -> if Hashtbl.mem seen p then acc + 1 else acc)
+          0 b
+      in
+      shared * 10 <= n)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -304,5 +336,6 @@ let () =
         [ prop_ipv4_string_roundtrip; prop_prefix_string_roundtrip;
           prop_mask_idempotent; prop_common_prefix_symmetric;
           prop_subsumes_partial_order; prop_split_partitions;
-          prop_mem_first_last ]
+          prop_mem_first_last; prop_gen_same_seed_identical;
+          prop_gen_distinct_seeds_disjoint ]
     ]

@@ -60,10 +60,14 @@ let test_scenario_lookup () =
     (match Scenario.of_id 9 with
     | Some s -> Scenario.is_adversarial s
     | None -> false);
-  Alcotest.(check bool) "of_id 11" true (Scenario.of_id 11 = None);
+  Alcotest.(check bool) "of_id 11 is topo" true
+    (match Scenario.of_id 11 with
+    | Some s -> Scenario.is_topo s
+    | None -> false);
+  Alcotest.(check bool) "of_id 13" true (Scenario.of_id 13 = None);
   Alcotest.check_raises "of_id_exn"
-    (Invalid_argument "Scenario.of_id_exn: 11 not in 1-10") (fun () ->
-      ignore (Scenario.of_id_exn 11));
+    (Invalid_argument "Scenario.of_id_exn: 13 not in 1-12") (fun () ->
+      ignore (Scenario.of_id_exn 13));
   let rendered = Scenario.table1 () in
   List.iter
     (fun s ->
