@@ -350,6 +350,28 @@ let forward_wire_test =
     (Staged.stage @@ fun () ->
      Result.get_ok (Bgp_netsim.Ip_packet.forward_wire fib wire))
 
+(* Attribute-arena microbenches: interning a varied table (mostly
+   hits), and the O(1) handle equality against the structural walk it
+   replaces. *)
+let arena_tests =
+  let module I = Bgp_route.Attrs.Interned in
+  let varied_attrs =
+    List.map
+      (Bgp_speaker.Table_io.to_attrs ~next_hop:(ip "192.0.2.1"))
+      (Bgp_speaker.Table_io.synthesize ~seed:3 ~n:1000 ~speaker_asn:(asn 65001)
+         ())
+  in
+  let ha = I.intern (List.hd varied_attrs) in
+  let hb = I.intern (List.nth varied_attrs 1) in
+  [ Test.make ~name:"arena/intern-1k-varied"
+      (Staged.stage @@ fun () ->
+       List.iter (fun at -> ignore (I.intern at)) varied_attrs);
+    Test.make ~name:"arena/interned-equal"
+      (Staged.stage @@ fun () -> I.equal ha hb);
+    Test.make ~name:"arena/structural-equal"
+      (Staged.stage @@ fun () ->
+       Bgp_route.Attrs.equal (I.value ha) (I.value hb)) ]
+
 let gen_test =
   Test.make ~name:"workload/prefix-table-10k"
     (Staged.stage @@ fun () -> Bgp_addr.Prefix_gen.table ~seed:9 ~n:10_000 ())
@@ -404,6 +426,43 @@ let print_fault_smoke () =
     Scenario.adversarial;
   Format.printf "@."
 
+(* Allocation-regression smoke: replay a 20k-prefix table through the
+   receiver path with the arena on and compare Gc.allocated_bytes per
+   UPDATE against the checked-in baseline.  Fails (exit 1) on a >20%
+   regression — the guard the interning work is meant to keep honest. *)
+let print_alloc_smoke () =
+  let sweep = Bgpmark.Arena_sweep.run ~seed:42 [ 20_000 ] in
+  let shared = List.hd sweep.Bgpmark.Arena_sweep.cells in
+  let measured = shared.Bgpmark.Arena_sweep.sw_alloc_per_update in
+  Format.printf
+    "Allocation smoke (20k-prefix table, arena on): %.0f B/update, hit rate \
+     %.1f%%@."
+    measured
+    (100.0 *. shared.Bgpmark.Arena_sweep.sw_hit_rate);
+  let baseline_file =
+    List.find_opt Sys.file_exists
+      [ "bench/alloc_baseline.txt"; "alloc_baseline.txt" ]
+  in
+  match baseline_file with
+  | None ->
+    Format.printf "  (no alloc_baseline.txt found; skipping regression gate)@.@."
+  | Some file ->
+    let ic = open_in file in
+    let baseline =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> float_of_string (String.trim (input_line ic)))
+    in
+    let limit = baseline *. 1.2 in
+    Format.printf "  baseline %.0f B/update (gate: <= %.0f)@.@." baseline limit;
+    if measured > limit then begin
+      Format.eprintf
+        "allocation regression: %.0f B/update exceeds baseline %.0f by more \
+         than 20%%@."
+        measured baseline;
+      exit 1
+    end
+
 let fault_tests =
   List.map
     (fun sc ->
@@ -449,12 +508,13 @@ let all_tests =
   @ wire_tests @ fib_tests
   @ [ rib_bench; decision_test ]
   @ policy_tests @ packing_tests @ decision_scaling_tests @ rib_agg_tests
-  @ workload_shape_tests @ mrai_tests @ fault_tests @ topo_tests
+  @ workload_shape_tests @ mrai_tests @ fault_tests @ topo_tests @ arena_tests
   @ [ framer_test; forward_wire_test; gen_test; sim_test ]
 
 let () =
   print_stage_breakdowns ();
   print_fault_smoke ();
+  print_alloc_smoke ();
   (* --smoke: the breakdown runs above are a complete (if small)
      harness exercise; stop before the wall-clock measurements. *)
   if Array.mem "--smoke" Sys.argv then begin

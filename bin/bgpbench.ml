@@ -108,32 +108,48 @@ let varied_t =
           "Use an Internet-shaped workload (2-6 hop AS paths, mixed            origins/MEDs) instead of the paper's uniform paths.")
 
 let table3_cmd =
-  let run size packing seed varied archs scenarios no_paper json =
-    let t =
-      Bgpmark.Table3.run
-        ~config:(config_of ~varied size packing seed)
-        ~archs:(resolve_archs archs)
-        ~scenarios:(resolve_scenarios scenarios) ()
-    in
-    if json then print_json (Bgpmark.Table3.to_json t)
-    else begin
-      print_string (Bgpmark.Table3.render ~compare_paper:(not no_paper) t);
-      print_endline "\nShape criteria (DESIGN.md section 5):";
-      List.iter
-        (fun (desc, ok) ->
-          Printf.printf "  [%s] %s\n" (if ok then "PASS" else "fail") desc)
-        (Bgpmark.Table3.shape_checks t)
-    end
+  let run size packing seed varied archs scenarios no_paper prefixes json =
+    match prefixes with
+    | _ :: _ ->
+      (* Full-table scale mode: instead of the 8x4 grid, sweep the
+         attribute arena over the requested table sizes (up to 500k). *)
+      let sweep = Bgpmark.Arena_sweep.run ~seed ~packing prefixes in
+      if json then print_json (Bgpmark.Arena_sweep.to_json sweep)
+      else print_string (Bgpmark.Arena_sweep.render sweep)
+    | [] ->
+      let t =
+        Bgpmark.Table3.run
+          ~config:(config_of ~varied size packing seed)
+          ~archs:(resolve_archs archs)
+          ~scenarios:(resolve_scenarios scenarios) ()
+      in
+      if json then print_json (Bgpmark.Table3.to_json t)
+      else begin
+        print_string (Bgpmark.Table3.render ~compare_paper:(not no_paper) t);
+        print_endline "\nShape criteria (DESIGN.md section 5):";
+        List.iter
+          (fun (desc, ok) ->
+            Printf.printf "  [%s] %s\n" (if ok then "PASS" else "fail") desc)
+          (Bgpmark.Table3.shape_checks t)
+      end
   in
   let no_paper =
     Arg.(value & flag & info [ "no-paper" ] ~doc:"Omit the paper-comparison rows.")
+  in
+  let prefixes_t =
+    let doc =
+      "Run the attribute-arena full-table scale sweep at this table size \
+       instead of the scenario grid (repeatable, e.g. --prefixes 250000 \
+       --prefixes 500000)."
+    in
+    Arg.(value & opt_all int [] & info [ "prefixes" ] ~docv:"N" ~doc)
   in
   Cmd.v
     (Cmd.info "table3"
        ~doc:"Reproduce Table III: transactions/s, 8 scenarios x 4 systems")
     Term.(
       const run $ size_t $ packing_t $ seed_t $ varied_t $ archs_t
-      $ scenarios_t $ no_paper $ json_t)
+      $ scenarios_t $ no_paper $ prefixes_t $ json_t)
 
 let scenario_cmd =
   let run size packing seed archs scenario cross trace =

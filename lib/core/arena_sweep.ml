@@ -1,0 +1,190 @@
+(* Full-table scale sweep for the attribute arena: feed an
+   Internet-shaped table of [n] prefixes through the receiver path
+   (wire decode -> intern -> RIB announce -> export) twice — once with
+   hash-consing on, once bypassed — and report arena effectiveness and
+   allocation per processed UPDATE.  This is the measurement behind the
+   250k+-prefix acceptance gate: interning must hit > 90% of the time
+   and allocate strictly less per update than the un-interned path. *)
+
+module A = Bgp_route.Attrs
+module I = Bgp_route.Attrs.Interned
+module Asn = Bgp_route.Asn
+module Msg = Bgp_wire.Msg
+module Codec = Bgp_wire.Codec
+module Peer = Bgp_route.Peer
+module Rib_manager = Bgp_rib.Rib_manager
+
+type cell = {
+  sw_prefixes : int;
+  sw_sharing : bool;
+  sw_updates : int;            (* UPDATE messages decoded and applied *)
+  sw_interns : int;
+  sw_hits : int;
+  sw_hit_rate : float;
+  sw_live : int;               (* distinct attribute sets in the arena *)
+  sw_saved_bytes : int;
+  sw_alloc_per_update : float; (* Gc.allocated_bytes per UPDATE *)
+}
+
+type t = { seed : int; packing : int; cells : cell list }
+
+let speaker_asn = Asn.of_int 65001
+let router_asn = Asn.of_int 65000
+let router_id = Bgp_addr.Ipv4.of_string_exn "192.0.2.254"
+let speaker_addr = Bgp_addr.Ipv4.of_string_exn "192.0.2.1"
+let sink_addr = Bgp_addr.Ipv4.of_string_exn "192.0.2.2"
+
+(* Pack consecutive entries sharing an attribute set into one UPDATE,
+   like a speaker replaying a table dump; the encodings are built
+   before measurement so only the receiver path is on the clock. *)
+let encode_table ~packing entries ~next_hop =
+  let flush acc attrs prefixes =
+    match prefixes with
+    | [] -> acc
+    | ps -> Codec.encode (Msg.announcement attrs (List.rev ps)) :: acc
+  in
+  let rec go acc cur_attrs cur_prefixes = function
+    | [] -> List.rev (flush acc cur_attrs cur_prefixes)
+    | e :: rest ->
+      let attrs = Bgp_speaker.Table_io.to_attrs ~next_hop e in
+      if A.equal attrs cur_attrs && List.length cur_prefixes < packing then
+        go acc cur_attrs (e.Bgp_speaker.Table_io.e_prefix :: cur_prefixes) rest
+      else
+        go
+          (flush acc cur_attrs cur_prefixes)
+          attrs
+          [ e.Bgp_speaker.Table_io.e_prefix ]
+          rest
+  in
+  match entries with
+  | [] -> []
+  | e :: rest ->
+    go []
+      (Bgp_speaker.Table_io.to_attrs ~next_hop e)
+      [ e.Bgp_speaker.Table_io.e_prefix ]
+      rest
+
+let run_one ~seed ~packing ~sharing n =
+  let entries = Bgp_speaker.Table_io.synthesize ~seed ~n ~speaker_asn () in
+  let encoded = encode_table ~packing entries ~next_hop:speaker_addr in
+  let rib = Rib_manager.create ~local_asn:router_asn ~router_id () in
+  let src =
+    Peer.make ~id:1 ~asn:speaker_asn ~router_id:speaker_addr ~addr:speaker_addr
+  in
+  (* A second EBGP peer keeps the export/rewrite path (which interns
+     rewritten attribute sets) in the measurement. *)
+  let sink =
+    Peer.make ~id:2 ~asn:(Asn.of_int 65002) ~router_id:sink_addr
+      ~addr:sink_addr
+  in
+  Rib_manager.add_peer rib src;
+  Rib_manager.add_peer rib sink;
+  (* Measurement starts from an empty arena so [live] counts this
+     table's distinct attribute sets only. *)
+  I.clear ();
+  I.set_sharing sharing;
+  let updates = List.length encoded in
+  let before = Gc.allocated_bytes () in
+  List.iter
+    (fun buf ->
+      match Codec.decode buf with
+      | Ok (Msg.Update u) -> (
+        match u.Msg.attrs with
+        | Some interned ->
+          Rib_manager.announce_group rib ~from:src
+            ~each:(fun _ _ -> ())
+            u.Msg.nlri interned
+        | None -> ())
+      | Ok _ | Error _ -> invalid_arg "Arena_sweep: bad self-encoded UPDATE")
+    encoded;
+  let after = Gc.allocated_bytes () in
+  let s = I.stats () in
+  I.set_sharing true;
+  { sw_prefixes = n; sw_sharing = sharing; sw_updates = updates;
+    sw_interns = s.I.interns; sw_hits = s.I.hits;
+    sw_hit_rate = I.hit_rate s; sw_live = s.I.live;
+    sw_saved_bytes = s.I.saved_bytes;
+    sw_alloc_per_update =
+      (if updates = 0 then 0.0
+       else (after -. before) /. float_of_int updates) }
+
+let run ?(seed = 42) ?(packing = 500) counts =
+  let cells =
+    List.concat_map
+      (fun n ->
+        [ run_one ~seed ~packing ~sharing:true n;
+          run_one ~seed ~packing ~sharing:false n ])
+      counts
+  in
+  { seed; packing; cells }
+
+(* The gate the ISSUE acceptance criteria check at 250k prefixes. *)
+let cell_ok shared unshared =
+  shared.sw_hit_rate > 0.9
+  && shared.sw_alloc_per_update < unshared.sw_alloc_per_update
+
+let checks t =
+  let rec pairs = function
+    | a :: b :: rest when a.sw_prefixes = b.sw_prefixes && a.sw_sharing ->
+      (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.map
+    (fun (s, u) ->
+      ( Printf.sprintf
+          "n=%d: hit rate > 90%% and lower allocation than un-interned"
+          s.sw_prefixes,
+        cell_ok s u ))
+    (pairs t.cells)
+
+let render t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "Attribute-arena scale sweep (wire decode -> RIB announce -> export)\n";
+  Buffer.add_string b
+    (Printf.sprintf "seed %d, packing %d\n\n" t.seed t.packing);
+  Buffer.add_string b
+    (Printf.sprintf "%10s %8s %9s %10s %9s %8s %14s %16s\n" "prefixes"
+       "sharing" "updates" "interns" "hit-rate" "live" "saved-bytes"
+       "alloc/update-B");
+  List.iter
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "%10d %8s %9d %10d %8.1f%% %8d %14d %16.0f\n"
+           c.sw_prefixes
+           (if c.sw_sharing then "on" else "off")
+           c.sw_updates c.sw_interns
+           (100.0 *. c.sw_hit_rate)
+           c.sw_live c.sw_saved_bytes c.sw_alloc_per_update))
+    t.cells;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (desc, ok) ->
+      Buffer.add_string b
+        (Printf.sprintf "  [%s] %s\n" (if ok then "PASS" else "fail") desc))
+    (checks t);
+  Buffer.contents b
+
+let to_json t =
+  let module J = Bgp_stats.Json in
+  J.Obj
+    [ ("name", J.Str "arena_sweep");
+      ("seed", J.Int t.seed);
+      ("packing", J.Int t.packing);
+      ( "cells",
+        J.List
+          (List.map
+             (fun c ->
+               J.Obj
+                 [ ("prefixes", J.Int c.sw_prefixes);
+                   ("sharing", J.Bool c.sw_sharing);
+                   ("updates", J.Int c.sw_updates);
+                   ("interns", J.Int c.sw_interns);
+                   ("hits", J.Int c.sw_hits);
+                   ("hit_rate", J.Float c.sw_hit_rate);
+                   ("live", J.Int c.sw_live);
+                   ("saved_bytes", J.Int c.sw_saved_bytes);
+                   ("alloc_per_update", J.Float c.sw_alloc_per_update) ])
+             t.cells) );
+      ( "checks",
+        J.Obj (List.map (fun (desc, ok) -> (desc, J.Bool ok)) (checks t)) ) ]

@@ -240,25 +240,29 @@ let run_standard ~config arch scenario =
       Bgp_speaker.Table_io.synthesize ~seed:cfg.seed ~n:cfg.table_size
         ~speaker_asn:speaker1_asn ()
     in
-    let groups = Hashtbl.create 32 in
+    let module I = Bgp_route.Attrs.Interned in
+    let groups = I.Tbl.create 32 in
     List.iter
       (fun e ->
-        let attrs =
-          Bgp_speaker.Table_io.to_attrs ~next_hop:speaker1_id e
+        let interned =
+          I.intern (Bgp_speaker.Table_io.to_attrs ~next_hop:speaker1_id e)
         in
-        let key = Format.asprintf "%a" Bgp_route.Attrs.pp attrs in
-        let prefixes, _ =
-          Option.value ~default:([], attrs) (Hashtbl.find_opt groups key)
+        let prefixes =
+          Option.value ~default:[] (I.Tbl.find_opt groups interned)
         in
-        Hashtbl.replace groups key
-          (e.Bgp_speaker.Table_io.e_prefix :: prefixes, attrs))
+        I.Tbl.replace groups interned
+          (e.Bgp_speaker.Table_io.e_prefix :: prefixes))
       entries;
-    Hashtbl.iter
-      (fun _ (prefixes, attrs) ->
-        ignore
-          (Speaker.announce s1 ~packing:phase1_packing ~attrs
-             (Array.of_list prefixes)))
-      groups
+    (* Emit groups in arena-id order so the workload is deterministic
+       regardless of hash-table iteration. *)
+    I.Tbl.fold (fun interned prefixes acc -> (interned, prefixes) :: acc)
+      groups []
+    |> List.sort (fun (a, _) (b, _) -> I.compare_id a b)
+    |> List.iter (fun (interned, prefixes) ->
+           ignore
+             (Speaker.announce s1 ~packing:phase1_packing
+                ~attrs:(I.value interned)
+                (Array.of_list prefixes)))
   end
   else
     ignore
@@ -579,6 +583,21 @@ let fault_report_json (f : fault_report) =
       ("reconverge_max_s", J.Float f.fr_reconverge_max);
       ("expected_notifications", codes f.fr_expected);
       ("answered_notifications", codes f.fr_answered) ]
+
+(* A snapshot of the process-global attribute arena (JSON only — the
+   rendered tables never include it, so text output is unaffected by
+   the sharing subsystem). *)
+let arena_json () =
+  let module J = Bgp_stats.Json in
+  let module I = Bgp_route.Attrs.Interned in
+  let s = I.stats () in
+  J.Obj
+    [ ("interns", J.Int s.I.interns);
+      ("hits", J.Int s.I.hits);
+      ("hit_rate", J.Float (I.hit_rate s));
+      ("live", J.Int s.I.live);
+      ("saved_bytes", J.Int s.I.saved_bytes);
+      ("sharing", J.Bool (I.sharing_enabled ())) ]
 
 let result_json (r : result) =
   let module J = Bgp_stats.Json in

@@ -92,6 +92,12 @@ val run : ?config:config -> Bgp_router.Arch.t -> Scenario.t -> result
 
 val pp_result : Format.formatter -> result -> unit
 
+val arena_json : unit -> Bgp_stats.Json.t
+(** Snapshot of the process-global attribute arena
+    ({!Bgp_route.Attrs.Interned.stats}): intern calls, hits, hit rate,
+    live handles, approximate bytes saved, and whether sharing is on.
+    Included in JSON payloads only — rendered tables never show it. *)
+
 val result_json : result -> Bgp_stats.Json.t
 (** Machine-readable form of one run — the per-cell record behind every
     [--json] CLI flag (fault report and verification status included). *)

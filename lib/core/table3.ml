@@ -139,4 +139,5 @@ let to_json t =
              t.cells) );
       ( "shape_checks",
         J.Obj
-          (List.map (fun (desc, ok) -> (desc, J.Bool ok)) (shape_checks t)) ) ]
+          (List.map (fun (desc, ok) -> (desc, J.Bool ok)) (shape_checks t)) );
+      ("arena", Harness.arena_json ()) ]

@@ -29,6 +29,7 @@ type work = {
   mutable w_announced : int;
   mutable w_withdrawn : int;
   mutable w_peers : int;
+  mutable w_attr_groups : int;
   mutable w_candidates : int;
   mutable w_loc_changes : int;
   mutable w_fib_installs : int;
@@ -37,9 +38,11 @@ type work = {
   mutable w_mrai_buffered : int;
 }
 
-let work ?(bytes = 0) ?(announced = 0) ?(withdrawn = 0) ?(peers = 0) () =
+let work ?(bytes = 0) ?(announced = 0) ?(withdrawn = 0) ?(peers = 0)
+    ?(attr_groups = 0) () =
   { w_bytes = bytes; w_announced = announced; w_withdrawn = withdrawn;
-    w_peers = peers; w_candidates = 0; w_loc_changes = 0; w_fib_installs = 0;
+    w_peers = peers; w_attr_groups = attr_groups; w_candidates = 0;
+    w_loc_changes = 0; w_fib_installs = 0;
     w_fib_replaces = 0; w_announcements = 0; w_mrai_buffered = 0 }
 
 let prefixes w = w.w_announced + w.w_withdrawn

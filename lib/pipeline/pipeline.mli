@@ -53,6 +53,13 @@ type work = {
   mutable w_announced : int;      (** NLRI count *)
   mutable w_withdrawn : int;      (** withdrawn-routes count *)
   mutable w_peers : int;          (** import fan-out (attached peers) *)
+  mutable w_attr_groups : int;
+      (** distinct attribute sets in the batch: 1 for the shared NLRI
+          handle (+1 when withdrawals ride along).  The attr-group
+          batched path does per-attribute work (interning, loop
+          guards) once per group while TPS stays prefix-level
+          ({!prefixes}).  Stage costs ignore it by default, so legacy
+          cost tables are unchanged. *)
   mutable w_candidates : int;     (** routes considered by the decision *)
   mutable w_loc_changes : int;    (** Loc-RIB mutations *)
   mutable w_fib_installs : int;   (** FIB add/withdraw deltas *)
@@ -62,7 +69,8 @@ type work = {
 }
 
 val work :
-  ?bytes:int -> ?announced:int -> ?withdrawn:int -> ?peers:int -> unit -> work
+  ?bytes:int -> ?announced:int -> ?withdrawn:int -> ?peers:int ->
+  ?attr_groups:int -> unit -> work
 (** A fresh profile; every unlisted field starts at 0. *)
 
 val prefixes : work -> int

@@ -5,7 +5,9 @@ module H = Hashtbl.Make (struct
   let hash = Bgp_addr.Prefix.hash
 end)
 
-type t = Bgp_route.Attrs.t H.t
+module I = Bgp_route.Attrs.Interned
+
+type t = I.t H.t
 
 let create () = H.create 1024
 
@@ -17,7 +19,9 @@ let set t p attrs =
     H.replace t p attrs;
     `New
   | Some old ->
-    if Bgp_route.Attrs.equal old attrs then `Unchanged
+    (* Interned handles: an integer compare in the common case, with a
+       structural fallback — never an O(path-length) walk. *)
+    if I.equal old attrs then `Unchanged
     else begin
       H.replace t p attrs;
       `Changed
@@ -36,4 +40,7 @@ let size t = H.length t
 let iter f t = H.iter f t
 let fold f t acc = H.fold f t acc
 let clear t = H.reset t
-let prefixes t = H.fold (fun p _ acc -> p :: acc) t []
+
+let prefixes t =
+  H.fold (fun p _ acc -> p :: acc) t []
+  |> List.sort Bgp_addr.Prefix.compare

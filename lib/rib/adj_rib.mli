@@ -2,8 +2,10 @@
 
     Used both inbound (Adj-RIB-In: unprocessed routes advertised {e by}
     a neighbor) and outbound (Adj-RIB-Out: routes selected for
-    advertisement {e to} a neighbor).  Keyed by prefix; holds the path
-    attributes last exchanged for that prefix. *)
+    advertisement {e to} a neighbor).  Keyed by prefix; holds an
+    interned handle ({!Bgp_route.Attrs.Interned}) to the path
+    attributes last exchanged for that prefix, so duplicate detection
+    is an id compare and a full table stores each attribute set once. *)
 
 type t
 
@@ -11,17 +13,22 @@ val create : unit -> t
 
 type change = [ `New | `Changed | `Unchanged ]
 
-val set : t -> Bgp_addr.Prefix.t -> Bgp_route.Attrs.t -> change
+val set : t -> Bgp_addr.Prefix.t -> Bgp_route.Attrs.Interned.t -> change
 (** Record an announcement. [`Unchanged] means the identical attributes
     were already present (a duplicate announcement). *)
 
 val remove : t -> Bgp_addr.Prefix.t -> bool
 (** Record a withdrawal; [false] when the prefix was not present. *)
 
-val find : t -> Bgp_addr.Prefix.t -> Bgp_route.Attrs.t option
+val find : t -> Bgp_addr.Prefix.t -> Bgp_route.Attrs.Interned.t option
 val mem : t -> Bgp_addr.Prefix.t -> bool
 val size : t -> int
-val iter : (Bgp_addr.Prefix.t -> Bgp_route.Attrs.t -> unit) -> t -> unit
-val fold : (Bgp_addr.Prefix.t -> Bgp_route.Attrs.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Bgp_addr.Prefix.t -> Bgp_route.Attrs.Interned.t -> unit) -> t -> unit
+
+val fold :
+  (Bgp_addr.Prefix.t -> Bgp_route.Attrs.Interned.t -> 'a -> 'a) -> t -> 'a -> 'a
+
 val clear : t -> unit
+
 val prefixes : t -> Bgp_addr.Prefix.t list
+(** Sorted by prefix — independent of hash-table fold order. *)

@@ -2,7 +2,7 @@ module R = Bgp_route.Route
 module A = Bgp_route.Attrs
 module Peer = Bgp_route.Peer
 
-let default_local_pref = 100
+let default_local_pref = A.default_local_pref
 
 type rule =
   | Local_origin
@@ -28,32 +28,26 @@ let pp_rule ppf r =
     | Peer_address -> "peer-address"
     | Identical -> "identical")
 
-let local_pref_of r =
-  Option.value ~default:default_local_pref (R.attrs r).A.local_pref
-
-let med_of r = Option.value ~default:0 (R.attrs r).A.med
-
-let neighbor_as r = Bgp_route.As_path.first_hop (R.attrs r).A.as_path
-
 let compare_routes ~local_asn a b =
-  (* Each step returns [c] with c > 0 iff [a] preferred. *)
+  (* Each step returns [c] with c > 0 iff [a] preferred.  The
+     attribute-dependent inputs come from the handles' memoized
+     preference tuples ({!Bgp_route.Attrs.pref}): defaults are baked in
+     at intern time, so no step walks an AS path or an option. *)
+  let pa = R.pref a and pb = R.pref b in
   let steps =
     [ ( Local_origin,
         fun () ->
           Bool.compare (Peer.is_local (R.from a)) (Peer.is_local (R.from b)) );
-      (Local_pref, fun () -> Int.compare (local_pref_of a) (local_pref_of b));
+      (Local_pref, fun () -> Int.compare pa.A.pr_local_pref pb.A.pr_local_pref);
       ( Path_length,
-        fun () -> Int.compare (R.as_path_length b) (R.as_path_length a) );
+        fun () -> Int.compare pb.A.pr_path_len pa.A.pr_path_len );
       ( Origin,
-        fun () ->
-          Int.compare
-            (A.origin_to_int (R.attrs b).A.origin)
-            (A.origin_to_int (R.attrs a).A.origin) );
+        fun () -> Int.compare pb.A.pr_origin pa.A.pr_origin );
       ( Med,
         fun () ->
-          match neighbor_as a, neighbor_as b with
+          match pa.A.pr_first_hop, pb.A.pr_first_hop with
           | Some na, Some nb when Bgp_route.Asn.equal na nb ->
-            Int.compare (med_of b) (med_of a)
+            Int.compare pb.A.pr_med pa.A.pr_med
           | _ -> 0 );
       ( Ebgp_over_ibgp,
         fun () ->

@@ -33,4 +33,10 @@ let find t p = H.find_opt t p
 let size t = H.length t
 let iter f t = H.iter (fun _ r -> f r) t
 let fold f t acc = H.fold (fun _ r acc -> f r acc) t acc
-let to_list t = fold (fun r acc -> r :: acc) t []
+
+let to_list t =
+  fold (fun r acc -> r :: acc) t []
+  |> List.sort (fun a b ->
+         Bgp_addr.Prefix.compare
+           (Bgp_route.Route.prefix a)
+           (Bgp_route.Route.prefix b))

@@ -19,3 +19,5 @@ val size : t -> int
 val iter : (Bgp_route.Route.t -> unit) -> t -> unit
 val fold : (Bgp_route.Route.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Bgp_route.Route.t list
+(** Sorted by prefix — dumps and fingerprints do not depend on
+    hash-table fold order. *)

@@ -1,5 +1,6 @@
 module R = Bgp_route.Route
 module A = Bgp_route.Attrs
+module I = Bgp_route.Attrs.Interned
 module M = Bgp_stats.Metrics
 module Peer = Bgp_route.Peer
 module Policy = Bgp_policy.Policy
@@ -85,6 +86,14 @@ let peers t =
   Hashtbl.fold (fun _ ps acc -> ps.peer :: acc) t.peer_states []
   |> List.sort Peer.compare
 
+(* Deterministic peer iteration: every walk over [peer_states] goes
+   through here, ordered by peer id, so no output can inherit the
+   hash-table's fold order. *)
+let fold_peer_states t f acc =
+  Hashtbl.fold (fun id ps acc -> (id, ps) :: acc) t.peer_states []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.fold_left (fun acc (_, ps) -> f ps acc) acc
+
 let loc_rib t = t.loc
 let adj_in_size t peer = Adj_rib.size (peer_state t peer).adj_in
 let adj_out_size t peer = Adj_rib.size (peer_state t peer).adj_out
@@ -92,14 +101,14 @@ let adj_out_size t peer = Adj_rib.size (peer_state t peer).adj_out
 type announcement = {
   dest : Peer.t;
   ann_prefix : P.t;
-  ann_attrs : A.t option;
+  ann_attrs : I.t option;
 }
 
 let pp_announcement ppf a =
   match a.ann_attrs with
   | Some attrs ->
     Format.fprintf ppf "to %a: announce %a [%a]" Peer.pp a.dest P.pp
-      a.ann_prefix A.pp attrs
+      a.ann_prefix I.pp attrs
   | None ->
     Format.fprintf ppf "to %a: withdraw %a" Peer.pp a.dest P.pp a.ann_prefix
 
@@ -126,26 +135,27 @@ let nexthop_of_route r =
 
 (* Candidates for [prefix]: the post-import-policy view of every
    Adj-RIB-In entry, plus local routes. Returns the candidate list and
-   the policy work expended. *)
+   the policy work expended.  Candidate routes are built from the
+   stored handles ({!R.of_interned}) — the decision hot path never
+   touches the arena. *)
 let candidates_for t prefix =
   let work = ref 0 in
   let cands = ref [] in
-  Adj_rib.iter
-    (fun p attrs ->
-      if P.equal p prefix then
-        cands := R.make ~prefix ~attrs ~from:Peer.local :: !cands)
-    t.local_routes;
-  Hashtbl.iter
-    (fun _ ps ->
+  (match Adj_rib.find t.local_routes prefix with
+  | None -> ()
+  | Some interned ->
+    cands := R.of_interned ~prefix ~interned ~from:Peer.local :: !cands);
+  fold_peer_states t
+    (fun ps () ->
       match Adj_rib.find ps.adj_in prefix with
       | None -> ()
-      | Some attrs ->
-        let r = R.make ~prefix ~attrs ~from:ps.peer in
+      | Some interned ->
+        let r = R.of_interned ~prefix ~interned ~from:ps.peer in
         work := !work + Policy.work_units ps.import r;
         (match Policy.eval ps.import r with
         | Some r' -> cands := r' :: !cands
         | None -> ()))
-    t.peer_states;
+    ();
   (!cands, !work)
 
 (* Transform the best route for advertisement to [ps], or None when it
@@ -197,27 +207,37 @@ let export_route t ps best work =
       | None -> None
       | Some r ->
         let attrs = R.attrs r in
-        let attrs =
+        let rewritten =
           if ebgp then
             (* EBGP export: prepend our AS, next-hop-self, drop the
                IBGP-only LOCAL_PREF, and do not propagate a received
                MED to other EBGP neighbors (RFC 4271 section 5.1.4). *)
-            { (A.prepend_as t.local_asn attrs) with
-              A.next_hop = t.router_id; local_pref = None; med = None }
-          else attrs
+            Some
+              { (A.prepend_as t.local_asn attrs) with
+                A.next_hop = t.router_id; local_pref = None; med = None }
+          else None
         in
-        let attrs =
+        let rewritten =
           match reflection with
           | `Reflect ->
             (* RFC 4456 section 8: stamp the originator once, grow the
                cluster list on every reflection hop. *)
-            { attrs with
-              A.originator_id =
-                Some (Option.value ~default:src.Peer.router_id attrs.A.originator_id);
-              cluster_list = t.cluster_id :: attrs.A.cluster_list }
-          | `Plain | `Forbidden -> attrs
+            let base = Option.value ~default:attrs rewritten in
+            Some
+              { base with
+                A.originator_id =
+                  Some
+                    (Option.value ~default:src.Peer.router_id
+                       base.A.originator_id);
+                cluster_list = t.cluster_id :: base.A.cluster_list }
+          | `Plain | `Forbidden -> rewritten
         in
-        Some attrs
+        (* Untouched attributes reuse the route's handle; only a
+           rewrite pays an arena lookup. *)
+        Some
+          (match rewritten with
+          | None -> R.interned r
+          | Some a -> I.intern a)
     end
   end
 
@@ -270,8 +290,8 @@ let redecide t prefix =
   let announcements =
     if not loc_changed then []
     else
-      Hashtbl.fold
-        (fun _ ps acc ->
+      fold_peer_states t
+        (fun ps acc ->
           if not ps.up then acc
           else
             let desired =
@@ -282,7 +302,7 @@ let redecide t prefix =
             match sync_adj_out ps prefix desired with
             | Some ann -> ann :: acc
             | None -> acc)
-        t.peer_states []
+        []
       |> List.sort (fun a b -> Peer.compare a.dest b.dest)
   in
   M.incr ~by:(List.length announcements) t.c_announcements_emitted;
@@ -331,12 +351,12 @@ let aggregate_attrs t agg contributors =
 let sweep_specifics t agg ~suppress =
   let work = ref 0 in
   let anns =
-    Hashtbl.fold
-      (fun _ ps acc ->
+    fold_peer_states t
+      (fun ps acc ->
         if not ps.up then acc
         else
-          Loc_rib.fold
-            (fun best acc ->
+          List.fold_left
+            (fun acc best ->
               let p = R.prefix best in
               if not (strict_under agg p) then acc
               else
@@ -346,8 +366,12 @@ let sweep_specifics t agg ~suppress =
                 match sync_adj_out ps p desired with
                 | Some ann -> ann :: acc
                 | None -> acc)
-            t.loc acc)
-      t.peer_states []
+            acc (Loc_rib.to_list t.loc))
+      []
+    |> List.sort (fun a b ->
+           match Peer.compare a.dest b.dest with
+           | 0 -> P.compare a.ann_prefix b.ann_prefix
+           | c -> c)
   in
   M.incr ~by:!work t.c_policy_units;
   M.incr ~by:(List.length anns) t.c_announcements_emitted;
@@ -371,7 +395,7 @@ let rec update_aggregate t ag =
     end
     else ([], [])
   | contributors -> (
-    let attrs = aggregate_attrs t agg contributors in
+    let attrs = I.intern (aggregate_attrs t agg contributors) in
     match Adj_rib.set t.local_routes agg.agg_prefix attrs with
     | `Unchanged -> ([], [])
     | (`New | `Changed) as change ->
@@ -425,11 +449,15 @@ let reflection_loop t (attrs : A.t) =
     attrs.A.originator_id
   || List.exists (Bgp_addr.Ipv4.equal t.cluster_id) attrs.A.cluster_list
 
-let announce t ~from prefix attrs =
-  let ps = peer_state t from in
-  if Bgp_route.As_path.contains t.local_asn attrs.A.as_path
-     || reflection_loop t attrs
-  then
+(* The loop guards (§9.1.2 AS loop, RFC 4456 §8 reflection loop) look
+   only at the attribute set, so a grouped announce evaluates them once
+   per UPDATE rather than once per NLRI prefix. *)
+let rejects_attrs t (attrs : A.t) =
+  Bgp_route.As_path.contains t.local_asn attrs.A.as_path
+  || reflection_loop t attrs
+
+let announce_one t ps ~looping prefix interned =
+  if looping then
     (* AS loop (§9.1.2): the route is excluded from consideration; any
        older route from this peer for the prefix is dropped too. *)
     let removed = Adj_rib.remove ps.adj_in prefix in
@@ -438,7 +466,26 @@ let announce t ~from prefix attrs =
       M.incr t.c_updates_processed;
       { no_op_outcome with adj_in_change = `Loop }
     end
-  else finish t (Adj_rib.set ps.adj_in prefix attrs :> [ `New | `Changed | `Unchanged | `Removed | `Absent | `Loop ]) prefix
+  else
+    finish t
+      (Adj_rib.set ps.adj_in prefix interned
+        :> [ `New | `Changed | `Unchanged | `Removed | `Absent | `Loop ])
+      prefix
+
+let announce_interned t ~from prefix interned =
+  let ps = peer_state t from in
+  let looping = rejects_attrs t (I.value interned) in
+  announce_one t ps ~looping prefix interned
+
+let announce t ~from prefix attrs =
+  announce_interned t ~from prefix (I.intern attrs)
+
+let announce_group t ~from ~each prefixes interned =
+  let ps = peer_state t from in
+  let looping = rejects_attrs t (I.value interned) in
+  List.iter
+    (fun prefix -> each prefix (announce_one t ps ~looping prefix interned))
+    prefixes
 
 let withdraw t ~from prefix =
   let ps = peer_state t from in
@@ -453,7 +500,10 @@ let withdraw_local t ~prefix =
   end
 
 let inject_local_route t ~prefix ~attrs =
-  finish t (Adj_rib.set t.local_routes prefix attrs :> [ `New | `Changed | `Unchanged | `Removed | `Absent | `Loop ]) prefix
+  finish t
+    (Adj_rib.set t.local_routes prefix (I.intern attrs)
+      :> [ `New | `Changed | `Unchanged | `Removed | `Absent | `Loop ])
+    prefix
 
 let inject_local t ~prefix ~next_hop =
   inject_local_route t ~prefix

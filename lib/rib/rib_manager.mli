@@ -75,11 +75,13 @@ val loc_rib : t -> Loc_rib.t
 val adj_in_size : t -> Bgp_route.Peer.t -> int
 val adj_out_size : t -> Bgp_route.Peer.t -> int
 
-(** One item the router must send to a neighbor. *)
+(** One item the router must send to a neighbor.  The attributes are an
+    interned handle, so the router's UPDATE packing and MRAI grouping
+    key on the arena id instead of hashing structures. *)
 type announcement = {
   dest : Bgp_route.Peer.t;
   ann_prefix : Bgp_addr.Prefix.t;
-  ann_attrs : Bgp_route.Attrs.t option;  (** [None] = withdraw *)
+  ann_attrs : Bgp_route.Attrs.Interned.t option;  (** [None] = withdraw *)
 }
 
 val pp_announcement : Format.formatter -> announcement -> unit
@@ -101,8 +103,28 @@ val no_op_outcome : outcome
 val announce :
   t -> from:Bgp_route.Peer.t -> Bgp_addr.Prefix.t -> Bgp_route.Attrs.t ->
   outcome
-(** Process one announced prefix from a neighbor.
+(** Process one announced prefix from a neighbor (interns the
+    attributes first; see {!announce_interned}).
     @raise Invalid_argument for an unregistered peer. *)
+
+val announce_interned :
+  t -> from:Bgp_route.Peer.t -> Bgp_addr.Prefix.t ->
+  Bgp_route.Attrs.Interned.t -> outcome
+(** Like {!announce} from an existing handle — no arena lookup. *)
+
+val announce_group :
+  t ->
+  from:Bgp_route.Peer.t ->
+  each:(Bgp_addr.Prefix.t -> outcome -> unit) ->
+  Bgp_addr.Prefix.t list ->
+  Bgp_route.Attrs.Interned.t ->
+  unit
+(** The attr-group batched path: process every NLRI prefix of one
+    UPDATE against its single shared attribute handle.  Per-prefix
+    outcomes (and their work counters) are identical to calling
+    {!announce_interned} in sequence; the AS-loop and reflection-loop
+    guards, which depend only on the attributes, run once per group.
+    [each] observes each prefix's outcome in NLRI order. *)
 
 val withdraw : t -> from:Bgp_route.Peer.t -> Bgp_addr.Prefix.t -> outcome
 (** Process one withdrawn prefix from a neighbor. *)

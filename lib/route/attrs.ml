@@ -25,11 +25,20 @@ type t = {
   cluster_list : Bgp_addr.Ipv4.t list;
 }
 
+(* Canonical community form: sorted, duplicate-free.  COMMUNITIES is a
+   set on the wire, so two attribute records that differ only in
+   insertion order must be one arena entry; CLUSTER_LIST stays
+   order-significant (it is a reflection path). *)
+let canon_communities = function
+  | [] -> []
+  | [ _ ] as cs -> cs
+  | cs -> List.sort_uniq Community.compare cs
+
 let make ?(origin = Igp) ?med ?local_pref ?(atomic_aggregate = false) ?aggregator
     ?(communities = []) ?originator_id ?(cluster_list = []) ~as_path ~next_hop
     () =
   { origin; as_path; next_hop; med; local_pref; atomic_aggregate; aggregator;
-    communities; originator_id; cluster_list }
+    communities = canon_communities communities; originator_id; cluster_list }
 
 let with_as_path as_path t = { t with as_path }
 let with_local_pref local_pref t = { t with local_pref }
@@ -37,7 +46,7 @@ let with_med med t = { t with med }
 
 let add_community c t =
   if List.exists (Community.equal c) t.communities then t
-  else { t with communities = c :: t.communities }
+  else { t with communities = List.merge Community.compare [ c ] t.communities }
 
 let has_community c t = List.exists (Community.equal c) t.communities
 let prepend_as a t = { t with as_path = As_path.prepend a t.as_path }
@@ -53,8 +62,8 @@ let equal a b =
        (fun (x, xa) (y, ya) -> Asn.equal x y && Bgp_addr.Ipv4.equal xa ya)
        a.aggregator b.aggregator
   && List.equal Community.equal
-       (List.sort Community.compare a.communities)
-       (List.sort Community.compare b.communities)
+       (canon_communities a.communities)
+       (canon_communities b.communities)
   && Option.equal Bgp_addr.Ipv4.equal a.originator_id b.originator_id
   && List.equal Bgp_addr.Ipv4.equal a.cluster_list b.cluster_list
 
@@ -84,3 +93,176 @@ let pp ppf t =
          Bgp_addr.Ipv4.pp)
       cl);
   Format.fprintf ppf "@]"
+
+(* Structural hash, consistent with [equal]: communities hash in sorted
+   order (construction keeps them sorted, but record updates may not go
+   through [make]) and [As_path.hash] already sorts Set segments. *)
+let hash t =
+  let mix h v = (h * 31) + v in
+  let h = mix 17 (origin_to_int t.origin) in
+  let h = mix h (As_path.hash t.as_path) in
+  let h = mix h (Bgp_addr.Ipv4.hash t.next_hop) in
+  let h = mix h (match t.med with None -> -1 | Some m -> m) in
+  let h = mix h (match t.local_pref with None -> -1 | Some l -> l) in
+  let h = mix h (Bool.to_int t.atomic_aggregate) in
+  let h =
+    match t.aggregator with
+    | None -> mix h 0
+    | Some (a, ip) -> mix (mix h (Asn.hash a)) (Bgp_addr.Ipv4.hash ip)
+  in
+  let h =
+    List.fold_left
+      (fun h c -> mix h (Community.to_int32_value c))
+      (mix h 1)
+      (canon_communities t.communities)
+  in
+  let h =
+    match t.originator_id with
+    | None -> mix h 0
+    | Some ip -> mix h (Bgp_addr.Ipv4.hash ip)
+  in
+  let h =
+    List.fold_left (fun h ip -> mix h (Bgp_addr.Ipv4.hash ip)) (mix h 2)
+      t.cluster_list
+  in
+  h land max_int
+
+(* ------------------------------------------------------------------ *)
+(* Decision-preference tuple                                           *)
+(* ------------------------------------------------------------------ *)
+
+let default_local_pref = 100
+
+type pref = {
+  pr_local_pref : int;
+  pr_path_len : int;
+  pr_origin : int;
+  pr_med : int;
+  pr_first_hop : Asn.t option;
+}
+
+let pref_of t =
+  { pr_local_pref = Option.value ~default:default_local_pref t.local_pref;
+    pr_path_len = As_path.length t.as_path;
+    pr_origin = origin_to_int t.origin;
+    pr_med = Option.value ~default:0 t.med;
+    pr_first_hop = As_path.first_hop t.as_path }
+
+(* Rough heap footprint of one attribute record, in bytes: what a
+   duplicate would have cost.  Blocks are (1 + fields) words, cons
+   cells 3 words, boxed options 2 words; ASNs/communities/addresses
+   are immediates. *)
+let approx_bytes t =
+  let word = Sys.word_size / 8 in
+  let opt = function None -> 0 | Some _ -> 2 in
+  let list per l = List.fold_left (fun acc x -> acc + 3 + per x) 0 l in
+  let seg_words = function
+    | As_path.Seq asns | As_path.Set asns -> 2 + list (fun _ -> 0) asns
+  in
+  let words =
+    11 (* the record *)
+    + list seg_words (As_path.segments t.as_path)
+    + opt t.med + opt t.local_pref
+    + (match t.aggregator with None -> 0 | Some _ -> 2 + 3)
+    + list (fun _ -> 0) t.communities
+    + opt t.originator_id
+    + list (fun _ -> 0) t.cluster_list
+  in
+  words * word
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing arena                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Interned = struct
+  type attrs = t
+
+  type t = {
+    id : int;             (* unique per arena entry; allocation order *)
+    cached_hash : int;    (* [hash value] *)
+    value : attrs;
+    pref : pref;
+    vbytes : int;         (* [approx_bytes value] *)
+  }
+
+  module Arena = Hashtbl.Make (struct
+    type t = attrs
+
+    let equal = equal
+    let hash = hash
+  end)
+
+  type arena_stats = {
+    interns : int;
+    hits : int;
+    live : int;
+    saved_bytes : int;
+  }
+
+  let table : t Arena.t = Arena.create 4096
+  let next_id = ref 0
+  let sharing = ref true
+  let n_interns = ref 0
+  let n_hits = ref 0
+  let n_saved = ref 0
+
+  let fresh value =
+    let id = !next_id in
+    incr next_id;
+    { id; cached_hash = hash value; value; pref = pref_of value;
+      vbytes = approx_bytes value }
+
+  let intern value =
+    incr n_interns;
+    if not !sharing then fresh value
+    else
+      match Arena.find_opt table value with
+      | Some h ->
+        incr n_hits;
+        n_saved := !n_saved + h.vbytes;
+        h
+      | None ->
+        let h = fresh value in
+        Arena.add table value h;
+        h
+
+  let value h = h.value
+  let id h = h.id
+  let pref h = h.pref
+
+  (* Id equality is complete only while sharing is on; the structural
+     fallback keeps semantics identical when the arena is bypassed
+     (the benchmark's un-interned A/B mode). *)
+  let equal a b =
+    a.id = b.id || (a.cached_hash = b.cached_hash && equal a.value b.value)
+
+  let hash h = h.cached_hash
+  let compare_id a b = Int.compare a.id b.id
+  let pp ppf h = pp ppf h.value
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+
+  let stats () =
+    { interns = !n_interns; hits = !n_hits; live = Arena.length table;
+      saved_bytes = !n_saved }
+
+  let hit_rate s =
+    if s.interns = 0 then 0.0
+    else float_of_int s.hits /. float_of_int s.interns
+
+  let set_sharing b = sharing := b
+  let sharing_enabled () = !sharing
+
+  (* Ids survive a clear on purpose: stale handles must never collide
+     with fresh ones on the id fast path. *)
+  let clear () =
+    Arena.reset table;
+    n_interns := 0;
+    n_hits := 0;
+    n_saved := 0
+end

@@ -48,15 +48,106 @@ val make :
   next_hop:Bgp_addr.Ipv4.t ->
   unit ->
   t
-(** Default origin is [Igp]; optional attributes default to absent. *)
+(** Default origin is [Igp]; optional attributes default to absent.
+    [communities] are canonicalized (sorted, deduplicated) so that
+    attribute sets differing only in community insertion order are
+    [equal] and intern to one arena entry; [cluster_list] order is
+    preserved (it is a reflection path). *)
 
 val with_as_path : As_path.t -> t -> t
 val with_local_pref : int option -> t -> t
 val with_med : int option -> t -> t
 val add_community : Community.t -> t -> t
+(** Sorted insertion — keeps the community list canonical. *)
+
 val has_community : Community.t -> t -> bool
 val prepend_as : Asn.t -> t -> t
 (** Prepend to the AS path (used when exporting over EBGP). *)
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash consistent with [equal]: insensitive to community
+    order and to the element order inside AS_SET segments. *)
+
 val pp : Format.formatter -> t -> unit
+
+val default_local_pref : int
+(** 100 — the LOCAL_PREF assumed by the decision process when the
+    attribute is absent (RFC 4271 §9.1.1). *)
+
+(** The attribute-derived inputs of the decision process, precomputed
+    once per interned attribute set so route comparisons never walk the
+    AS path. *)
+type pref = {
+  pr_local_pref : int;        (** LOCAL_PREF, defaulted to 100 *)
+  pr_path_len : int;          (** [As_path.length] *)
+  pr_origin : int;            (** [origin_to_int]; lower preferred *)
+  pr_med : int;               (** MED, defaulted to 0 *)
+  pr_first_hop : Asn.t option; (** neighboring AS, for MED comparability *)
+}
+
+val pref_of : t -> pref
+
+val approx_bytes : t -> int
+(** Rough heap footprint of the record in bytes (what one duplicate
+    costs); the arena's bytes-saved estimate sums this per hit. *)
+
+(** The hash-consing arena: one canonical handle per distinct attribute
+    set.  A handle carries a unique integer id, the cached structural
+    hash, and the memoized decision-preference tuple, so RIB change
+    detection and decision comparisons are integer compares and UPDATE
+    grouping is a table lookup.
+
+    The arena is process-global (attribute sets are immutable and the
+    simulation is single-threaded). *)
+module Interned : sig
+  type attrs = t
+
+  type t
+
+  val intern : attrs -> t
+  (** Canonical handle for [attrs]; O(1) amortized on an arena hit. *)
+
+  val value : t -> attrs
+  val id : t -> int
+  val pref : t -> pref
+
+  val equal : t -> t -> bool
+  (** Id fast path with a structural fallback, so equality keeps
+      [Attrs.equal] semantics even when sharing is disabled. *)
+
+  val hash : t -> int
+  (** The cached structural hash of the underlying value. *)
+
+  val compare_id : t -> t -> int
+  (** Total order by arena id (allocation order) — used to make
+      handle-keyed iteration deterministic. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  (** Handle-keyed hash tables (announcement grouping, MRAI buffers);
+      structural semantics, id-fast-path speed. *)
+  module Tbl : Hashtbl.S with type key = t
+
+  type arena_stats = {
+    interns : int;     (** total [intern] calls since the last [clear] *)
+    hits : int;        (** calls that found an existing entry *)
+    live : int;        (** distinct attribute sets in the arena *)
+    saved_bytes : int; (** estimated duplicate bytes avoided *)
+  }
+
+  val stats : unit -> arena_stats
+  val hit_rate : arena_stats -> float
+
+  val set_sharing : bool -> unit
+  (** [false] bypasses the arena: every [intern] allocates a fresh
+      handle.  The benchmark's un-interned A/B baseline; semantics are
+      unchanged because [equal] falls back to structure. *)
+
+  val sharing_enabled : unit -> bool
+
+  val clear : unit -> unit
+  (** Drop all entries and zero the stats.  Ids keep growing across
+      clears so stale handles can never alias fresh ones. *)
+end

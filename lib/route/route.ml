@@ -1,26 +1,31 @@
 type t = {
   prefix : Bgp_addr.Prefix.t;
-  attrs : Attrs.t;
+  interned : Attrs.Interned.t;
   from : Peer.t;
 }
 
-let make ~prefix ~attrs ~from = { prefix; attrs; from }
+let make ~prefix ~attrs ~from =
+  { prefix; interned = Attrs.Interned.intern attrs; from }
+
+let of_interned ~prefix ~interned ~from = { prefix; interned; from }
 
 let local ~prefix ~next_hop =
-  { prefix;
-    attrs = Attrs.make ~as_path:As_path.empty ~next_hop ();
-    from = Peer.local }
+  make ~prefix
+    ~attrs:(Attrs.make ~as_path:As_path.empty ~next_hop ())
+    ~from:Peer.local
 
 let prefix t = t.prefix
-let attrs t = t.attrs
 let from t = t.from
-let as_path_length t = As_path.length t.attrs.Attrs.as_path
+let attrs t = Attrs.Interned.value t.interned
+let interned t = t.interned
+let pref t = Attrs.Interned.pref t.interned
+let as_path_length t = (pref t).Attrs.pr_path_len
 
 let equal a b =
   Bgp_addr.Prefix.equal a.prefix b.prefix
-  && Attrs.equal a.attrs b.attrs
+  && Attrs.Interned.equal a.interned b.interned
   && Peer.equal a.from b.from
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>%a via %a [%a]@]" Bgp_addr.Prefix.pp t.prefix
-    Peer.pp t.from Attrs.pp t.attrs
+    Peer.pp t.from Attrs.Interned.pp t.interned

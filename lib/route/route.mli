@@ -1,20 +1,30 @@
 (** A route: a destination prefix, its path attributes, and the peer it
     was learned from.  This is the unit stored in the RIBs and the unit
-    the benchmark counts as one "transaction". *)
+    the benchmark counts as one "transaction".
 
-type t = {
-  prefix : Bgp_addr.Prefix.t;
-  attrs : Attrs.t;
-  from : Peer.t;
-}
+    The attributes are held as an interned arena handle
+    ({!Attrs.Interned}), so route equality is an integer compare and
+    every route sharing an attribute set shares one heap value. *)
+
+type t
 
 val make : prefix:Bgp_addr.Prefix.t -> attrs:Attrs.t -> from:Peer.t -> t
+(** Interns [attrs]; prefer {!of_interned} when a handle is already at
+    hand (the hot decision path). *)
+
+val of_interned :
+  prefix:Bgp_addr.Prefix.t -> interned:Attrs.Interned.t -> from:Peer.t -> t
+(** Build from an existing handle without touching the arena. *)
 
 val local : prefix:Bgp_addr.Prefix.t -> next_hop:Bgp_addr.Ipv4.t -> t
 (** A locally originated route with an empty AS path. *)
 
 val prefix : t -> Bgp_addr.Prefix.t
 val attrs : t -> Attrs.t
+val interned : t -> Attrs.Interned.t
+val pref : t -> Attrs.pref
+(** The memoized decision-preference tuple of the attribute set. *)
+
 val from : t -> Peer.t
 val as_path_length : t -> int
 val equal : t -> t -> bool

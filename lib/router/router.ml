@@ -9,6 +9,8 @@ module Fib = Bgp_fib.Fib
 module Pipeline = Bgp_pipeline.Pipeline
 module Metrics = Bgp_stats.Metrics
 
+module Interned = Bgp_route.Attrs.Interned
+
 type peer_link = {
   peer : Peer.t;
   mutable session : Session.t option;  (* set right after creation *)
@@ -17,8 +19,9 @@ type peer_link = {
   (* MRAI (RFC 4271 section 9.2.1.1): advertisements pending the
      per-peer MinRouteAdvertisementInterval timer. Later decisions for
      the same prefix overwrite earlier ones (only the final state is
-     advertised when the timer fires). *)
-  mrai_pending : (Bgp_addr.Prefix.t, Bgp_route.Attrs.t option) Hashtbl.t;
+     advertised when the timer fires).  Values are interned handles, so
+     the flush groups prefixes into UPDATEs by arena id. *)
+  mrai_pending : (Bgp_addr.Prefix.t, Interned.t option) Hashtbl.t;
   mutable mrai_armed : bool;
 }
 
@@ -102,6 +105,16 @@ let create ?import ?export ?mrai ?metrics engine arch ~local_asn ~router_id =
   let c_msgs_tx = Metrics.counter metrics "router.msgs_tx" in
   let c_bytes_rx = Metrics.counter metrics "router.bytes_rx" in
   let c_bytes_tx = Metrics.counter metrics "router.bytes_tx" in
+  (* The attribute arena is process-global; expose it as sampled gauges
+     so a registry dump shows sharing effectiveness alongside the
+     router's own counters. *)
+  List.iter
+    (fun (name, sample) -> ignore (Metrics.gauge metrics name sample))
+    [ ("arena.interns", fun () -> (Interned.stats ()).Interned.interns);
+      ("arena.hits", fun () -> (Interned.stats ()).Interned.hits);
+      ("arena.live", fun () -> (Interned.stats ()).Interned.live);
+      ("arena.saved_bytes", fun () -> (Interned.stats ()).Interned.saved_bytes)
+    ];
   let sched =
     Sched.create engine ~hz:(Arch.effective_hz arch) ~pool:arch.Arch.pool
   in
@@ -191,10 +204,10 @@ let run_rib_update t ~from (u : Msg.update) =
     (fun p -> absorb p (Rib_manager.withdraw t.rib ~from p))
     u.Msg.withdrawn;
   (match u.Msg.attrs with
-  | Some attrs ->
-    List.iter
-      (fun p -> absorb p (Rib_manager.announce t.rib ~from p attrs))
-      u.Msg.nlri
+  | Some interned ->
+    (* Attr-group batched path: one shared handle for all NLRI, so the
+       per-attribute guards run once per UPDATE. *)
+    Rib_manager.announce_group t.rib ~from ~each:absorb u.Msg.nlri interned
   | None -> ());
   w
 
@@ -224,28 +237,32 @@ let transmit t proc peer msg =
       ignore (Session.send (link_session (link t peer)) msg))
 
 (* Flush a peer's MRAI buffer: withdrawals batched together, then
-   announcements grouped by identical attributes, each group one
-   UPDATE. *)
+   announcements grouped by interned attribute handle (id-keyed instead
+   of structural hashing), each group one UPDATE.  Groups are emitted in
+   arena-id order, which is deterministic and independent of hash-table
+   iteration. *)
 let rec mrai_flush t lnk =
   let withdrawn = ref [] in
-  let groups = Hashtbl.create 8 in
+  let groups = Interned.Tbl.create 8 in
   Hashtbl.iter
     (fun prefix attrs_opt ->
       match attrs_opt with
       | None -> withdrawn := prefix :: !withdrawn
-      | Some attrs ->
-        let key = Format.asprintf "%a" Bgp_route.Attrs.pp attrs in
-        let prefixes, _ =
-          Option.value ~default:([], attrs) (Hashtbl.find_opt groups key)
+      | Some interned ->
+        let prefixes =
+          Option.value ~default:[] (Interned.Tbl.find_opt groups interned)
         in
-        Hashtbl.replace groups key (prefix :: prefixes, attrs))
+        Interned.Tbl.replace groups interned (prefix :: prefixes))
     lnk.mrai_pending;
   Hashtbl.reset lnk.mrai_pending;
   let msgs =
     (if !withdrawn = [] then [] else [ Msg.withdrawal !withdrawn ])
-    @ Hashtbl.fold
-        (fun _ (prefixes, attrs) acc -> Msg.announcement attrs prefixes :: acc)
-        groups []
+    @ (Interned.Tbl.fold
+         (fun interned prefixes acc -> (interned, prefixes) :: acc)
+         groups []
+      |> List.sort (fun (a, _) (b, _) -> Interned.compare_id a b)
+      |> List.map (fun (interned, prefixes) ->
+             Msg.announcement_interned interned prefixes))
   in
   if msgs <> [] then begin
     List.iter (fun msg -> transmit t t.tx_proc lnk.peer msg) msgs;
@@ -273,7 +290,8 @@ let emit_announcement t (w : Pipeline.work) (a : Rib_manager.announcement) =
     (* XORP-style: one UPDATE per announcement as decisions are made. *)
     let msg =
       match a.Rib_manager.ann_attrs with
-      | Some attrs -> Msg.announcement attrs [ a.Rib_manager.ann_prefix ]
+      | Some interned ->
+        Msg.announcement_interned interned [ a.Rib_manager.ann_prefix ]
       | None -> Msg.withdrawal [ a.Rib_manager.ann_prefix ]
     in
     transmit t t.tx_proc a.Rib_manager.dest msg
@@ -294,12 +312,14 @@ let announcement_msgs anns =
     (fun (a : Rib_manager.announcement) ->
       ( a.Rib_manager.dest,
         match a.Rib_manager.ann_attrs with
-        | Some attrs -> Msg.announcement attrs [ a.Rib_manager.ann_prefix ]
+        | Some interned ->
+          Msg.announcement_interned interned [ a.Rib_manager.ann_prefix ]
         | None -> Msg.withdrawal [ a.Rib_manager.ann_prefix ] ))
     anns
 
 (* Pack a full-table export (Phase 2) into large UPDATEs: consecutive
-   announcements sharing attributes ride in one message. *)
+   announcements sharing an attribute handle ride in one message (the
+   shared-attrs check is an O(1) arena-id comparison). *)
 let pack_export anns =
   let max_per_msg = 200 in
   let rec go acc current_attrs current_prefixes = function
@@ -308,25 +328,27 @@ let pack_export anns =
         if current_prefixes = [] then acc
         else
           match current_attrs with
-          | Some attrs -> Msg.announcement attrs (List.rev current_prefixes) :: acc
+          | Some interned ->
+            Msg.announcement_interned interned (List.rev current_prefixes)
+            :: acc
           | None -> acc
       in
       List.rev acc
     | (a : Rib_manager.announcement) :: rest -> (
       match a.Rib_manager.ann_attrs with
       | None -> go acc current_attrs current_prefixes rest
-      | Some attrs -> (
+      | Some interned -> (
         match current_attrs with
         | Some cur
-          when Bgp_route.Attrs.equal cur attrs
+          when Interned.equal cur interned
                && List.length current_prefixes < max_per_msg ->
           go acc current_attrs (a.Rib_manager.ann_prefix :: current_prefixes) rest
         | Some cur ->
           go
-            (Msg.announcement cur (List.rev current_prefixes) :: acc)
-            (Some attrs)
+            (Msg.announcement_interned cur (List.rev current_prefixes) :: acc)
+            (Some interned)
             [ a.Rib_manager.ann_prefix ] rest
-        | None -> go acc (Some attrs) [ a.Rib_manager.ann_prefix ] rest))
+        | None -> go acc (Some interned) [ a.Rib_manager.ann_prefix ] rest))
   in
   go [] None [] anns
 
@@ -355,7 +377,15 @@ let process_update t ~from ~bytes (u : Msg.update) =
   let withdrawn = List.length u.Msg.withdrawn in
   let prefixes = announced + withdrawn in
   let n_peers = max 1 (List.length (Rib_manager.peers t.rib)) in
-  let w = Pipeline.work ~bytes ~announced ~withdrawn ~peers:n_peers () in
+  (* One attribute group for the shared NLRI handle, one more when
+     withdrawals ride along in the same UPDATE. *)
+  let attr_groups =
+    (if u.Msg.attrs <> None && u.Msg.nlri <> [] then 1 else 0)
+    + if u.Msg.withdrawn <> [] then 1 else 0
+  in
+  let w =
+    Pipeline.work ~bytes ~announced ~withdrawn ~peers:n_peers ~attr_groups ()
+  in
   let deltas = ref [] in
   let anns = ref [] in
   let on_begin = function

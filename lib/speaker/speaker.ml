@@ -11,7 +11,7 @@ type t = {
   mutable withdrawals_received : int;
   mutable sessions_lost : int;
   mutable notifications_rx : Bgp_wire.Msg.error list;  (* reversed *)
-  received : (Bgp_addr.Prefix.t, Bgp_route.Attrs.t) Hashtbl.t;
+  received : (Bgp_addr.Prefix.t, Bgp_route.Attrs.Interned.t) Hashtbl.t;
 }
 
 let session t =
@@ -72,9 +72,12 @@ let require_established t name =
 
 let announce t ~packing ~attrs prefixes =
   require_established t "announce";
+  (* Intern once for the whole burst; every chunk shares the handle. *)
+  let interned = Bgp_route.Attrs.Interned.intern attrs in
   let chunks = Workload.chunk packing prefixes in
   List.iter
-    (fun nlri -> ignore (Session.send (session t) (Msg.announcement attrs nlri)))
+    (fun nlri ->
+      ignore (Session.send (session t) (Msg.announcement_interned interned nlri)))
     chunks;
   List.length chunks
 

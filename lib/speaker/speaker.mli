@@ -63,7 +63,7 @@ val prefixes_received : t -> int
 
 val withdrawals_received : t -> int
 
-val received_prefix_set : t -> (Bgp_addr.Prefix.t, Bgp_route.Attrs.t) Hashtbl.t
+val received_prefix_set : t -> (Bgp_addr.Prefix.t, Bgp_route.Attrs.Interned.t) Hashtbl.t
 (** Live view of the routes currently advertised to this speaker
     (announcements minus withdrawals) — the benchmark's correctness
     check that the router really transferred its table. *)

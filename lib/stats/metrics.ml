@@ -8,9 +8,14 @@ type histogram = {
   mutable h_max : float;
 }
 
+(* A gauge samples external state (e.g. the global attribute arena)
+   through a closure; it holds no state of its own, so [reset_all]
+   leaves it alone. *)
+type gauge = { g_name : string; g_sample : unit -> int }
+
 (* Registration order is meaningful for reports, so entries are kept in
    an ordered list alongside the name index. *)
-type entry = Counter of counter | Histogram of histogram
+type entry = Counter of counter | Histogram of histogram | Gauge of gauge
 
 type t = {
   index : (string, entry) Hashtbl.t;
@@ -22,6 +27,7 @@ let create () = { index = Hashtbl.create 32; entries = [] }
 let entry_name = function
   | Counter c -> c.c_name
   | Histogram h -> h.h_name
+  | Gauge g -> g.g_name
 
 let register t e =
   let name = entry_name e in
@@ -46,7 +52,7 @@ let counter_name c = c.c_name
 let find_counter t name =
   match Hashtbl.find_opt t.index name with
   | Some (Counter c) -> Some c
-  | Some (Histogram _) | None -> None
+  | Some (Histogram _ | Gauge _) | None -> None
 
 let histogram t name =
   let h = { h_name = name; h_count = 0; h_sum = 0.0; h_min = 0.0; h_max = 0.0 } in
@@ -75,7 +81,20 @@ let histogram_name h = h.h_name
 let find_histogram t name =
   match Hashtbl.find_opt t.index name with
   | Some (Histogram h) -> Some h
-  | Some (Counter _) | None -> None
+  | Some (Counter _ | Gauge _) | None -> None
+
+let gauge t name sample =
+  let g = { g_name = name; g_sample = sample } in
+  register t (Gauge g);
+  g
+
+let gauge_value g = g.g_sample ()
+let gauge_name g = g.g_name
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.index name with
+  | Some (Gauge g) -> Some g
+  | Some (Counter _ | Histogram _) | None -> None
 
 let reset_all t =
   List.iter
@@ -85,21 +104,31 @@ let reset_all t =
         h.h_count <- 0;
         h.h_sum <- 0.0;
         h.h_min <- 0.0;
-        h.h_max <- 0.0)
+        h.h_max <- 0.0
+      | Gauge _ -> ())
     t.entries
 
 let in_order t = List.rev t.entries
 
 let counters t =
   List.filter_map
-    (function Counter c -> Some (c.c_name, c.c_value) | Histogram _ -> None)
+    (function
+      | Counter c -> Some (c.c_name, c.c_value)
+      | Histogram _ | Gauge _ -> None)
     (in_order t)
 
 let histograms t =
   List.filter_map
     (function
       | Histogram h -> Some (h.h_name, (h.h_count, h.h_sum))
-      | Counter _ -> None)
+      | Counter _ | Gauge _ -> None)
+    (in_order t)
+
+let gauges t =
+  List.filter_map
+    (function
+      | Gauge g -> Some (g.g_name, g.g_sample ())
+      | Counter _ | Histogram _ -> None)
     (in_order t)
 
 let pp ppf t =
@@ -109,6 +138,8 @@ let pp ppf t =
       | Counter c -> Format.fprintf ppf "%-40s %12d@," c.c_name c.c_value
       | Histogram h ->
         Format.fprintf ppf "%-40s count %8d  sum %14.0f  mean %12.1f@," h.h_name
-          h.h_count h.h_sum (hist_mean h))
+          h.h_count h.h_sum (hist_mean h)
+      | Gauge g ->
+        Format.fprintf ppf "%-40s %12d (gauge)@," g.g_name (g.g_sample ()))
     (in_order t);
   Format.fprintf ppf "@]"

@@ -17,6 +17,7 @@ type t
 
 type counter
 type histogram
+type gauge
 
 val create : unit -> t
 
@@ -58,17 +59,34 @@ val hist_max : histogram -> float
 val histogram_name : histogram -> string
 val find_histogram : t -> string -> histogram option
 
+(** {1 Gauges} *)
+
+val gauge : t -> string -> (unit -> int) -> gauge
+(** Register a sampled gauge under [name]: the closure reads external
+    state (e.g. the shared attribute arena) on demand.  Gauges hold no
+    state of their own, so {!reset_all} does not touch them.
+    @raise Invalid_argument if [name] is already registered. *)
+
+val gauge_value : gauge -> int
+(** Sample the gauge now. *)
+
+val gauge_name : gauge -> string
+val find_gauge : t -> string -> gauge option
+
 (** {1 Registry-wide operations} *)
 
 val reset_all : t -> unit
 (** Zero every counter and histogram (a measurement-phase boundary).
-    Registration is preserved. *)
+    Registration is preserved; gauges, being sampled, are unaffected. *)
 
 val counters : t -> (string * int) list
 (** All counters with current values, in registration order. *)
 
 val histograms : t -> (string * (int * float)) list
 (** All histograms as [(name, (count, sum))], in registration order. *)
+
+val gauges : t -> (string * int) list
+(** All gauges, sampled now, in registration order. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable dump of every metric, in registration order. *)

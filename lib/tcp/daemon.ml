@@ -43,7 +43,7 @@ let messages_of_announcements anns =
         go ((a.Rib.dest, Msg.withdrawal [ a.Rib.ann_prefix ]) :: acc) None rest
       | Some attrs, Some (dest, cattrs, prefixes)
         when Peer.equal dest a.Rib.dest
-             && Bgp_route.Attrs.equal attrs cattrs
+             && Bgp_route.Attrs.Interned.equal attrs cattrs
              && List.length prefixes < max_pack ->
         go acc (Some (dest, cattrs, a.Rib.ann_prefix :: prefixes)) rest
       | Some attrs, Some c ->
@@ -51,7 +51,7 @@ let messages_of_announcements anns =
       | Some attrs, None ->
         go acc (Some (a.Rib.dest, attrs, [ a.Rib.ann_prefix ])) rest)
   and close (dest, attrs, prefixes) =
-    (dest, Msg.announcement attrs (List.rev prefixes))
+    (dest, Msg.announcement_interned attrs (List.rev prefixes))
   in
   go [] None anns
 
@@ -79,10 +79,10 @@ let on_update t nb (u : Msg.update) =
       (fun p -> apply_outcome t (Rib.withdraw t.rib ~from:peer p))
       u.Msg.withdrawn;
     Option.iter
-      (fun attrs ->
-        List.iter
-          (fun p -> apply_outcome t (Rib.announce t.rib ~from:peer p attrs))
-          u.Msg.nlri)
+      (fun interned ->
+        Rib.announce_group t.rib ~from:peer
+          ~each:(fun _prefix o -> apply_outcome t o)
+          u.Msg.nlri interned)
       u.Msg.attrs
 
 let on_established t nb () =

@@ -165,7 +165,9 @@ let encode_body b = function
     u16 b (Buffer.length withdrawn);
     Buffer.add_buffer b withdrawn;
     let attrs = Buffer.create 64 in
-    Option.iter (encode_attrs attrs) u.Msg.attrs;
+    Option.iter
+      (fun h -> encode_attrs attrs (A.Interned.value h))
+      u.Msg.attrs;
     if Buffer.length attrs > 0xFFFF then
       invalid_arg "Codec: path attributes too long";
     u16 b (Buffer.length attrs);
@@ -457,13 +459,15 @@ let decode_attrs r stop ~nlri_present =
   match acc.p_origin, acc.p_as_path, acc.p_next_hop with
   | None, None, None when not nlri_present -> None
   | Some origin, Some as_path, Some next_hop ->
+    (* [A.make] canonicalizes communities; interning here — once per
+       UPDATE — is what lets all the message's NLRI share one handle. *)
     Some
-      { A.origin; as_path; next_hop; med = acc.p_med;
-        local_pref = acc.p_local_pref; atomic_aggregate = acc.p_atomic;
-        aggregator = acc.p_aggregator;
-        communities = List.rev acc.p_communities;
-        originator_id = acc.p_originator_id;
-        cluster_list = acc.p_cluster_list }
+      (A.Interned.intern
+         (A.make ~origin ?med:acc.p_med ?local_pref:acc.p_local_pref
+            ~atomic_aggregate:acc.p_atomic ?aggregator:acc.p_aggregator
+            ~communities:(List.rev acc.p_communities)
+            ?originator_id:acc.p_originator_id
+            ~cluster_list:acc.p_cluster_list ~as_path ~next_hop ()))
   | None, _, _ ->
     fail (Msg.Update_message_error (Msg.Missing_wellknown_attribute attr_origin))
   | _, None, _ ->

@@ -20,7 +20,7 @@ type open_msg = {
 
 type update = {
   withdrawn : Bgp_addr.Prefix.t list;
-  attrs : Bgp_route.Attrs.t option;
+  attrs : Bgp_route.Attrs.Interned.t option;
   nlri : Bgp_addr.Prefix.t list;
 }
 
@@ -107,13 +107,19 @@ let open_msg ?(hold_time = 90) ?(params = []) ~asn ~bgp_id () =
     { opn_version = version; opn_asn = asn; opn_hold_time = hold_time;
       opn_bgp_id = bgp_id; opn_params = params }
 
-let update ?(withdrawn = []) ?attrs ?(nlri = []) () =
+let update_interned ?(withdrawn = []) ?attrs ?(nlri = []) () =
   if nlri <> [] && attrs = None then
     invalid_arg "Msg.update: NLRI without path attributes";
   Update { withdrawn; attrs; nlri }
 
+let update ?withdrawn ?attrs ?nlri () =
+  update_interned ?withdrawn
+    ?attrs:(Option.map Bgp_route.Attrs.Interned.intern attrs)
+    ?nlri ()
+
 let announcement attrs nlri = update ~attrs ~nlri ()
-let withdrawal withdrawn = update ~withdrawn ()
+let announcement_interned attrs nlri = update_interned ~attrs ~nlri ()
+let withdrawal withdrawn = update_interned ~withdrawn ()
 let route_refresh = Route_refresh (1, 1)
 
 let kind_name = function
@@ -132,7 +138,7 @@ let pp ppf = function
       (List.length u.withdrawn) (List.length u.nlri) (fun ppf ->
         match u.attrs with
         | None -> ()
-        | Some a -> Format.fprintf ppf " %a" Bgp_route.Attrs.pp a)
+        | Some a -> Format.fprintf ppf " %a" Bgp_route.Attrs.Interned.pp a)
   | Keepalive -> Format.pp_print_string ppf "KEEPALIVE"
   | Notification e -> Format.fprintf ppf "NOTIFICATION(%a)" pp_error e
   | Route_refresh (afi, safi) ->

@@ -34,8 +34,10 @@ type open_msg = {
 
 type update = {
   withdrawn : Bgp_addr.Prefix.t list;
-  attrs : Bgp_route.Attrs.t option;
-      (** Mandatory when [nlri] is non-empty (§5). *)
+  attrs : Bgp_route.Attrs.Interned.t option;
+      (** Mandatory when [nlri] is non-empty (§5).  Held as an arena
+          handle: {!Codec} interns once per decoded UPDATE, so every
+          NLRI prefix of the message shares one attribute value. *)
   nlri : Bgp_addr.Prefix.t list;
 }
 
@@ -96,9 +98,20 @@ val update :
   ?nlri:Bgp_addr.Prefix.t list ->
   unit ->
   t
-(** @raise Invalid_argument if [nlri] is non-empty but [attrs] absent. *)
+(** Interns [attrs].
+    @raise Invalid_argument if [nlri] is non-empty but [attrs] absent. *)
+
+val update_interned :
+  ?withdrawn:Bgp_addr.Prefix.t list ->
+  ?attrs:Bgp_route.Attrs.Interned.t ->
+  ?nlri:Bgp_addr.Prefix.t list ->
+  unit ->
+  t
+(** Like {!update} but from an existing handle — no arena lookup. *)
 
 val announcement : Bgp_route.Attrs.t -> Bgp_addr.Prefix.t list -> t
+val announcement_interned :
+  Bgp_route.Attrs.Interned.t -> Bgp_addr.Prefix.t list -> t
 val withdrawal : Bgp_addr.Prefix.t list -> t
 
 val route_refresh : t

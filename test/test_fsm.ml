@@ -66,7 +66,12 @@ let established () =
 
 let test_update_delivery () =
   let t = established () in
-  let u = Msg.Update { Msg.withdrawn = []; attrs = Some attrs; nlri = [ pfx "10.0.0.0/8" ] } in
+  let u =
+    Msg.Update
+      { Msg.withdrawn = [];
+        attrs = Some (Bgp_route.Attrs.Interned.intern attrs);
+        nlri = [ pfx "10.0.0.0/8" ] }
+  in
   let t, acts = Fsm.handle t (Fsm.Msg_received u) in
   Alcotest.check state_t "stays established" Fsm.Established (Fsm.state t);
   Alcotest.(check bool) "delivers update" true

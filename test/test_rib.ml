@@ -164,6 +164,7 @@ let test_first_announcement () =
      next-hop-self *)
   (match o.Rib_manager.announcements with
   | [ { Rib_manager.dest; ann_attrs = Some a; _ } ] ->
+    let a = A.Interned.value a in
     Alcotest.(check int) "dest" 1 dest.Peer.id;
     Alcotest.(check (option int)) "first hop is us" (Some 65000)
       (Option.map Asn.to_int (As_path.first_hop a.A.as_path));
@@ -300,6 +301,7 @@ let test_export_full () =
     (fun a ->
       match a.Rib_manager.ann_attrs with
       | Some at ->
+        let at = A.Interned.value at in
         Alcotest.(check (option int)) "prepended" (Some 65000)
           (Option.map Asn.to_int (As_path.first_hop at.A.as_path))
       | None -> Alcotest.fail "export_full must not withdraw")
@@ -462,6 +464,7 @@ let test_reflection_client_to_all () =
     (fun a ->
       match a.Rib_manager.ann_attrs with
       | Some at ->
+        let at = A.Interned.value at in
         Alcotest.(check (option string)) "originator stamped" (Some "10.0.0.10")
           (Option.map Bgp_addr.Ipv4.to_string at.A.originator_id);
         Alcotest.(check (list string)) "cluster list grew" [ "192.0.2.254" ]
@@ -519,6 +522,7 @@ let test_ebgp_learned_goes_to_ibgp () =
   in
   match to_ibgp with
   | [ { Rib_manager.ann_attrs = Some at; _ } ] ->
+    let at = A.Interned.value at in
     (* no AS prepend, no next-hop-self on the IBGP leg *)
     Alcotest.(check int) "path unchanged" 1 (As_path.length at.A.as_path);
     Alcotest.(check string) "next hop unchanged" "192.0.2.1"

@@ -18,7 +18,7 @@ let msg_testable =
       | Msg.Update x, Msg.Update y ->
         List.equal Prefix.equal x.Msg.withdrawn y.Msg.withdrawn
         && List.equal Prefix.equal x.Msg.nlri y.Msg.nlri
-        && Option.equal A.equal x.Msg.attrs y.Msg.attrs
+        && Option.equal A.Interned.equal x.Msg.attrs y.Msg.attrs
       | a, b -> a = b)
 
 let roundtrip m =
@@ -403,7 +403,7 @@ let gen_update =
     let* withdrawn = list_size (int_range 0 20) gen_prefix in
     let* nlri = list_size (int_range 0 20) gen_prefix in
     let* a = gen_attrs in
-    let attrs = if nlri = [] then None else Some a in
+    let attrs = if nlri = [] then None else Some (A.Interned.intern a) in
     return (Msg.Update { Msg.withdrawn; attrs; nlri }))
 
 let update_eq a b =
@@ -411,7 +411,7 @@ let update_eq a b =
   | Msg.Update x, Msg.Update y ->
     List.equal Prefix.equal x.Msg.withdrawn y.Msg.withdrawn
     && List.equal Prefix.equal x.Msg.nlri y.Msg.nlri
-    && Option.equal A.equal x.Msg.attrs y.Msg.attrs
+    && Option.equal A.Interned.equal x.Msg.attrs y.Msg.attrs
   | _ -> false
 
 let prop_update_roundtrip =
