@@ -495,6 +495,55 @@ let topo_tests =
          assert (r.TB.lf_verified = Ok ());
          r.TB.lf_heal_s) ]
 
+(* Structured tracing: the recorder must stay cheap enough to leave on
+   (ring-slot writes, no I/O), and a traced harness run must not change
+   the measured result.  The smoke variant asserts both. *)
+let trace_tests =
+  let module Tracer = Bgp_trace.Tracer in
+  [ Test.make ~name:"trace/record-100k-spans"
+      (Staged.stage @@ fun () ->
+       let tr = Tracer.create ~capacity:(1 lsl 16) () in
+       let tk = Tracer.track tr ~thread:"cpu" () in
+       for i = 0 to 99_999 do
+         let t0 = float_of_int i *. 1e-6 in
+         Tracer.span tr tk ~name:"decision" ~ts:t0 ~dur:1e-6
+           ~args:[ ("units", Tracer.Int 1) ] ()
+       done;
+       Tracer.recorded tr);
+    Test.make ~name:"trace/chrome-export-50k-events"
+      (Staged.stage @@ fun () ->
+       let tr = Tracer.create ~capacity:(1 lsl 16) () in
+       let tk = Tracer.track tr ~thread:"cpu" () in
+       for i = 0 to 49_999 do
+         Tracer.instant tr tk ~name:"run" ~ts:(float_of_int i *. 1e-6) ()
+       done;
+       String.length (Bgp_trace.Chrome.to_string tr)) ]
+
+let print_trace_smoke () =
+  let module Tracer = Bgp_trace.Tracer in
+  let sc = Scenario.of_id_exn 1 in
+  let base = H.run ~config:bench_config Arch.pentium3 sc in
+  let tr = Tracer.create () in
+  let traced =
+    H.run ~config:{ bench_config with H.tracer = Some tr } Arch.pentium3 sc
+  in
+  assert (base.H.tps = traced.H.tps);
+  let names =
+    List.filter_map
+      (fun e ->
+        match e.Tracer.ev_phase with
+        | Tracer.Span -> Some e.Tracer.ev_name
+        | _ -> None)
+      (Tracer.events tr)
+  in
+  List.iter
+    (fun st -> assert (List.mem st names))
+    [ "wire-decode"; "import-policy"; "adj-rib-in"; "decision";
+      "fib-install"; "export-policy"; "mrai-pacing" ];
+  Format.printf
+    "Trace smoke: %d events recorded (%d dropped), tps unchanged at %.1f@.@."
+    (Tracer.recorded tr) (Tracer.dropped tr) traced.H.tps
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -509,12 +558,14 @@ let all_tests =
   @ [ rib_bench; decision_test ]
   @ policy_tests @ packing_tests @ decision_scaling_tests @ rib_agg_tests
   @ workload_shape_tests @ mrai_tests @ fault_tests @ topo_tests @ arena_tests
+  @ trace_tests
   @ [ framer_test; forward_wire_test; gen_test; sim_test ]
 
 let () =
   print_stage_breakdowns ();
   print_fault_smoke ();
   print_alloc_smoke ();
+  print_trace_smoke ();
   (* --smoke: the breakdown runs above are a complete (if small)
      harness exercise; stop before the wall-clock measurements. *)
   if Array.mem "--smoke" Sys.argv then begin

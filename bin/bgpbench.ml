@@ -69,6 +69,38 @@ let json_t =
 
 let print_json j = print_endline (Bgp_stats.Json.to_string_pretty j)
 
+(* Structured tracing (--trace): shared by table3, faults, and topo. *)
+
+let trace_file_t =
+  let doc =
+    "Record structured trace events and write them to $(docv) as Chrome \
+     trace-event JSON (load in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_sample_t =
+  let doc =
+    "Trace every $(docv)th update batch and scheduler event (1 = trace \
+     everything); bounds trace size on large runs."
+  in
+  Arg.(value & opt int 1 & info [ "trace-sample" ] ~docv:"N" ~doc)
+
+let make_tracer trace_file sample =
+  Option.map (fun _ -> Bgp_trace.Tracer.create ~sample ()) trace_file
+
+(* Write the Chrome JSON whenever a file was requested; print the
+   trace summary only in text mode so --json output stays parseable. *)
+let finish_trace ?(quiet = false) trace_file tracer =
+  match (trace_file, tracer) with
+  | Some path, Some tr ->
+    Bgp_trace.Chrome.write_file tr path;
+    if not quiet then begin
+      print_newline ();
+      print_string (Bgp_trace.Summary.render tr);
+      Printf.printf "Chrome trace written to %s\n" path
+    end
+  | _, _ -> ()
+
 let scenarios_t =
   let doc =
     "Scenarios to run (repeatable); default: the paper's eight (9-10 are \
@@ -108,7 +140,8 @@ let varied_t =
           "Use an Internet-shaped workload (2-6 hop AS paths, mixed            origins/MEDs) instead of the paper's uniform paths.")
 
 let table3_cmd =
-  let run size packing seed varied archs scenarios no_paper prefixes json =
+  let run size packing seed varied archs scenarios no_paper prefixes json
+      trace_file trace_sample =
     match prefixes with
     | _ :: _ ->
       (* Full-table scale mode: instead of the 8x4 grid, sweep the
@@ -117,9 +150,12 @@ let table3_cmd =
       if json then print_json (Bgpmark.Arena_sweep.to_json sweep)
       else print_string (Bgpmark.Arena_sweep.render sweep)
     | [] ->
+      let tracer = make_tracer trace_file trace_sample in
+      let config =
+        { (config_of ~varied size packing seed) with H.tracer }
+      in
       let t =
-        Bgpmark.Table3.run
-          ~config:(config_of ~varied size packing seed)
+        Bgpmark.Table3.run ~config
           ~archs:(resolve_archs archs)
           ~scenarios:(resolve_scenarios scenarios) ()
       in
@@ -131,7 +167,8 @@ let table3_cmd =
           (fun (desc, ok) ->
             Printf.printf "  [%s] %s\n" (if ok then "PASS" else "fail") desc)
           (Bgpmark.Table3.shape_checks t)
-      end
+      end;
+      finish_trace ~quiet:json trace_file tracer
   in
   let no_paper =
     Arg.(value & flag & info [ "no-paper" ] ~doc:"Omit the paper-comparison rows.")
@@ -149,7 +186,8 @@ let table3_cmd =
        ~doc:"Reproduce Table III: transactions/s, 8 scenarios x 4 systems")
     Term.(
       const run $ size_t $ packing_t $ seed_t $ varied_t $ archs_t
-      $ scenarios_t $ no_paper $ prefixes_t $ json_t)
+      $ scenarios_t $ no_paper $ prefixes_t $ json_t $ trace_file_t
+      $ trace_sample_t)
 
 let scenario_cmd =
   let run size packing seed archs scenario cross trace =
@@ -300,10 +338,11 @@ let peers_cmd =
     Term.(const run $ size_t $ seed_t $ archs_t $ counts $ json_t)
 
 let faults_cmd =
-  let run size packing seed rounds archs scenarios json =
+  let run size packing seed rounds archs scenarios json trace_file trace_sample =
     let scenarios =
       match scenarios with [] -> Scenario.adversarial | l -> l
     in
+    let tracer = make_tracer trace_file trace_sample in
     let failed = ref false in
     let results =
       List.concat_map
@@ -311,7 +350,8 @@ let faults_cmd =
           List.map
             (fun arch ->
               let config =
-                { (config_of size packing seed) with H.fault_rounds = rounds }
+                { (config_of size packing seed) with
+                  H.fault_rounds = rounds; tracer }
               in
               let r = H.run ~config arch scenario in
               if Result.is_error r.H.verified then failed := true;
@@ -340,6 +380,7 @@ let faults_cmd =
                   pp_codes f.H.fr_expected pp_codes f.H.fr_answered)
             r.H.faults)
         results;
+    finish_trace ~quiet:json trace_file tracer;
     if !failed then exit 1
   in
   let rounds =
@@ -355,7 +396,7 @@ let faults_cmd =
           fails")
     Term.(
       const run $ size_t $ packing_t $ seed_t $ rounds $ archs_t $ scenarios_t
-      $ json_t)
+      $ json_t $ trace_file_t $ trace_sample_t)
 
 let topo_cmd =
   let module Topology = Bgp_topo.Topology in
@@ -375,7 +416,7 @@ let topo_cmd =
     Arg.conv
       (parse, fun ppf k -> Format.pp_print_string ppf (Topology.kind_to_string k))
   in
-  let run kind nodes seed gao cut json smoke =
+  let run kind nodes seed gao cut json smoke trace_file trace_sample =
     if smoke then begin
       (* CI gate: a small clique must establish, converge, and verify. *)
       let r = TB.run_convergence ~seed ~kind:Topology.Clique ~n:4 () in
@@ -391,9 +432,10 @@ let topo_cmd =
     else begin
       let sizes = match nodes with [] -> [ 4; 8; 16 ] | l -> List.sort_uniq compare l in
       let mode = if gao then Net.Gao_rexford else Net.Transit in
-      let runs = TB.sweep ~mode ~seed ~kind ~sizes () in
+      let tracer = make_tracer trace_file trace_sample in
+      let runs = TB.sweep ~mode ~seed ?tracer ~kind ~sizes () in
       let lf =
-        TB.run_link_failure ~mode ~seed ?cut ~kind
+        TB.run_link_failure ~mode ~seed ?cut ?tracer ~kind
           ~n:(List.fold_left max 2 sizes) ()
       in
       if json then
@@ -406,6 +448,7 @@ let topo_cmd =
         print_newline ();
         print_string (TB.render_link_failure lf)
       end;
+      finish_trace ~quiet:json trace_file tracer;
       let bad r = Result.is_error r in
       if
         bad lf.TB.lf_verified
@@ -458,7 +501,8 @@ let topo_cmd =
           scenario 12: link failure and path hunting); exits non-zero if \
           verification fails")
     Term.(
-      const run $ kind $ nodes $ seed_t $ gao $ cut $ json_t $ smoke)
+      const run $ kind $ nodes $ seed_t $ gao $ cut $ json_t $ smoke
+      $ trace_file_t $ trace_sample_t)
 
 let all_cmd =
   let run size packing seed =

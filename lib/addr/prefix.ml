@@ -8,6 +8,21 @@ let addr p = p.addr
 let len p = p.len
 let default = { addr = Ipv4.zero; len = 0 }
 
+(* Strict decimal length: 1-2 digits, no sign/prefix/underscore (which
+   [int_of_string_opt] would otherwise accept, e.g. "0x18", "2_4", "+24"). *)
+let length_of_string s =
+  let n = String.length s in
+  if n < 1 || n > 2 then None
+  else
+    let digit c = c >= '0' && c <= '9' in
+    if not (digit s.[0]) || (n = 2 && not (digit s.[1])) then None
+    else
+      let v =
+        if n = 1 then Char.code s.[0] - Char.code '0'
+        else ((Char.code s.[0] - Char.code '0') * 10) + (Char.code s.[1] - Char.code '0')
+      in
+      Some v
+
 let of_string s =
   match String.index_opt s '/' with
   | None -> Result.map (fun a -> { addr = a; len = 32 }) (Ipv4.of_string s)
@@ -17,9 +32,9 @@ let of_string s =
     (match Ipv4.of_string astr with
     | Error e -> Error e
     | Ok a ->
-      (match int_of_string_opt lstr with
+      (match length_of_string lstr with
       | None -> Error "invalid prefix length"
-      | Some l when l < 0 || l > 32 -> Error "prefix length out of range"
+      | Some l when l > 32 -> Error "prefix length out of range"
       | Some l ->
         if Ipv4.equal (Ipv4.apply_mask a l) a then Ok { addr = a; len = l }
         else Error "host bits set below mask"))

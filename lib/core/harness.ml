@@ -27,13 +27,14 @@ type config = {
   mrai : float option;
   timeout : float;
   fault_rounds : int;
+  tracer : Bgp_trace.Tracer.t option;
 }
 
 let default_config =
   { table_size = 10_000; large_packing = 500; cross_traffic = Traffic.none;
     seed = 42; trace_interval = None; setup_path_len = 3; longer_path_len = 6;
     shorter_path_len = 1; varied_paths = false; mrai = None;
-    timeout = 500_000.0; fault_rounds = 5 }
+    timeout = 500_000.0; fault_rounds = 5; tracer = None }
 
 type fault_report = {
   fr_injected : int;
@@ -190,7 +191,10 @@ let run_standard ~config arch scenario =
   let engine = Engine.create () in
   Engine.set_event_limit engine 500_000_000;
   let router =
-    Router.create ?mrai:cfg.mrai engine arch ~local_asn:router_asn ~router_id
+    Router.create ?mrai:cfg.mrai ?tracer:cfg.tracer
+      ~trace_process:
+        (Printf.sprintf "%s/scenario-%d" arch.Arch.name scenario.Scenario.id)
+      engine arch ~local_asn:router_asn ~router_id
   in
   let ch1 = Channel.create engine () in
   let ch2 = Channel.create engine () in
@@ -385,11 +389,16 @@ let run_adversarial ~config arch scenario =
   let engine = Engine.create () in
   Engine.set_event_limit engine 500_000_000;
   let metrics = Metrics.create () in
-  let router =
-    Router.create ?mrai:cfg.mrai ~metrics engine arch ~local_asn:router_asn
-      ~router_id
+  let trace_process =
+    Printf.sprintf "%s/scenario-%d" arch.Arch.name scenario.Scenario.id
   in
-  let faults = Faults.create ~engine ~metrics () in
+  let router =
+    Router.create ?mrai:cfg.mrai ~metrics ?tracer:cfg.tracer ~trace_process
+      engine arch ~local_asn:router_asn ~router_id
+  in
+  let faults =
+    Faults.create ?tracer:cfg.tracer ~trace_process ~engine ~metrics ()
+  in
   let ch1 = Channel.create engine () in
   let ch2 = Channel.create engine () in
   (* Speaker 1 is the adversarial peer: its transmissions pass through

@@ -36,6 +36,12 @@ type config = {
   timeout : float;           (** virtual-seconds guard per run *)
   fault_rounds : int;
       (** fault injections per adversarial run (scenarios 9-10) *)
+  tracer : Bgp_trace.Tracer.t option;
+      (** record structured trace events (pipeline stage spans,
+          scheduler occupancy, FSM transitions, fault fates) for the
+          whole run; each (arch, scenario) cell traces under the
+          process name ["<arch>/scenario-<id>"].  Observational only:
+          results are identical with tracing on or off. *)
 }
 
 val default_config : config

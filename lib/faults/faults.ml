@@ -35,15 +35,28 @@ type t = {
   mutable expected_rev : Msg.error list;     (* all predictions, reversed *)
   mutable expect_queue : Msg.error list;     (* predictions not yet answered *)
   mutable seen_rev : Msg.error list;         (* observed NOTIFICATIONs, reversed *)
+  trace : (Bgp_trace.Tracer.t * Bgp_trace.Tracer.track) option;
 }
 
-let create ?(profile = none) ~engine ~metrics () =
+let create ?(profile = none) ?tracer ?(trace_process = "bgpmark") ~engine
+    ~metrics () =
   { engine; prof = profile; rng = Rng.create profile.seed;
     c_injected = Metrics.counter metrics "faults.injected";
     c_malformed_dropped = Metrics.counter metrics "faults.malformed_dropped";
     c_session_restarts = Metrics.counter metrics "faults.session_restarts";
     h_reconverge = Metrics.histogram metrics "faults.reconverge_seconds";
-    armed = 0; expected_rev = []; expect_queue = []; seen_rev = [] }
+    armed = 0; expected_rev = []; expect_queue = []; seen_rev = [];
+    trace =
+      Option.map
+        (fun tr ->
+          (tr, Bgp_trace.Tracer.track tr ~process:trace_process ~thread:"faults" ()))
+        tracer }
+
+let trace_fate t ~fate ~detail =
+  match t.trace with
+  | Some (tr, tk) ->
+    Bgp_trace.Tracer.fault tr tk ~ts:(Engine.now t.engine) ~fate ~detail
+  | None -> ()
 
 let profile t = t.prof
 
@@ -132,29 +145,37 @@ let apply_faults t wire =
       t.expected_rev <- err :: t.expected_rev;
       t.expect_queue <- t.expect_queue @ [ err ];
       Metrics.incr t.c_injected;
+      let code, sub = Msg.error_code err in
+      trace_fate t ~fate:"corrupt-armed"
+        ~detail:(Printf.sprintf "expect NOTIFICATION %d/%d" code sub);
       Channel.Deliver (mutant, 0.0)
     | None -> Channel.Pass
   end
   else if blackholed t then begin
     Metrics.incr t.c_injected;
+    trace_fate t ~fate:"blackhole" ~detail:"";
     Channel.Drop
   end
   else if draw t t.prof.truncate_prob then (
     match truncate_fixup t.rng wire with
     | Some mutant ->
       Metrics.incr t.c_injected;
+      trace_fate t ~fate:"truncate" ~detail:"";
       Channel.Deliver (mutant, 0.0)
     | None -> Channel.Pass)
   else if draw t t.prof.corrupt_prob then begin
     Metrics.incr t.c_injected;
+    trace_fate t ~fate:"bitflip" ~detail:"";
     Channel.Deliver (flip_byte t.rng wire, 0.0)
   end
   else if draw t t.prof.drop_prob then begin
     Metrics.incr t.c_injected;
+    trace_fate t ~fate:"drop" ~detail:"";
     Channel.Drop
   end
   else if draw t t.prof.reorder_prob then begin
     Metrics.incr t.c_injected;
+    trace_fate t ~fate:"reorder" ~detail:"";
     Channel.Deliver (wire, Rng.float t.rng t.prof.reorder_delay)
   end
   else Channel.Pass
@@ -165,6 +186,9 @@ let same_code e e' = Msg.error_code e = Msg.error_code e'
 
 let note_notification t e =
   t.seen_rev <- e :: t.seen_rev;
+  let code, sub = Msg.error_code e in
+  trace_fate t ~fate:"notification"
+    ~detail:(Printf.sprintf "%d/%d" code sub);
   match t.expect_queue with
   | expected :: rest when same_code expected e ->
     t.expect_queue <- rest;
@@ -187,8 +211,13 @@ let expected_errors t = List.rev t.expected_rev
 let notifications_seen t = List.rev t.seen_rev
 let all_answered t = t.armed = 0 && t.expect_queue = []
 
-let note_session_fault t = Metrics.incr t.c_injected
-let note_session_restart t = Metrics.incr t.c_session_restarts
+let note_session_fault t =
+  Metrics.incr t.c_injected;
+  trace_fate t ~fate:"session-fault" ~detail:""
+
+let note_session_restart t =
+  Metrics.incr t.c_session_restarts;
+  trace_fate t ~fate:"session-restart" ~detail:""
 let observe_reconvergence t d = Metrics.observe t.h_reconverge d
 
 let injected t = Metrics.value t.c_injected

@@ -54,13 +54,20 @@ type t
 
 val create :
   ?profile:profile ->
+  ?tracer:Bgp_trace.Tracer.t ->
+  ?trace_process:string ->
   engine:Bgp_sim.Engine.t ->
   metrics:Bgp_stats.Metrics.t ->
   unit ->
   t
 (** Registers the [faults.*] counters/histogram in [metrics] (so a
     phase-boundary {!Bgp_stats.Metrics.reset_all} clears them with
-    everything else).  Default profile {!none}. *)
+    everything else).  Default profile {!none}.
+
+    With [tracer], every injected fate (corrupt-armed, bitflip,
+    truncate, drop, reorder, blackhole), observed NOTIFICATION and
+    session fault/restart becomes an instant event on a
+    [trace_process]/"faults" track (default process ["bgpmark"]). *)
 
 val profile : t -> profile
 

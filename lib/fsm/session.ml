@@ -30,11 +30,15 @@ type t = {
   mutable fsm : Fsm.t;
   cancels : (Fsm.timer, unit -> unit) Hashtbl.t;
   mutable closed_flag : bool;  (* transport currently closed *)
+  mutable on_transition : Fsm.state -> Fsm.state -> unit;
 }
 
 let create cfg timers io hooks =
   { timers; io; hooks; framer = Framer.create (); fsm = Fsm.create cfg;
-    cancels = Hashtbl.create 4; closed_flag = true }
+    cancels = Hashtbl.create 4; closed_flag = true;
+    on_transition = (fun _ _ -> ()) }
+
+let set_transition_observer t f = t.on_transition <- f
 
 let state t = Fsm.state t.fsm
 let fsm t = t.fsm
@@ -52,8 +56,11 @@ let transmit t msg =
   t.io.out_bytes wire
 
 let rec dispatch t ev =
+  let before = Fsm.state t.fsm in
   let fsm', actions = Fsm.handle t.fsm ev in
   t.fsm <- fsm';
+  let after = Fsm.state fsm' in
+  if after <> before then t.on_transition before after;
   List.iter (perform t) actions
 
 and perform t = function

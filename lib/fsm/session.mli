@@ -39,6 +39,13 @@ val create : Fsm.config -> timer_service -> io -> hooks -> t
 val state : t -> Fsm.state
 val fsm : t -> Fsm.t
 
+val set_transition_observer : t -> (Fsm.state -> Fsm.state -> unit) -> unit
+(** Install an observer called as [(before, after)] whenever dispatching
+    an event changes the FSM state (before the resulting actions are
+    performed).  Observation only — installing one must not change
+    session behavior.  Replaces any previous observer; default is a
+    no-op. *)
+
 val start : t -> unit
 (** Administrative up (Idle -> Connect, or Active when passive). *)
 

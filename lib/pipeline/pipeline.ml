@@ -1,6 +1,7 @@
 module Engine = Bgp_sim.Engine
 module Sched = Bgp_sim.Sched
 module Metrics = Bgp_stats.Metrics
+module Tracer = Bgp_trace.Tracer
 
 type stage_id =
   | Wire_decode
@@ -30,6 +31,7 @@ type work = {
   mutable w_withdrawn : int;
   mutable w_peers : int;
   mutable w_attr_groups : int;
+  mutable w_src : int;
   mutable w_candidates : int;
   mutable w_loc_changes : int;
   mutable w_fib_installs : int;
@@ -39,10 +41,10 @@ type work = {
 }
 
 let work ?(bytes = 0) ?(announced = 0) ?(withdrawn = 0) ?(peers = 0)
-    ?(attr_groups = 0) () =
+    ?(attr_groups = 0) ?(src = -1) () =
   { w_bytes = bytes; w_announced = announced; w_withdrawn = withdrawn;
-    w_peers = peers; w_attr_groups = attr_groups; w_candidates = 0;
-    w_loc_changes = 0; w_fib_installs = 0;
+    w_peers = peers; w_attr_groups = attr_groups; w_src = src;
+    w_candidates = 0; w_loc_changes = 0; w_fib_installs = 0;
     w_fib_replaces = 0; w_announcements = 0; w_mrai_buffered = 0 }
 
 let prefixes w = w.w_announced + w.w_withdrawn
@@ -80,7 +82,17 @@ type stage = {
   m_cycles : Metrics.histogram;
 }
 
-type batch = { b_work : work; b_hooks : hooks }
+type batch = { b_work : work; b_hooks : hooks; b_traced : bool; b_t0 : float }
+
+(* Trace tracks: one per stage process (shared with the scheduler's
+   run/block instants via name-deduplication in the tracer) plus an
+   "updates" lane carrying whole-update latency spans and the
+   zero-duration marks of inline stages. *)
+type trace_state = {
+  ts_tr : Tracer.t;
+  ts_updates : Tracer.track;
+  ts_stage : Tracer.track option array;  (* [None] = inline stage *)
+}
 
 type t = {
   engine : Engine.t;
@@ -91,9 +103,11 @@ type t = {
   fused_proc : Sched.proc option;      (* the single proc of a fused table *)
   pending : batch Queue.t;             (* paced batches (fused layout) *)
   mutable pacer_busy : bool;
+  trace : trace_state option;
 }
 
-let create ~engine ~sched ~metrics ~layout specs =
+let create ~engine ~sched ~metrics ~layout ?tracer
+    ?(trace_process = "bgpmark") specs =
   if specs = [] then invalid_arg "Pipeline.create: empty stage table";
   let seen = Hashtbl.create 8 in
   List.iter
@@ -141,8 +155,23 @@ let create ~engine ~sched ~metrics ~layout specs =
                Metrics.histogram metrics ("pipeline." ^ name ^ ".cycles") })
          specs)
   in
+  let trace =
+    Option.map
+      (fun tr ->
+        { ts_tr = tr;
+          ts_updates = Tracer.track tr ~process:trace_process ~thread:"updates" ();
+          ts_stage =
+            Array.map
+              (fun st ->
+                Option.map
+                  (fun name ->
+                    Tracer.track tr ~process:trace_process ~thread:name ())
+                  st.spec.sp_proc)
+              stages })
+      tracer
+  in
   { engine; sched; layout; stages; procs; fused_proc;
-    pending = Queue.create (); pacer_busy = false }
+    pending = Queue.create (); pacer_busy = false; trace }
 
 (* Charge accounting at dispatch (cost is decided there), unit counts at
    completion (late stages' units are produced by earlier finish hooks,
@@ -155,8 +184,19 @@ let record_finish st w = Metrics.incr ~by:(st.spec.sp_units w) st.m_units
 
 (* --- Pipelined layout: one scheduled job per proc-bearing stage. ---- *)
 
+let trace_update_done t b =
+  match t.trace with
+  | Some ts when b.b_traced ->
+    Tracer.update_span ts.ts_tr ts.ts_updates ~dispatch:b.b_t0
+      ~finish:(Engine.now t.engine) ~peer:b.b_work.w_src
+      ~prefixes:(prefixes b.b_work) ~bytes:b.b_work.w_bytes
+  | _ -> ()
+
 let rec dispatch_from t b i =
-  if i >= Array.length t.stages then b.b_hooks.on_done ()
+  if i >= Array.length t.stages then begin
+    trace_update_done t b;
+    b.b_hooks.on_done ()
+  end
   else begin
     let st = t.stages.(i) in
     if st.spec.sp_skip b.b_work then dispatch_from t b (i + 1)
@@ -164,9 +204,27 @@ let rec dispatch_from t b i =
       b.b_hooks.on_begin st.spec.sp_id;
       let cycles = st.spec.sp_cost b.b_work in
       record_dispatch st cycles;
+      let t_dispatch =
+        if b.b_traced then Engine.now t.engine else 0.0
+      in
       let complete () =
         b.b_hooks.on_finish st.spec.sp_id;
         record_finish st b.b_work;
+        (match t.trace with
+        | Some ts when b.b_traced ->
+          let w = b.b_work in
+          let stage = stage_name st.spec.sp_id in
+          (match ts.ts_stage.(i) with
+          | Some tk ->
+            Tracer.stage_span ts.ts_tr tk ~stage ~dispatch:t_dispatch
+              ~finish:(Engine.now t.engine) ~cycles
+              ~units:(st.spec.sp_units w) ~attr_groups:w.w_attr_groups
+              ~peer:w.w_src
+          | None ->
+            Tracer.stage_mark ts.ts_tr ts.ts_updates ~stage ~ts:t_dispatch
+              ~units:(st.spec.sp_units w) ~attr_groups:w.w_attr_groups
+              ~peer:w.w_src)
+        | _ -> ());
         dispatch_from t b (i + 1)
       in
       match st.proc with
@@ -181,6 +239,7 @@ let dispatch_fused t b =
   let n = Array.length t.stages in
   let ran = Array.make n false in
   let total = ref 0.0 in
+  let costs = if b.b_traced then Array.make n 0.0 else [||] in
   Array.iteri
     (fun i st ->
       if not (st.spec.sp_skip b.b_work) then begin
@@ -188,10 +247,12 @@ let dispatch_fused t b =
         b.b_hooks.on_begin st.spec.sp_id;
         let cycles = st.spec.sp_cost b.b_work in
         record_dispatch st cycles;
+        if b.b_traced then costs.(i) <- cycles;
         total := !total +. cycles
       end)
     t.stages;
   let proc = Option.get t.fused_proc in
+  let t_dispatch = if b.b_traced then Engine.now t.engine else 0.0 in
   Sched.submit t.sched proc ~cycles:!total (fun () ->
       Array.iteri
         (fun i st ->
@@ -200,6 +261,48 @@ let dispatch_fused t b =
             record_finish st b.b_work
           end)
         t.stages;
+      (match t.trace with
+      | Some ts when b.b_traced ->
+        (* One fused job slice on the single process track, with the
+           stage slices nested inside it, partitioned proportionally to
+           the cycles each stage was charged. *)
+        let w = b.b_work in
+        let tk =
+          match ts.ts_stage.(0) with Some tk -> tk | None -> ts.ts_updates
+        in
+        let start, fin =
+          Tracer.span_fifo ts.ts_tr tk ~name:"update-job"
+            ~dispatch:t_dispatch ~finish:(Engine.now t.engine)
+            ~args:
+              [ ("prefixes", Tracer.Int (prefixes w));
+                ("peer", Tracer.Int w.w_src) ]
+            ()
+        in
+        let window = fin -. start in
+        let n_ran =
+          Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 ran
+        in
+        let cursor = ref start in
+        Array.iteri
+          (fun i st ->
+            if ran.(i) then begin
+              let frac =
+                if !total > 0.0 then costs.(i) /. !total
+                else 1.0 /. float_of_int (max n_ran 1)
+              in
+              let dur = window *. frac in
+              Tracer.span ts.ts_tr tk ~name:(stage_name st.spec.sp_id)
+                ~ts:!cursor ~dur
+                ~args:
+                  [ ("cycles", Tracer.Float costs.(i));
+                    ("units", Tracer.Int (st.spec.sp_units w));
+                    ("attr_groups", Tracer.Int w.w_attr_groups) ]
+                ();
+              cursor := !cursor +. dur
+            end)
+          t.stages;
+        trace_update_done t b
+      | _ -> ());
       b.b_hooks.on_done ())
 
 let rec pump t pacing =
@@ -220,7 +323,13 @@ let rec pump t pacing =
   end
 
 let submit t w hooks =
-  let b = { b_work = w; b_hooks = hooks } in
+  let traced =
+    match t.trace with Some ts -> Tracer.sample_this ts.ts_tr | None -> false
+  in
+  let b =
+    { b_work = w; b_hooks = hooks; b_traced = traced;
+      b_t0 = (if traced then Engine.now t.engine else 0.0) }
+  in
   match t.layout with
   | Pipelined -> dispatch_from t b 0
   | Fused_paced pacing ->

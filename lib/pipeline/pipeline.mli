@@ -60,6 +60,9 @@ type work = {
           guards) once per group while TPS stays prefix-level
           ({!prefixes}).  Stage costs ignore it by default, so legacy
           cost tables are unchanged. *)
+  mutable w_src : int;
+      (** source peer id, or -1 when not peer-originated (trace
+          annotation only; never priced) *)
   mutable w_candidates : int;     (** routes considered by the decision *)
   mutable w_loc_changes : int;    (** Loc-RIB mutations *)
   mutable w_fib_installs : int;   (** FIB add/withdraw deltas *)
@@ -70,8 +73,8 @@ type work = {
 
 val work :
   ?bytes:int -> ?announced:int -> ?withdrawn:int -> ?peers:int ->
-  ?attr_groups:int -> unit -> work
-(** A fresh profile; every unlisted field starts at 0. *)
+  ?attr_groups:int -> ?src:int -> unit -> work
+(** A fresh profile; every unlisted field starts at 0 ([src] at -1). *)
 
 val prefixes : work -> int
 (** [w_announced + w_withdrawn] — the batch's transaction count. *)
@@ -128,12 +131,25 @@ val create :
   sched:Bgp_sim.Sched.t ->
   metrics:Bgp_stats.Metrics.t ->
   layout:layout ->
+  ?tracer:Bgp_trace.Tracer.t ->
+  ?trace_process:string ->
   spec list ->
   t
 (** Build a pipeline from a stage table.  Scheduler processes are
     created here, one per distinct [proc] name in table order, and the
     per-stage metrics ([pipeline.<stage>.units], [.batches],
     [.cycles]) are registered in [metrics].
+
+    With [tracer], sampled batches record structured spans: each
+    proc-bearing stage becomes a slice on a track named after its
+    process ([trace_process]/<proc>, shared with the scheduler's
+    run/block instants), inline stages become zero-duration marks and
+    whole-update submit-to-done latencies become async spans on an
+    ["updates"] track.  Under [Fused_paced] the single job is one
+    ["update-job"] slice with per-stage slices nested inside it,
+    partitioned proportionally to the cycles charged.  Tracing is
+    observational only: virtual timings, scheduling and metrics are
+    identical with or without it.
     @raise Invalid_argument on a duplicate stage id, an empty table, or
     a [Fused_paced] table naming more than one process. *)
 

@@ -62,6 +62,8 @@ type t = {
   mutable inflight : int;  (* update messages still in the pipeline *)
   mutable route_observer : Bgp_addr.Prefix.t -> unit;
       (* fired once per Loc-RIB best-route change, with the prefix *)
+  tracer : Bgp_trace.Tracer.t option;
+  fsm_track : Bgp_trace.Tracer.track option;  (* session transitions *)
 }
 
 let timer_service engine =
@@ -96,8 +98,12 @@ let start_rtrmgr engine sched arch proc =
     ignore (Engine.schedule engine ~delay:arch.Arch.rtrmgr_period tick)
   end
 
-let create ?import ?export ?mrai ?metrics engine arch ~local_asn ~router_id =
+let create ?import ?export ?mrai ?metrics ?tracer ?trace_process engine arch
+    ~local_asn ~router_id =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let trace_process =
+    match trace_process with Some p -> p | None -> arch.Arch.name
+  in
   let c_transactions = Metrics.counter metrics "router.transactions" in
   let c_updates_rx = Metrics.counter metrics "router.updates_rx" in
   let c_withdrawn_rx = Metrics.counter metrics "router.withdrawn_rx" in
@@ -118,12 +124,15 @@ let create ?import ?export ?mrai ?metrics engine arch ~local_asn ~router_id =
   let sched =
     Sched.create engine ~hz:(Arch.effective_hz arch) ~pool:arch.Arch.pool
   in
+  Option.iter
+    (fun tr -> Sched.set_tracer sched ~process:trace_process tr)
+    tracer;
   (* The pipeline creates the stage processes in table order; the
      housekeeper (not part of the update path) comes after, preserving
      the historical bgp/policy/rib/fea/rtrmgr process numbering. *)
   let pipeline =
     Pipeline.create ~engine ~sched ~metrics ~layout:(Arch.layout arch)
-      (Arch.stage_table arch)
+      ?tracer ~trace_process (Arch.stage_table arch)
   in
   Option.iter
     (fun name ->
@@ -148,7 +157,12 @@ let create ?import ?export ?mrai ?metrics engine arch ~local_asn ~router_id =
     c_transactions; c_updates_rx; c_withdrawn_rx; c_msgs_rx; c_msgs_tx;
     c_bytes_rx;
     c_bytes_tx; first_work_at = None; last_transaction_at = None;
-    inflight = 0; route_observer = ignore }
+    inflight = 0; route_observer = ignore; tracer;
+    fsm_track =
+      Option.map
+        (fun tr ->
+          Bgp_trace.Tracer.track tr ~process:trace_process ~thread:"fsm" ())
+        tracer }
 
 let arch t = t.arch
 let engine t = t.engine
@@ -384,7 +398,8 @@ let process_update t ~from ~bytes (u : Msg.update) =
     + if u.Msg.withdrawn <> [] then 1 else 0
   in
   let w =
-    Pipeline.work ~bytes ~announced ~withdrawn ~peers:n_peers ~attr_groups ()
+    Pipeline.work ~bytes ~announced ~withdrawn ~peers:n_peers ~attr_groups
+      ~src:from.Peer.id ()
   in
   let deltas = ref [] in
   let anns = ref [] in
@@ -534,6 +549,15 @@ let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
           lnk.last_rx_size <- bytes) }
   in
   let session = Session.create cfg (timer_service t.engine) io hooks in
+  (match t.tracer, t.fsm_track with
+  | Some tr, Some tk ->
+    let peer_name = Printf.sprintf "peer-%d" peer.Peer.id in
+    Session.set_transition_observer session (fun before after ->
+        Bgp_trace.Tracer.fsm_transition tr tk ~ts:(Engine.now t.engine)
+          ~peer:peer_name
+          ~from_state:(Bgp_fsm.Fsm.state_name before)
+          ~to_state:(Bgp_fsm.Fsm.state_name after))
+  | _ -> ());
   lnk.session <- Some session;
   Hashtbl.replace t.peers peer.Peer.id lnk;
   Channel.set_receiver channel side (fun bytes -> Session.feed session bytes);

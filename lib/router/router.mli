@@ -28,6 +28,8 @@ val create :
   ?export:Bgp_policy.Policy.t ->
   ?mrai:float ->
   ?metrics:Bgp_stats.Metrics.t ->
+  ?tracer:Bgp_trace.Tracer.t ->
+  ?trace_process:string ->
   Bgp_sim.Engine.t ->
   Arch.t ->
   local_asn:Bgp_route.Asn.t ->
@@ -41,7 +43,14 @@ val create :
     [metrics]: the registry everything registers into (default: a fresh
     private one).  Supplying a shared registry lets a harness read all
     router metrics through one handle; it must not already hold
-    [router.*], [rib.*], or [pipeline.*] names. *)
+    [router.*], [rib.*], or [pipeline.*] names.
+
+    [tracer]: record structured trace events — pipeline stage spans,
+    scheduler run/block and core occupancy, FSM transitions of attached
+    peers — into the given {!Bgp_trace.Tracer}, grouped under a trace
+    process named [trace_process] (default: the architecture name).
+    Off by default and purely observational: simulated timings and all
+    counters are identical with tracing on or off. *)
 
 val arch : t -> Arch.t
 val engine : t -> Bgp_sim.Engine.t

@@ -9,6 +9,14 @@ type proc = {
   mutable acc : float;   (* cycles consumed since last take_accounting *)
 }
 
+type trace_state = {
+  tr : Bgp_trace.Tracer.t;
+  tr_process : string;
+  tr_cpu : Bgp_trace.Tracer.track;  (* occupancy counter track *)
+  tr_tracks : (string, Bgp_trace.Tracer.track) Hashtbl.t;  (* per proc *)
+  mutable tr_last_occ : (string * float) list;
+}
+
 type t = {
   engine : Engine.t;
   hz : float;
@@ -25,6 +33,7 @@ type t = {
   mutable last_settle : float;
   mutable acc_started : float;
   mutable completion : Engine.handle option;
+  mutable trace : trace_state option;
 }
 
 let create engine ~hz ~pool =
@@ -33,7 +42,7 @@ let create engine ~hz ~pool =
   { engine; hz; pool; proc_cap = 1.0; procs = []; int_demand = 0.0;
     int_rate = 0.0; int_acc = 0.0; fwd_demand = 0.0; fwd_weight = 8.0;
     fwd_rate = 0.0; fwd_acc = 0.0; last_settle = 0.0; acc_started = 0.0;
-    completion = None }
+    completion = None; trace = None }
 
 let add_proc t ?(weight = 1.0) name =
   let p = { name; weight; queue = Queue.create (); current = None; rate = 0.0;
@@ -42,6 +51,24 @@ let add_proc t ?(weight = 1.0) name =
   p
 
 let proc_name p = p.name
+
+let set_tracer t ?(process = "bgpmark") tracer =
+  let module T = Bgp_trace.Tracer in
+  t.trace <-
+    Some
+      { tr = tracer; tr_process = process;
+        tr_cpu = T.track tracer ~process ~thread:"cpu" ();
+        tr_tracks = Hashtbl.create 8; tr_last_occ = [] }
+
+let trace_track ts name =
+  match Hashtbl.find_opt ts.tr_tracks name with
+  | Some tk -> tk
+  | None ->
+    let tk =
+      Bgp_trace.Tracer.track ts.tr ~process:ts.tr_process ~thread:name ()
+    in
+    Hashtbl.add ts.tr_tracks name tk;
+    tk
 
 let queue_length _t p =
   Queue.length p.queue + (match p.current with Some _ -> 1 | None -> 0)
@@ -130,6 +157,21 @@ let rec recompute t =
   t.fwd_rate <- alloc.(0);
   List.iteri (fun i p -> p.rate <- alloc.(i + 1)) runnable;
   List.iter (fun p -> if p.current = None then p.rate <- 0.0) t.procs;
+  (match t.trace with
+  | None -> ()
+  | Some ts ->
+    (* Occupancy sample: per-proc service rates plus interrupt and
+       forwarding allotments, deduped against the previous sample (the
+       runnable set rarely changes between consecutive recomputes) and
+       decimated by the tracer's sampling interval. *)
+    let occ =
+      List.map (fun p -> (p.name, p.rate)) t.procs
+      @ [ ("interrupt", t.int_rate); ("forwarding", t.fwd_rate) ]
+    in
+    if occ <> ts.tr_last_occ && Bgp_trace.Tracer.sim_hit ts.tr then begin
+      ts.tr_last_occ <- occ;
+      Bgp_trace.Tracer.occupancy ts.tr ts.tr_cpu ~ts:(Engine.now t.engine) occ
+    end);
   reschedule_completion t
 
 and reschedule_completion t =
@@ -156,6 +198,7 @@ and on_completion t =
   settle t;
   (* Finish every job that has (numerically) run out of cycles. *)
   let finished = ref [] in
+  let went_idle = ref [] in
   List.iter
     (fun p ->
       match p.current with
@@ -163,9 +206,20 @@ and on_completion t =
         p.acc <- p.acc +. job.remaining;
         job.remaining <- 0.0;
         p.current <- Queue.take_opt p.queue;
+        if p.current = None then went_idle := p :: !went_idle;
         finished := job :: !finished
       | _ -> ())
     t.procs;
+  (match t.trace with
+  | Some ts ->
+    let now = Engine.now t.engine in
+    List.iter
+      (fun p ->
+        if Bgp_trace.Tracer.sim_hit ts.tr then
+          Bgp_trace.Tracer.proc_state ts.tr (trace_track ts p.name) ~ts:now
+            ~running:false ~queue:0)
+      (List.rev !went_idle)
+  | None -> ());
   (* Callbacks may submit new work (which recomputes again); run them
      after the scheduler state is consistent. *)
   recompute t;
@@ -173,9 +227,17 @@ and on_completion t =
 
 let submit t p ~cycles on_done =
   let job = { remaining = Float.max cycles 0.0; on_done } in
+  let was_idle = p.current = None in
   (match p.current with
   | None -> p.current <- Some job
   | Some _ -> Queue.add job p.queue);
+  (match t.trace with
+  | Some ts when was_idle ->
+    if Bgp_trace.Tracer.sim_hit ts.tr then
+      Bgp_trace.Tracer.proc_state ts.tr (trace_track ts p.name)
+        ~ts:(Engine.now t.engine) ~running:true
+        ~queue:(queue_length t p)
+  | _ -> ());
   recompute t
 
 let set_interrupt_demand t ~cycles_per_sec =

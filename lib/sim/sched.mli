@@ -36,6 +36,15 @@ val add_proc : t -> ?weight:float -> string -> proc
 
 val proc_name : proc -> string
 
+val set_tracer : t -> ?process:string -> Bgp_trace.Tracer.t -> unit
+(** Record structured scheduler events into [tracer]: process run/block
+    instants (one track per process, named after it) and deduplicated
+    core-occupancy counter samples (per-process service rates plus
+    interrupt and forwarding allotments) on a ["cpu"] track. [process]
+    names the trace process grouping the tracks (default ["bgpmark"]).
+    Recording is observational only — scheduling decisions and virtual
+    timings are unaffected. *)
+
 val submit : t -> proc -> cycles:float -> (unit -> unit) -> unit
 (** Enqueue a job; the callback fires (as an engine event) when the
     job's cycles have been executed.  Zero-cycle jobs complete at the

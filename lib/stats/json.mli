@@ -14,6 +14,11 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+val escape : string -> string
+(** RFC 8259 string-body escaping (no surrounding quotes): quote,
+    backslash and control characters below 0x20 become escape
+    sequences. *)
+
 val to_string : t -> string
 (** Compact single-line rendering (RFC 8259 escaping). *)
 

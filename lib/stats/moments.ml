@@ -20,8 +20,11 @@ let count t = t.n
 let mean t = if t.n = 0 then 0.0 else t.mean
 let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)
-let min_value t = t.mn
-let max_value t = t.mx
+(* Match Metrics histogram semantics: an empty accumulator reports 0.0
+   rather than leaking the infinity sentinels (which Json.float_str would
+   render as null). *)
+let min_value t = if t.n = 0 then 0.0 else t.mn
+let max_value t = if t.n = 0 then 0.0 else t.mx
 
 let of_list xs =
   let t = create () in
@@ -29,5 +32,7 @@ let of_list xs =
   t
 
 let pp ppf t =
-  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
-    (stddev t) t.mn t.mx
+  if t.n = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" t.n (mean t)
+      (stddev t) (min_value t) (max_value t)

@@ -14,10 +14,10 @@ val variance : t -> float
 
 val stddev : t -> float
 val min_value : t -> float
-(** +inf when empty. *)
+(** 0 when empty (matching {!Metrics} histogram semantics). *)
 
 val max_value : t -> float
-(** -inf when empty. *)
+(** 0 when empty (matching {!Metrics} histogram semantics). *)
 
 val of_list : float list -> t
 val pp : Format.formatter -> t -> unit

@@ -52,7 +52,8 @@ let asn_of_index i = Asn.of_int (64512 + i)
 
 let addr_of_index i = Ipv4.of_octets 10 (i lsr 8) (i land 0xff) 1
 
-let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) topo =
+let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) ?tracer
+    ?(trace_prefix = "topo") topo =
   let n = topo.Topology.n in
   if n > 1023 then
     invalid_arg
@@ -65,7 +66,10 @@ let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) topo =
         let asn = asn_of_index i in
         let addr = addr_of_index i in
         { index = i; asn; addr;
-          router = Router.create engine arch ~local_asn:asn ~router_id:addr;
+          router =
+            Router.create ?tracer
+              ~trace_process:(Printf.sprintf "%s/node-%d" trace_prefix i)
+              engine arch ~local_asn:asn ~router_id:addr;
           origin = prefixes.(i);
           peer_recs = []; loc_changes = 0; explored = Hashtbl.create 97 })
   in

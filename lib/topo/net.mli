@@ -30,12 +30,19 @@ val create :
   ?arch:Bgp_router.Arch.t ->
   ?mode:policy_mode ->
   ?latency:float ->
+  ?tracer:Bgp_trace.Tracer.t ->
+  ?trace_prefix:string ->
   Topology.t ->
   t
 (** Build the graph (default arch: the Pentium III software router;
     default mode [Transit]; default per-link latency 100 us).  All
     state lives on a fresh private engine; nothing is shared with any
-    single-DUT harness run. *)
+    single-DUT harness run.
+
+    With [tracer], every router records structured trace events under
+    the process name ["<trace_prefix>/node-<i>"] (default prefix
+    ["topo"]), so a converging network renders as one track group per
+    node in the Chrome trace view. *)
 
 val engine : t -> Bgp_sim.Engine.t
 val topology : t -> Topology.t

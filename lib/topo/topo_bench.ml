@@ -27,9 +27,13 @@ let sum_stats net n f =
   !acc
 
 let run_convergence ?(arch = Arch.pentium3) ?(mode = Net.Transit) ?(seed = 42)
-    ~kind ~n () =
+    ?tracer ~kind ~n () =
   let topo = Topology.make ~seed kind ~n in
-  let net = Net.create ~arch ~mode topo in
+  let net =
+    Net.create ~arch ~mode ?tracer
+      ~trace_prefix:(Printf.sprintf "%s-%d" (Topology.kind_to_string kind) n)
+      topo
+  in
   Net.establish net;
   let u0 = Net.total_updates net in
   Net.originate net 0;
@@ -77,8 +81,8 @@ let run_convergence ?(arch = Arch.pentium3) ?(mode = Net.Transit) ?(seed = 42)
     cr_msgs_tx = sum_stats net n (fun s -> s.Net.ns_msgs_tx);
     cr_reached = count_true got; cr_verified = verified }
 
-let sweep ?arch ?mode ?seed ~kind ~sizes () =
-  List.map (fun n -> run_convergence ?arch ?mode ?seed ~kind ~n ()) sizes
+let sweep ?arch ?mode ?seed ?tracer ~kind ~sizes () =
+  List.map (fun n -> run_convergence ?arch ?mode ?seed ?tracer ~kind ~n ()) sizes
 
 (* ------------------------------------------------------------------ *)
 (* Scenario 12: link failure                                           *)
@@ -132,7 +136,7 @@ let components ~n ~edges =
   comp
 
 let run_link_failure ?(arch = Arch.pentium3) ?(mode = Net.Transit)
-    ?(seed = 42) ?cut ~kind ~n () =
+    ?(seed = 42) ?cut ?tracer ~kind ~n () =
   let topo = Topology.make ~seed kind ~n in
   let edges = topo.Topology.edges in
   let without e = List.filter (fun e' -> e' <> e) edges in
@@ -154,7 +158,12 @@ let run_link_failure ?(arch = Arch.pentium3) ?(mode = Net.Transit)
       | None -> List.hd edges)
   in
   let partitioned = not (connected_without cut_edge) in
-  let net = Net.create ~arch ~mode topo in
+  let net =
+    Net.create ~arch ~mode ?tracer
+      ~trace_prefix:
+        (Printf.sprintf "cut-%s-%d" (Topology.kind_to_string kind) n)
+      topo
+  in
   Net.establish net;
   Net.originate_all net;
   let baseline_s = Net.converge ~what:"baseline convergence" net in

@@ -36,17 +36,20 @@ val run_convergence :
   ?arch:Bgp_router.Arch.t ->
   ?mode:Net.policy_mode ->
   ?seed:int ->
+  ?tracer:Bgp_trace.Tracer.t ->
   kind:Topology.kind ->
   n:int ->
   unit ->
   convergence_run
 (** Scenario 11 at one size.  Defaults: Pentium III, [Transit],
-    seed 42.  Vertex 0 is the origin. *)
+    seed 42.  Vertex 0 is the origin.  [tracer] records per-node
+    structured trace events under ["<kind>-<n>/node-<i>"]. *)
 
 val sweep :
   ?arch:Bgp_router.Arch.t ->
   ?mode:Net.policy_mode ->
   ?seed:int ->
+  ?tracer:Bgp_trace.Tracer.t ->
   kind:Topology.kind ->
   sizes:int list ->
   unit ->
@@ -77,6 +80,7 @@ val run_link_failure :
   ?mode:Net.policy_mode ->
   ?seed:int ->
   ?cut:int * int ->
+  ?tracer:Bgp_trace.Tracer.t ->
   kind:Topology.kind ->
   n:int ->
   unit ->

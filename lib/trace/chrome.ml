@@ -1,0 +1,111 @@
+module J = Bgp_stats.Json
+
+let us s = s *. 1e6
+
+let value_json = function
+  | Tracer.Int i -> J.Int i
+  | Tracer.Float f -> J.Float f
+  | Tracer.Str s -> J.Str s
+
+let args_json args = J.Obj (List.map (fun (k, v) -> (k, value_json v)) args)
+
+(* pid per distinct process name, in track-registration order; tid is the
+   track id (globally unique, which the format permits). *)
+let pid_table tracer =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun tk ->
+      let p = Tracer.track_process tk in
+      if not (Hashtbl.mem tbl p) then Hashtbl.add tbl p (Hashtbl.length tbl + 1))
+    (Tracer.tracks tracer);
+  tbl
+
+let json tracer =
+  let pid_tbl = pid_table tracer in
+  let pid tk = Hashtbl.find pid_tbl (Tracer.track_process tk) in
+  let tid tk = Tracer.track_id tk + 1 in
+  let meta =
+    (* process_name per pid (emitted once), thread_name per track *)
+    let seen = Hashtbl.create 8 in
+    List.concat_map
+      (fun tk ->
+        let p = pid tk in
+        let proc_meta =
+          if Hashtbl.mem seen p then []
+          else begin
+            Hashtbl.add seen p ();
+            [ J.Obj
+                [ ("name", J.Str "process_name"); ("ph", J.Str "M");
+                  ("pid", J.Int p); ("tid", J.Int 0);
+                  ("args", J.Obj [ ("name", J.Str (Tracer.track_process tk)) ]) ] ]
+          end
+        in
+        proc_meta
+        @ [ J.Obj
+              [ ("name", J.Str "thread_name"); ("ph", J.Str "M");
+                ("pid", J.Int p); ("tid", J.Int (tid tk));
+                ("args", J.Obj [ ("name", J.Str (Tracer.track_thread tk)) ]) ] ])
+      (Tracer.tracks tracer)
+  in
+  let async_id = ref 0 in
+  (* (sort_ts, neg_dur, json) triples so nested slices follow their parents *)
+  let timed =
+    List.concat_map
+      (fun ev ->
+        let tk = ev.Tracer.ev_track in
+        let base ?(cat = "bgpmark") ?(ts = ev.Tracer.ev_ts) name ph extra =
+          J.Obj
+            ([ ("name", J.Str name); ("cat", J.Str cat); ("ph", J.Str ph);
+               ("ts", J.Float (us ts)); ("pid", J.Int (pid tk));
+               ("tid", J.Int (tid tk)) ]
+            @ extra)
+        in
+        match ev.Tracer.ev_phase with
+        | Tracer.Span ->
+          [ ( ev.Tracer.ev_ts, -.ev.Tracer.ev_dur,
+              base ev.Tracer.ev_name "X"
+                [ ("dur", J.Float (us ev.Tracer.ev_dur));
+                  ("args", args_json ev.Tracer.ev_args) ] ) ]
+        | Tracer.Async ->
+          incr async_id;
+          let id = !async_id in
+          let fin = ev.Tracer.ev_ts +. ev.Tracer.ev_dur in
+          [ ( ev.Tracer.ev_ts, -.ev.Tracer.ev_dur,
+              base ~cat:"update" ev.Tracer.ev_name "b"
+                [ ("id", J.Int id); ("args", args_json ev.Tracer.ev_args) ] );
+            ( fin, 0.0, base ~cat:"update" ~ts:fin ev.Tracer.ev_name "e" [ ("id", J.Int id) ] ) ]
+        | Tracer.Instant ->
+          [ ( ev.Tracer.ev_ts, 0.0,
+              base ev.Tracer.ev_name "i"
+                [ ("s", J.Str "t"); ("args", args_json ev.Tracer.ev_args) ] ) ]
+        | Tracer.Counter ->
+          [ ( ev.Tracer.ev_ts, 0.0,
+              base ev.Tracer.ev_name "C" [ ("args", args_json ev.Tracer.ev_args) ] )
+          ])
+      (Tracer.events tracer)
+  in
+  let timed =
+    List.stable_sort
+      (fun (t1, d1, _) (t2, d2, _) ->
+        let c = Float.compare t1 t2 in
+        if c <> 0 then c else Float.compare d1 d2)
+      timed
+  in
+  J.Obj
+    [ ("traceEvents", J.List (meta @ List.map (fun (_, _, e) -> e) timed));
+      ("displayTimeUnit", J.Str "ms");
+      ( "otherData",
+        J.Obj
+          [ ("recorded", J.Int (Tracer.recorded tracer));
+            ("dropped", J.Int (Tracer.dropped tracer));
+            ("sample", J.Int (Tracer.sample_interval tracer)) ] ) ]
+
+let to_string tracer = J.to_string (json tracer)
+
+let write_file tracer path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string tracer);
+      output_char oc '\n')

@@ -1,0 +1,19 @@
+(** Chrome trace-event exporter.
+
+    Renders a {!Tracer} buffer as the JSON object format understood by
+    Perfetto and [about:tracing]: each distinct track process becomes a
+    trace process (pid), each track a named thread (tid), spans become
+    ["X"] complete events, async spans ["b"]/["e"] pairs, instants ["i"]
+    and counters ["C"]. Virtual seconds are scaled to the microseconds
+    the format expects. *)
+
+val json : Tracer.t -> Bgp_stats.Json.t
+(** The full [{"traceEvents": [...]}] document. Events are sorted by
+    timestamp (ties broken longest-span-first) so nested slices appear
+    inside their parents. *)
+
+val to_string : Tracer.t -> string
+(** Compact rendering of {!json}. *)
+
+val write_file : Tracer.t -> string -> unit
+(** Write {!to_string} (plus a trailing newline) to the given path. *)

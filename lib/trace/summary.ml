@@ -1,0 +1,98 @@
+type row = {
+  su_name : string;
+  su_count : int;
+  su_total : float;
+  su_mean : float;
+  su_max : float;
+  su_slowest : (float * float * string) list;
+}
+
+type acc = {
+  mutable a_count : int;
+  mutable a_total : float;
+  mutable a_max : float;
+  mutable a_top : (float * float * string) list;  (* ascending by dur *)
+  mutable a_top_n : int;
+}
+
+let track_label tk =
+  Tracer.track_process tk ^ "/" ^ Tracer.track_thread tk
+
+let rows ?(k = 5) tracer =
+  let tbl : (string, acc) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match ev.Tracer.ev_phase with
+      | Tracer.Span | Tracer.Async ->
+        let a =
+          match Hashtbl.find_opt tbl ev.Tracer.ev_name with
+          | Some a -> a
+          | None ->
+            let a =
+              { a_count = 0; a_total = 0.0; a_max = 0.0; a_top = []; a_top_n = 0 }
+            in
+            Hashtbl.add tbl ev.Tracer.ev_name a;
+            a
+        in
+        let d = ev.Tracer.ev_dur in
+        a.a_count <- a.a_count + 1;
+        a.a_total <- a.a_total +. d;
+        if d > a.a_max then a.a_max <- d;
+        let entry = (ev.Tracer.ev_ts, d, track_label ev.Tracer.ev_track) in
+        (* keep the k slowest, list held ascending so the head is evictable *)
+        if a.a_top_n < k then begin
+          a.a_top <-
+            List.merge (fun (_, d1, _) (_, d2, _) -> Float.compare d1 d2)
+              [ entry ] a.a_top;
+          a.a_top_n <- a.a_top_n + 1
+        end
+        else begin
+          match a.a_top with
+          | (_, dmin, _) :: rest when d > dmin ->
+            a.a_top <-
+              List.merge (fun (_, d1, _) (_, d2, _) -> Float.compare d1 d2)
+                [ entry ] rest
+          | _ -> ()
+        end
+      | Tracer.Instant | Tracer.Counter -> ())
+    (Tracer.events tracer);
+  Hashtbl.fold
+    (fun name a acc ->
+      { su_name = name;
+        su_count = a.a_count;
+        su_total = a.a_total;
+        su_mean = a.a_total /. float_of_int a.a_count;
+        su_max = a.a_max;
+        su_slowest = List.rev a.a_top }
+      :: acc)
+    tbl []
+  |> List.sort (fun r1 r2 ->
+         let c = Float.compare r2.su_total r1.su_total in
+         if c <> 0 then c else String.compare r1.su_name r2.su_name)
+
+let render ?(k = 5) tracer =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "Trace summary: %d events recorded, %d dropped (ring), sample 1/%d\n"
+       (Tracer.recorded tracer) (Tracer.dropped tracer)
+       (Tracer.sample_interval tracer));
+  let rs = rows ~k tracer in
+  if rs = [] then Buffer.add_string b "  (no spans recorded)\n"
+  else begin
+    Buffer.add_string b
+      (Printf.sprintf "  %-16s %10s %14s %12s %12s\n" "span" "count" "total_s"
+         "mean_us" "max_us");
+    List.iter
+      (fun r ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-16s %10d %14.6f %12.3f %12.3f\n" r.su_name
+             r.su_count r.su_total (r.su_mean *. 1e6) (r.su_max *. 1e6));
+        List.iter
+          (fun (ts, d, where) ->
+            Buffer.add_string b
+              (Printf.sprintf "      slowest %10.3f us at t=%.6f s on %s\n"
+                 (d *. 1e6) ts where))
+          r.su_slowest)
+      rs
+  end;
+  Buffer.contents b

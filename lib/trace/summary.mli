@@ -1,0 +1,20 @@
+(** Trace-summary report: per-span-name aggregates with the top-K
+    slowest occurrences, for a quick read of where simulated time went
+    without opening the trace in a viewer. *)
+
+type row = {
+  su_name : string;  (** span name (pipeline stage, "update", ...) *)
+  su_count : int;
+  su_total : float;  (** summed duration, virtual seconds *)
+  su_mean : float;
+  su_max : float;
+  su_slowest : (float * float * string) list;
+      (** top-K (start_ts, dur, "process/thread"), slowest first *)
+}
+
+val rows : ?k:int -> Tracer.t -> row list
+(** One row per distinct span name (Span and Async events), sorted by
+    total duration descending. [k] bounds [su_slowest] (default 5). *)
+
+val render : ?k:int -> Tracer.t -> string
+(** Human-readable table, including recorded/dropped ring statistics. *)

@@ -85,7 +85,10 @@ let test_prefix_parse () =
       match Prefix.of_string s with
       | Ok _ -> Alcotest.failf "should reject %S" s
       | Error _ -> ())
-    [ "10.0.0.1/24"; "10.0.0.0/33"; "10.0.0.0/-1"; "10.0.0.0/"; "/24"; "10.0.0.0/2 4" ]
+    [ "10.0.0.1/24"; "10.0.0.0/33"; "10.0.0.0/-1"; "10.0.0.0/"; "/24";
+      "10.0.0.0/2 4";
+      (* int_of_string-isms a strict decimal length parser must reject *)
+      "10.0.0.0/0x18"; "10.0.0.0/2_4"; "10.0.0.0/+24"; "10.0.0.0/024" ]
 
 let test_prefix_mem_subsumes () =
   let p = pfx "10.0.0.0/8" in

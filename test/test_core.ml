@@ -142,6 +142,11 @@ let test_moments () =
   let empty = Moments.create () in
   Alcotest.(check (float 0.0)) "empty mean" 0.0 (Moments.mean empty);
   Alcotest.(check (float 0.0)) "empty var" 0.0 (Moments.variance empty);
+  (* empty min/max must not leak the +/-infinity sentinels *)
+  Alcotest.(check (float 0.0)) "empty min" 0.0 (Moments.min_value empty);
+  Alcotest.(check (float 0.0)) "empty max" 0.0 (Moments.max_value empty);
+  Alcotest.(check string) "empty pp" "n=0"
+    (Format.asprintf "%a" Moments.pp empty);
   let single = Moments.of_list [ 42.0 ] in
   Alcotest.(check (float 0.0)) "single var" 0.0 (Moments.variance single)
 
@@ -157,6 +162,56 @@ let prop_moments_match_naive =
       in
       Float.abs (Moments.mean m -. mean) < 1e-6
       && Float.abs (Moments.variance m -. var) < 1e-4)
+
+(* ------------------------------------------------------------------ *)
+(* Json.escape                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Inverse of Json.escape, for the roundtrip property: the escaper only
+   ever emits the two-character forms and \uXXXX for C0 controls. *)
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] <> '\\' then (Buffer.add_char b s.[i]; go (i + 1))
+    else begin
+      if i + 1 >= n then failwith "dangling backslash";
+      (match s.[i + 1] with
+       | '"' -> Buffer.add_char b '"'; go (i + 2)
+       | '\\' -> Buffer.add_char b '\\'; go (i + 2)
+       | 'n' -> Buffer.add_char b '\n'; go (i + 2)
+       | 'r' -> Buffer.add_char b '\r'; go (i + 2)
+       | 't' -> Buffer.add_char b '\t'; go (i + 2)
+       | 'u' ->
+         if i + 5 >= n then failwith "short \\u escape";
+         let code = int_of_string ("0x" ^ String.sub s (i + 2) 4) in
+         Buffer.add_char b (Char.chr code);
+         go (i + 6)
+       | c -> failwith (Printf.sprintf "bad escape \\%c" c))
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let prop_json_escape_roundtrip =
+  QCheck2.Test.make ~name:"Json.escape roundtrips over control chars"
+    ~count:500
+    (* Full byte range, biased so control characters actually appear. *)
+    QCheck2.Gen.(
+      string_size ~gen:(oneof [ int_range 0 31; int_range 0 255 ] >|= Char.chr)
+        (int_range 0 64))
+    (fun s ->
+      let e = Bgp_stats.Json.escape s in
+      (* roundtrip, and the escaped text must be safe to embed raw in a
+         JSON string: no bare control characters survive *)
+      unescape e = s
+      && not (String.exists (fun c -> Char.code c < 0x20) e))
+
+let test_json_escape_fixed () =
+  Alcotest.(check string) "quote" "a\\\"b" (Bgp_stats.Json.escape "a\"b");
+  Alcotest.(check string) "newline" "x\\ny" (Bgp_stats.Json.escape "x\ny");
+  Alcotest.(check string) "nul" "\\u0000" (Bgp_stats.Json.escape "\x00")
 
 (* ------------------------------------------------------------------ *)
 (* Chart                                                               *)
@@ -240,6 +295,9 @@ let () =
       ( "moments",
         Alcotest.test_case "fixed values" `Quick test_moments
         :: List.map QCheck_alcotest.to_alcotest [ prop_moments_match_naive ] );
+      ( "json",
+        Alcotest.test_case "escape fixed vectors" `Quick test_json_escape_fixed
+        :: List.map QCheck_alcotest.to_alcotest [ prop_json_escape_roundtrip ] );
       ( "chart",
         [ Alcotest.test_case "render" `Quick test_chart_render;
           Alcotest.test_case "tsv" `Quick test_chart_tsv

@@ -286,6 +286,57 @@ let prop_dir24_vs_patricia =
             [ P.first p; P.last p ])
         dedup)
 
+(* Edge-case differential: the default route (/0), host routes (/32),
+   and many >24-bit prefixes packed densely into ONE /24 chunk, so a
+   single second-level page carries deep nesting while /0 must answer
+   for every address no chunk covers. *)
+let gen_dense_chunk_bindings =
+  QCheck2.Gen.(
+    let with_val g =
+      let* p = g in
+      let* v = int_range 0 1000 in
+      return (p, v)
+    in
+    let gen_long =
+      let* len = int_range 25 32 in
+      let* off = int_range 0 255 in
+      return (P.make (I.of_octets 10 1 1 off) len)
+    in
+    let gen_wide =
+      let* len = oneofl [ 0; 8; 16; 24 ] in
+      let* a = oneofl [ 0; 1; 2 ] in
+      return (P.make (I.of_octets 10 a 1 0) len)
+    in
+    let* longs = list_size (int_range 5 40) (with_val gen_long) in
+    let* wides = list_size (int_range 0 6) (with_val gen_wide) in
+    let* host = with_val (return (P.make (I.of_octets 10 1 1 77) 32)) in
+    let* dflt = with_val (return P.default) in
+    return (dflt :: host :: wides @ longs))
+
+let prop_dir24_dense_chunk =
+  QCheck2.Test.make ~name:"dir24_8 dense >24 chunk incl /0 and /32" ~count:10
+    gen_dense_chunk_bindings
+    (fun bindings ->
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun (p, v) -> Hashtbl.replace tbl p v) bindings;
+      let dedup = Hashtbl.fold (fun p v acc -> (p, v) :: acc) tbl [] in
+      let dir = Dir24_8.build dedup in
+      let pat =
+        List.fold_left (fun t (p, v) -> Patricia.add p v t) Patricia.empty dedup
+      in
+      let probes =
+        List.init 256 (fun o -> I.of_octets 10 1 1 o)
+        @ [ I.of_octets 10 1 2 1; I.of_octets 9 9 9 9;
+            I.of_octets 255 255 255 255; I.of_octets 0 0 0 0 ]
+      in
+      List.for_all
+        (fun a ->
+          match Patricia.lookup a pat, Dir24_8.lookup dir a with
+          | None, None -> true
+          | Some (ep, ev), Some (gp, gv) -> P.equal ep gp && ev = gv
+          | _ -> false)
+        probes)
+
 let test_dir24_duplicate_bindings () =
   let dir = Dir24_8.build [ (pfx "10.0.0.0/8", 1); (pfx "10.0.0.0/8", 2) ] in
   Alcotest.(check int) "dedup" 1 (Dir24_8.size dir);
@@ -356,7 +407,8 @@ let () =
         Alcotest.test_case "agrees with patricia" `Slow test_dir24_agreement
         :: Alcotest.test_case "long prefixes" `Quick test_dir24_long_prefixes
         :: Alcotest.test_case "duplicates" `Quick test_dir24_duplicate_bindings
-        :: List.map QCheck_alcotest.to_alcotest [ prop_dir24_vs_patricia ] );
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_dir24_vs_patricia; prop_dir24_dense_chunk ] );
       ( "fib",
         [ Alcotest.test_case "delta semantics" `Quick test_fib_deltas;
           Alcotest.test_case "lookup and snapshot" `Quick test_fib_lookup_and_snapshot

@@ -1,0 +1,276 @@
+(* Tests for the structured trace subsystem (lib/trace): ring-buffer
+   bounds, sampling decimation, FIFO clamping, the harness integration
+   (all seven pipeline stages traced on pipelined AND fused layouts),
+   determinism with tracing on, and the Chrome exporter / summary. *)
+
+module Tracer = Bgp_trace.Tracer
+module Chrome = Bgp_trace.Chrome
+module Summary = Bgp_trace.Summary
+module Arch = Bgp_router.Arch
+module H = Bgpmark.Harness
+module Scenario = Bgpmark.Scenario
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let all_stages =
+  [ "wire-decode"; "import-policy"; "adj-rib-in"; "decision"; "fib-install";
+    "export-policy"; "mrai-pacing" ]
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_bounds () =
+  let tr = Tracer.create ~capacity:8 () in
+  let tk = Tracer.track tr ~thread:"t" () in
+  for i = 0 to 19 do
+    Tracer.instant tr tk ~name:(Printf.sprintf "e%d" i)
+      ~ts:(float_of_int i) ()
+  done;
+  Alcotest.(check int) "recorded counts everything" 20 (Tracer.recorded tr);
+  Alcotest.(check int) "dropped = overflow" 12 (Tracer.dropped tr);
+  let evs = Tracer.events tr in
+  Alcotest.(check int) "ring keeps capacity" 8 (List.length evs);
+  (* oldest-first drain: the survivors are events 12..19 *)
+  Alcotest.(check string) "oldest survivor" "e12"
+    (List.hd evs).Tracer.ev_name;
+  Alcotest.(check string) "newest survivor" "e19"
+    (List.nth evs 7).Tracer.ev_name;
+  Tracer.clear tr;
+  Alcotest.(check int) "clear empties" 0 (List.length (Tracer.events tr))
+
+let test_sampling () =
+  let tr = Tracer.create ~sample:4 () in
+  let hits = List.init 12 (fun _ -> Tracer.sample_this tr) in
+  Alcotest.(check (list bool)) "1-in-4 decimation, first kept"
+    [ true; false; false; false; true; false; false; false;
+      true; false; false; false ]
+    hits;
+  (* sim_hit runs on an independent counter *)
+  Alcotest.(check bool) "sim counter independent" true (Tracer.sim_hit tr);
+  Alcotest.(check bool) "sim counter advances" false (Tracer.sim_hit tr)
+
+let test_span_fifo_clamps () =
+  let tr = Tracer.create () in
+  let tk = Tracer.track tr ~thread:"cpu" () in
+  let s1, f1 = Tracer.span_fifo tr tk ~name:"a" ~dispatch:0.0 ~finish:1.0 () in
+  (* dispatched while "a" still runs: must be pushed past its end *)
+  let s2, f2 = Tracer.span_fifo tr tk ~name:"b" ~dispatch:0.5 ~finish:1.5 () in
+  Alcotest.(check (float 1e-9)) "first starts at dispatch" 0.0 s1;
+  Alcotest.(check (float 1e-9)) "first ends at finish" 1.0 f1;
+  Alcotest.(check (float 1e-9)) "second clamped to first end" 1.0 s2;
+  Alcotest.(check (float 1e-9)) "second keeps finish" 1.5 f2;
+  match Tracer.events tr with
+  | [ _; b ] ->
+    let wait =
+      List.assoc "wait_s" b.Tracer.ev_args |> function
+      | Tracer.Float w -> w
+      | _ -> Alcotest.fail "wait_s must be a float"
+    in
+    Alcotest.(check (float 1e-9)) "queueing delay attached" 0.5 wait
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+(* ------------------------------------------------------------------ *)
+(* Harness integration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let small_config tracer =
+  { H.default_config with H.table_size = 200; tracer }
+
+let scenario n = Option.get (Scenario.of_id n)
+
+let span_names tr =
+  List.filter_map
+    (fun e ->
+      match e.Tracer.ev_phase with
+      | Tracer.Span -> Some e.Tracer.ev_name
+      | _ -> None)
+    (Tracer.events tr)
+
+let run_traced arch =
+  let tr = Tracer.create () in
+  let r = H.run ~config:(small_config (Some tr)) arch (scenario 1) in
+  (tr, r)
+
+let test_all_stages_pipelined () =
+  let tr, _ = run_traced Arch.pentium3 in
+  let names = span_names tr in
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) (st ^ " traced") true (List.mem st names))
+    all_stages;
+  (* per-update latency spans ride along as async events *)
+  let asyncs =
+    List.filter (fun e -> e.Tracer.ev_phase = Tracer.Async) (Tracer.events tr)
+  in
+  Alcotest.(check bool) "update spans present" true (asyncs <> [])
+
+let test_all_stages_fused () =
+  let cisco = Option.get (Arch.by_name "cisco3620") in
+  let tr, _ = run_traced cisco in
+  let names = span_names tr in
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) (st ^ " traced (fused)") true (List.mem st names))
+    all_stages;
+  Alcotest.(check bool) "fused outer job slice" true
+    (List.mem "update-job" names)
+
+(* On any single simulated core (track), timed slices must either be
+   disjoint or properly nested (the fused layout nests per-stage slices
+   inside the outer update-job slice): that is what makes the exported
+   trace render as a sane stack in the Chrome viewer.  A partial
+   overlap — starting inside one slice but ending after it — is the
+   geometry the FIFO clamp exists to prevent. *)
+let test_no_overlap_per_track () =
+  let check_arch arch =
+    let tr, _ = run_traced arch in
+    let by_track = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        if e.Tracer.ev_phase = Tracer.Span && e.Tracer.ev_dur > 0.0 then begin
+          let k = Tracer.track_id e.Tracer.ev_track in
+          let l = Option.value ~default:[] (Hashtbl.find_opt by_track k) in
+          Hashtbl.replace by_track k (e :: l)
+        end)
+      (Tracer.events tr);
+    let eps = 1e-9 in
+    Hashtbl.iter
+      (fun _ evs ->
+        (* sort like the exporter: start asc, longest (outermost) first *)
+        let evs =
+          List.sort
+            (fun a b ->
+              match compare a.Tracer.ev_ts b.Tracer.ev_ts with
+              | 0 -> compare b.Tracer.ev_dur a.Tracer.ev_dur
+              | c -> c)
+            (List.rev evs)
+        in
+        (* stack of enclosing slice end-times *)
+        let stack = ref [] in
+        List.iter
+          (fun e ->
+            let e_end = e.Tracer.ev_ts +. e.Tracer.ev_dur in
+            stack :=
+              List.filter (fun fin -> fin > e.Tracer.ev_ts +. eps) !stack;
+            (match !stack with
+             | fin :: _ when e_end > fin +. eps ->
+               Alcotest.failf "%s: partial overlap on %s/%s at t=%g"
+                 arch.Arch.name
+                 (Tracer.track_process e.Tracer.ev_track)
+                 (Tracer.track_thread e.Tracer.ev_track)
+                 e.Tracer.ev_ts
+             | _ -> ());
+            stack := e_end :: !stack)
+          evs)
+      by_track
+  in
+  check_arch Arch.pentium3;
+  check_arch (Option.get (Arch.by_name "cisco3620"))
+
+let test_tracing_is_observational () =
+  let base = H.run ~config:(small_config None) Arch.pentium3 (scenario 1) in
+  let _, traced = run_traced Arch.pentium3 in
+  Alcotest.(check (float 0.0)) "tps identical with tracing on"
+    base.H.tps traced.H.tps;
+  Alcotest.(check int) "transactions identical"
+    base.H.measured_prefixes traced.H.measured_prefixes
+
+let test_fsm_transitions_traced () =
+  let tr, _ = run_traced Arch.pentium3 in
+  let fsm =
+    List.filter (fun e -> e.Tracer.ev_name = "fsm") (Tracer.events tr)
+  in
+  Alcotest.(check bool) "fsm transitions recorded" true (fsm <> []);
+  let has_established =
+    List.exists
+      (fun e ->
+        List.exists
+          (fun (k, v) -> k = "to" && v = Tracer.Str "Established")
+          e.Tracer.ev_args)
+      fsm
+  in
+  Alcotest.(check bool) "reaches Established" true has_established
+
+let test_fault_fates_traced () =
+  let tr = Tracer.create () in
+  let config =
+    { (small_config (Some tr)) with H.table_size = 150; fault_rounds = 2 }
+  in
+  let r = H.run ~config Arch.pentium3 (scenario 9) in
+  Alcotest.(check bool) "adversarial run verified" true
+    (Result.is_ok r.H.verified);
+  let fates =
+    List.filter
+      (fun e ->
+        String.length e.Tracer.ev_name > 6
+        && String.sub e.Tracer.ev_name 0 6 = "fault:")
+      (Tracer.events tr)
+  in
+  Alcotest.(check bool) "fault fates recorded" true (fates <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Exporter and summary                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_export () =
+  let tr, _ = run_traced Arch.pentium3 in
+  let s = Chrome.to_string tr in
+  Alcotest.(check bool) "has traceEvents" true (contains s "\"traceEvents\"");
+  Alcotest.(check bool) "has process metadata" true
+    (contains s "\"process_name\"");
+  Alcotest.(check bool) "names the harness cell" true
+    (contains s "pentium3/scenario-1");
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) (st ^ " exported") true
+        (contains s (Printf.sprintf "\"%s\"" st)))
+    all_stages;
+  (* async update spans export as paired b/e events *)
+  Alcotest.(check bool) "async begin" true (contains s "\"ph\":\"b\"");
+  Alcotest.(check bool) "async end" true (contains s "\"ph\":\"e\"")
+
+let test_summary_rows () =
+  let tr, _ = run_traced Arch.pentium3 in
+  let rows = Summary.rows ~k:3 tr in
+  Alcotest.(check bool) "has rows" true (rows <> []);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (row.Summary.su_name ^ " count positive") true (row.Summary.su_count > 0);
+      Alcotest.(check bool)
+        (row.Summary.su_name ^ " keeps <= k slowest") true
+        (List.length row.Summary.su_slowest <= 3))
+    rows;
+  (* total-duration ordering, heaviest first *)
+  let totals = List.map (fun r -> r.Summary.su_total) rows in
+  Alcotest.(check bool) "sorted by total desc" true
+    (List.sort (fun a b -> compare b a) totals = totals);
+  let txt = Summary.render tr in
+  Alcotest.(check bool) "render banner" true (contains txt "Trace summary");
+  Alcotest.(check bool) "render mentions decision stage" true
+    (contains txt "decision")
+
+let () =
+  Alcotest.run "bgp_trace"
+    [ ( "recorder",
+        [ Alcotest.test_case "ring bounds" `Quick test_ring_bounds;
+          Alcotest.test_case "sampling" `Quick test_sampling;
+          Alcotest.test_case "fifo clamping" `Quick test_span_fifo_clamps
+        ] );
+      ( "harness",
+        [ Alcotest.test_case "stages pipelined" `Quick test_all_stages_pipelined;
+          Alcotest.test_case "stages fused" `Quick test_all_stages_fused;
+          Alcotest.test_case "no per-core overlap" `Quick test_no_overlap_per_track;
+          Alcotest.test_case "observational" `Quick test_tracing_is_observational;
+          Alcotest.test_case "fsm transitions" `Quick test_fsm_transitions_traced;
+          Alcotest.test_case "fault fates" `Quick test_fault_fates_traced
+        ] );
+      ( "export",
+        [ Alcotest.test_case "chrome json" `Quick test_chrome_export;
+          Alcotest.test_case "summary" `Quick test_summary_rows
+        ] )
+    ]
