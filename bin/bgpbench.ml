@@ -26,6 +26,23 @@ let config_of ?(varied = false) size packing seed =
   { H.default_config with
     H.table_size = size; large_packing = packing; seed; varied_paths = varied }
 
+let live_t =
+  let doc =
+    "Run over real loopback TCP sockets on a select loop (wall-clock \
+     time) instead of the simulated network.  Timings will differ from \
+     sim mode; routing outcomes (Loc-RIB fingerprints, verification \
+     verdicts) must not — see `bgpbench crosscheck'."
+  in
+  Arg.(value & flag & info [ "live" ] ~doc)
+
+let live_timeout_t =
+  let doc = "Wall-clock guard per live run, in seconds." in
+  Arg.(value & opt float 120.0 & info [ "live-timeout" ] ~docv:"SECONDS" ~doc)
+
+let apply_live live live_timeout config =
+  if live then { config with H.mode = H.Live; timeout = live_timeout }
+  else config
+
 let arch_conv =
   let parse s =
     match Arch.by_name s with
@@ -141,7 +158,7 @@ let varied_t =
 
 let table3_cmd =
   let run size packing seed varied archs scenarios no_paper prefixes json
-      trace_file trace_sample =
+      trace_file trace_sample live live_timeout =
     match prefixes with
     | _ :: _ ->
       (* Full-table scale mode: instead of the 8x4 grid, sweep the
@@ -152,7 +169,8 @@ let table3_cmd =
     | [] ->
       let tracer = make_tracer trace_file trace_sample in
       let config =
-        { (config_of ~varied size packing seed) with H.tracer }
+        apply_live live live_timeout
+          { (config_of ~varied size packing seed) with H.tracer }
       in
       let t =
         Bgpmark.Table3.run ~config
@@ -187,7 +205,7 @@ let table3_cmd =
     Term.(
       const run $ size_t $ packing_t $ seed_t $ varied_t $ archs_t
       $ scenarios_t $ no_paper $ prefixes_t $ json_t $ trace_file_t
-      $ trace_sample_t)
+      $ trace_sample_t $ live_t $ live_timeout_t)
 
 let scenario_cmd =
   let run size packing seed archs scenario cross trace =
@@ -338,7 +356,8 @@ let peers_cmd =
     Term.(const run $ size_t $ seed_t $ archs_t $ counts $ json_t)
 
 let faults_cmd =
-  let run size packing seed rounds archs scenarios json trace_file trace_sample =
+  let run size packing seed rounds archs scenarios json trace_file trace_sample
+      live live_timeout =
     let scenarios =
       match scenarios with [] -> Scenario.adversarial | l -> l
     in
@@ -350,8 +369,9 @@ let faults_cmd =
           List.map
             (fun arch ->
               let config =
-                { (config_of size packing seed) with
-                  H.fault_rounds = rounds; tracer }
+                apply_live live live_timeout
+                  { (config_of size packing seed) with
+                    H.fault_rounds = rounds; tracer }
               in
               let r = H.run ~config arch scenario in
               if Result.is_error r.H.verified then failed := true;
@@ -396,7 +416,7 @@ let faults_cmd =
           fails")
     Term.(
       const run $ size_t $ packing_t $ seed_t $ rounds $ archs_t $ scenarios_t
-      $ json_t $ trace_file_t $ trace_sample_t)
+      $ json_t $ trace_file_t $ trace_sample_t $ live_t $ live_timeout_t)
 
 let topo_cmd =
   let module Topology = Bgp_topo.Topology in
@@ -504,6 +524,38 @@ let topo_cmd =
       const run $ kind $ nodes $ seed_t $ gao $ cut $ json_t $ smoke
       $ trace_file_t $ trace_sample_t)
 
+let crosscheck_cmd =
+  let run size packing seed archs scenarios live_timeout json =
+    let scenarios =
+      match scenarios with
+      | [] -> [ Scenario.of_id_exn 2; Scenario.of_id_exn 10 ]
+      | l -> l
+    in
+    let config = config_of size packing seed in
+    let checks =
+      List.concat_map
+        (fun scenario ->
+          List.map
+            (fun arch -> H.cross_validate ~config ~live_timeout arch scenario)
+            (resolve_archs archs))
+        scenarios
+    in
+    if json then
+      print_json (Bgp_stats.Json.List (List.map H.crosscheck_json checks))
+    else
+      List.iter (fun xc -> Format.printf "%a@." H.pp_crosscheck xc) checks;
+    if not (List.for_all H.crosscheck_ok checks) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crosscheck"
+       ~doc:
+         "Run the same scenario in sim and live (loopback TCP) mode and \
+          assert identical Loc-RIB fingerprints and verification verdicts; \
+          exits non-zero on divergence")
+    Term.(
+      const run $ size_t $ packing_t $ seed_t $ archs_t $ scenarios_t
+      $ live_timeout_t $ json_t)
+
 let all_cmd =
   let run size packing seed =
     let config = config_of size packing seed in
@@ -540,6 +592,7 @@ let main_cmd =
   let info = Cmd.info "bgpbench" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ scenarios_cmd; systems_cmd; table3_cmd; scenario_cmd; fig3_cmd; fig4_cmd;
-      fig5_cmd; fig6_cmd; power_cmd; peers_cmd; faults_cmd; topo_cmd; all_cmd ]
+      fig5_cmd; fig6_cmd; power_cmd; peers_cmd; faults_cmd; crosscheck_cmd;
+      topo_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -29,18 +29,19 @@ let duration = 30.0 (* seconds of storm *)
    flips a prefix between two AS paths, so every update is real work. *)
 let run_storm arch ~rate =
   let engine = Engine.create () in
+  let clock = Engine.clock engine in
   let router =
-    Router.create engine arch ~local_asn:(asn 65000) ~router_id:(ip "10.255.0.1")
+    Router.create clock arch ~local_asn:(asn 65000) ~router_id:(ip "10.255.0.1")
   in
   let ch = Channel.create engine () in
   let peer =
     Bgp_route.Peer.make ~id:0 ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
       ~addr:(ip "192.0.2.1")
   in
-  Router.attach_peer router ~peer ~channel:ch ~side:Channel.B;
+  Router.attach_peer router ~peer ~link:(Channel.endpoint ch Channel.B);
   let speaker =
-    Speaker.create engine ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
-      ~channel:ch ~side:Channel.A
+    Speaker.create clock ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
+      ~link:(Channel.endpoint ch Channel.A)
   in
   Speaker.start speaker;
   Engine.run ~until:1.0 engine;

@@ -1,6 +1,11 @@
 module Engine = Bgp_sim.Engine
+module Clock = Bgp_engine.Clock
+module Link = Bgp_engine.Link
 module Trace = Bgp_sim.Trace
 module Channel = Bgp_netsim.Channel
+module Event_loop = Bgp_tcp.Event_loop
+module Tcp_link = Bgp_tcp.Tcp_link
+module Loc_rib = Bgp_rib.Loc_rib
 module Traffic = Bgp_netsim.Traffic
 module Arch = Bgp_router.Arch
 module Router = Bgp_router.Router
@@ -14,7 +19,15 @@ module Msg = Bgp_wire.Msg
 module Faults = Bgp_faults.Faults
 module Metrics = Bgp_stats.Metrics
 
+type mode = Sim | Live
+
+let mode_name = function Sim -> "sim" | Live -> "live"
+
 type config = {
+  mode : mode;
+      (* Sim: discrete-event engine, virtual time, deterministic.
+         Live: loopback TCP sockets on a select loop, wall-clock time.
+         Same scenarios, same verification, same Loc-RIB fingerprint. *)
   table_size : int;
   large_packing : int;
   cross_traffic : Traffic.t;
@@ -31,7 +44,7 @@ type config = {
 }
 
 let default_config =
-  { table_size = 10_000; large_packing = 500; cross_traffic = Traffic.none;
+  { mode = Sim; table_size = 10_000; large_packing = 500; cross_traffic = Traffic.none;
     seed = 42; trace_interval = None; setup_path_len = 3; longer_path_len = 6;
     shorter_path_len = 1; varied_paths = false; mrai = None;
     timeout = 500_000.0; fault_rounds = 5; tracer = None }
@@ -64,6 +77,9 @@ type result = {
   msgs_tx : int;
   fwd_ratio_min : float;
   faults : fault_report option;
+  locrib_fp : string;
+      (* Loc-RIB digest at run end; equal across sim and live runs of
+         the same scenario/seed (the cross-validation invariant) *)
   verified : (unit, string) Stdlib.result;
 }
 
@@ -85,22 +101,69 @@ let peer2 =
   Peer.make ~id:1 ~asn:speaker2_asn ~router_id:speaker2_id ~addr:speaker2_id
 
 (* ------------------------------------------------------------------ *)
+(* Execution environment: one clock, two transports                    *)
+(* ------------------------------------------------------------------ *)
+
+(* What a benchmark run needs from its world: a clock and a way to mint
+   speaker<->router transport pairs.  The drivers below are written
+   against this record only, so the same scenario code runs simulated
+   or over loopback TCP. *)
+type link_pair = {
+  sp_end : Link.t;  (* speaker side: the active opener *)
+  rt_end : Link.t;  (* router side: passive *)
+}
+
+type env = {
+  clock : Clock.t;
+  new_link : unit -> link_pair;
+  dispose : unit -> unit;  (* release live sockets; no-op in sim *)
+}
+
+let make_env = function
+  | Sim ->
+    let engine = Engine.create () in
+    Engine.set_event_limit engine 500_000_000;
+    { clock = Engine.clock engine;
+      new_link =
+        (fun () ->
+          let ch = Channel.create engine () in
+          { sp_end = Channel.endpoint ch Channel.A;
+            rt_end = Channel.endpoint ch Channel.B });
+      dispose = (fun () -> ()) }
+  | Live ->
+    let loop = Event_loop.create () in
+    let pairs = ref [] in
+    { clock = Event_loop.clock loop;
+      new_link =
+        (fun () ->
+          let p = Tcp_link.pair loop in
+          pairs := p :: !pairs;
+          { sp_end = p.Tcp_link.connector; rt_end = p.Tcp_link.listener });
+      dispose =
+        (fun () ->
+          List.iter (fun p -> p.Tcp_link.dispose ()) !pairs;
+          Event_loop.stop_watching_all loop) }
+
+(* ------------------------------------------------------------------ *)
 (* Convergence driver                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Advance virtual time in steps until [cond] holds. Recurring protocol
+(* Advance the clock in steps until [cond] holds.  Recurring protocol
    timers (keepalives) keep the event queue alive forever, so "run to
-   empty" is not an option. *)
-let wait_until engine ~timeout ~what cond =
-  let deadline = Engine.now engine +. timeout in
+   empty" is not an option.  On a simulated clock each [Clock.run]
+   consumes its whole window regardless of [cond] (preserving exact
+   event ordering); on a live clock it returns as soon as [cond]
+   holds. *)
+let wait_until clock ~timeout ~what cond =
+  let deadline = Clock.now clock +. timeout in
   let rec go step =
     if cond () then ()
-    else if Engine.now engine >= deadline then
+    else if Clock.now clock >= deadline then
       failwith
         (Printf.sprintf "Harness: timed out after %.0fs waiting for %s" timeout
            what)
     else begin
-      Engine.run ~until:(Engine.now engine +. step) engine;
+      ignore (Clock.run clock ~cond ~step);
       (* Exponentially growing step bounded at 2s keeps polling overhead
          negligible for slow architectures without hurting precision:
          measurements use event timestamps, not the polling grid. *)
@@ -109,14 +172,17 @@ let wait_until engine ~timeout ~what cond =
   in
   go 0.01
 
-let wait_established engine ~timeout speaker =
-  wait_until engine ~timeout ~what:"session establishment" (fun () ->
+let wait_established clock ~timeout speaker =
+  wait_until clock ~timeout ~what:"session establishment" (fun () ->
       Speaker.established speaker)
 
-let wait_router_idle engine ~timeout router ~what ~transactions =
-  wait_until engine ~timeout ~what (fun () ->
+let wait_router_idle clock ~timeout router ~what ~transactions =
+  wait_until clock ~timeout ~what (fun () ->
       (Router.counters router).Router.transactions >= transactions
       && Router.idle router)
+
+let router_fingerprint router =
+  Loc_rib.fingerprint (Bgp_rib.Rib_manager.loc_rib (Router.rib router))
 
 (* ------------------------------------------------------------------ *)
 (* Scenario verification                                               *)
@@ -188,30 +254,30 @@ let verify (scenario : Scenario.t) cfg router s2_opt ~measured
 
 let run_standard ~config arch scenario =
   let cfg = config in
-  let engine = Engine.create () in
-  Engine.set_event_limit engine 500_000_000;
+  let env = make_env cfg.mode in
+  let clock = env.clock in
   let router =
     Router.create ?mrai:cfg.mrai ?tracer:cfg.tracer
       ~trace_process:
         (Printf.sprintf "%s/scenario-%d" arch.Arch.name scenario.Scenario.id)
-      engine arch ~local_asn:router_asn ~router_id
+      clock arch ~local_asn:router_asn ~router_id
   in
-  let ch1 = Channel.create engine () in
-  let ch2 = Channel.create engine () in
-  Router.attach_peer router ~peer:peer1 ~channel:ch1 ~side:Channel.B;
-  Router.attach_peer router ~peer:peer2 ~channel:ch2 ~side:Channel.B;
+  let lp1 = env.new_link () in
+  let lp2 = env.new_link () in
+  Router.attach_peer router ~peer:peer1 ~link:lp1.rt_end;
+  Router.attach_peer router ~peer:peer2 ~link:lp2.rt_end;
   let s1 =
-    Speaker.create engine ~asn:speaker1_asn ~router_id:speaker1_id ~channel:ch1
-      ~side:Channel.A
+    Speaker.create clock ~asn:speaker1_asn ~router_id:speaker1_id
+      ~link:lp1.sp_end
   in
   let s2 =
-    Speaker.create engine ~asn:speaker2_asn ~router_id:speaker2_id ~channel:ch2
-      ~side:Channel.A
+    Speaker.create clock ~asn:speaker2_asn ~router_id:speaker2_id
+      ~link:lp2.sp_end
   in
   Router.set_cross_traffic router cfg.cross_traffic;
   let tracer =
     Option.map
-      (fun interval -> Trace.start engine (Router.sched router) ~interval ())
+      (fun interval -> Trace.start clock (Router.sched router) ~interval ())
       cfg.trace_interval
   in
   let table = Bgp_addr.Prefix_gen.table ~seed:cfg.seed ~n:cfg.table_size () in
@@ -226,7 +292,7 @@ let run_standard ~config arch scenario =
 
   (* --- Establish Speaker 1 ---------------------------------------- *)
   Speaker.start s1;
-  wait_established engine ~timeout s1;
+  wait_established clock ~timeout s1;
 
   let measured_phase_is_1 = Scenario.measures_phase scenario = 1 in
 
@@ -273,7 +339,7 @@ let run_standard ~config arch scenario =
       (Speaker.announce s1 ~packing:phase1_packing
          ~attrs:(s1_attrs cfg.setup_path_len)
          table);
-  wait_router_idle engine ~timeout router ~what:"phase 1 table load"
+  wait_router_idle clock ~timeout router ~what:"phase 1 table load"
     ~transactions:cfg.table_size;
 
   let phase1_counters = Router.counters router in
@@ -282,8 +348,8 @@ let run_standard ~config arch scenario =
   (* --- Phase 2: speaker 2 sync (scenarios 5-8) --------------------- *)
   if Scenario.uses_speaker2 scenario then begin
     Speaker.start s2;
-    wait_established engine ~timeout s2;
-    wait_until engine ~timeout ~what:"phase 2 table transfer" (fun () ->
+    wait_established clock ~timeout s2;
+    wait_until clock ~timeout ~what:"phase 2 table transfer" (fun () ->
         Router.idle router
         && Hashtbl.length (Speaker.received_prefix_set s2) = cfg.table_size)
   end;
@@ -323,7 +389,7 @@ let run_standard ~config arch scenario =
             (* Phase-1-measured, adversarial, and topology scenarios
                never reach this driver. *)
             assert false);
-          wait_router_idle engine ~timeout router ~what:"measured phase"
+          wait_router_idle clock ~timeout router ~what:"measured phase"
             ~transactions:cfg.table_size )
     end
   in
@@ -364,15 +430,17 @@ let run_standard ~config arch scenario =
   let verified =
     verify scenario cfg router s2_opt ~measured ~fib_before
   in
+  let locrib_fp = router_fingerprint router in
+  env.dispose ();
   { arch_name = arch.Arch.name; scenario; used = cfg; tps;
     measured_prefixes = measured; measure_seconds;
-    setup_seconds = Engine.now engine -. measure_seconds; trace;
+    setup_seconds = Clock.now clock -. measure_seconds; trace;
     fib_size_end = Fib.size (Router.fib router);
     fib_stats = Fib.stats (Router.fib router);
     rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
     stage_stats;
     msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
-    fwd_ratio_min; faults = None; verified }
+    fwd_ratio_min; faults = None; locrib_fp; verified }
 
 (* ------------------------------------------------------------------ *)
 (* Adversarial runs (scenarios 9-10)                                   *)
@@ -386,37 +454,36 @@ let run_adversarial ~config arch scenario =
   let cfg = config in
   let rounds = cfg.fault_rounds in
   let n = cfg.table_size in
-  let engine = Engine.create () in
-  Engine.set_event_limit engine 500_000_000;
+  let env = make_env cfg.mode in
+  let clock = env.clock in
   let metrics = Metrics.create () in
   let trace_process =
     Printf.sprintf "%s/scenario-%d" arch.Arch.name scenario.Scenario.id
   in
   let router =
     Router.create ?mrai:cfg.mrai ~metrics ?tracer:cfg.tracer ~trace_process
-      engine arch ~local_asn:router_asn ~router_id
+      clock arch ~local_asn:router_asn ~router_id
   in
   let faults =
-    Faults.create ?tracer:cfg.tracer ~trace_process ~engine ~metrics ()
+    Faults.create ?tracer:cfg.tracer ~trace_process ~clock ~metrics ()
   in
-  let ch1 = Channel.create engine () in
-  let ch2 = Channel.create engine () in
+  let lp1 = env.new_link () in
+  let lp2 = env.new_link () in
   (* Speaker 1 is the adversarial peer: its transmissions pass through
-     the fault tap, and the router's replies on the same channel are
+     the fault tap, and the router's replies on the same link are
      watched for NOTIFICATIONs at send time (a teardown NOTIFICATION
      races the close, so receipt at the speaker is not guaranteed). *)
-  Router.attach_peer ~restart_delay:0.05 router ~peer:peer1 ~channel:ch1
-    ~side:Channel.B;
-  Router.attach_peer router ~peer:peer2 ~channel:ch2 ~side:Channel.B;
-  Faults.tap_adversarial faults ch1 Channel.A;
-  Faults.observe_notifications faults ch1 Channel.B;
+  Router.attach_peer ~restart_delay:0.05 router ~peer:peer1 ~link:lp1.rt_end;
+  Router.attach_peer router ~peer:peer2 ~link:lp2.rt_end;
+  Faults.tap_adversarial faults lp1.sp_end;
+  Faults.observe_notifications faults lp1.rt_end;
   let s1 =
-    Speaker.create engine ~asn:speaker1_asn ~router_id:speaker1_id ~channel:ch1
-      ~side:Channel.A
+    Speaker.create clock ~asn:speaker1_asn ~router_id:speaker1_id
+      ~link:lp1.sp_end
   in
   let s2 =
-    Speaker.create engine ~asn:speaker2_asn ~router_id:speaker2_id ~channel:ch2
-      ~side:Channel.A
+    Speaker.create clock ~asn:speaker2_asn ~router_id:speaker2_id
+      ~link:lp2.sp_end
   in
   Router.set_cross_traffic router cfg.cross_traffic;
   let table = Bgp_addr.Prefix_gen.table ~seed:cfg.seed ~n () in
@@ -429,15 +496,15 @@ let run_adversarial ~config arch scenario =
 
   (* --- Phase 1: table injection (setup, always large packets) ------- *)
   Speaker.start s1;
-  wait_established engine ~timeout s1;
+  wait_established clock ~timeout s1;
   ignore (Speaker.announce s1 ~packing:cfg.large_packing ~attrs table);
-  wait_router_idle engine ~timeout router ~what:"phase 1 table load"
+  wait_router_idle clock ~timeout router ~what:"phase 1 table load"
     ~transactions:n;
 
   (* --- Phase 2: speaker 2 sync -------------------------------------- *)
   Speaker.start s2;
-  wait_established engine ~timeout s2;
-  wait_until engine ~timeout ~what:"phase 2 table transfer" (fun () ->
+  wait_established clock ~timeout s2;
+  wait_until clock ~timeout ~what:"phase 2 table transfer" (fun () ->
       Router.idle router
       && Hashtbl.length (Speaker.received_prefix_set s2) = n);
 
@@ -445,7 +512,7 @@ let run_adversarial ~config arch scenario =
   Router.reset_counters router;
   let fib_before = Fib.stats (Router.fib router) in
   for k = 1 to rounds do
-    let fault_at = Engine.now engine in
+    let fault_at = Clock.now clock in
     (match scenario.Scenario.operation with
     | Scenario.Corrupted_storm ->
       (* Corrupt the next UPDATE in flight: a small slice announcement
@@ -461,9 +528,9 @@ let run_adversarial ~config arch scenario =
          (close under the FSM's feet) and an orderly CEASE from the
          speaker. *)
       Faults.note_session_fault faults;
-      if k mod 2 = 1 then Channel.close ch1 else Speaker.stop s1
+      if k mod 2 = 1 then lp1.sp_end.Link.close () else Speaker.stop s1
     | _ -> assert false);
-    wait_until engine ~timeout
+    wait_until clock ~timeout
       ~what:(Printf.sprintf "speaker teardown (round %d)" k) (fun () ->
         Speaker.state s1 = Fsm.Idle);
     (* The router side restarts passively after [restart_delay]; the
@@ -471,21 +538,21 @@ let run_adversarial ~config arch scenario =
        socket.  Also wait for the peer-loss flush to drain: its
        withdrawals to speaker 2 ride the FIB process and would
        otherwise race (and cancel) the re-announced routes. *)
-    wait_until engine ~timeout
+    wait_until clock ~timeout
       ~what:(Printf.sprintf "flush + session rearm (round %d)" k) (fun () ->
         Router.idle router
         && Router.session_state router peer1 = Fsm.Active);
     Speaker.start s1;
-    wait_established engine ~timeout s1;
+    wait_established clock ~timeout s1;
     Faults.note_session_restart faults;
     ignore (Speaker.announce s1 ~packing ~attrs table);
-    wait_until engine ~timeout
+    wait_until clock ~timeout
       ~what:(Printf.sprintf "re-convergence (round %d)" k) (fun () ->
         (Router.counters router).Router.transactions >= k * n
         && Router.idle router
         && Fib.size (Router.fib router) = n
         && Hashtbl.length (Speaker.received_prefix_set s2) = n);
-    Faults.observe_reconvergence faults (Engine.now engine -. fault_at)
+    Faults.observe_reconvergence faults (Clock.now clock -. fault_at)
   done;
 
   (* --- Collect ------------------------------------------------------ *)
@@ -541,15 +608,17 @@ let run_adversarial ~config arch scenario =
     | _ ->
       check "every session fault recorded" (Faults.injected faults = rounds)
   in
+  let locrib_fp = router_fingerprint router in
+  env.dispose ();
   { arch_name = arch.Arch.name; scenario; used = cfg; tps;
     measured_prefixes = measured; measure_seconds;
-    setup_seconds = Engine.now engine -. measure_seconds; trace = [];
+    setup_seconds = Clock.now clock -. measure_seconds; trace = [];
     fib_size_end = Fib.size (Router.fib router);
     fib_stats = Fib.stats (Router.fib router);
     rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
     stage_stats = Router.stage_stats router;
     msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
-    fwd_ratio_min; faults = Some report; verified }
+    fwd_ratio_min; faults = Some report; locrib_fp; verified }
 
 let run ?(config = default_config) arch scenario =
   if Scenario.is_topo scenario then
@@ -621,7 +690,9 @@ let result_json (r : result) =
        ("fib_size", J.Int r.fib_size_end);
        ("msgs_rx", J.Int r.msgs_rx);
        ("msgs_tx", J.Int r.msgs_tx);
-       ("fwd_ratio_min", J.Float r.fwd_ratio_min) ]
+       ("fwd_ratio_min", J.Float r.fwd_ratio_min);
+       ("mode", J.Str (mode_name r.used.mode));
+       ("locrib_fp", J.Str r.locrib_fp) ]
     @ (match r.faults with
       | None -> []
       | Some f -> [ ("faults", fault_report_json f) ])
@@ -629,3 +700,63 @@ let result_json (r : result) =
     match r.verified with
     | Ok () -> [ ("verified", J.Bool true) ]
     | Error e -> [ ("verified", J.Bool false); ("error", J.Str e) ])
+
+(* ------------------------------------------------------------------ *)
+(* Sim-vs-live cross-validation                                        *)
+(* ------------------------------------------------------------------ *)
+
+type crosscheck = {
+  xc_arch : string;
+  xc_scenario : Scenario.t;
+  xc_sim : result;
+  xc_live : result;
+  xc_fingerprints_match : bool;
+  xc_verdicts_match : bool;
+}
+
+(* Run the same scenario/seed simulated and over loopback TCP.  Routing
+   outcomes must agree exactly (Loc-RIB fingerprints equal, the same
+   verification verdict); only timings may differ. *)
+let cross_validate ?(config = default_config) ?(live_timeout = 120.0) arch
+    scenario =
+  let xc_sim = run ~config:{ config with mode = Sim } arch scenario in
+  let xc_live =
+    run ~config:{ config with mode = Live; timeout = live_timeout } arch
+      scenario
+  in
+  { xc_arch = arch.Arch.name; xc_scenario = scenario; xc_sim; xc_live;
+    xc_fingerprints_match = String.equal xc_sim.locrib_fp xc_live.locrib_fp;
+    xc_verdicts_match =
+      Result.is_ok xc_sim.verified = Result.is_ok xc_live.verified }
+
+let crosscheck_ok xc =
+  xc.xc_fingerprints_match && xc.xc_verdicts_match
+  && Result.is_ok xc.xc_sim.verified
+
+let pp_crosscheck ppf xc =
+  Format.fprintf ppf
+    "@[<v>%s / %s:@,  sim  %8.1f tps in %8.2fs  fp %s  verified %s@,  live \
+     %8.1f tps in %8.2fs  fp %s  verified %s@,  fingerprints %s; verdicts \
+     %s@]"
+    xc.xc_arch
+    (Scenario.describe xc.xc_scenario)
+    xc.xc_sim.tps xc.xc_sim.measure_seconds
+    (String.sub xc.xc_sim.locrib_fp 0 12)
+    (match xc.xc_sim.verified with Ok () -> "OK" | Error e -> "FAILED: " ^ e)
+    xc.xc_live.tps xc.xc_live.measure_seconds
+    (String.sub xc.xc_live.locrib_fp 0 12)
+    (match xc.xc_live.verified with Ok () -> "OK" | Error e -> "FAILED: " ^ e)
+    (if xc.xc_fingerprints_match then "MATCH" else "MISMATCH")
+    (if xc.xc_verdicts_match then "MATCH" else "MISMATCH")
+
+let crosscheck_json xc =
+  let module J = Bgp_stats.Json in
+  J.Obj
+    [ ("arch", J.Str xc.xc_arch);
+      ("scenario", J.Int xc.xc_scenario.Scenario.id);
+      ("name", J.Str (Scenario.name xc.xc_scenario));
+      ("sim", result_json xc.xc_sim);
+      ("live", result_json xc.xc_live);
+      ("fingerprints_match", J.Bool xc.xc_fingerprints_match);
+      ("verdicts_match", J.Bool xc.xc_verdicts_match);
+      ("ok", J.Bool (crosscheck_ok xc)) ]

@@ -2,8 +2,14 @@
     under test, three phases, transactions-per-second measured over the
     scenario's relevant phase only.
 
-    Topology inside one simulation engine:
+    Topology on one {!Bgp_engine.Clock}:
     {v  Speaker 1 (AS 65001) <---> Router (AS 65000) <---> Speaker 2 (AS 65002) v}
+
+    The same harness runs in two modes: [Sim] (simulated channels on a
+    discrete-event engine, virtual time, fully deterministic) and
+    [Live] (real loopback TCP sockets on a select loop, wall-clock
+    time).  Scenario code, verification, and the Loc-RIB fingerprint
+    are mode-independent; {!cross_validate} asserts it.
 
     Phases:
     + Speaker 1 injects the routing table;
@@ -15,7 +21,15 @@
     Setup phases always use large packets so that setup time — which is
     excluded from the metric anyway — stays small. *)
 
+type mode =
+  | Sim  (** simulated channels, virtual time, deterministic *)
+  | Live  (** loopback TCP on a {!Bgp_tcp.Event_loop}, wall-clock time *)
+
+val mode_name : mode -> string
+(** ["sim"] / ["live"]. *)
+
 type config = {
+  mode : mode;
   table_size : int;          (** prefixes in the injected table *)
   large_packing : int;       (** prefixes per "large" UPDATE (paper: 500) *)
   cross_traffic : Bgp_netsim.Traffic.t;
@@ -33,7 +47,10 @@ type config = {
       (** enable MinRouteAdvertisementInterval batching on the router
           (RFC 4271 section 9.2.1.1) — an ablation knob, off in the
           paper's XORP setup *)
-  timeout : float;           (** virtual-seconds guard per run *)
+  timeout : float;
+      (** clock-seconds guard per run — virtual in [Sim] (the default
+          is effectively unbounded), wall-clock in [Live] (set a small
+          real bound, e.g. 120) *)
   fault_rounds : int;
       (** fault injections per adversarial run (scenarios 9-10) *)
   tracer : Bgp_trace.Tracer.t option;
@@ -45,8 +62,8 @@ type config = {
 }
 
 val default_config : config
-(** 10000 prefixes, packing 500, no cross-traffic, seed 42, no trace,
-    paths 3/6/1, timeout 500000 s, 5 fault rounds. *)
+(** [Sim] mode, 10000 prefixes, packing 500, no cross-traffic, seed 42,
+    no trace, paths 3/6/1, timeout 500000 s, 5 fault rounds. *)
 
 type fault_report = {
   fr_injected : int;           (** [faults.injected] counter *)
@@ -67,7 +84,8 @@ type result = {
   used : config;
   tps : float;              (** the Table III metric *)
   measured_prefixes : int;  (** transactions in the measured phase *)
-  measure_seconds : float;  (** virtual duration of the measured phase *)
+  measure_seconds : float;
+      (** clock duration of the measured phase (virtual or wall) *)
   setup_seconds : float;    (** phases excluded from the metric *)
   trace : Bgp_sim.Trace.sample list;
       (** CPU-load samples over the whole run (empty without
@@ -83,6 +101,9 @@ type result = {
       (** worst forwarding ratio observed (1.0 = no loss) *)
   faults : fault_report option;
       (** present for adversarial runs (scenarios 9-10) only *)
+  locrib_fp : string;
+      (** Loc-RIB digest ({!Bgp_rib.Loc_rib.fingerprint}) at run end;
+          equal across sim and live runs of the same scenario/seed *)
   verified : (unit, string) Stdlib.result;
       (** scenario-specific semantic checks (see DESIGN.md §6) *)
 }
@@ -106,4 +127,30 @@ val arena_json : unit -> Bgp_stats.Json.t
 
 val result_json : result -> Bgp_stats.Json.t
 (** Machine-readable form of one run — the per-cell record behind every
-    [--json] CLI flag (fault report and verification status included). *)
+    [--json] CLI flag (fault report, mode, Loc-RIB fingerprint, and
+    verification status included). *)
+
+(** {1 Sim-vs-live cross-validation} *)
+
+type crosscheck = {
+  xc_arch : string;
+  xc_scenario : Scenario.t;
+  xc_sim : result;
+  xc_live : result;
+  xc_fingerprints_match : bool;
+  xc_verdicts_match : bool;
+}
+
+val cross_validate :
+  ?config:config -> ?live_timeout:float -> Bgp_router.Arch.t -> Scenario.t ->
+  crosscheck
+(** Run the same (architecture, scenario, seed) cell in both modes and
+    compare routing outcomes.  Timings are expected to differ; the
+    Loc-RIB fingerprints and the verification verdicts must not.
+    [live_timeout] (default 120 s) bounds the wall-clock leg. *)
+
+val crosscheck_ok : crosscheck -> bool
+(** Fingerprints equal, verdicts agree, and the sim leg verified. *)
+
+val pp_crosscheck : Format.formatter -> crosscheck -> unit
+val crosscheck_json : crosscheck -> Bgp_stats.Json.t

@@ -20,8 +20,9 @@ let run_one arch ~table_size ~seed ~n =
   if n < 2 then invalid_arg "Peers_sweep: need at least 2 peers";
   let engine = Engine.create () in
   Engine.set_event_limit engine 500_000_000;
+  let clock = Engine.clock engine in
   let router =
-    Router.create engine arch
+    Router.create clock arch
       ~local_asn:(Bgp_route.Asn.of_int 65000)
       ~router_id:(Ipv4.of_string_exn "10.255.0.1")
   in
@@ -30,8 +31,9 @@ let run_one arch ~table_size ~seed ~n =
         let asn, addr = speaker_identity i in
         let channel = Channel.create engine () in
         let peer = Peer.make ~id:i ~asn ~router_id:addr ~addr in
-        Router.attach_peer router ~peer ~channel ~side:Channel.B;
-        Speaker.create engine ~asn ~router_id:addr ~channel ~side:Channel.A)
+        Router.attach_peer router ~peer ~link:(Channel.endpoint channel Channel.B);
+        Speaker.create clock ~asn ~router_id:addr
+          ~link:(Channel.endpoint channel Channel.A))
   in
   let table = Bgp_addr.Prefix_gen.table ~seed ~n:table_size () in
   let wait ~what cond =

@@ -1,6 +1,6 @@
-module Engine = Bgp_sim.Engine
+module Clock = Bgp_engine.Clock
+module Link = Bgp_engine.Link
 module Rng = Bgp_sim.Rng
-module Channel = Bgp_netsim.Channel
 module Msg = Bgp_wire.Msg
 module Codec = Bgp_wire.Codec
 module Metrics = Bgp_stats.Metrics
@@ -24,7 +24,7 @@ let is_active p =
   || p.reorder_prob > 0.0 || p.blackhole <> None
 
 type t = {
-  engine : Engine.t;
+  clock : Clock.t;
   prof : profile;
   rng : Rng.t;
   c_injected : Metrics.counter;
@@ -38,9 +38,9 @@ type t = {
   trace : (Bgp_trace.Tracer.t * Bgp_trace.Tracer.track) option;
 }
 
-let create ?(profile = none) ?tracer ?(trace_process = "bgpmark") ~engine
+let create ?(profile = none) ?tracer ?(trace_process = "bgpmark") ~clock
     ~metrics () =
-  { engine; prof = profile; rng = Rng.create profile.seed;
+  { clock; prof = profile; rng = Rng.create profile.seed;
     c_injected = Metrics.counter metrics "faults.injected";
     c_malformed_dropped = Metrics.counter metrics "faults.malformed_dropped";
     c_session_restarts = Metrics.counter metrics "faults.session_restarts";
@@ -55,7 +55,7 @@ let create ?(profile = none) ?tracer ?(trace_process = "bgpmark") ~engine
 let trace_fate t ~fate ~detail =
   match t.trace with
   | Some (tr, tk) ->
-    Bgp_trace.Tracer.fault tr tk ~ts:(Engine.now t.engine) ~fate ~detail
+    Bgp_trace.Tracer.fault tr tk ~ts:(Clock.now t.clock) ~fate ~detail
   | None -> ()
 
 let profile t = t.prof
@@ -131,7 +131,7 @@ let is_update wire =
 let blackholed t =
   match t.prof.blackhole with
   | Some (t0, t1) ->
-    let now = Engine.now t.engine in
+    let now = Clock.now t.clock in
     now >= t0 && now < t1
   | None -> false
 
@@ -148,39 +148,39 @@ let apply_faults t wire =
       let code, sub = Msg.error_code err in
       trace_fate t ~fate:"corrupt-armed"
         ~detail:(Printf.sprintf "expect NOTIFICATION %d/%d" code sub);
-      Channel.Deliver (mutant, 0.0)
-    | None -> Channel.Pass
+      Link.Deliver (mutant, 0.0)
+    | None -> Link.Pass
   end
   else if blackholed t then begin
     Metrics.incr t.c_injected;
     trace_fate t ~fate:"blackhole" ~detail:"";
-    Channel.Drop
+    Link.Drop
   end
   else if draw t t.prof.truncate_prob then (
     match truncate_fixup t.rng wire with
     | Some mutant ->
       Metrics.incr t.c_injected;
       trace_fate t ~fate:"truncate" ~detail:"";
-      Channel.Deliver (mutant, 0.0)
-    | None -> Channel.Pass)
+      Link.Deliver (mutant, 0.0)
+    | None -> Link.Pass)
   else if draw t t.prof.corrupt_prob then begin
     Metrics.incr t.c_injected;
     trace_fate t ~fate:"bitflip" ~detail:"";
-    Channel.Deliver (flip_byte t.rng wire, 0.0)
+    Link.Deliver (flip_byte t.rng wire, 0.0)
   end
   else if draw t t.prof.drop_prob then begin
     Metrics.incr t.c_injected;
     trace_fate t ~fate:"drop" ~detail:"";
-    Channel.Drop
+    Link.Drop
   end
   else if draw t t.prof.reorder_prob then begin
     Metrics.incr t.c_injected;
     trace_fate t ~fate:"reorder" ~detail:"";
-    Channel.Deliver (wire, Rng.float t.rng t.prof.reorder_delay)
+    Link.Deliver (wire, Rng.float t.rng t.prof.reorder_delay)
   end
-  else Channel.Pass
+  else Link.Pass
 
-let tap_adversarial t ch side = Channel.set_tap ch side (apply_faults t)
+let tap_adversarial t (link : Link.t) = Link.tap link (apply_faults t)
 
 let same_code e e' = Msg.error_code e = Msg.error_code e'
 
@@ -195,12 +195,12 @@ let note_notification t e =
     Metrics.incr t.c_malformed_dropped
   | _ -> ()
 
-let observe_notifications t ch side =
-  Channel.set_tap ch side (fun wire ->
+let observe_notifications t (link : Link.t) =
+  Link.tap link (fun wire ->
       (match Codec.decode wire with
       | Ok (Msg.Notification e) -> note_notification t e
       | _ -> ());
-      Channel.Pass)
+      Link.Pass)
 
 (* ------------------------------------------------------------------ *)
 (* Armed faults and bookkeeping                                        *)

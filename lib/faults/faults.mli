@@ -11,8 +11,8 @@
       framer, each mutation pre-validated through the codec so the
       RFC 4271 NOTIFICATION the router must answer with is known in
       advance;
-    - {b session faults} — unsolicited TCP resets
-      ({!Bgp_netsim.Channel.close}), speaker-initiated CEASE + reconnect
+    - {b session faults} — unsolicited TCP resets (transport close
+      under the session), speaker-initiated CEASE + reconnect
       flaps, and hold-timer starvation (a blackhole window longer than
       the negotiated hold time);
     - {b channel impairments} — probabilistic loss, reordering (extra
@@ -50,13 +50,13 @@ val none : profile
 val is_active : profile -> bool
 
 type t
-(** A fault injector bound to one engine and metrics registry. *)
+(** A fault injector bound to one clock and metrics registry. *)
 
 val create :
   ?profile:profile ->
   ?tracer:Bgp_trace.Tracer.t ->
   ?trace_process:string ->
-  engine:Bgp_sim.Engine.t ->
+  clock:Bgp_engine.Clock.t ->
   metrics:Bgp_stats.Metrics.t ->
   unit ->
   t
@@ -73,16 +73,17 @@ val profile : t -> profile
 
 (** {1 Channel taps} *)
 
-val tap_adversarial : t -> Bgp_netsim.Channel.t -> Bgp_netsim.Channel.side -> unit
-(** Install the fault tap on messages sent {e by} the given side
+val tap_adversarial : t -> Bgp_engine.Link.t -> unit
+(** Install the fault tap on messages sent {e by} the given endpoint
     (normally the speaker side): applies armed one-shot corruptions
     first, then the profile's probabilistic truncation, corruption,
-    blackhole, loss, and reordering. *)
+    blackhole, loss, and reordering.  Works on any
+    {!Bgp_engine.Link.t} — simulated channel side or live TCP
+    connection alike. *)
 
-val observe_notifications :
-  t -> Bgp_netsim.Channel.t -> Bgp_netsim.Channel.side -> unit
+val observe_notifications : t -> Bgp_engine.Link.t -> unit
 (** Install an observe-only tap recording every NOTIFICATION the given
-    side (normally the router side) {e transmits}.  Observation happens
+    endpoint (normally the router side) {e transmits}.  Observation happens
     at send time because a teardown NOTIFICATION races the close that
     follows it (RST semantics) and may legitimately never be
     delivered. *)

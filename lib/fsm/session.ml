@@ -2,11 +2,22 @@ module Msg = Bgp_wire.Msg
 
 type timer_service = { arm_timer : float -> (unit -> unit) -> unit -> unit }
 
+let timer_service_of clock =
+  { arm_timer =
+      (fun delay fn ->
+        let h = Bgp_engine.Clock.schedule clock ~delay fn in
+        fun () -> Bgp_engine.Clock.cancel h) }
+
 type io = {
   out_bytes : string -> unit;
   start_connect : unit -> unit;
   close : unit -> unit;
 }
+
+let io_of_link ~active (link : Bgp_engine.Link.t) =
+  { out_bytes = link.send;
+    start_connect = (if active then link.start_connect else fun () -> ());
+    close = link.close }
 
 type hooks = {
   on_update : Msg.update -> unit;

@@ -12,11 +12,22 @@ type timer_service = {
           the transport's notion of time and returns a cancel thunk. *)
 }
 
+val timer_service_of : Bgp_engine.Clock.t -> timer_service
+(** The canonical timer service over a {!Bgp_engine.Clock}: [arm_timer]
+    schedules on the clock and the returned thunk is the clock handle's
+    idempotent cancel.  Simulated and live sessions both use this — the
+    clock is the only thing that differs. *)
+
 type io = {
   out_bytes : string -> unit;     (** transmit wire bytes *)
   start_connect : unit -> unit;   (** initiate the transport connection *)
   close : unit -> unit;           (** tear the connection down *)
 }
+
+val io_of_link : active:bool -> Bgp_engine.Link.t -> io
+(** Session I/O over a transport endpoint.  [active] gates
+    [start_connect]: a passive (listening) side never initiates the
+    transport connection even if the FSM were to ask. *)
 
 type hooks = {
   on_update : Bgp_wire.Msg.update -> unit;

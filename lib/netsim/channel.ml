@@ -2,7 +2,7 @@ module Engine = Bgp_sim.Engine
 
 type side = A | B
 
-type fate =
+type fate = Bgp_engine.Link.fate =
   | Pass
   | Drop
   | Deliver of string * float  (* possibly-tampered payload, extra delay *)
@@ -103,10 +103,15 @@ let send t side bytes =
              if t.opened && t.generation = gen then dst.receiver bytes))
   end
 
-let session_io t side ~connect_side =
-  { Bgp_fsm.Session.out_bytes = (fun bytes -> send t side bytes);
-    start_connect = (fun () -> if connect_side then connect t);
-    close = (fun () -> close t) }
+let endpoint t side =
+  { Bgp_engine.Link.send = (fun bytes -> send t side bytes);
+    start_connect = (fun () -> connect t);
+    close = (fun () -> close t);
+    set_receiver = set_receiver t side;
+    set_on_connected = set_on_connected t side;
+    set_on_closed = set_on_closed t side;
+    set_tap =
+      (function Some f -> set_tap t side f | None -> clear_tap t side) }
 
 let bytes_carried t side = (this t side).carried
 let in_flight t = t.in_flight

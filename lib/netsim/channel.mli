@@ -8,7 +8,7 @@
 
 type side = A | B
 
-type fate =
+type fate = Bgp_engine.Link.fate =
   | Pass  (** deliver unchanged *)
   | Drop  (** silently discard (transport-level loss) *)
   | Deliver of string * float
@@ -56,10 +56,13 @@ val send : t -> side -> string -> unit
 (** Queue bytes from [side] to its peer.  Silently dropped when the
     channel is closed (as with a TCP RST race). *)
 
-val session_io : t -> side -> connect_side:bool -> Bgp_fsm.Session.io
-(** Adapt one side to {!Bgp_fsm.Session.io}: [start_connect] calls
-    {!connect} when [connect_side] (the active opener), else waits.
-    [close] closes the channel. *)
+val endpoint : t -> side -> Bgp_engine.Link.t
+(** One side of the channel as a transport-neutral
+    {!Bgp_engine.Link.t}.  [start_connect] opens the channel (harmless
+    from the passive side, which never calls it), [close] closes it,
+    and [set_tap] installs/clears this side's outbound tap.  This is
+    how routers and speakers see a simulated channel — the same shape
+    a live TCP connection presents. *)
 
 val bytes_carried : t -> side -> int
 (** Total payload bytes this side has transmitted. *)

@@ -1,4 +1,3 @@
-module Engine = Bgp_sim.Engine
 module Sched = Bgp_sim.Sched
 module Metrics = Bgp_stats.Metrics
 module Tracer = Bgp_trace.Tracer
@@ -95,7 +94,7 @@ type trace_state = {
 }
 
 type t = {
-  engine : Engine.t;
+  clock : Bgp_engine.Clock.t;
   sched : Sched.t;
   layout : layout;
   stages : stage array;
@@ -106,7 +105,7 @@ type t = {
   trace : trace_state option;
 }
 
-let create ~engine ~sched ~metrics ~layout ?tracer
+let create ~clock ~sched ~metrics ~layout ?tracer
     ?(trace_process = "bgpmark") specs =
   if specs = [] then invalid_arg "Pipeline.create: empty stage table";
   let seen = Hashtbl.create 8 in
@@ -170,7 +169,7 @@ let create ~engine ~sched ~metrics ~layout ?tracer
               stages })
       tracer
   in
-  { engine; sched; layout; stages; procs; fused_proc;
+  { clock; sched; layout; stages; procs; fused_proc;
     pending = Queue.create (); pacer_busy = false; trace }
 
 (* Charge accounting at dispatch (cost is decided there), unit counts at
@@ -188,7 +187,7 @@ let trace_update_done t b =
   match t.trace with
   | Some ts when b.b_traced ->
     Tracer.update_span ts.ts_tr ts.ts_updates ~dispatch:b.b_t0
-      ~finish:(Engine.now t.engine) ~peer:b.b_work.w_src
+      ~finish:(Bgp_engine.Clock.now t.clock) ~peer:b.b_work.w_src
       ~prefixes:(prefixes b.b_work) ~bytes:b.b_work.w_bytes
   | _ -> ()
 
@@ -205,7 +204,7 @@ let rec dispatch_from t b i =
       let cycles = st.spec.sp_cost b.b_work in
       record_dispatch st cycles;
       let t_dispatch =
-        if b.b_traced then Engine.now t.engine else 0.0
+        if b.b_traced then Bgp_engine.Clock.now t.clock else 0.0
       in
       let complete () =
         b.b_hooks.on_finish st.spec.sp_id;
@@ -217,7 +216,7 @@ let rec dispatch_from t b i =
           (match ts.ts_stage.(i) with
           | Some tk ->
             Tracer.stage_span ts.ts_tr tk ~stage ~dispatch:t_dispatch
-              ~finish:(Engine.now t.engine) ~cycles
+              ~finish:(Bgp_engine.Clock.now t.clock) ~cycles
               ~units:(st.spec.sp_units w) ~attr_groups:w.w_attr_groups
               ~peer:w.w_src
           | None ->
@@ -252,7 +251,7 @@ let dispatch_fused t b =
       end)
     t.stages;
   let proc = Option.get t.fused_proc in
-  let t_dispatch = if b.b_traced then Engine.now t.engine else 0.0 in
+  let t_dispatch = if b.b_traced then Bgp_engine.Clock.now t.clock else 0.0 in
   Sched.submit t.sched proc ~cycles:!total (fun () ->
       Array.iteri
         (fun i st ->
@@ -272,7 +271,7 @@ let dispatch_fused t b =
         in
         let start, fin =
           Tracer.span_fifo ts.ts_tr tk ~name:"update-job"
-            ~dispatch:t_dispatch ~finish:(Engine.now t.engine)
+            ~dispatch:t_dispatch ~finish:(Bgp_engine.Clock.now t.clock)
             ~args:
               [ ("prefixes", Tracer.Int (prefixes w));
                 ("peer", Tracer.Int w.w_src) ]
@@ -310,7 +309,7 @@ let rec pump t pacing =
     t.pacer_busy <- true;
     let b = Queue.pop t.pending in
     ignore
-      (Engine.schedule t.engine ~delay:pacing (fun () ->
+      (Bgp_engine.Clock.schedule t.clock ~delay:pacing (fun () ->
            dispatch_fused t
              { b with
                b_hooks =
@@ -328,7 +327,7 @@ let submit t w hooks =
   in
   let b =
     { b_work = w; b_hooks = hooks; b_traced = traced;
-      b_t0 = (if traced then Engine.now t.engine else 0.0) }
+      b_t0 = (if traced then Bgp_engine.Clock.now t.clock else 0.0) }
   in
   match t.layout with
   | Pipelined -> dispatch_from t b 0

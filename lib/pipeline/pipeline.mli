@@ -127,7 +127,7 @@ type hooks = {
 type t
 
 val create :
-  engine:Bgp_sim.Engine.t ->
+  clock:Bgp_engine.Clock.t ->
   sched:Bgp_sim.Sched.t ->
   metrics:Bgp_stats.Metrics.t ->
   layout:layout ->

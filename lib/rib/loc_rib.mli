@@ -21,3 +21,10 @@ val fold : (Bgp_route.Route.t -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> Bgp_route.Route.t list
 (** Sorted by prefix — dumps and fingerprints do not depend on
     hash-table fold order. *)
+
+val fingerprint : t -> string
+(** Hex digest over the prefix-sorted
+    [prefix|as_path|next_hop|origin|med|local_pref] dump.  Stable
+    across runs and across execution modes: a simulated run and a live
+    (loopback TCP) run of the same scenario must produce equal
+    fingerprints — the sim-vs-live cross-validation invariant. *)

@@ -1,6 +1,6 @@
-module Engine = Bgp_sim.Engine
+module Clock = Bgp_engine.Clock
+module Link = Bgp_engine.Link
 module Sched = Bgp_sim.Sched
-module Channel = Bgp_netsim.Channel
 module Msg = Bgp_wire.Msg
 module Session = Bgp_fsm.Session
 module Peer = Bgp_route.Peer
@@ -38,7 +38,7 @@ type counters = {
 }
 
 type t = {
-  engine : Engine.t;
+  clock : Clock.t;
   arch : Arch.t;
   sched : Sched.t;
   rib : Rib_manager.t;
@@ -66,12 +66,6 @@ type t = {
   fsm_track : Bgp_trace.Tracer.track option;  (* session transitions *)
 }
 
-let timer_service engine =
-  { Session.arm_timer =
-      (fun delay fn ->
-        let h = Engine.schedule engine ~delay fn in
-        fun () -> Engine.cancel h) }
-
 let make_forwarding arch sched =
   match arch.Arch.forwarding with
   | Arch.Kernel_shared
@@ -89,16 +83,16 @@ let make_forwarding arch sched =
       (Bgp_netsim.Forwarding.Dedicated { capacity_pps })
       ~line_rate_mbps:arch.Arch.line_rate_mbps
 
-let start_rtrmgr engine sched arch proc =
+let start_rtrmgr clock sched arch proc =
   if arch.Arch.rtrmgr_period > 0.0 && arch.Arch.rtrmgr_cycles > 0.0 then begin
     let rec tick () =
       Sched.submit sched proc ~cycles:arch.Arch.rtrmgr_cycles (fun () -> ());
-      ignore (Engine.schedule engine ~delay:arch.Arch.rtrmgr_period tick)
+      ignore (Clock.schedule clock ~delay:arch.Arch.rtrmgr_period tick)
     in
-    ignore (Engine.schedule engine ~delay:arch.Arch.rtrmgr_period tick)
+    ignore (Clock.schedule clock ~delay:arch.Arch.rtrmgr_period tick)
   end
 
-let create ?import ?export ?mrai ?metrics ?tracer ?trace_process engine arch
+let create ?import ?export ?mrai ?metrics ?tracer ?trace_process clock arch
     ~local_asn ~router_id =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let trace_process =
@@ -122,7 +116,7 @@ let create ?import ?export ?mrai ?metrics ?tracer ?trace_process engine arch
       ("arena.saved_bytes", fun () -> (Interned.stats ()).Interned.saved_bytes)
     ];
   let sched =
-    Sched.create engine ~hz:(Arch.effective_hz arch) ~pool:arch.Arch.pool
+    Sched.create clock ~hz:(Arch.effective_hz arch) ~pool:arch.Arch.pool
   in
   Option.iter
     (fun tr -> Sched.set_tracer sched ~process:trace_process tr)
@@ -131,13 +125,13 @@ let create ?import ?export ?mrai ?metrics ?tracer ?trace_process engine arch
      housekeeper (not part of the update path) comes after, preserving
      the historical bgp/policy/rib/fea/rtrmgr process numbering. *)
   let pipeline =
-    Pipeline.create ~engine ~sched ~metrics ~layout:(Arch.layout arch)
+    Pipeline.create ~clock ~sched ~metrics ~layout:(Arch.layout arch)
       ?tracer ~trace_process (Arch.stage_table arch)
   in
   Option.iter
     (fun name ->
       let proc = Sched.add_proc sched name in
-      start_rtrmgr engine sched arch proc)
+      start_rtrmgr clock sched arch proc)
     (Arch.housekeeper_proc_name arch);
   let stage_proc name =
     match Pipeline.find_proc pipeline name with
@@ -148,7 +142,7 @@ let create ?import ?export ?mrai ?metrics ?tracer ?trace_process engine arch
            arch.Arch.name name)
   in
   let fwd = make_forwarding arch sched in
-  { engine; arch; sched;
+  { clock; arch; sched;
     rib = Rib_manager.create ?import ?export ~metrics ~local_asn ~router_id ();
     fib = Fib.create (); fwd; pipeline;
     tx_proc = stage_proc (Arch.tx_proc_name arch);
@@ -165,7 +159,7 @@ let create ?import ?export ?mrai ?metrics ?tracer ?trace_process engine arch
         tracer }
 
 let arch t = t.arch
-let engine t = t.engine
+let clock t = t.clock
 let sched t = t.sched
 let rib t = t.rib
 let fib t = t.fib
@@ -287,7 +281,7 @@ let rec mrai_flush t lnk =
 and mrai_arm t lnk interval =
   lnk.mrai_armed <- true;
   ignore
-    (Engine.schedule t.engine ~delay:interval (fun () ->
+    (Clock.schedule t.clock ~delay:interval (fun () ->
          if Hashtbl.length lnk.mrai_pending > 0 then begin
            ignore (mrai_flush t lnk);
            mrai_arm t lnk interval
@@ -372,7 +366,7 @@ let pack_export anns =
 
 let note_transactions t n =
   Metrics.incr ~by:n t.c_transactions;
-  t.last_transaction_at <- Some (Engine.now t.engine);
+  t.last_transaction_at <- Some (Clock.now t.clock);
   t.inflight <- t.inflight - 1
 
 (* Route one inbound UPDATE — all its NLRI as one batch — through the
@@ -440,7 +434,7 @@ let over_prefix_limit t peer_link (u : Msg.update) =
     > limit
 
 let on_update t peer_link (u : Msg.update) =
-  let now = Engine.now t.engine in
+  let now = Clock.now t.clock in
   if t.first_work_at = None then t.first_work_at <- Some now;
   Metrics.incr t.c_updates_rx;
   Metrics.incr ~by:(List.length u.Msg.withdrawn) t.c_withdrawn_rx;
@@ -483,7 +477,7 @@ let on_refresh t peer_link ~afi ~safi =
     send_packed t peer_link (Rib_manager.refresh t.rib peer_link.peer)
 
 let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
-    t ~peer ~channel ~side =
+    t ~peer ~(link : Link.t) =
   if Hashtbl.mem t.peers peer.Peer.id then
     invalid_arg (Printf.sprintf "Router.attach_peer: duplicate id %d" peer.Peer.id);
   Rib_manager.add_peer ?import ?export ~up:false t.rib peer;
@@ -492,7 +486,7 @@ let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
          ~router_id:(Rib_manager.router_id t.rib))
       with Bgp_fsm.Fsm.passive = not active }
   in
-  let io = Channel.session_io channel side ~connect_side:active in
+  let io = Session.io_of_link ~active link in
   let lnk =
     { peer; session = None; last_rx_size = 0; max_prefixes;
       mrai_pending = Hashtbl.create 16; mrai_armed = false }
@@ -532,7 +526,7 @@ let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
           Option.iter
             (fun delay ->
               ignore
-                (Engine.schedule t.engine ~delay (fun () ->
+                (Clock.schedule t.clock ~delay (fun () ->
                      match lnk.session with
                      | Some s when Session.state s = Bgp_fsm.Fsm.Idle ->
                        Session.start s
@@ -548,21 +542,21 @@ let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
           Metrics.incr ~by:bytes t.c_bytes_rx;
           lnk.last_rx_size <- bytes) }
   in
-  let session = Session.create cfg (timer_service t.engine) io hooks in
+  let session = Session.create cfg (Session.timer_service_of t.clock) io hooks in
   (match t.tracer, t.fsm_track with
   | Some tr, Some tk ->
     let peer_name = Printf.sprintf "peer-%d" peer.Peer.id in
     Session.set_transition_observer session (fun before after ->
-        Bgp_trace.Tracer.fsm_transition tr tk ~ts:(Engine.now t.engine)
+        Bgp_trace.Tracer.fsm_transition tr tk ~ts:(Clock.now t.clock)
           ~peer:peer_name
           ~from_state:(Bgp_fsm.Fsm.state_name before)
           ~to_state:(Bgp_fsm.Fsm.state_name after))
   | _ -> ());
   lnk.session <- Some session;
   Hashtbl.replace t.peers peer.Peer.id lnk;
-  Channel.set_receiver channel side (fun bytes -> Session.feed session bytes);
-  Channel.set_on_connected channel side (fun () -> Session.connected session);
-  Channel.set_on_closed channel side (fun () -> Session.closed session);
+  link.Link.set_receiver (fun bytes -> Session.feed session bytes);
+  link.Link.set_on_connected (fun () -> Session.connected session);
+  link.Link.set_on_closed (fun () -> Session.closed session);
   Session.start session
 
 let session_state t peer = Session.state (link_session (link t peer))
@@ -573,7 +567,7 @@ let session_state t peer = Session.state (link_session (link t peer))
    it stays off the update pipeline.  Books one transaction when the
    commit lands (the event a convergence detector keys on). *)
 let local_change t ~prefix outcome =
-  let now = Engine.now t.engine in
+  let now = Clock.now t.clock in
   if t.first_work_at = None then t.first_work_at <- Some now;
   if outcome.Rib_manager.loc_changed then t.route_observer prefix;
   t.inflight <- t.inflight + 1;

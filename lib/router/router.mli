@@ -1,6 +1,6 @@
 (** The router under test: protocol engine + architecture model.
 
-    Assembles, inside one simulation engine:
+    Assembles, on one {!Bgp_engine.Clock}:
     - a passive BGP {!Bgp_fsm.Session} per attached peer,
     - the {!Bgp_rib.Rib_manager} three-RIB update engine,
     - a {!Bgp_fib.Fib} forwarding table,
@@ -30,7 +30,7 @@ val create :
   ?metrics:Bgp_stats.Metrics.t ->
   ?tracer:Bgp_trace.Tracer.t ->
   ?trace_process:string ->
-  Bgp_sim.Engine.t ->
+  Bgp_engine.Clock.t ->
   Arch.t ->
   local_asn:Bgp_route.Asn.t ->
   router_id:Bgp_addr.Ipv4.t ->
@@ -53,7 +53,7 @@ val create :
     counters are identical with tracing on or off. *)
 
 val arch : t -> Arch.t
-val engine : t -> Bgp_sim.Engine.t
+val clock : t -> Bgp_engine.Clock.t
 val sched : t -> Bgp_sim.Sched.t
 val rib : t -> Bgp_rib.Rib_manager.t
 val fib : t -> Bgp_fib.Fib.t
@@ -73,10 +73,10 @@ val stage_stats : t -> Bgp_pipeline.Pipeline.stage_stat list
 val attach_peer :
   ?max_prefixes:int -> ?restart_delay:float -> ?active:bool ->
   ?import:Bgp_policy.Policy.t -> ?export:Bgp_policy.Policy.t ->
-  t -> peer:Bgp_route.Peer.t ->
-  channel:Bgp_netsim.Channel.t -> side:Bgp_netsim.Channel.side -> unit
-(** Register a neighbor reachable over [channel]/[side] and start a
-    session on it.
+  t -> peer:Bgp_route.Peer.t -> link:Bgp_engine.Link.t -> unit
+(** Register a neighbor reachable over [link] — one endpoint of a
+    simulated {!Bgp_netsim.Channel} or a live TCP connection, the
+    router cannot tell — and start a session on it.
     @raise Invalid_argument if the peer's id is already attached
     (the id names the neighbor in every RIB; silently rebinding it
     would orphan the old session).
@@ -85,7 +85,7 @@ val attach_peer :
     down with a CEASE and flushes the peer's routes.
     [restart_delay] enables automatic recovery: whenever the session
     drops to Idle it is restarted (passively, waiting for the peer to
-    reconnect) after that many simulated seconds — required by the
+    reconnect) after that many clock seconds — required by the
     adversarial flap scenarios, off by default.
     [active] (default false) makes this side the connection opener —
     router-to-router links in a {!Bgp_topo} graph designate exactly one

@@ -69,3 +69,25 @@ let run ?until t =
 
 let pending t = t.live
 let set_event_limit t n = t.limit <- n
+
+let next_time t =
+  match Heap.peek t.heap with
+  | None -> None
+  | Some (time, _, _) -> Some time
+
+let clock t =
+  Bgp_engine.Clock.make ~label:"sim"
+    ~now:(fun () -> t.time)
+    ~schedule_at:(fun ~time fn ->
+      let h = schedule_at t ~time fn in
+      Bgp_engine.Clock.handle
+        ~cancel:(fun () -> cancel h)
+        ~cancelled:(fun () -> cancelled h))
+    ~post:(fun fn -> ignore (schedule t ~delay:0.0 fn))
+    ~run_window:(fun ~cond ~step:window ->
+      (* A simulated clock always consumes the whole window: virtual
+         time is free, and burning it keeps event ordering — and hence
+         byte-identical benchmark output — independent of what [cond]
+         observes. *)
+      run ~until:(t.time +. window) t;
+      cond ())

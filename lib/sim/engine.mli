@@ -45,3 +45,12 @@ val set_event_limit : t -> int -> unit
 (** Safety valve for runaway simulations: {!run} raises
     {!Too_many_events} after this many dispatched events
     (default [max_int]). *)
+
+val next_time : t -> float option
+(** Scheduled time of the earliest queued event, if any. *)
+
+val clock : t -> Bgp_engine.Clock.t
+(** This engine as a {!Bgp_engine.Clock}: virtual time, and a
+    [run] pump that always consumes the whole requested window (so a
+    simulation's event order never depends on the pump's exit
+    condition).  [post] is [schedule ~delay:0.0]. *)

@@ -1,3 +1,5 @@
+module Clock = Bgp_engine.Clock
+
 type job = { mutable remaining : float; on_done : unit -> unit }
 
 type proc = {
@@ -18,7 +20,7 @@ type trace_state = {
 }
 
 type t = {
-  engine : Engine.t;
+  clock : Clock.t;
   hz : float;
   pool : float;
   proc_cap : float;  (* one process <= one core *)
@@ -32,14 +34,14 @@ type t = {
   mutable fwd_acc : float;
   mutable last_settle : float;
   mutable acc_started : float;
-  mutable completion : Engine.handle option;
+  mutable completion : Clock.handle option;
   mutable trace : trace_state option;
 }
 
-let create engine ~hz ~pool =
+let create clock ~hz ~pool =
   if hz <= 0.0 then invalid_arg "Sched.create: hz must be positive";
   if pool <= 0.0 then invalid_arg "Sched.create: pool must be positive";
-  { engine; hz; pool; proc_cap = 1.0; procs = []; int_demand = 0.0;
+  { clock; hz; pool; proc_cap = 1.0; procs = []; int_demand = 0.0;
     int_rate = 0.0; int_acc = 0.0; fwd_demand = 0.0; fwd_weight = 8.0;
     fwd_rate = 0.0; fwd_acc = 0.0; last_settle = 0.0; acc_started = 0.0;
     completion = None; trace = None }
@@ -77,7 +79,7 @@ let busy _t p = p.current <> None
 
 (* Charge elapsed virtual time against running jobs and accumulators. *)
 let settle t =
-  let now = Engine.now t.engine in
+  let now = Clock.now t.clock in
   let dt = now -. t.last_settle in
   if dt > 0.0 then begin
     List.iter
@@ -170,12 +172,12 @@ let rec recompute t =
     in
     if occ <> ts.tr_last_occ && Bgp_trace.Tracer.sim_hit ts.tr then begin
       ts.tr_last_occ <- occ;
-      Bgp_trace.Tracer.occupancy ts.tr ts.tr_cpu ~ts:(Engine.now t.engine) occ
+      Bgp_trace.Tracer.occupancy ts.tr ts.tr_cpu ~ts:(Clock.now t.clock) occ
     end);
   reschedule_completion t
 
 and reschedule_completion t =
-  Option.iter Engine.cancel t.completion;
+  Option.iter Clock.cancel t.completion;
   t.completion <- None;
   let next =
     List.fold_left
@@ -191,7 +193,7 @@ and reschedule_completion t =
   | None -> ()
   | Some eta ->
     t.completion <-
-      Some (Engine.schedule t.engine ~delay:eta (fun () -> on_completion t))
+      Some (Clock.schedule t.clock ~delay:eta (fun () -> on_completion t))
 
 and on_completion t =
   t.completion <- None;
@@ -212,7 +214,7 @@ and on_completion t =
     t.procs;
   (match t.trace with
   | Some ts ->
-    let now = Engine.now t.engine in
+    let now = Clock.now t.clock in
     List.iter
       (fun p ->
         if Bgp_trace.Tracer.sim_hit ts.tr then
@@ -235,7 +237,7 @@ let submit t p ~cycles on_done =
   | Some ts when was_idle ->
     if Bgp_trace.Tracer.sim_hit ts.tr then
       Bgp_trace.Tracer.proc_state ts.tr (trace_track ts p.name)
-        ~ts:(Engine.now t.engine) ~running:true
+        ~ts:(Clock.now t.clock) ~running:true
         ~queue:(queue_length t p)
   | _ -> ());
   recompute t
@@ -262,7 +264,7 @@ type accounting = {
 
 let take_accounting t =
   settle t;
-  let now = Engine.now t.engine in
+  let now = Clock.now t.clock in
   let result =
     { acc_procs = List.map (fun p -> (p.name, p.acc)) t.procs;
       acc_interrupt = t.int_acc; acc_forwarding = t.fwd_acc;

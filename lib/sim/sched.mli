@@ -25,8 +25,11 @@
 type t
 type proc
 
-val create : Engine.t -> hz:float -> pool:float -> t
-(** [hz]: cycles per second of one core-equivalent.  [pool]: number of
+val create : Bgp_engine.Clock.t -> hz:float -> pool:float -> t
+(** The clock supplies time and completion events — pass
+    {!Engine.clock} for simulated runs or a live clock for wall-time
+    ones; the model itself is identical either way.
+    [hz]: cycles per second of one core-equivalent.  [pool]: number of
     core-equivalents (need not be integral: 2.4 models a dual-core with
     hyper-threading gain).
     @raise Invalid_argument when [hz <= 0] or [pool <= 0]. *)

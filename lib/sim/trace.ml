@@ -1,3 +1,5 @@
+module Clock = Bgp_engine.Clock
+
 type sample = {
   s_time : float;
   s_procs : (string * float) list;
@@ -7,12 +9,12 @@ type sample = {
 }
 
 type t = {
-  engine : Engine.t;
+  clock : Clock.t;
   sched : Sched.t;
   interval : float;
   mutable rev_samples : sample list;
   mutable running : bool;
-  mutable tick : Engine.handle option;
+  mutable tick : Clock.handle option;
 }
 
 let percent hz cycles elapsed =
@@ -24,7 +26,7 @@ let take t =
   let el = acc.Sched.acc_elapsed in
   if el > 0.0 then
     t.rev_samples <-
-      { s_time = Engine.now t.engine;
+      { s_time = Clock.now t.clock;
         s_procs = List.map (fun (n, c) -> (n, percent hz c el)) acc.Sched.acc_procs;
         s_interrupt = percent hz acc.Sched.acc_interrupt el;
         s_forwarding = percent hz acc.Sched.acc_forwarding el;
@@ -34,23 +36,23 @@ let take t =
 let rec tick t =
   if t.running then begin
     take t;
-    t.tick <- Some (Engine.schedule t.engine ~delay:t.interval (fun () -> tick t))
+    t.tick <- Some (Clock.schedule t.clock ~delay:t.interval (fun () -> tick t))
   end
 
-let start engine sched ?(interval = 1.0) () =
+let start clock sched ?(interval = 1.0) () =
   if interval <= 0.0 then invalid_arg "Trace.start: interval must be positive";
   (* Flush whatever accumulated before tracing began. *)
   ignore (Sched.take_accounting sched);
   let t =
-    { engine; sched; interval; rev_samples = []; running = true; tick = None }
+    { clock; sched; interval; rev_samples = []; running = true; tick = None }
   in
-  t.tick <- Some (Engine.schedule engine ~delay:interval (fun () -> tick t));
+  t.tick <- Some (Clock.schedule clock ~delay:interval (fun () -> tick t));
   t
 
 let stop t =
   if t.running then begin
     t.running <- false;
-    Option.iter Engine.cancel t.tick;
+    Option.iter Clock.cancel t.tick;
     t.tick <- None;
     take t
   end

@@ -16,8 +16,9 @@ type sample = {
 
 type t
 
-val start : Engine.t -> Sched.t -> ?interval:float -> unit -> t
-(** Begin sampling every [interval] virtual seconds (default 1.0).
+val start : Bgp_engine.Clock.t -> Sched.t -> ?interval:float -> unit -> t
+(** Begin sampling every [interval] clock seconds (default 1.0) —
+    virtual seconds on a simulated clock, wall seconds on a live one.
     Resets the scheduler's accounting accumulators. *)
 
 val stop : t -> unit

@@ -1,5 +1,4 @@
-module Engine = Bgp_sim.Engine
-module Channel = Bgp_netsim.Channel
+module Link = Bgp_engine.Link
 module Session = Bgp_fsm.Session
 module Msg = Bgp_wire.Msg
 
@@ -19,15 +18,9 @@ let session t =
   | Some s -> s
   | None -> invalid_arg "Speaker: not initialized"
 
-let timer_service engine =
-  { Session.arm_timer =
-      (fun delay fn ->
-        let h = Engine.schedule engine ~delay fn in
-        fun () -> Engine.cancel h) }
-
-let create engine ~asn ~router_id ~channel ~side =
+let create clock ~asn ~router_id ~(link : Link.t) =
   let cfg = Bgp_fsm.Fsm.default_config ~asn ~router_id in
-  let io = Channel.session_io channel side ~connect_side:true in
+  let io = Session.io_of_link ~active:true link in
   let t =
     { session = None; established_cb = (fun () -> ()); updates_received = 0;
       prefixes_received = 0; withdrawals_received = 0; sessions_lost = 0;
@@ -54,10 +47,10 @@ let create engine ~asn ~router_id ~channel ~side =
           | Msg.Notification e -> t.notifications_rx <- e :: t.notifications_rx
           | _ -> ()) }
   in
-  t.session <- Some (Session.create cfg (timer_service engine) io hooks);
-  Channel.set_receiver channel side (fun bytes -> Session.feed (session t) bytes);
-  Channel.set_on_connected channel side (fun () -> Session.connected (session t));
-  Channel.set_on_closed channel side (fun () -> Session.closed (session t));
+  t.session <- Some (Session.create cfg (Session.timer_service_of clock) io hooks);
+  link.Link.set_receiver (fun bytes -> Session.feed (session t) bytes);
+  link.Link.set_on_connected (fun () -> Session.connected (session t));
+  link.Link.set_on_closed (fun () -> Session.closed (session t));
   t
 
 let start t = Session.start (session t)

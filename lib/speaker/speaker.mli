@@ -8,14 +8,14 @@
 type t
 
 val create :
-  Bgp_sim.Engine.t ->
+  Bgp_engine.Clock.t ->
   asn:Bgp_route.Asn.t ->
   router_id:Bgp_addr.Ipv4.t ->
-  channel:Bgp_netsim.Channel.t ->
-  side:Bgp_netsim.Channel.side ->
+  link:Bgp_engine.Link.t ->
   t
-(** An active (connecting) speaker on one side of a channel.  Call
-    {!start} to bring the session up. *)
+(** An active (connecting) speaker on one transport endpoint —
+    simulated channel side or live TCP connector.  Call {!start} to
+    bring the session up. *)
 
 val start : t -> unit
 val stop : t -> unit

@@ -1,72 +1,105 @@
-type timer = { fire_at : float; fn : unit -> unit; mutable live : bool }
+module Engine = Bgp_sim.Engine
 
 type t = {
   mutable readers : (Unix.file_descr * (unit -> unit)) list;
-  mutable timers : timer list;
+  mutable writers : (Unix.file_descr * (unit -> unit)) list;
   mutable posted : (unit -> unit) list;
+  (* The timer queue IS a simulation engine: deadlines and FIFO
+     tie-breaks live on its (time, seq) heap and cancellation is its
+     handle state machine, so live timers share cancel-after-fire and
+     same-instant ordering semantics with simulated ones by
+     construction rather than by parallel reimplementation.  The
+     engine's virtual time is only ever advanced to [now t] — elapsed
+     monotonized wall-clock seconds. *)
+  mutable timers : Engine.t;
+  epoch : float;          (* gettimeofday at [create] *)
+  mutable last_now : float;  (* high-water mark of elapsed seconds *)
 }
 
-let create () = { readers = []; timers = []; posted = [] }
+let create () =
+  { readers = []; writers = []; posted = []; timers = Engine.create ();
+    epoch = Unix.gettimeofday (); last_now = 0.0 }
+
+(* Monotonized time: [gettimeofday] can step backwards under NTP; we
+   clamp to the high-water mark so timers can never un-expire.  (A
+   backward step makes time stall until the wall clock catches up; a
+   forward step fires pending timers early.  Without a monotonic
+   clock source in the stdlib this is the best available behavior,
+   and it is strictly better than raw [gettimeofday], where a
+   backward step could also push armed deadlines unreachably far
+   into the future.) *)
+let now t =
+  let raw = Unix.gettimeofday () -. t.epoch in
+  if raw > t.last_now then t.last_now <- raw;
+  t.last_now
 
 let watch_read t fd fn =
   t.readers <- (fd, fn) :: List.remove_assoc fd t.readers
 
-let unwatch t fd = t.readers <- List.remove_assoc fd t.readers
+let unwatch t fd =
+  t.readers <- List.remove_assoc fd t.readers;
+  t.writers <- List.remove_assoc fd t.writers
+
+let watch_write t fd fn =
+  t.writers <- (fd, fn) :: List.remove_assoc fd t.writers
+
+let unwatch_write t fd = t.writers <- List.remove_assoc fd t.writers
 
 let after t delay fn =
-  let timer = { fire_at = Unix.gettimeofday () +. delay; fn; live = true } in
-  t.timers <- timer :: t.timers;
-  fun () -> timer.live <- false
+  let h = Engine.schedule_at t.timers ~time:(now t +. Float.max 0.0 delay) fn in
+  fun () -> Engine.cancel h
 
 let post t fn = t.posted <- t.posted @ [ fn ]
 
-let timer_service t =
-  { Bgp_fsm.Session.arm_timer = (fun delay fn -> after t delay fn) }
+let rec clock t =
+  Bgp_engine.Clock.make ~label:"live"
+    ~now:(fun () -> now t)
+    ~schedule_at:(fun ~time fn ->
+      (* Clamp to live [now], not the (lagging) heap time: a deadline
+         in the past must fire after everything already due. *)
+      let h = Engine.schedule_at t.timers ~time:(Float.max time (now t)) fn in
+      Bgp_engine.Clock.handle
+        ~cancel:(fun () -> Engine.cancel h)
+        ~cancelled:(fun () -> Engine.cancelled h))
+    ~post:(fun fn -> post t fn)
+    ~run_window:(fun ~cond ~step -> run t ~until:cond ~timeout:step)
 
-let run_due_timers t =
-  let now = Unix.gettimeofday () in
-  let due, rest = List.partition (fun tm -> tm.live && tm.fire_at <= now) t.timers in
-  t.timers <- List.filter (fun tm -> tm.live) rest;
-  (* Two timers due in the same tick must fire in deadline order, not
-     in the (reversed-insertion) list order: a hold timer armed before
-     a keepalive but due earlier would otherwise fire second. *)
-  let due = List.stable_sort (fun a b -> Float.compare a.fire_at b.fire_at) due in
-  List.iter (fun tm -> if tm.live then tm.fn ()) due
+and timer_service t = Bgp_fsm.Session.timer_service_of (clock t)
 
-let run_posted t =
+(* Fire every timer whose deadline has passed, in deadline order with
+   FIFO ordering at equal deadlines (the engine heap's invariant). *)
+and run_due_timers t = Engine.run ~until:(now t) t.timers
+
+and run_posted t =
   let posted = t.posted in
   t.posted <- [];
   List.iter (fun fn -> fn ()) posted
 
-(* Seconds until the earliest live timer, or [None] when no timer is
+(* Seconds until the earliest armed timer, or [None] when no timer is
    armed.  No artificial cap: the caller sleeps until something can
-   actually happen (a timer, a readable fd, or its own deadline). *)
-let next_timer_in t =
-  let now = Unix.gettimeofday () in
-  List.fold_left
-    (fun acc tm ->
-      if tm.live then
-        let d = Float.max 0.0 (tm.fire_at -. now) in
-        Some (match acc with None -> d | Some a -> Float.min a d)
-      else acc)
-    None t.timers
+   actually happen (a timer, a ready fd, or its own deadline). *)
+and next_timer_in t =
+  match Engine.next_time t.timers with
+  | None -> None
+  | Some time -> Some (Float.max 0.0 (time -. now t))
 
-let run t ~until ~timeout =
-  let deadline = Unix.gettimeofday () +. timeout in
+and run t ~until ~timeout =
+  let deadline = now t +. timeout in
   let rec go () =
     if until () then true
-    else if Unix.gettimeofday () > deadline then false
+    else if now t > deadline then false
     else begin
       run_posted t;
       run_due_timers t;
       if until () then true
       else begin
-        let fds = List.map fst t.readers in
+        let fds_r = List.map fst t.readers in
+        let fds_w = List.map fst t.writers in
         (* Sleep until the next thing that can change state: the
            earliest timer or the run deadline.  With neither closer
            than the deadline the select blocks the whole remaining
            window instead of busy-polling. *)
-        let to_deadline = Float.max 0.0 (deadline -. Unix.gettimeofday ()) in
+        let to_deadline = Float.max 0.0 (deadline -. now t) in
         let wait =
           match next_timer_in t with
           | None -> to_deadline
@@ -76,14 +109,20 @@ let run t ~until ~timeout =
            with no timer armed); an hourly wake-up is effectively
            event-driven. *)
         let wait = Float.min wait 3600.0 in
-        (match Unix.select fds [] [] wait with
-        | readable, _, _ ->
+        (match Unix.select fds_r fds_w [] wait with
+        | readable, writable, _ ->
           List.iter
             (fun fd ->
               match List.assoc_opt fd t.readers with
               | Some fn -> fn ()
               | None -> ())
-            readable
+            readable;
+          List.iter
+            (fun fd ->
+              match List.assoc_opt fd t.writers with
+              | Some fn -> fn ()
+              | None -> ())
+            writable
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
         go ()
       end
@@ -93,5 +132,9 @@ let run t ~until ~timeout =
 
 let stop_watching_all t =
   t.readers <- [];
-  t.timers <- [];
-  t.posted <- []
+  t.writers <- [];
+  t.posted <- [];
+  (* Dropping the engine discards every armed timer; cancel thunks
+     held against the old queue stay safe (cancel is idempotent and
+     does not touch the loop). *)
+  t.timers <- Engine.create ()

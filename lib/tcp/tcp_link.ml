@@ -1,0 +1,154 @@
+module Link = Bgp_engine.Link
+
+type role = Connector of Unix.sockaddr | Listener
+
+(* One endpoint's connection state.  [gen] increments on every
+   (re)connect and close; tap-delayed deliveries capture it at send
+   time and are discarded on mismatch, mirroring the simulated
+   channel's generation guard. *)
+type conn = {
+  loop : Event_loop.t;
+  role : role;
+  mutable fd : Unix.file_descr option;
+  mutable out : string;  (* queued output not yet accepted by the socket *)
+  mutable receiver : string -> unit;
+  mutable on_connected : unit -> unit;
+  mutable on_closed : unit -> unit;
+  mutable tap : (string -> Link.fate) option;
+  mutable gen : int;
+}
+
+let make_conn loop role =
+  { loop; role; fd = None; out = ""; receiver = (fun _ -> ());
+    on_connected = (fun () -> ()); on_closed = (fun () -> ()); tap = None;
+    gen = 0 }
+
+let teardown ?(notify = true) c =
+  match c.fd with
+  | None -> ()
+  | Some fd ->
+    Event_loop.unwatch c.loop fd;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    c.fd <- None;
+    c.out <- "";
+    c.gen <- c.gen + 1;
+    (* Deliver the close from the pump, as the simulated channel does,
+       so a session never observes its own [close] reentrantly. *)
+    if notify then Event_loop.post c.loop (fun () -> c.on_closed ())
+
+let rec flush_out c =
+  match c.fd with
+  | None -> c.out <- ""
+  | Some fd ->
+    let len = String.length c.out in
+    if len > 0 then begin
+      match Unix.write_substring fd c.out 0 len with
+      | n ->
+        c.out <- String.sub c.out n (len - n);
+        if c.out = "" then Event_loop.unwatch_write c.loop fd
+        else Event_loop.watch_write c.loop fd (fun () -> flush_out c)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Event_loop.watch_write c.loop fd (fun () -> flush_out c)
+      | exception Unix.Unix_error (_, _, _) -> teardown c
+    end
+
+let enqueue c bytes =
+  if c.fd <> None && bytes <> "" then begin
+    c.out <- c.out ^ bytes;
+    flush_out c
+  end
+
+let read_buf = Bytes.create 65536
+
+let handle_readable c fd () =
+  if c.fd = Some fd then begin
+    match Unix.read fd read_buf 0 (Bytes.length read_buf) with
+    | 0 -> teardown c
+    | n -> c.receiver (Bytes.sub_string read_buf 0 n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> teardown c
+  end
+
+let install c fd =
+  (* A lingering previous connection (e.g. a re-dial racing the old
+     close) is torn down first; the new one is a fresh generation. *)
+  teardown ~notify:false c;
+  Unix.set_nonblock fd;
+  c.fd <- Some fd;
+  c.gen <- c.gen + 1;
+  Event_loop.watch_read c.loop fd (handle_readable c fd);
+  Event_loop.post c.loop (fun () -> if c.fd = Some fd then c.on_connected ())
+
+let start_connect c =
+  match c.role with
+  | Listener -> ()
+  | Connector addr ->
+    if c.fd = None then begin
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd addr with
+      | () -> install c fd
+      | exception Unix.Unix_error (_, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Event_loop.post c.loop (fun () -> c.on_closed ())
+    end
+
+(* Outbound tap, consulted once per [send] — message granularity, like
+   the simulated channel's tap.  Delayed deliveries ride the loop's
+   timers and are dropped if the connection turned over meanwhile. *)
+let send c bytes =
+  if c.fd <> None && bytes <> "" then begin
+    match c.tap with
+    | None -> enqueue c bytes
+    | Some f -> (
+      match f bytes with
+      | Link.Pass -> enqueue c bytes
+      | Link.Drop -> ()
+      | Link.Deliver (payload, extra) ->
+        if extra <= 0.0 then enqueue c payload
+        else begin
+          let gen = c.gen in
+          let (_ : unit -> unit) =
+            Event_loop.after c.loop extra (fun () ->
+                if c.gen = gen then enqueue c payload)
+          in
+          ()
+        end)
+  end
+
+let endpoint c =
+  { Link.send = (fun bytes -> send c bytes);
+    start_connect = (fun () -> start_connect c);
+    close = (fun () -> teardown c);
+    set_receiver = (fun f -> c.receiver <- f);
+    set_on_connected = (fun f -> c.on_connected <- f);
+    set_on_closed = (fun f -> c.on_closed <- f);
+    set_tap = (fun f -> c.tap <- f) }
+
+type t = {
+  connector : Link.t;
+  listener : Link.t;
+  dispose : unit -> unit;
+}
+
+let pair loop =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock 4;
+  let addr = Unix.getsockname lsock in
+  let accept_side = make_conn loop Listener in
+  let connect_side = make_conn loop (Connector addr) in
+  (* The passive side is always willing: new connections are accepted
+     (and re-accepted after a teardown) for as long as the pair lives. *)
+  Event_loop.watch_read loop lsock (fun () ->
+      match Unix.accept lsock with
+      | fd, _ -> install accept_side fd
+      | exception Unix.Unix_error (_, _, _) -> ());
+  let dispose () =
+    teardown ~notify:false connect_side;
+    teardown ~notify:false accept_side;
+    Event_loop.unwatch loop lsock;
+    try Unix.close lsock with Unix.Unix_error _ -> ()
+  in
+  { connector = endpoint connect_side; listener = endpoint accept_side;
+    dispose }

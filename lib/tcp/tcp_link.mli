@@ -1,0 +1,36 @@
+(** A real TCP connection as a pair of {!Bgp_engine.Link.t} endpoints.
+
+    The live counterpart of {!Bgp_netsim.Channel}: [pair] binds a
+    loopback listener and hands back two transport-neutral endpoints —
+    a connector (the benchmark speaker's side, whose [start_connect]
+    actually opens the socket) and a listener side (the router under
+    test, passive as in the paper's setup).  Both live on one
+    {!Event_loop}; reads, connection events, and tap-delayed deliveries
+    all flow through the loop, so callback context matches the
+    simulated channel (everything fires from the pump, never from
+    inside [send]).
+
+    Semantics mirrored from the simulated channel:
+    - outbound taps see whole messages (one [send] = one tap consult)
+      and may pass, drop, tamper, or delay them;
+    - closing either endpoint tears the connection down on both sides
+      (close/EOF), after which the connector may [start_connect] again
+      — a new connection generation; tap-delayed bytes from the old
+      connection are discarded, never delivered into the new stream;
+    - output is queued and flushed as the peer drains it (write
+      readiness), so a burst larger than the socket buffers cannot
+      deadlock the single-threaded loop. *)
+
+type t = {
+  connector : Bgp_engine.Link.t;
+      (** active opener — [start_connect] dials the listener *)
+  listener : Bgp_engine.Link.t;
+      (** passive side — accepts (and re-accepts) connections *)
+  dispose : unit -> unit;
+      (** close every socket including the listening one; endpoints are
+          dead afterwards *)
+}
+
+val pair : Event_loop.t -> t
+(** Bind an ephemeral loopback listener and return the endpoint pair.
+    Nothing connects until [connector.start_connect]. *)

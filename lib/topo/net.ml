@@ -69,7 +69,7 @@ let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) ?tracer
           router =
             Router.create ?tracer
               ~trace_process:(Printf.sprintf "%s/node-%d" trace_prefix i)
-              engine arch ~local_asn:asn ~router_id:addr;
+              (Engine.clock engine) arch ~local_asn:asn ~router_id:addr;
           origin = prefixes.(i);
           peer_recs = []; loc_changes = 0; explored = Hashtbl.create 97 })
   in
@@ -111,9 +111,9 @@ let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) ?tracer
         (* One session per link: the lower index listens, the higher
            opens, so the FSM never needs §6.8 collision resolution. *)
         Router.attach_peer ?import:import_u ?export:export_u nu.router
-          ~peer:peer_v ~channel:ch ~side:Channel.A;
+          ~peer:peer_v ~link:(Channel.endpoint ch Channel.A);
         Router.attach_peer ~active:true ?import:import_v ?export:export_v
-          nv.router ~peer:peer_u ~channel:ch ~side:Channel.B;
+          nv.router ~peer:peer_u ~link:(Channel.endpoint ch Channel.B);
         nu.peer_recs <- (v, peer_v) :: nu.peer_recs;
         nv.peer_recs <- (u, peer_u) :: nv.peer_recs;
         (u, v, ch))

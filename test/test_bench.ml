@@ -283,8 +283,9 @@ let test_max_prefixes_ceases_session () =
   let ip = Bgp_addr.Ipv4.of_string_exn in
   let asn = Bgp_route.Asn.of_int in
   let engine = Engine.create () in
+  let clock = Engine.clock engine in
   let router =
-    Router.create engine Arch.xeon ~local_asn:(asn 65000)
+    Router.create clock Arch.xeon ~local_asn:(asn 65000)
       ~router_id:(ip "10.255.0.1")
   in
   let ch = Channel.create engine () in
@@ -292,10 +293,11 @@ let test_max_prefixes_ceases_session () =
     Bgp_route.Peer.make ~id:0 ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
       ~addr:(ip "192.0.2.1")
   in
-  Router.attach_peer ~max_prefixes:100 router ~peer ~channel:ch ~side:Channel.B;
+  Router.attach_peer ~max_prefixes:100 router ~peer
+    ~link:(Channel.endpoint ch Channel.B);
   let s =
-    Speaker.create engine ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
-      ~channel:ch ~side:Channel.A
+    Speaker.create clock ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
+      ~link:(Channel.endpoint ch Channel.A)
   in
   Speaker.start s;
   Engine.run ~until:1.0 engine;
@@ -362,8 +364,9 @@ let test_route_refresh_end_to_end () =
   let ip = Bgp_addr.Ipv4.of_string_exn in
   let asn = Bgp_route.Asn.of_int in
   let engine = Engine.create () in
+  let clock = Engine.clock engine in
   let router =
-    Router.create engine Arch.xeon ~local_asn:(asn 65000)
+    Router.create clock Arch.xeon ~local_asn:(asn 65000)
       ~router_id:(ip "10.255.0.1")
   in
   let ch1 = Channel.create engine () and ch2 = Channel.create engine () in
@@ -375,15 +378,15 @@ let test_route_refresh_end_to_end () =
     Bgp_route.Peer.make ~id:1 ~asn:(asn 65002) ~router_id:(ip "192.0.2.2")
       ~addr:(ip "192.0.2.2")
   in
-  Router.attach_peer router ~peer:p1 ~channel:ch1 ~side:Channel.B;
-  Router.attach_peer router ~peer:p2 ~channel:ch2 ~side:Channel.B;
+  Router.attach_peer router ~peer:p1 ~link:(Channel.endpoint ch1 Channel.B);
+  Router.attach_peer router ~peer:p2 ~link:(Channel.endpoint ch2 Channel.B);
   let s1 =
-    Speaker.create engine ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
-      ~channel:ch1 ~side:Channel.A
+    Speaker.create clock ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
+      ~link:(Channel.endpoint ch1 Channel.A)
   in
   let s2 =
-    Speaker.create engine ~asn:(asn 65002) ~router_id:(ip "192.0.2.2")
-      ~channel:ch2 ~side:Channel.A
+    Speaker.create clock ~asn:(asn 65002) ~router_id:(ip "192.0.2.2")
+      ~link:(Channel.endpoint ch2 Channel.A)
   in
   Speaker.start s1;
   Engine.run ~until:1.0 engine;

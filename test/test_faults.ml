@@ -25,7 +25,7 @@ let sample_update n =
 let injector ?(profile = Faults.none) () =
   let engine = Engine.create () in
   let metrics = Metrics.create () in
-  (engine, Faults.create ~profile ~engine ~metrics ())
+  (engine, Faults.create ~profile ~clock:(Engine.clock engine) ~metrics ())
 
 (* ------------------------------------------------------------------ *)
 (* The corruption oracle                                               *)
@@ -90,7 +90,7 @@ let test_corrupt_deterministic () =
 let tapped_channel profile =
   let engine = Engine.create () in
   let metrics = Metrics.create () in
-  let t = Faults.create ~profile ~engine ~metrics () in
+  let t = Faults.create ~profile ~clock:(Engine.clock engine) ~metrics () in
   let ch = Channel.create engine () in
   let got = ref [] in
   Channel.set_receiver ch Channel.B (fun bytes -> got := bytes :: !got);
@@ -102,7 +102,7 @@ let test_tap_loss () =
   let engine, t, ch, got =
     tapped_channel { Faults.none with Faults.seed = 5; drop_prob = 1.0 }
   in
-  Faults.tap_adversarial t ch Channel.A;
+  Faults.tap_adversarial t (Channel.endpoint ch Channel.A);
   for _ = 1 to 10 do
     Channel.send ch Channel.A (Codec.encode Msg.Keepalive)
   done;
@@ -112,7 +112,7 @@ let test_tap_loss () =
 
 let test_tap_off_is_transparent () =
   let engine, t, ch, got = tapped_channel Faults.none in
-  Faults.tap_adversarial t ch Channel.A;
+  Faults.tap_adversarial t (Channel.endpoint ch Channel.A);
   let wire = Codec.encode (sample_update 10) in
   for _ = 1 to 10 do
     Channel.send ch Channel.A wire
@@ -129,7 +129,7 @@ let test_tap_reorder_delay () =
       { Faults.none with
         Faults.seed = 8; reorder_prob = 1.0; reorder_delay = 0.5 }
   in
-  Faults.tap_adversarial t ch Channel.A;
+  Faults.tap_adversarial t (Channel.endpoint ch Channel.A);
   Channel.send ch Channel.A (Codec.encode Msg.Keepalive);
   Engine.run ~until:(Engine.now engine +. 0.01) engine;
   Alcotest.(check int) "still in flight" 0 (List.length !got);
@@ -140,7 +140,7 @@ let test_armed_corruption_observed () =
   let engine, t, ch, got =
     tapped_channel { Faults.none with Faults.seed = 13 }
   in
-  Faults.tap_adversarial t ch Channel.A;
+  Faults.tap_adversarial t (Channel.endpoint ch Channel.A);
   Faults.arm_corrupt_next t;
   (* Keepalives are not UPDATEs: the armed mutation must wait. *)
   Channel.send ch Channel.A (Codec.encode Msg.Keepalive);

@@ -104,7 +104,7 @@ let test_forwarding_dedicated () =
 
 let test_forwarding_shared_charges_sched () =
   let e = Engine.create () in
-  let s = Sched.create e ~hz:800e6 ~pool:1.0 in
+  let s = Sched.create (Engine.clock e) ~hz:800e6 ~pool:1.0 in
   let fwd =
     Forwarding.create
       (Forwarding.Shared
@@ -123,7 +123,7 @@ let test_forwarding_shared_charges_sched () =
 
 let test_forwarding_shared_contention_loss () =
   let e = Engine.create () in
-  let s = Sched.create e ~hz:800e6 ~pool:1.0 in
+  let s = Sched.create (Engine.clock e) ~hz:800e6 ~pool:1.0 in
   let fwd =
     Forwarding.create
       (Forwarding.Shared

@@ -55,8 +55,9 @@ let test_metrics_registry () =
 let test_pipeline_validation () =
   let mk layout specs =
     let engine = Engine.create () in
-    let sched = Sched.create engine ~hz:1e9 ~pool:1.0 in
-    Pipeline.create ~engine ~sched ~metrics:(Metrics.create ()) ~layout specs
+    let clock = Engine.clock engine in
+    let sched = Sched.create clock ~hz:1e9 ~pool:1.0 in
+    Pipeline.create ~clock ~sched ~metrics:(Metrics.create ()) ~layout specs
   in
   (try
      ignore
@@ -127,15 +128,16 @@ type rig = {
 
 let make_rig ?mrai ?(two_peers = false) arch =
   let engine = Engine.create () in
+  let clock = Engine.clock engine in
   let router =
-    Router.create ?mrai engine arch ~local_asn:(asn 65000)
+    Router.create ?mrai clock arch ~local_asn:(asn 65000)
       ~router_id:(ip "10.255.0.1")
   in
   let ch1 = Channel.create engine () in
-  Router.attach_peer router ~peer:peer1 ~channel:ch1 ~side:Channel.B;
+  Router.attach_peer router ~peer:peer1 ~link:(Channel.endpoint ch1 Channel.B);
   let s1 =
-    Speaker.create engine ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
-      ~channel:ch1 ~side:Channel.A
+    Speaker.create clock ~asn:(asn 65001) ~router_id:(ip "192.0.2.1")
+      ~link:(Channel.endpoint ch1 Channel.A)
   in
   Speaker.start s1;
   wait_until engine ~what:"speaker 1 up" (fun () -> Speaker.established s1);
@@ -143,10 +145,11 @@ let make_rig ?mrai ?(two_peers = false) arch =
     if not two_peers then None
     else begin
       let ch2 = Channel.create engine () in
-      Router.attach_peer router ~peer:peer2 ~channel:ch2 ~side:Channel.B;
+      Router.attach_peer router ~peer:peer2
+        ~link:(Channel.endpoint ch2 Channel.B);
       let s2 =
-        Speaker.create engine ~asn:(asn 65002) ~router_id:(ip "192.0.2.2")
-          ~channel:ch2 ~side:Channel.A
+        Speaker.create clock ~asn:(asn 65002) ~router_id:(ip "192.0.2.2")
+          ~link:(Channel.endpoint ch2 Channel.A)
       in
       Speaker.start s2;
       wait_until engine ~what:"speaker 2 up" (fun () ->

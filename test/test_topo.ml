@@ -228,7 +228,7 @@ let test_duplicate_attach_rejected () =
   let module Channel = Bgp_netsim.Channel in
   let engine = Engine.create () in
   let router =
-    Router.create engine Bgp_router.Arch.pentium3
+    Router.create (Engine.clock engine) Bgp_router.Arch.pentium3
       ~local_asn:(Bgp_route.Asn.of_int 65000)
       ~router_id:(Bgp_addr.Ipv4.of_octets 192 0 2 1)
   in
@@ -238,11 +238,12 @@ let test_duplicate_attach_rejected () =
       ~addr:(Bgp_addr.Ipv4.of_octets 192 0 2 2)
   in
   let ch1 = Channel.create engine () in
-  Router.attach_peer router ~peer:(peer 0) ~channel:ch1 ~side:Channel.A;
+  Router.attach_peer router ~peer:(peer 0) ~link:(Channel.endpoint ch1 Channel.A);
   let ch2 = Channel.create engine () in
   Alcotest.check_raises "duplicate id rejected"
     (Invalid_argument "Router.attach_peer: duplicate id 0") (fun () ->
-      Router.attach_peer router ~peer:(peer 0) ~channel:ch2 ~side:Channel.A)
+      Router.attach_peer router ~peer:(peer 0)
+        ~link:(Channel.endpoint ch2 Channel.A))
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
