@@ -428,8 +428,10 @@ let print_fault_smoke () =
 
 (* Allocation-regression smoke: replay a 20k-prefix table through the
    receiver path with the arena on and compare Gc.allocated_bytes per
-   UPDATE against the checked-in baseline.  Fails (exit 1) on a >20%
-   regression — the guard the interning work is meant to keep honest. *)
+   UPDATE against the checked-in baseline.  The gate is two-sided:
+   >20% above baseline is a regression, >20% below means the code got
+   better and the checked-in number is stale — both fail (exit 1) so
+   the baseline always tracks reality. *)
 let print_alloc_smoke () =
   let sweep = Bgpmark.Arena_sweep.run ~seed:42 [ 20_000 ] in
   let shared = List.hd sweep.Bgpmark.Arena_sweep.cells in
@@ -439,6 +441,11 @@ let print_alloc_smoke () =
      %.1f%%@."
     measured
     (100.0 *. shared.Bgpmark.Arena_sweep.sw_hit_rate);
+  Format.printf
+    "  challenger phase (scenario-5/6 shape): %.0f B/update, %.0f msgs/s \
+     unpaced@."
+    shared.Bgpmark.Arena_sweep.sw_chal_alloc_per_update
+    shared.Bgpmark.Arena_sweep.sw_chal_tps;
   let baseline_file =
     List.find_opt Sys.file_exists
       [ "bench/alloc_baseline.txt"; "alloc_baseline.txt" ]
@@ -453,15 +460,36 @@ let print_alloc_smoke () =
         ~finally:(fun () -> close_in ic)
         (fun () -> float_of_string (String.trim (input_line ic)))
     in
-    let limit = baseline *. 1.2 in
-    Format.printf "  baseline %.0f B/update (gate: <= %.0f)@.@." baseline limit;
-    if measured > limit then begin
+    let upper = baseline *. 1.2 and lower = baseline /. 1.2 in
+    Format.printf "  baseline %.0f B/update (gate: %.0f .. %.0f)@.@." baseline
+      lower upper;
+    if measured > upper then begin
       Format.eprintf
         "allocation regression: %.0f B/update exceeds baseline %.0f by more \
          than 20%%@."
         measured baseline;
       exit 1
+    end;
+    if measured < lower then begin
+      Format.eprintf
+        "allocation baseline is stale: measured %.0f B/update is more than \
+         20%% below the checked-in %.0f — update %s@."
+        measured baseline file;
+      exit 1
     end
+
+(* Live-mode smoke: one real-TCP harness run (scenario 5, the
+   best-vs-challenger shape the incremental decision path serves) must
+   finish and verify — sessions establish over loopback, the table
+   loads, the challenger phase completes, and the Loc-RIB checks out.
+   Small table: this guards the live plumbing, not throughput. *)
+let print_live_smoke () =
+  let sc = Scenario.of_id_exn 5 in
+  let config = { bench_config with H.mode = H.Live; H.timeout = 60.0 } in
+  let r = H.run ~config Arch.pentium3 sc in
+  assert (r.H.verified = Ok ());
+  Format.printf "Live smoke (%s, %d prefixes, real TCP): %.1f transactions/s@.@."
+    (Scenario.name sc) config.H.table_size r.H.tps
 
 let fault_tests =
   List.map
@@ -565,6 +593,7 @@ let () =
   print_stage_breakdowns ();
   print_fault_smoke ();
   print_alloc_smoke ();
+  print_live_smoke ();
   print_trace_smoke ();
   (* --smoke: the breakdown runs above are a complete (if small)
      harness exercise; stop before the wall-clock measurements. *)

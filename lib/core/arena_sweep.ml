@@ -24,6 +24,13 @@ type cell = {
   sw_live : int;               (* distinct attribute sets in the arena *)
   sw_saved_bytes : int;
   sw_alloc_per_update : float; (* Gc.allocated_bytes per UPDATE *)
+  (* Challenger phase: the same table re-announced by a second peer
+     with longer AS paths — every route loses to the incumbent, the
+     scenario-5/6 shape — measured wall-clock with no cost-model
+     pacing, i.e. the software msgs/sec ceiling the live harness can
+     at best approach. *)
+  sw_chal_alloc_per_update : float;
+  sw_chal_tps : float;         (* prefix transactions per second *)
 }
 
 type t = { seed : int; packing : int; cells : cell list }
@@ -37,7 +44,8 @@ let sink_addr = Bgp_addr.Ipv4.of_string_exn "192.0.2.2"
 (* Pack consecutive entries sharing an attribute set into one UPDATE,
    like a speaker replaying a table dump; the encodings are built
    before measurement so only the receiver path is on the clock. *)
-let encode_table ~packing entries ~next_hop =
+let encode_table ?(to_attrs = Bgp_speaker.Table_io.to_attrs) ~packing entries
+    ~next_hop =
   let flush acc attrs prefixes =
     match prefixes with
     | [] -> acc
@@ -46,7 +54,7 @@ let encode_table ~packing entries ~next_hop =
   let rec go acc cur_attrs cur_prefixes = function
     | [] -> List.rev (flush acc cur_attrs cur_prefixes)
     | e :: rest ->
-      let attrs = Bgp_speaker.Table_io.to_attrs ~next_hop e in
+      let attrs = to_attrs ~next_hop e in
       if A.equal attrs cur_attrs && List.length cur_prefixes < packing then
         go acc cur_attrs (e.Bgp_speaker.Table_io.e_prefix :: cur_prefixes) rest
       else
@@ -59,15 +67,14 @@ let encode_table ~packing entries ~next_hop =
   match entries with
   | [] -> []
   | e :: rest ->
-    go []
-      (Bgp_speaker.Table_io.to_attrs ~next_hop e)
-      [ e.Bgp_speaker.Table_io.e_prefix ]
-      rest
+    go [] (to_attrs ~next_hop e) [ e.Bgp_speaker.Table_io.e_prefix ] rest
 
-let run_one ~seed ~packing ~sharing n =
+let run_one ~seed ~packing ~sharing ~incremental n =
   let entries = Bgp_speaker.Table_io.synthesize ~seed ~n ~speaker_asn () in
   let encoded = encode_table ~packing entries ~next_hop:speaker_addr in
-  let rib = Rib_manager.create ~local_asn:router_asn ~router_id () in
+  let rib =
+    Rib_manager.create ~incremental ~local_asn:router_asn ~router_id ()
+  in
   let src =
     Peer.make ~id:1 ~asn:speaker_asn ~router_id:speaker_addr ~addr:speaker_addr
   in
@@ -79,26 +86,45 @@ let run_one ~seed ~packing ~sharing n =
   in
   Rib_manager.add_peer rib src;
   Rib_manager.add_peer rib sink;
+  (* Challengers: the same table from the second peer with one extra
+     AS hop, so every route loses to the incumbent on path length —
+     the scenario-5/6 workload shape.  Encoded up front, off the
+     clock. *)
+  let challengers =
+    encode_table ~packing entries ~next_hop:sink_addr
+      ~to_attrs:(fun ~next_hop e ->
+        A.prepend_as (Asn.of_int 65002)
+          { (Bgp_speaker.Table_io.to_attrs ~next_hop e) with
+            A.next_hop })
+  in
   (* Measurement starts from an empty arena so [live] counts this
      table's distinct attribute sets only. *)
   I.clear ();
   I.set_sharing sharing;
+  let apply ~from buf =
+    match Codec.decode buf with
+    | Ok (Msg.Update u) -> (
+      match u.Msg.attrs with
+      | Some interned ->
+        Rib_manager.announce_group rib ~from
+          ~each:(fun _ _ -> ())
+          u.Msg.nlri interned
+      | None -> ())
+    | Ok _ | Error _ -> invalid_arg "Arena_sweep: bad self-encoded UPDATE"
+  in
   let updates = List.length encoded in
   let before = Gc.allocated_bytes () in
-  List.iter
-    (fun buf ->
-      match Codec.decode buf with
-      | Ok (Msg.Update u) -> (
-        match u.Msg.attrs with
-        | Some interned ->
-          Rib_manager.announce_group rib ~from:src
-            ~each:(fun _ _ -> ())
-            u.Msg.nlri interned
-        | None -> ())
-      | Ok _ | Error _ -> invalid_arg "Arena_sweep: bad self-encoded UPDATE")
-    encoded;
+  List.iter (apply ~from:src) encoded;
   let after = Gc.allocated_bytes () in
+  (* Arena stats reflect the table-load phase only, as before the
+     challenger phase existed. *)
   let s = I.stats () in
+  let chal_updates = List.length challengers in
+  let chal_t0 = Unix.gettimeofday () in
+  let chal_before = Gc.allocated_bytes () in
+  List.iter (apply ~from:sink) challengers;
+  let chal_after = Gc.allocated_bytes () in
+  let chal_dt = Unix.gettimeofday () -. chal_t0 in
   I.set_sharing true;
   { sw_prefixes = n; sw_sharing = sharing; sw_updates = updates;
     sw_interns = s.I.interns; sw_hits = s.I.hits;
@@ -106,14 +132,19 @@ let run_one ~seed ~packing ~sharing n =
     sw_saved_bytes = s.I.saved_bytes;
     sw_alloc_per_update =
       (if updates = 0 then 0.0
-       else (after -. before) /. float_of_int updates) }
+       else (after -. before) /. float_of_int updates);
+    sw_chal_alloc_per_update =
+      (if chal_updates = 0 then 0.0
+       else (chal_after -. chal_before) /. float_of_int chal_updates);
+    sw_chal_tps =
+      (if chal_dt <= 0.0 then 0.0 else float_of_int n /. chal_dt) }
 
-let run ?(seed = 42) ?(packing = 500) counts =
+let run ?(seed = 42) ?(packing = 500) ?(incremental = true) counts =
   let cells =
     List.concat_map
       (fun n ->
-        [ run_one ~seed ~packing ~sharing:true n;
-          run_one ~seed ~packing ~sharing:false n ])
+        [ run_one ~seed ~packing ~sharing:true ~incremental n;
+          run_one ~seed ~packing ~sharing:false ~incremental n ])
       counts
   in
   { seed; packing; cells }
@@ -144,18 +175,20 @@ let render t =
   Buffer.add_string b
     (Printf.sprintf "seed %d, packing %d\n\n" t.seed t.packing);
   Buffer.add_string b
-    (Printf.sprintf "%10s %8s %9s %10s %9s %8s %14s %16s\n" "prefixes"
-       "sharing" "updates" "interns" "hit-rate" "live" "saved-bytes"
-       "alloc/update-B");
+    (Printf.sprintf "%10s %8s %9s %10s %9s %8s %14s %16s %14s %12s\n"
+       "prefixes" "sharing" "updates" "interns" "hit-rate" "live"
+       "saved-bytes" "alloc/update-B" "chal-alloc-B" "chal-tps");
   List.iter
     (fun c ->
       Buffer.add_string b
-        (Printf.sprintf "%10d %8s %9d %10d %8.1f%% %8d %14d %16.0f\n"
+        (Printf.sprintf
+           "%10d %8s %9d %10d %8.1f%% %8d %14d %16.0f %14.0f %12.0f\n"
            c.sw_prefixes
            (if c.sw_sharing then "on" else "off")
            c.sw_updates c.sw_interns
            (100.0 *. c.sw_hit_rate)
-           c.sw_live c.sw_saved_bytes c.sw_alloc_per_update))
+           c.sw_live c.sw_saved_bytes c.sw_alloc_per_update
+           c.sw_chal_alloc_per_update c.sw_chal_tps))
     t.cells;
   Buffer.add_char b '\n';
   List.iter
@@ -184,7 +217,10 @@ let to_json t =
                    ("hit_rate", J.Float c.sw_hit_rate);
                    ("live", J.Int c.sw_live);
                    ("saved_bytes", J.Int c.sw_saved_bytes);
-                   ("alloc_per_update", J.Float c.sw_alloc_per_update) ])
+                   ("alloc_per_update", J.Float c.sw_alloc_per_update);
+                   ( "challenger_alloc_per_update",
+                     J.Float c.sw_chal_alloc_per_update );
+                   ("challenger_tps", J.Float c.sw_chal_tps) ])
              t.cells) );
       ( "checks",
         J.Obj (List.map (fun (desc, ok) -> (desc, J.Bool ok)) (checks t)) ) ]

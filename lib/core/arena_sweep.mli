@@ -19,15 +19,25 @@ type cell = {
   sw_live : int;               (** distinct attribute sets in the arena *)
   sw_saved_bytes : int;
   sw_alloc_per_update : float; (** [Gc.allocated_bytes] per UPDATE *)
+  sw_chal_alloc_per_update : float;
+      (** allocation per UPDATE while a second peer re-announces the
+          table with longer paths (every route loses — the
+          scenario-5/6 shape, resolved by the incremental decision
+          fast path) *)
+  sw_chal_tps : float;
+      (** wall-clock prefix transactions/s of that challenger phase —
+          the unpaced software msgs/sec ceiling *)
 }
 
 type t = { seed : int; packing : int; cells : cell list }
 
-val run : ?seed:int -> ?packing:int -> int list -> t
+val run : ?seed:int -> ?packing:int -> ?incremental:bool -> int list -> t
 (** [run counts] sweeps each table size in [counts], producing two
     cells per size (sharing on, then off).  [packing] (default 500)
-    caps prefixes per UPDATE.  Leaves the global arena cleared and
-    sharing re-enabled. *)
+    caps prefixes per UPDATE; [incremental] (default true) is passed to
+    {!Bgp_rib.Rib_manager.create}, so [~incremental:false] A/Bs the
+    best-vs-challenger fast path against full re-selection.  Leaves the
+    global arena cleared and sharing re-enabled. *)
 
 val checks : t -> (string * bool) list
 (** Per-size acceptance checks: sharing hit rate above 90% and strictly

@@ -29,60 +29,62 @@ let pp_rule ppf r =
     | Identical -> "identical")
 
 let compare_routes ~local_asn a b =
-  (* Each step returns [c] with c > 0 iff [a] preferred.  The
-     attribute-dependent inputs come from the handles' memoized
-     preference tuples ({!Bgp_route.Attrs.pref}): defaults are baked in
-     at intern time, so no step walks an AS path or an option. *)
+  (* Straight-line rule chain: each step yields [c] with c > 0 iff [a]
+     preferred.  The attribute-dependent inputs come from the handles'
+     memoized preference tuples ({!Bgp_route.Attrs.pref}): defaults are
+     baked in at intern time, so no step walks an AS path or an option,
+     and the chain allocates nothing but its return pair — this runs
+     once per pairwise comparison on the decision hot path. *)
   let pa = R.pref a and pb = R.pref b in
-  let steps =
-    [ ( Local_origin,
-        fun () ->
-          Bool.compare (Peer.is_local (R.from a)) (Peer.is_local (R.from b)) );
-      (Local_pref, fun () -> Int.compare pa.A.pr_local_pref pb.A.pr_local_pref);
-      ( Path_length,
-        fun () -> Int.compare pb.A.pr_path_len pa.A.pr_path_len );
-      ( Origin,
-        fun () -> Int.compare pb.A.pr_origin pa.A.pr_origin );
-      ( Med,
-        fun () ->
-          match pa.A.pr_first_hop, pb.A.pr_first_hop with
-          | Some na, Some nb when Bgp_route.Asn.equal na nb ->
-            Int.compare pb.A.pr_med pa.A.pr_med
-          | _ -> 0 );
-      ( Ebgp_over_ibgp,
-        fun () ->
-          let is_ebgp r =
-            (not (Peer.is_local (R.from r)))
-            && not (Bgp_route.Asn.equal (R.from r).Peer.asn local_asn)
+  let c = Bool.compare (Peer.is_local (R.from a)) (Peer.is_local (R.from b)) in
+  if c <> 0 then (c, Local_origin)
+  else
+    let c = Int.compare pa.A.pr_local_pref pb.A.pr_local_pref in
+    if c <> 0 then (c, Local_pref)
+    else
+      let c = Int.compare pb.A.pr_path_len pa.A.pr_path_len in
+      if c <> 0 then (c, Path_length)
+      else
+        let c = Int.compare pb.A.pr_origin pa.A.pr_origin in
+        if c <> 0 then (c, Origin)
+        else
+          let c =
+            match pa.A.pr_first_hop, pb.A.pr_first_hop with
+            | Some na, Some nb when Bgp_route.Asn.equal na nb ->
+              Int.compare pb.A.pr_med pa.A.pr_med
+            | _ -> 0
           in
-          Bool.compare (is_ebgp a) (is_ebgp b) );
-      ( Router_id,
-        fun () ->
-          Bgp_addr.Ipv4.compare (R.from b).Peer.router_id
-            (R.from a).Peer.router_id );
-      ( Peer_address,
-        fun () ->
-          Bgp_addr.Ipv4.compare (R.from b).Peer.addr (R.from a).Peer.addr )
-    ]
-  in
-  let rec go = function
-    | [] -> (0, Identical)
-    | (rule, step) :: rest ->
-      let c = step () in
-      if c <> 0 then (c, rule) else go rest
-  in
-  go steps
+          if c <> 0 then (c, Med)
+          else
+            let is_ebgp r =
+              (not (Peer.is_local (R.from r)))
+              && not (Bgp_route.Asn.equal (R.from r).Peer.asn local_asn)
+            in
+            let c = Bool.compare (is_ebgp a) (is_ebgp b) in
+            if c <> 0 then (c, Ebgp_over_ibgp)
+            else
+              let c =
+                Bgp_addr.Ipv4.compare (R.from b).Peer.router_id
+                  (R.from a).Peer.router_id
+              in
+              if c <> 0 then (c, Router_id)
+              else
+                let c =
+                  Bgp_addr.Ipv4.compare (R.from b).Peer.addr (R.from a).Peer.addr
+                in
+                if c <> 0 then (c, Peer_address) else (0, Identical)
 
 let better ~local_asn a b = fst (compare_routes ~local_asn a b) > 0
 
 let select ~local_asn candidates =
-  (* Sorting by source peer first makes the fold's result independent
-     of candidate arrival order even though the ranking above is not a
-     total order (MED comparability depends on the pair). *)
-  let sorted =
-    List.sort (fun a b -> Peer.compare (R.from a) (R.from b)) candidates
-  in
-  match sorted with
+  (* The fold's result is order-dependent because the ranking above is
+     not a total order (MED comparability depends on the pair), so the
+     caller must present candidates in stable source-peer order
+     ({!Bgp_route.Peer.compare}: local routes first, then ascending
+     peer id).  {!Bgp_rib.Rib_manager} iterates its Adj-RIBs-In in that
+     order by construction, which keeps selection arrival-order
+     independent without a per-call sort. *)
+  match candidates with
   | [] -> None
   | first :: rest ->
     Some

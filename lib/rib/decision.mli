@@ -44,6 +44,13 @@ val better :
 val select :
   local_asn:Bgp_route.Asn.t -> Bgp_route.Route.t list ->
   Bgp_route.Route.t option
-(** Best of the candidates, or [None] for an empty list.  The result is
-    invariant under permutation of the input (candidates are ordered by
-    peer before folding). *)
+(** Best of the candidates, or [None] for an empty list.
+
+    Precondition: candidates are in stable source-peer order
+    ({!Bgp_route.Peer.compare}: local routes first, then ascending peer
+    id; at most one candidate per peer).  Because the ranking is not a
+    total order (MED comparability depends on the pair), the left fold
+    is order-dependent; presenting the candidates in one fixed order is
+    what keeps selection independent of update arrival order.
+    {!Bgp_rib.Rib_manager} iterates its Adj-RIBs-In in exactly this
+    order, so it never pays a per-call sort. *)

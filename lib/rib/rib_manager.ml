@@ -32,6 +32,12 @@ type t = {
   default_import : Policy.t;
   default_export : Policy.t;
   peer_states : (int, peer_state) Hashtbl.t;
+  (* [peer_states] snapshot sorted by {!Peer.compare}, rebuilt on
+     {!add_peer}.  Peers are added during setup and then iterated on
+     every decision, so caching the order here removes the
+     sort-per-walk that [fold_peer_states] used to pay. *)
+  mutable peers_sorted : peer_state array;
+  incremental : bool;  (* enable the best-vs-challenger fast path *)
   aggregates : agg_state list;
   local_routes : Adj_rib.t;  (* locally originated, keyed like an adj-in *)
   loc : Loc_rib.t;
@@ -40,31 +46,42 @@ type t = {
      pipeline accounting together. *)
   c_updates_processed : M.counter;
   c_decisions_run : M.counter;
+  c_decision_fastpath : M.counter;
   c_loc_rib_changes : M.counter;
   c_announcements_emitted : M.counter;
   c_policy_units : M.counter;
 }
 
 let create ?(import = Policy.accept_all) ?(export = Policy.accept_all)
-    ?(aggregates = []) ?cluster_id ?metrics ~local_asn ~router_id () =
+    ?(aggregates = []) ?cluster_id ?metrics ?(incremental = true) ~local_asn
+    ~router_id () =
   let metrics =
     match metrics with Some m -> m | None -> M.create ()
   in
   { local_asn; router_id;
     cluster_id = Option.value ~default:router_id cluster_id;
     default_import = import; default_export = export;
-    peer_states = Hashtbl.create 16;
+    peer_states = Hashtbl.create 16; peers_sorted = [||]; incremental;
     aggregates =
       List.map (fun agg_cfg -> { agg_cfg; agg_active = false }) aggregates;
     local_routes = Adj_rib.create (); loc = Loc_rib.create ();
     c_updates_processed = M.counter metrics "rib.updates_processed";
     c_decisions_run = M.counter metrics "rib.decisions_run";
+    c_decision_fastpath = M.counter metrics "rib.decision_fastpath";
     c_loc_rib_changes = M.counter metrics "rib.loc_rib_changes";
     c_announcements_emitted = M.counter metrics "rib.announcements_emitted";
     c_policy_units = M.counter metrics "rib.policy_units" }
 
 let local_asn t = t.local_asn
 let router_id t = t.router_id
+
+let rebuild_peer_cache t =
+  let arr =
+    Hashtbl.fold (fun _ ps acc -> ps :: acc) t.peer_states []
+    |> Array.of_list
+  in
+  Array.sort (fun a b -> Peer.compare a.peer b.peer) arr;
+  t.peers_sorted <- arr
 
 let add_peer ?import ?export ?(rr_client = false) ?(up = true) t peer =
   if Peer.is_local peer then invalid_arg "Rib_manager.add_peer: local pseudo-peer";
@@ -74,7 +91,8 @@ let add_peer ?import ?export ?(rr_client = false) ?(up = true) t peer =
   Hashtbl.replace t.peer_states peer.Peer.id
     { peer; adj_in = Adj_rib.create (); adj_out = Adj_rib.create ();
       import = Option.value ~default:t.default_import import;
-      export = Option.value ~default:t.default_export export; rr_client; up }
+      export = Option.value ~default:t.default_export export; rr_client; up };
+  rebuild_peer_cache t
 
 let peer_state t peer =
   match Hashtbl.find_opt t.peer_states peer.Peer.id with
@@ -82,17 +100,13 @@ let peer_state t peer =
   | None ->
     invalid_arg (Printf.sprintf "Rib_manager: unknown peer id %d" peer.Peer.id)
 
-let peers t =
-  Hashtbl.fold (fun _ ps acc -> ps.peer :: acc) t.peer_states []
-  |> List.sort Peer.compare
+let peers t = Array.to_list (Array.map (fun ps -> ps.peer) t.peers_sorted)
 
 (* Deterministic peer iteration: every walk over [peer_states] goes
-   through here, ordered by peer id, so no output can inherit the
-   hash-table's fold order. *)
+   through the cached sorted array, ordered by peer id, so no output can
+   inherit the hash-table's fold order — and no walk pays a sort. *)
 let fold_peer_states t f acc =
-  Hashtbl.fold (fun id ps acc -> (id, ps) :: acc) t.peer_states []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  |> List.fold_left (fun acc (_, ps) -> f ps acc) acc
+  Array.fold_left (fun acc ps -> f ps acc) acc t.peers_sorted
 
 let loc_rib t = t.loc
 let adj_in_size t peer = Adj_rib.size (peer_state t peer).adj_in
@@ -137,25 +151,31 @@ let nexthop_of_route r =
    Adj-RIB-In entry, plus local routes. Returns the candidate list and
    the policy work expended.  Candidate routes are built from the
    stored handles ({!R.of_interned}) — the decision hot path never
-   touches the arena. *)
+   touches the arena.
+
+   The list comes out in stable source-peer order (local first, then
+   ascending peer id), which is {!Decision.select}'s precondition: the
+   ranking is not a total order (MED), so a fixed presentation order is
+   what keeps selection independent of update arrival order. *)
 let candidates_for t prefix =
   let work = ref 0 in
   let cands = ref [] in
+  let arr = t.peers_sorted in
+  for i = Array.length arr - 1 downto 0 do
+    let ps = arr.(i) in
+    match Adj_rib.find ps.adj_in prefix with
+    | None -> ()
+    | Some interned ->
+      let r = R.of_interned ~prefix ~interned ~from:ps.peer in
+      work := !work + Policy.work_units ps.import r;
+      (match Policy.eval ps.import r with
+      | Some r' -> cands := r' :: !cands
+      | None -> ())
+  done;
   (match Adj_rib.find t.local_routes prefix with
   | None -> ()
   | Some interned ->
     cands := R.of_interned ~prefix ~interned ~from:Peer.local :: !cands);
-  fold_peer_states t
-    (fun ps () ->
-      match Adj_rib.find ps.adj_in prefix with
-      | None -> ()
-      | Some interned ->
-        let r = R.of_interned ~prefix ~interned ~from:ps.peer in
-        work := !work + Policy.work_units ps.import r;
-        (match Policy.eval ps.import r with
-        | Some r' -> cands := r' :: !cands
-        | None -> ()))
-    ();
   (!cands, !work)
 
 (* Transform the best route for advertisement to [ps], or None when it
@@ -442,6 +462,65 @@ let finish t
       fib_deltas = fib_deltas @ agg_deltas;
       announcements = announcements @ agg_anns; candidates; policy_work }
 
+(* ------------------------------------------------------------------ *)
+(* Incremental decision fast path                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Soundness rests on {!Decision.select} being a left fold over the
+   candidates in stable source-peer order: once the fold passes the
+   winning route's position, the running best never changes again, so
+   every candidate at a later position lost (or would lose) to it.
+   Hence, when an update arrives from peer [p] and the current Loc-RIB
+   best comes from a strictly earlier source ([Peer.compare src p < 0],
+   which includes locally originated bests):
+
+   - an announce only needs best-vs-challenger: if the post-import
+     challenger loses (or is filtered), the fold over the full
+     candidate set would return the same best — [p]'s previous entry,
+     if any, had also lost, so replacing one loser with another leaves
+     the result intact;
+   - a withdraw removes a candidate that had lost, so the result is
+     intact unconditionally.
+
+   Everything else — best from [p] itself or from a later source, no
+   current best, a challenger that wins — falls back to the full
+   {!redecide}.  The fast path leaves Loc-RIB, FIB, and Adj-RIBs-Out
+   untouched by construction (loc_changed is false), so aggregates
+   need no re-evaluation either. *)
+
+let fast_outcome t change ~candidates ~policy_work =
+  M.incr t.c_updates_processed;
+  M.incr t.c_decision_fastpath;
+  if policy_work > 0 then M.incr ~by:policy_work t.c_policy_units;
+  { adj_in_change = change; loc_changed = false; fib_deltas = [];
+    announcements = []; candidates; policy_work }
+
+let try_fast_announce t ps prefix interned change =
+  if not t.incremental then None
+  else
+    match Loc_rib.find t.loc prefix with
+    | None -> None
+    | Some best ->
+      if Peer.compare (R.from best) ps.peer >= 0 then None
+      else begin
+        let challenger = R.of_interned ~prefix ~interned ~from:ps.peer in
+        let work = Policy.work_units ps.import challenger in
+        match Policy.eval ps.import challenger with
+        | None -> Some (fast_outcome t change ~candidates:1 ~policy_work:work)
+        | Some c ->
+          if Decision.better ~local_asn:t.local_asn c best then None
+          else Some (fast_outcome t change ~candidates:2 ~policy_work:work)
+      end
+
+let try_fast_withdraw t ps prefix =
+  if not t.incremental then None
+  else
+    match Loc_rib.find t.loc prefix with
+    | None -> None
+    | Some best ->
+      if Peer.compare (R.from best) ps.peer >= 0 then None
+      else Some (fast_outcome t `Removed ~candidates:0 ~policy_work:0)
+
 (* RFC 4456 section 8 loop protection: our own ORIGINATOR_ID or
    cluster id in an incoming route means a reflection loop. *)
 let reflection_loop t (attrs : A.t) =
@@ -467,10 +546,16 @@ let announce_one t ps ~looping prefix interned =
       { no_op_outcome with adj_in_change = `Loop }
     end
   else
-    finish t
-      (Adj_rib.set ps.adj_in prefix interned
-        :> [ `New | `Changed | `Unchanged | `Removed | `Absent | `Loop ])
-      prefix
+    match Adj_rib.set ps.adj_in prefix interned with
+    | `Unchanged -> finish t `Unchanged prefix
+    | (`New | `Changed) as change -> (
+      match try_fast_announce t ps prefix interned change with
+      | Some outcome -> outcome
+      | None ->
+        finish t
+          (change
+            :> [ `New | `Changed | `Unchanged | `Removed | `Absent | `Loop ])
+          prefix)
 
 let announce_interned t ~from prefix interned =
   let ps = peer_state t from in
@@ -489,7 +574,10 @@ let announce_group t ~from ~each prefixes interned =
 
 let withdraw t ~from prefix =
   let ps = peer_state t from in
-  if Adj_rib.remove ps.adj_in prefix then finish t `Removed prefix
+  if Adj_rib.remove ps.adj_in prefix then
+    match try_fast_withdraw t ps prefix with
+    | Some outcome -> outcome
+    | None -> finish t `Removed prefix
   else finish t `Absent prefix
 
 let withdraw_local t ~prefix =
@@ -559,6 +647,7 @@ let peer_down t peer =
 type stats = {
   updates_processed : int;
   decisions_run : int;
+  decision_fastpath : int;
   loc_rib_changes : int;
   announcements_emitted : int;
   policy_units : int;
@@ -567,6 +656,7 @@ type stats = {
 let stats (t : t) =
   { updates_processed = M.value t.c_updates_processed;
     decisions_run = M.value t.c_decisions_run;
+    decision_fastpath = M.value t.c_decision_fastpath;
     loc_rib_changes = M.value t.c_loc_rib_changes;
     announcements_emitted = M.value t.c_announcements_emitted;
     policy_units = M.value t.c_policy_units }

@@ -30,6 +30,7 @@ val create :
   ?aggregates:aggregate_config list ->
   ?cluster_id:Bgp_addr.Ipv4.t ->
   ?metrics:Bgp_stats.Metrics.t ->
+  ?incremental:bool ->
   local_asn:Bgp_route.Asn.t ->
   router_id:Bgp_addr.Ipv4.t ->
   unit ->
@@ -43,6 +44,16 @@ val create :
     into, shared with the owning router so one
     {!Bgp_stats.Metrics.reset_all} clears all accounting together; by
     default the manager keeps a private registry.
+
+    [incremental] (default true) enables the best-vs-challenger fast
+    path: an update from peer [p] skips the full candidate rescan when
+    the current Loc-RIB best comes from a strictly earlier source in
+    decision order ({!Bgp_route.Peer.compare}) and the post-import
+    challenger does not beat it (withdraws of losing routes skip
+    unconditionally).  Because {!Decision.select} is a left fold in
+    that same source order, the fast path is observationally equivalent
+    to full re-selection — [~incremental:false] exists so tests can
+    check that equivalence differentially.
     @raise Invalid_argument if [metrics] already holds [rib.*] names
     (one registry backs at most one manager). *)
 
@@ -160,6 +171,9 @@ val peer_down : t -> Bgp_route.Peer.t -> outcome
 type stats = {
   updates_processed : int;
   decisions_run : int;
+  decision_fastpath : int;
+      (** updates resolved by the best-vs-challenger fast path without
+          a full candidate rescan *)
   loc_rib_changes : int;
   announcements_emitted : int;
   policy_units : int;

@@ -226,6 +226,58 @@ module Interned = struct
         Arena.add table value h;
         h
 
+  (* Wire-span cache: raw attribute byte-span -> handle, so a decoder
+     that has seen the exact bytes before interns without materializing
+     the intermediate record at all.  Keyed by an FNV-1a hash of the
+     span with the stored copy as the collision check; the stats
+     counters on a hit mirror exactly what the [intern] call being
+     skipped would have recorded, so arena accounting is unchanged by
+     who found the handle. *)
+  let span_tbl : (int, (string * t) list) Hashtbl.t = Hashtbl.create 4096
+
+  let span_hash buf ~pos ~len =
+    let h = ref 0x811c9dc5 in
+    for i = pos to pos + len - 1 do
+      h := (!h lxor Char.code (String.unsafe_get buf i)) * 0x01000193
+    done;
+    !h land max_int
+
+  let span_matches span buf pos len =
+    String.length span = len
+    &&
+    let rec go i =
+      i = len
+      || Char.equal (String.unsafe_get span i) (String.unsafe_get buf (pos + i))
+         && go (i + 1)
+    in
+    go 0
+
+  let find_span buf ~pos ~len =
+    if not !sharing then None
+    else
+      match Hashtbl.find_opt span_tbl (span_hash buf ~pos ~len) with
+      | None -> None
+      | Some entries -> (
+        match
+          List.find_opt (fun (span, _) -> span_matches span buf pos len) entries
+        with
+        | None -> None
+        | Some (_, h) ->
+          incr n_interns;
+          incr n_hits;
+          n_saved := !n_saved + h.vbytes;
+          Some h)
+
+  let add_span buf ~pos ~len h =
+    if !sharing then begin
+      let key = span_hash buf ~pos ~len in
+      let entries = Option.value ~default:[] (Hashtbl.find_opt span_tbl key) in
+      (* Only reached on a [find_span] miss, so the span is new under
+         this key; the copy is the one allocation the cache ever pays
+         for these bytes. *)
+      Hashtbl.replace span_tbl key ((String.sub buf pos len, h) :: entries)
+    end
+
   let value h = h.value
   let id h = h.id
   let pref h = h.pref
@@ -262,6 +314,7 @@ module Interned = struct
      with fresh ones on the id fast path. *)
   let clear () =
     Arena.reset table;
+    Hashtbl.reset span_tbl;
     n_interns := 0;
     n_hits := 0;
     n_saved := 0

@@ -109,6 +109,21 @@ module Interned : sig
   val intern : attrs -> t
   (** Canonical handle for [attrs]; O(1) amortized on an arena hit. *)
 
+  val find_span : string -> pos:int -> len:int -> t option
+  (** [find_span buf ~pos ~len] is the handle previously registered for
+      the raw attribute byte-span [buf.[pos .. pos+len-1]] via
+      {!add_span}, or [None].  A hit records exactly the arena stats
+      the skipped {!intern} call would have (one intern, one hit, the
+      handle's bytes saved), so accounting is independent of which path
+      found the handle.  Always [None] while sharing is disabled: the
+      A/B baseline must not share through the side door. *)
+
+  val add_span : string -> pos:int -> len:int -> t -> unit
+  (** Register [handle] as the decode result for the span (copying the
+      bytes once).  Call only on a {!find_span} miss, with a handle
+      obtained by decoding that very span; no-op while sharing is
+      disabled. *)
+
   val value : t -> attrs
   val id : t -> int
   val pref : t -> pref

@@ -7,6 +7,7 @@ type t = {
   loop : Event_loop.t;
   role : role;
   mutable conn : Unix.file_descr option;
+  out : Ring.t;  (* queued output not yet accepted by the socket *)
   mutable session : Session.t option;
 }
 
@@ -21,13 +22,34 @@ let close_conn t =
   | Some fd ->
     Event_loop.unwatch t.loop fd;
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    t.conn <- None
+    t.conn <- None;
+    Ring.clear t.out
 
-let rec write_all fd bytes off len =
-  if len > 0 then begin
-    let n = Unix.write fd bytes off len in
-    write_all fd bytes (off + n) (len - n)
-  end
+let conn_error t =
+  close_conn t;
+  Session.closed (session t)
+
+(* Non-blocking queued output on the shared ring discipline (see
+   {!Tcp_link}): the whole contiguous head segment per syscall, O(1)
+   head advance on partial writes, write-watch armed only while bytes
+   are pending.  This replaces the old clear-O_NONBLOCK-and-block
+   write-out, which could stall the entire loop on one slow peer. *)
+let rec flush_out t =
+  match t.conn with
+  | None -> Ring.clear t.out
+  | Some fd ->
+    if not (Ring.is_empty t.out) then begin
+      let buf, off, len = Ring.contiguous t.out in
+      match Unix.write fd buf off len with
+      | n ->
+        Ring.consume t.out n;
+        if Ring.is_empty t.out then Event_loop.unwatch_write t.loop fd
+        else if n = len then flush_out t
+        else Event_loop.watch_write t.loop fd (fun () -> flush_out t)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Event_loop.watch_write t.loop fd (fun () -> flush_out t)
+      | exception Unix.Unix_error (_, _, _) -> conn_error t
+    end
 
 let install_conn t fd =
   close_conn t;
@@ -50,18 +72,10 @@ let install_conn t fd =
 let io_of t ~active =
   { Session.out_bytes =
       (fun bytes ->
-        match t.conn with
-        | None -> ()
-        | Some fd -> (
-          (* Loopback demo volumes: briefly clear O_NONBLOCK and write
-             it all. *)
-          try
-            Unix.clear_nonblock fd;
-            write_all fd (Bytes.of_string bytes) 0 (String.length bytes);
-            Unix.set_nonblock fd
-          with Unix.Unix_error _ ->
-            close_conn t;
-            Session.closed (session t)));
+        if t.conn <> None && bytes <> "" then begin
+          Ring.push_string t.out bytes;
+          flush_out t
+        end);
     start_connect =
       (fun () ->
         if active then
@@ -82,7 +96,7 @@ let listen loop ~port ~cfg ~hooks =
   Unix.setsockopt lfd Unix.SO_REUSEADDR true;
   Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   Unix.listen lfd 1;
-  let t = { loop; role = Listener lfd; conn = None; session = None } in
+  let t = { loop; role = Listener lfd; conn = None; out = Ring.create (); session = None } in
   let cfg = { cfg with Fsm.passive = true } in
   t.session <-
     Some (Session.create cfg (Event_loop.timer_service loop) (io_of t ~active:false) hooks);
@@ -93,7 +107,7 @@ let listen loop ~port ~cfg ~hooks =
   t
 
 let connect loop ~port ~cfg ~hooks =
-  let t = { loop; role = Connector port; conn = None; session = None } in
+  let t = { loop; role = Connector port; conn = None; out = Ring.create (); session = None } in
   t.session <-
     Some (Session.create cfg (Event_loop.timer_service loop) (io_of t ~active:true) hooks);
   t

@@ -1,8 +1,15 @@
 module Engine = Bgp_sim.Engine
 
 type t = {
-  mutable readers : (Unix.file_descr * (unit -> unit)) list;
-  mutable writers : (Unix.file_descr * (unit -> unit)) list;
+  (* Watchers are hash tables with a cached descriptor list: dispatch
+     is O(1) per ready fd and the select argument lists are rebuilt
+     only when the watched set changes, not on every iteration.
+     Re-arming an already-watched fd (the flush-under-backpressure hot
+     case) touches neither list. *)
+  readers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  writers : (Unix.file_descr, unit -> unit) Hashtbl.t;
+  mutable fds_r : Unix.file_descr list;
+  mutable fds_w : Unix.file_descr list;
   mutable posted : (unit -> unit) list;
   (* The timer queue IS a simulation engine: deadlines and FIFO
      tie-breaks live on its (time, seq) heap and cancellation is its
@@ -17,7 +24,8 @@ type t = {
 }
 
 let create () =
-  { readers = []; writers = []; posted = []; timers = Engine.create ();
+  { readers = Hashtbl.create 16; writers = Hashtbl.create 16;
+    fds_r = []; fds_w = []; posted = []; timers = Engine.create ();
     epoch = Unix.gettimeofday (); last_now = 0.0 }
 
 (* Monotonized time: [gettimeofday] can step backwards under NTP; we
@@ -34,16 +42,25 @@ let now t =
   t.last_now
 
 let watch_read t fd fn =
-  t.readers <- (fd, fn) :: List.remove_assoc fd t.readers
-
-let unwatch t fd =
-  t.readers <- List.remove_assoc fd t.readers;
-  t.writers <- List.remove_assoc fd t.writers
+  if not (Hashtbl.mem t.readers fd) then t.fds_r <- fd :: t.fds_r;
+  Hashtbl.replace t.readers fd fn
 
 let watch_write t fd fn =
-  t.writers <- (fd, fn) :: List.remove_assoc fd t.writers
+  if not (Hashtbl.mem t.writers fd) then t.fds_w <- fd :: t.fds_w;
+  Hashtbl.replace t.writers fd fn
 
-let unwatch_write t fd = t.writers <- List.remove_assoc fd t.writers
+let unwatch_write t fd =
+  if Hashtbl.mem t.writers fd then begin
+    Hashtbl.remove t.writers fd;
+    t.fds_w <- List.filter (fun fd' -> fd' <> fd) t.fds_w
+  end
+
+let unwatch t fd =
+  if Hashtbl.mem t.readers fd then begin
+    Hashtbl.remove t.readers fd;
+    t.fds_r <- List.filter (fun fd' -> fd' <> fd) t.fds_r
+  end;
+  unwatch_write t fd
 
 let after t delay fn =
   let h = Engine.schedule_at t.timers ~time:(now t +. Float.max 0.0 delay) fn in
@@ -93,8 +110,8 @@ and run t ~until ~timeout =
       run_due_timers t;
       if until () then true
       else begin
-        let fds_r = List.map fst t.readers in
-        let fds_w = List.map fst t.writers in
+        let fds_r = t.fds_r in
+        let fds_w = t.fds_w in
         (* Sleep until the next thing that can change state: the
            earliest timer or the run deadline.  With neither closer
            than the deadline the select blocks the whole remaining
@@ -113,13 +130,13 @@ and run t ~until ~timeout =
         | readable, writable, _ ->
           List.iter
             (fun fd ->
-              match List.assoc_opt fd t.readers with
+              match Hashtbl.find_opt t.readers fd with
               | Some fn -> fn ()
               | None -> ())
             readable;
           List.iter
             (fun fd ->
-              match List.assoc_opt fd t.writers with
+              match Hashtbl.find_opt t.writers fd with
               | Some fn -> fn ()
               | None -> ())
             writable
@@ -131,8 +148,10 @@ and run t ~until ~timeout =
   go ()
 
 let stop_watching_all t =
-  t.readers <- [];
-  t.writers <- [];
+  Hashtbl.reset t.readers;
+  Hashtbl.reset t.writers;
+  t.fds_r <- [];
+  t.fds_w <- [];
   t.posted <- [];
   (* Dropping the engine discards every armed timer; cancel thunks
      held against the old queue stay safe (cancel is idempotent and

@@ -10,7 +10,8 @@ type conn = {
   loop : Event_loop.t;
   role : role;
   mutable fd : Unix.file_descr option;
-  mutable out : string;  (* queued output not yet accepted by the socket *)
+  out : Ring.t;  (* queued output not yet accepted by the socket *)
+  read_buf : Bytes.t;  (* per-connection: concurrent links never alias *)
   mutable receiver : string -> unit;
   mutable on_connected : unit -> unit;
   mutable on_closed : unit -> unit;
@@ -19,7 +20,8 @@ type conn = {
 }
 
 let make_conn loop role =
-  { loop; role; fd = None; out = ""; receiver = (fun _ -> ());
+  { loop; role; fd = None; out = Ring.create ();
+    read_buf = Bytes.create 65536; receiver = (fun _ -> ());
     on_connected = (fun () -> ()); on_closed = (fun () -> ()); tap = None;
     gen = 0 }
 
@@ -30,22 +32,30 @@ let teardown ?(notify = true) c =
     Event_loop.unwatch c.loop fd;
     (try Unix.close fd with Unix.Unix_error _ -> ());
     c.fd <- None;
-    c.out <- "";
+    Ring.clear c.out;
     c.gen <- c.gen + 1;
     (* Deliver the close from the pump, as the simulated channel does,
        so a session never observes its own [close] reentrantly. *)
     if notify then Event_loop.post c.loop (fun () -> c.on_closed ())
 
+(* Drain the ring: each [Unix.write] takes the whole contiguous head
+   segment — every message coalesced since the last drain goes out in
+   one syscall — and a partial write just advances the head (O(1); the
+   old string queue re-copied the remainder per write, O(n²) under
+   backpressure). *)
 let rec flush_out c =
   match c.fd with
-  | None -> c.out <- ""
+  | None -> Ring.clear c.out
   | Some fd ->
-    let len = String.length c.out in
-    if len > 0 then begin
-      match Unix.write_substring fd c.out 0 len with
+    if not (Ring.is_empty c.out) then begin
+      let buf, off, len = Ring.contiguous c.out in
+      match Unix.write fd buf off len with
       | n ->
-        c.out <- String.sub c.out n (len - n);
-        if c.out = "" then Event_loop.unwatch_write c.loop fd
+        Ring.consume c.out n;
+        if Ring.is_empty c.out then Event_loop.unwatch_write c.loop fd
+        else if n = len then
+          (* Wrapped tail segment and the socket is still accepting. *)
+          flush_out c
         else Event_loop.watch_write c.loop fd (fun () -> flush_out c)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         Event_loop.watch_write c.loop fd (fun () -> flush_out c)
@@ -54,17 +64,15 @@ let rec flush_out c =
 
 let enqueue c bytes =
   if c.fd <> None && bytes <> "" then begin
-    c.out <- c.out ^ bytes;
+    Ring.push_string c.out bytes;
     flush_out c
   end
 
-let read_buf = Bytes.create 65536
-
 let handle_readable c fd () =
   if c.fd = Some fd then begin
-    match Unix.read fd read_buf 0 (Bytes.length read_buf) with
+    match Unix.read fd c.read_buf 0 (Bytes.length c.read_buf) with
     | 0 -> teardown c
-    | n -> c.receiver (Bytes.sub_string read_buf 0 n)
+    | n -> c.receiver (Bytes.sub_string c.read_buf 0 n)
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (_, _, _) -> teardown c
   end

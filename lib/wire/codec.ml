@@ -446,7 +446,7 @@ let decode_one_attr r stop acc =
   if r.pos <> astop then
     fail (Msg.Update_message_error (Msg.Attribute_length_error code))
 
-let decode_attrs r stop ~nlri_present =
+let decode_attrs_slow r stop ~nlri_present =
   let acc =
     { p_origin = None; p_as_path = None; p_next_hop = None; p_med = None;
       p_local_pref = None; p_atomic = false; p_aggregator = None;
@@ -474,6 +474,32 @@ let decode_attrs r stop ~nlri_present =
     fail (Msg.Update_message_error (Msg.Missing_wellknown_attribute attr_as_path))
   | _, _, None ->
     fail (Msg.Update_message_error (Msg.Missing_wellknown_attribute attr_next_hop))
+
+(* Zero-copy fast path: hash the raw attribute byte-span before
+   materializing anything — a span-cache hit returns the interned
+   handle with no intermediate [Attrs.t], no AS-path list, and no
+   validation re-run (identical bytes decode identically, so the first
+   full decode vouches for every repeat).  Only spans whose decode
+   produced a handle are cached: an attribute section of purely
+   optional attributes legitimately decodes to [None] or [Some]
+   depending on [nlri_present], which the byte-keyed cache cannot
+   distinguish. *)
+let decode_attrs r stop ~nlri_present =
+  if r.pos >= stop then decode_attrs_slow r stop ~nlri_present
+  else begin
+    let pos0 = r.pos in
+    let len = stop - pos0 in
+    match A.Interned.find_span r.buf ~pos:pos0 ~len with
+    | Some handle ->
+      r.pos <- stop;
+      Some handle
+    | None ->
+      let result = decode_attrs_slow r stop ~nlri_present in
+      (match result with
+      | Some handle -> A.Interned.add_span r.buf ~pos:pos0 ~len handle
+      | None -> ());
+      result
+  end
 
 let decode_update r =
   let wlen = ru16 r in

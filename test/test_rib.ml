@@ -660,15 +660,14 @@ let test_aggregate_fib_covers_traffic () =
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let gen_peer =
-  QCheck2.Gen.(
-    map
-      (fun i ->
-        Peer.make ~id:i
-          ~asn:(asn (65001 + i))
-          ~router_id:(Bgp_addr.Ipv4.of_octets 192 0 2 (i + 1))
-          ~addr:(Bgp_addr.Ipv4.of_octets 192 0 2 (i + 1)))
-      (int_range 0 4))
+(* The fixed EBGP peer set every property draws from. *)
+let prop_peer i =
+  Peer.make ~id:i
+    ~asn:(asn (65001 + i))
+    ~router_id:(Bgp_addr.Ipv4.of_octets 192 0 2 (i + 1))
+    ~addr:(Bgp_addr.Ipv4.of_octets 192 0 2 (i + 1))
+
+let gen_peer = QCheck2.Gen.(map prop_peer (int_range 0 4))
 
 let gen_candidate =
   QCheck2.Gen.(
@@ -683,44 +682,54 @@ let gen_candidate =
          ~nh:(Bgp_addr.Ipv4.to_string peer.Peer.addr)
          path))
 
-let prop_select_permutation_invariant =
-  QCheck2.Test.make ~name:"select permutation-invariant" ~count:300
+(* One route per peer, as in real adj-ins. *)
+let dedup_by_peer cands =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun r ->
+      let id = (R.from r).Peer.id in
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    cands
+
+let peer_order a b = Peer.compare (R.from a) (R.from b)
+
+(* [Decision.select] itself is a plain left fold with a documented
+   stable-order precondition; arrival-order independence is now the
+   manager's property (its candidate iteration has a fixed order), so
+   that is where we assert it: any arrival interleaving of the same
+   per-peer routes must select the same Loc-RIB entry. *)
+let prop_manager_arrival_order_invariant =
+  QCheck2.Test.make ~name:"manager selection arrival-order invariant"
+    ~count:300
     QCheck2.Gen.(list_size (int_range 1 6) gen_candidate)
     (fun cands ->
-      (* Dedup by peer: one route per peer as in real adj-ins. *)
-      let seen = Hashtbl.create 8 in
-      let cands =
-        List.filter
+      let cands = dedup_by_peer cands in
+      let run order =
+        let t = Rib_manager.create ~local_asn ~router_id () in
+        for i = 0 to 4 do
+          Rib_manager.add_peer t (prop_peer i)
+        done;
+        List.iter
           (fun r ->
-            let id = (R.from r).Peer.id in
-            if Hashtbl.mem seen id then false
-            else begin
-              Hashtbl.add seen id ();
-              true
-            end)
-          cands
+            ignore
+              (Rib_manager.announce t ~from:(R.from r) (R.prefix r) (R.attrs r)))
+          order;
+        Loc_rib.fingerprint (Rib_manager.loc_rib t)
       in
-      match Decision.select ~local_asn cands with
-      | None -> cands = []
-      | Some best -> (
-        match Decision.select ~local_asn (List.rev cands) with
-        | Some best' -> R.equal best best'
-        | None -> false))
+      String.equal (run cands) (run (List.rev cands)))
 
 let prop_select_returns_maximal =
   QCheck2.Test.make ~name:"select's winner beats or ties every candidate"
     ~count:300
     QCheck2.Gen.(list_size (int_range 1 6) gen_candidate)
     (fun cands ->
-      let seen = Hashtbl.create 8 in
-      let cands =
-        List.filter
-          (fun r ->
-            let id = (R.from r).Peer.id in
-            if Hashtbl.mem seen id then false
-            else (Hashtbl.add seen id (); true))
-          cands
-      in
+      (* Sorted to select's stable-peer-order precondition, as the
+         manager presents them. *)
+      let cands = List.sort peer_order (dedup_by_peer cands) in
       match Decision.select ~local_asn cands with
       | None -> cands = []
       | Some best ->
@@ -728,6 +737,136 @@ let prop_select_returns_maximal =
           (fun r ->
             R.equal r best || fst (Decision.compare_routes ~local_asn r best) <= 0)
           cands)
+
+(* Reference implementation of the pre-straight-line [compare_routes]
+   (the rule/closure list it replaced), kept here verbatim so qcheck
+   can assert the rewrite changed allocation, not answers. *)
+let reference_compare_routes ~local_asn a b =
+  let pa = R.pref a and pb = R.pref b in
+  let steps =
+    [ ( Decision.Local_origin,
+        fun () ->
+          Bool.compare (Peer.is_local (R.from a)) (Peer.is_local (R.from b)) );
+      ( Decision.Local_pref,
+        fun () -> Int.compare pa.A.pr_local_pref pb.A.pr_local_pref );
+      (Decision.Path_length, fun () -> Int.compare pb.A.pr_path_len pa.A.pr_path_len);
+      (Decision.Origin, fun () -> Int.compare pb.A.pr_origin pa.A.pr_origin);
+      ( Decision.Med,
+        fun () ->
+          match pa.A.pr_first_hop, pb.A.pr_first_hop with
+          | Some na, Some nb when Asn.equal na nb ->
+            Int.compare pb.A.pr_med pa.A.pr_med
+          | _ -> 0 );
+      ( Decision.Ebgp_over_ibgp,
+        fun () ->
+          let is_ebgp r =
+            (not (Peer.is_local (R.from r)))
+            && not (Asn.equal (R.from r).Peer.asn local_asn)
+          in
+          Bool.compare (is_ebgp a) (is_ebgp b) );
+      ( Decision.Router_id,
+        fun () ->
+          Bgp_addr.Ipv4.compare (R.from b).Peer.router_id
+            (R.from a).Peer.router_id );
+      ( Decision.Peer_address,
+        fun () ->
+          Bgp_addr.Ipv4.compare (R.from b).Peer.addr (R.from a).Peer.addr )
+    ]
+  in
+  let rec go = function
+    | [] -> (0, Decision.Identical)
+    | (rule, step) :: rest ->
+      let c = step () in
+      if c <> 0 then (c, rule) else go rest
+  in
+  go steps
+
+let prop_compare_routes_matches_reference =
+  QCheck2.Test.make
+    ~name:"straight-line compare_routes agrees with rule-list reference"
+    ~count:1000
+    QCheck2.Gen.(pair gen_candidate gen_candidate)
+    (fun (a, b) ->
+      let c, rule = Decision.compare_routes ~local_asn a b in
+      let c', rule' = reference_compare_routes ~local_asn a b in
+      c = c' && rule = rule')
+
+(* Differential check of the best-vs-challenger fast path: the same
+   random announce/withdraw/replace sequence driven through an
+   incremental manager and a full-rescan one must leave byte-identical
+   Loc-RIB fingerprints after every single operation.  First hops come
+   from a two-element set so MED-incomparability (same-first-hop MED
+   comparisons mixed with incomparable pairs) is exercised often. *)
+let gen_rib_op =
+  QCheck2.Gen.(
+    let* peer_idx = int_range 0 4 in
+    let* pfx_idx = int_range 0 2 in
+    let* kind = int_range 0 3 in
+    if kind = 0 then return (peer_idx, pfx_idx, None)
+    else
+      let* first_hop = oneofl [ 7018; 701 ] in
+      let* med = option (int_range 0 3) in
+      let* lp = option (int_range 90 110) in
+      let* tail = list_size (int_range 0 3) (int_range 1 60000) in
+      let* origin = oneofl [ A.Igp; A.Egp; A.Incomplete ] in
+      return (peer_idx, pfx_idx, Some (first_hop, med, lp, tail, origin)))
+
+let prop_incremental_matches_full =
+  QCheck2.Test.make ~name:"incremental selection matches full re-scan"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 40) gen_rib_op)
+    (fun ops ->
+      let prefixes =
+        [| pfx "10.0.0.0/8"; pfx "10.1.0.0/16"; pfx "203.0.113.0/24" |]
+      in
+      let mk incremental =
+        let t = Rib_manager.create ~incremental ~local_asn ~router_id () in
+        for i = 0 to 4 do
+          Rib_manager.add_peer t (prop_peer i)
+        done;
+        t
+      in
+      let fast = mk true and full = mk false in
+      List.for_all
+        (fun (pi, xi, op) ->
+          let from = prop_peer pi in
+          let prefix = prefixes.(xi) in
+          (match op with
+          | Some (fh, med, lp, tail, origin) ->
+            let a =
+              attrs ~origin ?med ?local_pref:lp
+                ~nh:(Bgp_addr.Ipv4.to_string from.Peer.addr)
+                (fh :: tail)
+            in
+            ignore (Rib_manager.announce fast ~from prefix a);
+            ignore (Rib_manager.announce full ~from prefix a)
+          | None ->
+            ignore (Rib_manager.withdraw fast ~from prefix);
+            ignore (Rib_manager.withdraw full ~from prefix));
+          String.equal
+            (Loc_rib.fingerprint (Rib_manager.loc_rib fast))
+            (Loc_rib.fingerprint (Rib_manager.loc_rib full)))
+        ops)
+
+(* And the fast path must actually fire: a losing challenger from a
+   later peer than the incumbent is exactly its trigger condition. *)
+let test_decision_fastpath_counter () =
+  let t = Rib_manager.create ~local_asn ~router_id () in
+  Rib_manager.add_peer t peer1;
+  Rib_manager.add_peer t peer2;
+  ignore
+    (Rib_manager.announce t ~from:peer1 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.1" [ 65001 ]));
+  ignore
+    (Rib_manager.announce t ~from:peer2 (pfx "203.0.113.0/24")
+       (attrs ~nh:"192.0.2.2" [ 65002; 9; 9 ]));
+  let s = Rib_manager.stats t in
+  Alcotest.(check int) "fast path fired once" 1 s.Rib_manager.decision_fastpath;
+  Alcotest.(check int) "both updates processed" 2 s.Rib_manager.updates_processed;
+  (* the incumbent must still be the short-path route *)
+  match Loc_rib.find (Rib_manager.loc_rib t) (pfx "203.0.113.0/24") with
+  | Some r -> Alcotest.(check int) "peer1 still best" 0 (R.from r).Peer.id
+  | None -> Alcotest.fail "best missing"
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -763,7 +902,9 @@ let () =
           Alcotest.test_case "import policy local-pref" `Quick
             test_import_policy_local_pref_overrides;
           Alcotest.test_case "no-export community" `Quick test_no_export_community;
-          Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate
+          Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+          Alcotest.test_case "decision fast path fires" `Quick
+            test_decision_fastpath_counter
         ] );
       ( "route reflection",
         [ Alcotest.test_case "ibgp no re-advertisement" `Quick
@@ -787,5 +928,6 @@ let () =
             test_aggregate_fib_covers_traffic
         ] );
       qsuite "properties"
-        [ prop_select_permutation_invariant; prop_select_returns_maximal ]
+        [ prop_manager_arrival_order_invariant; prop_select_returns_maximal;
+          prop_compare_routes_matches_reference; prop_incremental_matches_full ]
     ]

@@ -105,6 +105,54 @@ let test_notification_on_garbage () =
   Alcotest.(check bool) "reason recorded" true (!down_reason <> "")
 
 (* ------------------------------------------------------------------ *)
+(* Transport backpressure                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_backpressure_small_writes () =
+  (* Regression for the O(n^2) partial-write requeue: enqueue tens of
+     thousands of small messages while the reader is stalled (the loop
+     is not pumped), so the kernel buffer fills and the output queue
+     grows; then drain and check every byte arrived intact and in
+     order.  The old list-rebuilding queue made this quadratic. *)
+  let loop = Bgp_tcp.Event_loop.create () in
+  let link = Bgp_tcp.Tcp_link.pair loop in
+  let connected = ref 0 in
+  let received = Buffer.create (1 lsl 20) in
+  link.Bgp_tcp.Tcp_link.connector.Bgp_engine.Link.set_on_connected (fun () ->
+      incr connected);
+  link.Bgp_tcp.Tcp_link.listener.Bgp_engine.Link.set_on_connected (fun () ->
+      incr connected);
+  link.Bgp_tcp.Tcp_link.listener.Bgp_engine.Link.set_receiver (fun bytes ->
+      Buffer.add_string received bytes);
+  link.Bgp_tcp.Tcp_link.connector.Bgp_engine.Link.start_connect ();
+  if not (Bgp_tcp.Event_loop.run loop ~until:(fun () -> !connected = 2) ~timeout:5.0)
+  then Alcotest.fail "link did not connect";
+  let n = 50_000 in
+  let expected = Buffer.create (1 lsl 20) in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    (* 64-byte distinct payloads: big enough total (3.2 MB) to overrun
+       the socket buffers, small enough each to stress per-message
+       queueing. *)
+    let msg = Printf.sprintf "%08d:%s\n" i (String.make 54 'x') in
+    Buffer.add_string expected msg;
+    link.Bgp_tcp.Tcp_link.connector.Bgp_engine.Link.send msg
+  done;
+  let enqueue_dt = Unix.gettimeofday () -. t0 in
+  let total = Buffer.length expected in
+  let drained () = Buffer.length received = total in
+  if not (Bgp_tcp.Event_loop.run loop ~until:drained ~timeout:30.0) then
+    Alcotest.failf "only %d/%d bytes drained" (Buffer.length received) total;
+  Alcotest.(check bool) "payload intact and in order" true
+    (String.equal (Buffer.contents received) (Buffer.contents expected));
+  (* The quadratic requeue took minutes here; the ring takes well under
+     a second.  A loose wall-clock bound keeps the regression caught
+     without being flaky on slow machines. *)
+  Alcotest.(check bool) "enqueue phase is not quadratic" true
+    (enqueue_dt < 10.0);
+  link.Bgp_tcp.Tcp_link.dispose ()
+
+(* ------------------------------------------------------------------ *)
 (* Event-loop timers                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -167,6 +215,10 @@ let () =
         [ Alcotest.test_case "full session over real TCP" `Quick test_loopback_session;
           Alcotest.test_case "garbage triggers notification" `Quick
             test_notification_on_garbage
+        ] );
+      ( "backpressure",
+        [ Alcotest.test_case "small writes vs stalled reader" `Quick
+            test_backpressure_small_writes
         ] );
       ( "timers",
         [ Alcotest.test_case "firing order" `Quick test_timer_firing_order;
