@@ -478,6 +478,63 @@ let print_alloc_smoke () =
       exit 1
     end
 
+(* MRT smoke: a synthesized dump must survive a write -> read
+   roundtrip bit for bit, and scenario 13 must replay it through the
+   harness and verify against the replay oracle — all offline, no
+   external trace. *)
+let print_mrt_smoke () =
+  let module Mrt = Bgp_mrt.Mrt in
+  let records =
+    Bgp_speaker.Mrt_gen.records ~seed:bench_config.H.seed ~events:40
+      ~n:bench_config.H.table_size ~speaker_asn:(asn 65001)
+      ~next_hop:(ip "192.0.2.1") ()
+  in
+  let bytes = Mrt.to_string records in
+  (match Mrt.of_string bytes with
+  | Error e -> failwith ("MRT roundtrip failed: " ^ e)
+  | Ok (records', skipped) ->
+    assert (skipped = 0);
+    assert (List.length records' = List.length records);
+    assert (Mrt.to_string records' = bytes));
+  let config = { bench_config with H.replay_events = 40 } in
+  let r = H.run ~config Arch.pentium3 (Scenario.of_id_exn 13) in
+  assert (r.H.verified = Ok ());
+  Format.printf
+    "MRT smoke: %d-record dump roundtripped (%d bytes); replay %.1f \
+     transactions/s, FIB end size %d@.@."
+    (List.length records) (String.length bytes) r.H.tps r.H.fib_size_end
+
+(* Damping smoke: the scenario-14 flap storm must suppress flapping
+   routes, reuse every one of them, and end with nothing suppressed —
+   and a damped scenario-10 run must leave the Loc-RIB fingerprint of
+   the undamped run intact (damping off by default is the Table III
+   determinism guarantee). *)
+let print_damping_smoke () =
+  let config = { bench_config with H.fault_rounds = 3 } in
+  let r = H.run ~config Arch.pentium3 (Scenario.of_id_exn 14) in
+  assert (r.H.verified = Ok ());
+  let d = Option.get r.H.damping in
+  assert (d.H.dr_suppressions > 0);
+  assert (d.H.dr_reuses = d.H.dr_suppressions);
+  assert (d.H.dr_suppressed_end = 0);
+  let sc10 = Scenario.of_id_exn 10 in
+  let plain = H.run ~config Arch.pentium3 sc10 in
+  let damped =
+    H.run
+      ~config:{ config with H.damping = Some Bgp_rib.Damping.test_config }
+      Arch.pentium3 sc10
+  in
+  assert (plain.H.verified = Ok ());
+  assert (damped.H.verified = Ok ());
+  assert (plain.H.damping = None);
+  assert (plain.H.locrib_fp = damped.H.locrib_fp);
+  Format.printf
+    "Damping smoke (scenario 14, %d rounds): %d flaps, %d suppressed, %d \
+     reused, reuse latency mean %.2fs; damped scenario-10 fingerprint \
+     unchanged@.@."
+    config.H.fault_rounds d.H.dr_flaps d.H.dr_suppressions d.H.dr_reuses
+    d.H.dr_reuse_latency_mean
+
 (* Live-mode smoke: one real-TCP harness run (scenario 5, the
    best-vs-challenger shape the incremental decision path serves) must
    finish and verify — sessions establish over loopback, the table
@@ -501,6 +558,22 @@ let fault_tests =
          assert (r.H.verified = Ok ());
          r.H.tps))
     Scenario.adversarial
+
+(* MRT replay and flap damping (scenarios 13-14), wall-clock cost of
+   the full dump-synthesize + parse + replay cycle. *)
+let mrt_tests =
+  [ Test.make ~name:"mrt/scenario13-replay"
+      (Staged.stage @@ fun () ->
+       let config = { bench_config with H.replay_events = 40 } in
+       let r = H.run ~config Arch.pentium3 (Scenario.of_id_exn 13) in
+       assert (r.H.verified = Ok ());
+       r.H.tps);
+    Test.make ~name:"mrt/scenario14-damping"
+      (Staged.stage @@ fun () ->
+       let config = { bench_config with H.fault_rounds = 2 } in
+       let r = H.run ~config Arch.pentium3 (Scenario.of_id_exn 14) in
+       assert (r.H.verified = Ok ());
+       r.H.tps) ]
 
 (* Multi-router topology: scenario 11 at growing graph sizes plus one
    scenario-12 link failure.  These measure the wall-clock cost of
@@ -585,13 +658,16 @@ let all_tests =
   @ wire_tests @ fib_tests
   @ [ rib_bench; decision_test ]
   @ policy_tests @ packing_tests @ decision_scaling_tests @ rib_agg_tests
-  @ workload_shape_tests @ mrai_tests @ fault_tests @ topo_tests @ arena_tests
+  @ workload_shape_tests @ mrai_tests @ fault_tests @ mrt_tests @ topo_tests
+  @ arena_tests
   @ trace_tests
   @ [ framer_test; forward_wire_test; gen_test; sim_test ]
 
 let () =
   print_stage_breakdowns ();
   print_fault_smoke ();
+  print_mrt_smoke ();
+  print_damping_smoke ();
   print_alloc_smoke ();
   print_live_smoke ();
   print_trace_smoke ();

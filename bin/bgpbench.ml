@@ -74,7 +74,9 @@ let scenario_conv =
     | None ->
       Error
         (`Msg
-           (Printf.sprintf "scenario must be 1-8 (or adversarial 9-10), got %S"
+           (Printf.sprintf
+              "scenario must be 1-8 (adversarial 9-10, MRT/damping 13-14), \
+               got %S"
               s))
   in
   Arg.conv (parse, fun ppf s -> Format.pp_print_int ppf s.Scenario.id)
@@ -121,9 +123,10 @@ let finish_trace ?(quiet = false) trace_file tracer =
 let scenarios_t =
   let doc =
     "Scenarios to run (repeatable); default: the paper's eight (9-10 are \
-     the adversarial fault-injection extensions)."
+     the adversarial fault-injection extensions, 13-14 the MRT replay and \
+     flap-damping extensions)."
   in
-  Arg.(value & opt_all scenario_conv [] & info [ "s"; "scenario" ] ~docv:"1-10" ~doc)
+  Arg.(value & opt_all scenario_conv [] & info [ "s"; "scenario" ] ~docv:"1-14" ~doc)
 
 let resolve_scenarios = function [] -> Scenario.all | l -> l
 
@@ -156,8 +159,19 @@ let varied_t =
         ~doc:
           "Use an Internet-shaped workload (2-6 hop AS paths, mixed            origins/MEDs) instead of the paper's uniform paths.")
 
+let table_file_t =
+  let doc =
+    "Load the phase-1 routing table from $(docv) instead of synthesizing \
+     one.  The format is auto-detected: MRT TABLE_DUMP_V2 (RFC 6396 \
+     binary) or bgpmark text (`# bgpmark-table v1').  Overrides --size."
+  in
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "table"; "mrt" ] ~docv:"FILE" ~doc)
+
 let table3_cmd =
-  let run size packing seed varied archs scenarios no_paper prefixes
+  let run size packing seed varied table_file archs scenarios no_paper prefixes
       no_incremental json trace_file trace_sample live live_timeout =
     match prefixes with
     | _ :: _ ->
@@ -173,7 +187,8 @@ let table3_cmd =
       let tracer = make_tracer trace_file trace_sample in
       let config =
         apply_live live live_timeout
-          { (config_of ~varied size packing seed) with H.tracer }
+          { (config_of ~varied size packing seed) with
+            H.tracer; table_file }
       in
       let t =
         Bgpmark.Table3.run ~config
@@ -215,9 +230,9 @@ let table3_cmd =
     (Cmd.info "table3"
        ~doc:"Reproduce Table III: transactions/s, 8 scenarios x 4 systems")
     Term.(
-      const run $ size_t $ packing_t $ seed_t $ varied_t $ archs_t
-      $ scenarios_t $ no_paper $ prefixes_t $ no_incremental_t $ json_t
-      $ trace_file_t $ trace_sample_t $ live_t $ live_timeout_t)
+      const run $ size_t $ packing_t $ seed_t $ varied_t $ table_file_t
+      $ archs_t $ scenarios_t $ no_paper $ prefixes_t $ no_incremental_t
+      $ json_t $ trace_file_t $ trace_sample_t $ live_t $ live_timeout_t)
 
 let scenario_cmd =
   let run size packing seed archs scenario cross trace =
@@ -368,8 +383,8 @@ let peers_cmd =
     Term.(const run $ size_t $ seed_t $ archs_t $ counts $ json_t)
 
 let faults_cmd =
-  let run size packing seed rounds archs scenarios json trace_file trace_sample
-      live live_timeout =
+  let run size packing seed rounds damping archs scenarios json trace_file
+      trace_sample live live_timeout =
     let scenarios =
       match scenarios with [] -> Scenario.adversarial | l -> l
     in
@@ -383,7 +398,10 @@ let faults_cmd =
               let config =
                 apply_live live live_timeout
                   { (config_of size packing seed) with
-                    H.fault_rounds = rounds; tracer }
+                    H.fault_rounds = rounds; tracer;
+                    damping =
+                      (if damping then Some Bgp_rib.Damping.test_config
+                       else None) }
               in
               let r = H.run ~config arch scenario in
               if Result.is_error r.H.verified then failed := true;
@@ -420,15 +438,113 @@ let faults_cmd =
       value & opt int 5
       & info [ "rounds" ] ~docv:"N" ~doc:"Fault injections per run.")
   in
+  let damping =
+    Arg.(
+      value & flag
+      & info [ "damping" ]
+          ~doc:
+            "Enable RFC 2439 route flap damping (accelerated test timers) on \
+             the router under test; the fault oracle then additionally \
+             verifies that flapping routes were suppressed and later \
+             reused.  Scenario 14 enables damping implicitly.")
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
          "Run the adversarial fault-injection scenarios (9: corrupted-update \
-          storm, 10: session flaps); exits non-zero if any verification \
-          fails")
+          storm, 10: session flaps, 14: flap storm with RFC 2439 damping); \
+          exits non-zero if any verification fails")
     Term.(
-      const run $ size_t $ packing_t $ seed_t $ rounds $ archs_t $ scenarios_t
-      $ json_t $ trace_file_t $ trace_sample_t $ live_t $ live_timeout_t)
+      const run $ size_t $ packing_t $ seed_t $ rounds $ damping $ archs_t
+      $ scenarios_t $ json_t $ trace_file_t $ trace_sample_t $ live_t
+      $ live_timeout_t)
+
+let mrt_cmd =
+  let run size packing seed file events speedup _replay archs json crosscheck
+      live live_timeout =
+    let scenario = Scenario.of_id_exn 13 in
+    let config =
+      { (config_of size packing seed) with
+        H.table_file = file;
+        replay_events = Option.value events ~default:(-1);
+        replay_speedup = speedup }
+    in
+    if crosscheck then begin
+      let checks =
+        List.map
+          (fun arch -> H.cross_validate ~config ~live_timeout arch scenario)
+          (resolve_archs archs)
+      in
+      if json then
+        print_json (Bgp_stats.Json.List (List.map H.crosscheck_json checks))
+      else List.iter (fun xc -> Format.printf "%a@." H.pp_crosscheck xc) checks;
+      if not (List.for_all H.crosscheck_ok checks) then exit 1
+    end
+    else begin
+      let config = apply_live live live_timeout config in
+      let failed = ref false in
+      let results =
+        List.map
+          (fun arch ->
+            let r = H.run ~config arch scenario in
+            if Result.is_error r.H.verified then failed := true;
+            r)
+          (resolve_archs archs)
+      in
+      if json then
+        print_json (Bgp_stats.Json.List (List.map H.result_json results))
+      else List.iter (fun r -> Format.printf "%a@." H.pp_result r) results;
+      if !failed then exit 1
+    end
+  in
+  let file_t =
+    let doc =
+      "Replay this MRT dump (RFC 6396: TABLE_DUMP_V2 RIB entries load the \
+       table, BGP4MP updates drive the replay).  Without it a dump is \
+       synthesized from --seed/--size/--events, so no external trace is \
+       needed."
+    in
+    Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  in
+  let events_t =
+    let doc =
+      "Number of update events to synthesize for the replay phase (0 = \
+       table load only; default: about size/5).  Ignored with --file."
+    in
+    Arg.(value & opt (some int) None & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let speedup_t =
+    let doc =
+      "Replay the trace at recorded timing accelerated by this factor \
+       (1 = real time).  Default: unpaced, i.e. maximum-throughput replay."
+    in
+    Arg.(value & opt (some float) None & info [ "speedup" ] ~docv:"X" ~doc)
+  in
+  let replay_t =
+    let doc =
+      "Replay the update trace after the table load.  This is the default \
+       mode; the flag exists for explicit scripting (use --events 0 for a \
+       table-load-only run)."
+    in
+    Arg.(value & flag & info [ "replay" ] ~doc)
+  in
+  let crosscheck_t =
+    let doc =
+      "Run the replay in both sim and live (loopback TCP) mode and assert \
+       identical Loc-RIB fingerprints and verdicts; exits non-zero on \
+       divergence."
+    in
+    Arg.(value & flag & info [ "crosscheck" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "mrt"
+       ~doc:
+         "Scenario 13: load an MRT RIB dump and replay its update trace \
+          (synthesized by default; bring your own with --file); exits \
+          non-zero if verification fails")
+    Term.(
+      const run $ size_t $ packing_t $ seed_t $ file_t $ events_t $ speedup_t
+      $ replay_t $ archs_t $ json_t $ crosscheck_t $ live_t $ live_timeout_t)
 
 let topo_cmd =
   let module Topology = Bgp_topo.Topology in
@@ -604,7 +720,11 @@ let main_cmd =
   let info = Cmd.info "bgpbench" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ scenarios_cmd; systems_cmd; table3_cmd; scenario_cmd; fig3_cmd; fig4_cmd;
-      fig5_cmd; fig6_cmd; power_cmd; peers_cmd; faults_cmd; crosscheck_cmd;
-      topo_cmd; all_cmd ]
+      fig5_cmd; fig6_cmd; power_cmd; peers_cmd; faults_cmd; mrt_cmd;
+      crosscheck_cmd; topo_cmd; all_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  try exit (Cmd.eval ~catch:false main_cmd)
+  with Failure msg ->
+    Printf.eprintf "bgpbench: %s\n" msg;
+    exit 1

@@ -46,7 +46,9 @@ let announce_t =
   Arg.(value & opt_all string [] & info [ "announce" ] ~docv:"PREFIX" ~doc)
 
 let announce_file_t =
-  let doc = "Originate every route from a bgpmark-table file (see              Bgp_speaker.Table_io for the format)." in
+  let doc =
+    "Originate every route from a table file: bgpmark text (see               Bgp_speaker.Table_io for the format) or an MRT TABLE_DUMP_V2 dump,       auto-detected."
+  in
   Arg.(value & opt (some string) None & info [ "announce-file" ] ~docv:"FILE" ~doc)
 
 let aggregate_t =
@@ -109,9 +111,10 @@ let run asn router_id listens connects client_listens client_connects announces
     announces;
   Option.iter
     (fun file ->
-      match Bgp_speaker.Table_io.load file with
+      match Bgp_speaker.Table_io.load_auto file with
       | Error msg ->
-        prerr_endline ("bgpd: cannot load " ^ file ^ ": " ^ msg);
+        (* [load_auto] errors already lead with the file name. *)
+        prerr_endline ("bgpd: cannot load table: " ^ msg);
         exit 1
       | Ok entries ->
         let next_hop = Bgp_addr.Ipv4.of_string_exn router_id in

@@ -18,6 +18,10 @@ module Fsm = Bgp_fsm.Fsm
 module Msg = Bgp_wire.Msg
 module Faults = Bgp_faults.Faults
 module Metrics = Bgp_stats.Metrics
+module Damping = Bgp_rib.Damping
+module Mrt = Bgp_mrt.Mrt
+module Replay = Bgp_mrt.Replay
+module Mrt_gen = Bgp_speaker.Mrt_gen
 
 type mode = Sim | Live
 
@@ -40,6 +44,20 @@ type config = {
   mrai : float option;
   timeout : float;
   fault_rounds : int;
+  table_file : string option;
+      (* Load the Phase-1 table from a file (bgpmark text or MRT dump,
+         auto-detected) instead of synthesizing; overrides table_size. *)
+  damping : Bgp_rib.Damping.config option;
+      (* RFC 2439 damping parameters for the router under test.  None
+         (the default) leaves the update path untouched; scenario 14
+         forces [Damping.test_config] when unset. *)
+  replay_speedup : float option;
+      (* Scenario 13 pacing: None replays the update trace unpaced
+         (throughput mode); Some x honors recorded inter-arrival times
+         divided by x. *)
+  replay_events : int;
+      (* Scenario 13 synthesized-trace length; negative = the
+         generator's default (n/5, at least 20). *)
   tracer : Bgp_trace.Tracer.t option;
 }
 
@@ -47,7 +65,8 @@ let default_config =
   { mode = Sim; table_size = 10_000; large_packing = 500; cross_traffic = Traffic.none;
     seed = 42; trace_interval = None; setup_path_len = 3; longer_path_len = 6;
     shorter_path_len = 1; varied_paths = false; mrai = None;
-    timeout = 500_000.0; fault_rounds = 5; tracer = None }
+    timeout = 500_000.0; fault_rounds = 5; table_file = None; damping = None;
+    replay_speedup = None; replay_events = -1; tracer = None }
 
 type fault_report = {
   fr_injected : int;
@@ -58,6 +77,15 @@ type fault_report = {
   fr_reconverge_max : float;
   fr_expected : (int * int) list;
   fr_answered : (int * int) list;
+}
+
+type damping_report = {
+  dr_flaps : int;
+  dr_suppressions : int;
+  dr_reuses : int;
+  dr_suppressed_end : int;
+  dr_reuse_latency_mean : float;
+  dr_reuse_latency_max : float;
 }
 
 type result = {
@@ -77,6 +105,8 @@ type result = {
   msgs_tx : int;
   fwd_ratio_min : float;
   faults : fault_report option;
+  damping : damping_report option;
+      (* present when the router ran with RFC 2439 damping enabled *)
   locrib_fp : string;
       (* Loc-RIB digest at run end; equal across sim and live runs of
          the same scenario/seed (the cross-validation invariant) *)
@@ -184,6 +214,26 @@ let wait_router_idle clock ~timeout router ~what ~transactions =
 let router_fingerprint router =
   Loc_rib.fingerprint (Bgp_rib.Rib_manager.loc_rib (Router.rib router))
 
+(* Damping totals come from the table itself (never reset); only the
+   reuse-latency distribution rides the metrics registry. *)
+let damping_report_of router =
+  Option.map
+    (fun d ->
+      let mean, mx =
+        match
+          Metrics.find_histogram (Router.metrics router) "damping.reuse_latency"
+        with
+        | Some h -> (Metrics.hist_mean h, Metrics.hist_max h)
+        | None -> (0.0, 0.0)
+      in
+      { dr_flaps = Damping.flaps d;
+        dr_suppressions = Damping.suppressions d;
+        dr_reuses = Damping.reuses d;
+        dr_suppressed_end = Damping.suppressed_count d;
+        dr_reuse_latency_mean = mean;
+        dr_reuse_latency_max = mx })
+    (Router.damping router)
+
 (* ------------------------------------------------------------------ *)
 (* Scenario verification                                               *)
 (* ------------------------------------------------------------------ *)
@@ -200,7 +250,11 @@ let verify (scenario : Scenario.t) cfg router s2_opt ~measured
   (* Adversarial scenarios re-inject the full table once per fault
      round, so the measured phase processes [rounds * n] prefixes. *)
   let expected_measured =
-    if Scenario.is_adversarial scenario then cfg.fault_rounds * n else n
+    match scenario.Scenario.operation with
+    | Scenario.Corrupted_storm | Scenario.Session_flaps
+    | Scenario.Flap_damping ->
+      cfg.fault_rounds * n
+    | _ -> n
   in
   let s2_holds_table () =
     check "speaker 2 held the full table"
@@ -208,11 +262,21 @@ let verify (scenario : Scenario.t) cfg router s2_opt ~measured
       | Some s2 -> Hashtbl.length (Speaker.received_prefix_set s2) = n
       | None -> false)
   in
-  let* () = check "all prefixes measured" (measured = expected_measured) in
+  (* With damping on, each reuse-timer re-injection books one extra
+     transaction on top of the per-round announcements, so the exact
+     count is timing-dependent; the floor is not. *)
+  let* () =
+    if cfg.damping <> None then
+      check "all prefixes measured" (measured >= expected_measured)
+    else check "all prefixes measured" (measured = expected_measured)
+  in
   match scenario.Scenario.operation with
   | Scenario.Topo_convergence | Scenario.Topo_link_failure ->
     Error "topology scenarios verify through Bgp_topo"
-  | Scenario.Corrupted_storm | Scenario.Session_flaps ->
+  | Scenario.Mrt_replay ->
+    Error "scenario 13 verifies through its replay driver"
+  | Scenario.Corrupted_storm | Scenario.Session_flaps
+  | Scenario.Flap_damping ->
     let r = cfg.fault_rounds in
     let* () = check "FIB restored after recovery" (Fib.size fib = n) in
     let* () =
@@ -254,10 +318,26 @@ let verify (scenario : Scenario.t) cfg router s2_opt ~measured
 
 let run_standard ~config arch scenario =
   let cfg = config in
+  (* --table FILE: the Phase-1 table comes from disk (bgpmark text or
+     MRT dump, auto-detected); its size overrides [table_size]. *)
+  let file_entries =
+    Option.map
+      (fun f ->
+        match Bgp_speaker.Table_io.load_auto f with
+        | Ok entries -> entries
+        (* [load_auto] errors already lead with the file name. *)
+        | Error msg -> failwith (Printf.sprintf "Harness: %s" msg))
+      cfg.table_file
+  in
+  let cfg =
+    match file_entries with
+    | Some entries -> { cfg with table_size = List.length entries }
+    | None -> cfg
+  in
   let env = make_env cfg.mode in
   let clock = env.clock in
   let router =
-    Router.create ?mrai:cfg.mrai ?tracer:cfg.tracer
+    Router.create ?mrai:cfg.mrai ?damping:cfg.damping ?tracer:cfg.tracer
       ~trace_process:
         (Printf.sprintf "%s/scenario-%d" arch.Arch.name scenario.Scenario.id)
       clock arch ~local_asn:router_asn ~router_id
@@ -280,7 +360,13 @@ let run_standard ~config arch scenario =
       (fun interval -> Trace.start clock (Router.sched router) ~interval ())
       cfg.trace_interval
   in
-  let table = Bgp_addr.Prefix_gen.table ~seed:cfg.seed ~n:cfg.table_size () in
+  let table =
+    match file_entries with
+    | Some entries ->
+      Array.of_list
+        (List.map (fun e -> e.Bgp_speaker.Table_io.e_prefix) entries)
+    | None -> Bgp_addr.Prefix_gen.table ~seed:cfg.seed ~n:cfg.table_size ()
+  in
   let s1_attrs path_len =
     Workload.attrs ~speaker_asn:speaker1_asn ~next_hop:speaker1_id ~path_len ()
   in
@@ -302,14 +388,12 @@ let run_standard ~config arch scenario =
   let phase1_packing = if measured_phase_is_1 then packing else cfg.large_packing in
   Router.reset_counters router;
   let fib_before_measured = Fib.stats (Router.fib router) in
-  if cfg.varied_paths then begin
-    (* Internet-shaped workload: per-entry attributes (2-6 hop paths,
-       mixed origins/MEDs).  An UPDATE carries one attribute set, so
-       entries are grouped by equal attributes before packing. *)
-    let entries =
-      Bgp_speaker.Table_io.synthesize ~seed:cfg.seed ~n:cfg.table_size
-        ~speaker_asn:speaker1_asn ()
-    in
+  (* Per-entry-attribute workloads (file-loaded or varied synthetic):
+     an UPDATE carries one attribute set, so entries are grouped by
+     equal attributes before packing, and groups are emitted in
+     arena-id order so the workload is deterministic regardless of
+     hash-table iteration. *)
+  let inject_entries entries =
     let module I = Bgp_route.Attrs.Interned in
     let groups = I.Tbl.create 32 in
     List.iter
@@ -323,8 +407,6 @@ let run_standard ~config arch scenario =
         I.Tbl.replace groups interned
           (e.Bgp_speaker.Table_io.e_prefix :: prefixes))
       entries;
-    (* Emit groups in arena-id order so the workload is deterministic
-       regardless of hash-table iteration. *)
     I.Tbl.fold (fun interned prefixes acc -> (interned, prefixes) :: acc)
       groups []
     |> List.sort (fun (a, _) (b, _) -> I.compare_id a b)
@@ -333,12 +415,20 @@ let run_standard ~config arch scenario =
              (Speaker.announce s1 ~packing:phase1_packing
                 ~attrs:(I.value interned)
                 (Array.of_list prefixes)))
-  end
-  else
-    ignore
-      (Speaker.announce s1 ~packing:phase1_packing
-         ~attrs:(s1_attrs cfg.setup_path_len)
-         table);
+  in
+  (match file_entries with
+  | Some entries -> inject_entries entries
+  | None ->
+    if cfg.varied_paths then
+      (* Internet-shaped workload: 2-6 hop paths, mixed origins/MEDs. *)
+      inject_entries
+        (Bgp_speaker.Table_io.synthesize ~seed:cfg.seed ~n:cfg.table_size
+           ~speaker_asn:speaker1_asn ())
+    else
+      ignore
+        (Speaker.announce s1 ~packing:phase1_packing
+           ~attrs:(s1_attrs cfg.setup_path_len)
+           table));
   wait_router_idle clock ~timeout router ~what:"phase 1 table load"
     ~transactions:cfg.table_size;
 
@@ -385,9 +475,10 @@ let run_standard ~config arch scenario =
                  table)
           | Scenario.Startup_announce | Scenario.Corrupted_storm
           | Scenario.Session_flaps | Scenario.Topo_convergence
-          | Scenario.Topo_link_failure ->
-            (* Phase-1-measured, adversarial, and topology scenarios
-               never reach this driver. *)
+          | Scenario.Topo_link_failure | Scenario.Mrt_replay
+          | Scenario.Flap_damping ->
+            (* Phase-1-measured, adversarial, topology, and MRT
+               scenarios never reach this driver. *)
             assert false);
           wait_router_idle clock ~timeout router ~what:"measured phase"
             ~transactions:cfg.table_size )
@@ -440,10 +531,11 @@ let run_standard ~config arch scenario =
     rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
     stage_stats;
     msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
-    fwd_ratio_min; faults = None; locrib_fp; verified }
+    fwd_ratio_min; faults = None; damping = damping_report_of router;
+    locrib_fp; verified }
 
 (* ------------------------------------------------------------------ *)
-(* Adversarial runs (scenarios 9-10)                                   *)
+(* Adversarial runs (scenarios 9-10, 14)                               *)
 (* ------------------------------------------------------------------ *)
 
 (* Deliberately a separate driver rather than more branches in
@@ -451,7 +543,15 @@ let run_standard ~config arch scenario =
    taps, auto-restart) must stay completely out of the paper-faithful
    path so Table III is bit-for-bit unaffected by this subsystem. *)
 let run_adversarial ~config arch scenario =
-  let cfg = config in
+  let cfg : config = config in
+  (* Scenario 14 is the session-flap storm with damping forced on; 9-10
+     pick it up only when the config asks (the --damping ablation). *)
+  let cfg =
+    match scenario.Scenario.operation, cfg.damping with
+    | Scenario.Flap_damping, None ->
+      { cfg with damping = Some Damping.test_config }
+    | _ -> cfg
+  in
   let rounds = cfg.fault_rounds in
   let n = cfg.table_size in
   let env = make_env cfg.mode in
@@ -461,8 +561,9 @@ let run_adversarial ~config arch scenario =
     Printf.sprintf "%s/scenario-%d" arch.Arch.name scenario.Scenario.id
   in
   let router =
-    Router.create ?mrai:cfg.mrai ~metrics ?tracer:cfg.tracer ~trace_process
-      clock arch ~local_asn:router_asn ~router_id
+    Router.create ?mrai:cfg.mrai ?damping:cfg.damping ~metrics
+      ?tracer:cfg.tracer ~trace_process clock arch ~local_asn:router_asn
+      ~router_id
   in
   let faults =
     Faults.create ?tracer:cfg.tracer ~trace_process ~clock ~metrics ()
@@ -511,8 +612,14 @@ let run_adversarial ~config arch scenario =
   (* --- Measurement: fault rounds ------------------------------------ *)
   Router.reset_counters router;
   let fib_before = Fib.stats (Router.fib router) in
+  (* Virtual timestamps of each fault injection, newest first: the
+     damping verdict needs the inter-flap gaps to know whether
+     suppression was even reachable (RFC 2439 suppresses only flaps
+     faster than the half-life-scaled decay). *)
+  let fault_times = ref [] in
   for k = 1 to rounds do
     let fault_at = Clock.now clock in
+    fault_times := fault_at :: !fault_times;
     (match scenario.Scenario.operation with
     | Scenario.Corrupted_storm ->
       (* Corrupt the next UPDATE in flight: a small slice announcement
@@ -523,10 +630,13 @@ let run_adversarial ~config arch scenario =
       Faults.arm_corrupt_next faults;
       ignore
         (Speaker.announce s1 ~packing ~attrs (Array.sub table 0 (min packing n)))
-    | Scenario.Session_flaps ->
+    | Scenario.Session_flaps | Scenario.Flap_damping ->
       (* Alternate the two teardown flavors: an unsolicited TCP reset
          (close under the FSM's feet) and an orderly CEASE from the
-         speaker. *)
+         speaker.  With damping on, every flap charges a withdrawal
+         penalty per lost route; from the second round on the
+         re-announcements are suppressed and re-convergence completes
+         only when the reuse timer re-injects them. *)
       Faults.note_session_fault faults;
       if k mod 2 = 1 then lp1.sp_end.Link.close () else Speaker.stop s1
     | _ -> assert false);
@@ -592,21 +702,60 @@ let run_adversarial ~config arch scenario =
     let* () =
       check "re-convergence timed for every fault" (rc_count = rounds)
     in
-    match scenario.Scenario.operation with
-    | Scenario.Corrupted_storm ->
-      let* () =
-        check "one malformed update injected per round"
-          (List.length (Faults.expected_errors faults) = rounds)
+    let* () =
+      match scenario.Scenario.operation with
+      | Scenario.Corrupted_storm ->
+        let* () =
+          check "one malformed update injected per round"
+            (List.length (Faults.expected_errors faults) = rounds)
+        in
+        let* () =
+          check "router answered each malformed update with the predicted \
+                 NOTIFICATION"
+            (Faults.all_answered faults)
+        in
+        check "malformed updates counted"
+          (Faults.malformed_dropped faults = rounds)
+      | _ ->
+        check "every session fault recorded" (Faults.injected faults = rounds)
+    in
+    match Router.damping router, cfg.damping with
+    | None, _ | _, None -> Ok ()
+    | Some d, Some dc ->
+      (* Suppression is only *guaranteed* when two consecutive
+         withdrawal charges landed close enough that the decayed
+         remnant of the first plus the second crosses the threshold:
+         withdraw * 2^(-gap/half_life) + withdraw >= suppress, i.e.
+         gap <= half_life * log2 (withdraw / (suppress - withdraw)).
+         Slower flapping legitimately escapes damping (that is the
+         RFC working as specified, e.g. a big table on a slow cost
+         model where one teardown-reconverge round outlasts the
+         half-life), so only then is the check waived.  The 0.8
+         safety factor absorbs the skew between teardown initiation
+         (timed here) and the router processing the peer loss. *)
+      let guaranteed =
+        let headroom = dc.Damping.suppress_threshold -. dc.Damping.withdraw_penalty in
+        headroom <= 0.0
+        ||
+        let bound =
+          dc.Damping.half_life
+          *. (log (dc.Damping.withdraw_penalty /. headroom) /. log 2.0)
+        in
+        let rec min_gap = function
+          | a :: (b :: _ as rest) -> min (a -. b) (min_gap rest)
+          | _ -> infinity
+        in
+        min_gap !fault_times <= 0.8 *. bound
       in
       let* () =
-        check "router answered each malformed update with the predicted \
-               NOTIFICATION"
-          (Faults.all_answered faults)
+        check "damping suppressed flapping routes"
+          ((not guaranteed) || Damping.suppressions d > 0)
       in
-      check "malformed updates counted"
-        (Faults.malformed_dropped faults = rounds)
-    | _ ->
-      check "every session fault recorded" (Faults.injected faults = rounds)
+      let* () =
+        check "every suppressed route was reused"
+          (Damping.reuses d = Damping.suppressions d)
+      in
+      check "no route left suppressed" (Damping.suppressed_count d = 0)
   in
   let locrib_fp = router_fingerprint router in
   env.dispose ();
@@ -618,7 +767,173 @@ let run_adversarial ~config arch scenario =
     rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
     stage_stats = Router.stage_stats router;
     msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
-    fwd_ratio_min; faults = Some report; locrib_fp; verified }
+    fwd_ratio_min; faults = Some report; damping = damping_report_of router;
+    locrib_fp; verified }
+
+(* ------------------------------------------------------------------ *)
+(* MRT replay (scenario 13)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Load a recorded (or synthesized) TABLE_DUMP_V2 RIB through Phase 1,
+   then replay the dump's BGP4MP update trace through speaker 1 at
+   recorded or accelerated timing and measure sustained throughput.
+   The oracle folds the trace's announce/withdraw effects over the
+   initial prefix set, so the final FIB and speaker 2's view are
+   checked against the exact expected route set — in sim and live. *)
+let run_mrt ~config arch scenario =
+  let cfg = config in
+  let records =
+    match cfg.table_file with
+    | Some f ->
+      (match Mrt.read_file f with
+      | Ok (records, _skipped) -> records
+      | Error msg -> failwith (Printf.sprintf "Harness: %s: %s" f msg))
+    | None ->
+      Mrt_gen.records ~seed:cfg.seed ~events:cfg.replay_events
+        ~n:cfg.table_size ~speaker_asn:speaker1_asn ~next_hop:speaker1_id ()
+  in
+  let routes = Mrt.routes_of_dump records in
+  let events =
+    (* Real traces may carry KEEPALIVEs etc.; only UPDATEs replay. *)
+    List.filter
+      (fun (_, m) -> match m with Msg.Update _ -> true | _ -> false)
+      (Mrt.updates_of_dump records)
+  in
+  let n = List.length routes in
+  if n = 0 then failwith "Harness: MRT dump has no IPv4-unicast RIB entries";
+  let cfg = { cfg with table_size = n } in
+  (* Each replayed UPDATE books one transaction per prefix it names,
+     changed or not — the deterministic completion criterion. *)
+  let event_prefixes =
+    List.fold_left
+      (fun acc (_, m) ->
+        match m with
+        | Msg.Update u ->
+          acc + List.length u.Msg.withdrawn + List.length u.Msg.nlri
+        | _ -> acc)
+      0 events
+  in
+  let expected = Replay.expected_prefixes events (List.map fst routes) in
+  let n_expected = List.length expected in
+  let env = make_env cfg.mode in
+  let clock = env.clock in
+  let router =
+    Router.create ?mrai:cfg.mrai ?tracer:cfg.tracer
+      ~trace_process:
+        (Printf.sprintf "%s/scenario-%d" arch.Arch.name scenario.Scenario.id)
+      clock arch ~local_asn:router_asn ~router_id
+  in
+  let lp1 = env.new_link () in
+  let lp2 = env.new_link () in
+  Router.attach_peer router ~peer:peer1 ~link:lp1.rt_end;
+  Router.attach_peer router ~peer:peer2 ~link:lp2.rt_end;
+  let s1 =
+    Speaker.create clock ~asn:speaker1_asn ~router_id:speaker1_id
+      ~link:lp1.sp_end
+  in
+  let s2 =
+    Speaker.create clock ~asn:speaker2_asn ~router_id:speaker2_id
+      ~link:lp2.sp_end
+  in
+  Router.set_cross_traffic router cfg.cross_traffic;
+  let timeout = cfg.timeout in
+
+  (* --- Phase 1: dump's RIB, grouped by shared attribute handle ------ *)
+  Speaker.start s1;
+  wait_established clock ~timeout s1;
+  let module I = Bgp_route.Attrs.Interned in
+  let groups = I.Tbl.create 32 in
+  List.iter
+    (fun (prefix, interned) ->
+      let prefixes =
+        Option.value ~default:[] (I.Tbl.find_opt groups interned)
+      in
+      I.Tbl.replace groups interned (prefix :: prefixes))
+    routes;
+  I.Tbl.fold (fun interned prefixes acc -> (interned, prefixes) :: acc)
+    groups []
+  |> List.sort (fun (a, _) (b, _) -> I.compare_id a b)
+  |> List.iter (fun (interned, prefixes) ->
+         ignore
+           (Speaker.announce s1 ~packing:cfg.large_packing
+              ~attrs:(I.value interned)
+              (Array.of_list prefixes)));
+  wait_router_idle clock ~timeout router ~what:"phase 1 MRT table load"
+    ~transactions:n;
+
+  (* --- Phase 2: speaker 2 sync -------------------------------------- *)
+  Speaker.start s2;
+  wait_established clock ~timeout s2;
+  wait_until clock ~timeout ~what:"phase 2 table transfer" (fun () ->
+      Router.idle router
+      && Hashtbl.length (Speaker.received_prefix_set s2) = n);
+
+  (* --- Measurement: update-trace replay ----------------------------- *)
+  Router.reset_counters router;
+  let pacing =
+    match cfg.replay_speedup with
+    | None -> Replay.Unpaced
+    | Some x -> Replay.Timed x
+  in
+  let rp =
+    Replay.start ~clock ~pacing ~send:(fun m -> Speaker.send_update s1 m)
+      events
+  in
+  wait_until clock ~timeout ~what:"update-trace replay" (fun () ->
+      Replay.finished rp
+      && (Router.counters router).Router.transactions >= event_prefixes
+      && Router.idle router
+      && Hashtbl.length (Speaker.received_prefix_set s2) = n_expected);
+
+  (* --- Collect ------------------------------------------------------ *)
+  let counters = Router.counters router in
+  let measured = counters.Router.transactions in
+  let measure_seconds =
+    match counters.Router.first_work_at, counters.Router.last_transaction_at with
+    | Some t0, Some t1 when t1 > t0 -> t1 -. t0
+    | _ -> 0.0
+  in
+  let tps =
+    if measure_seconds > 0.0 then float_of_int measured /. measure_seconds
+    else 0.0
+  in
+  let fwd_ratio_min =
+    if cfg.cross_traffic.Traffic.mbps <= 0.0 then 1.0
+    else
+      Bgp_netsim.Forwarding.achieved_mbps (Router.forwarding router)
+      /. cfg.cross_traffic.Traffic.mbps
+  in
+  let verified =
+    let* () =
+      check "replay delivered every update"
+        ((not (Replay.failed rp)) && Replay.sent rp = Replay.total rp)
+    in
+    let* () =
+      check "all replayed prefixes measured" (measured = event_prefixes)
+    in
+    let* () =
+      check "FIB matches the replay oracle"
+        (Fib.size (Router.fib router) = n_expected)
+    in
+    let s2_set = Speaker.received_prefix_set s2 in
+    let* () =
+      check "speaker 2 converged to the oracle set"
+        (Hashtbl.length s2_set = n_expected
+        && List.for_all (fun p -> Hashtbl.mem s2_set p) expected)
+    in
+    Ok ()
+  in
+  let locrib_fp = router_fingerprint router in
+  env.dispose ();
+  { arch_name = arch.Arch.name; scenario; used = cfg; tps;
+    measured_prefixes = measured; measure_seconds;
+    setup_seconds = Clock.now clock -. measure_seconds; trace = [];
+    fib_size_end = Fib.size (Router.fib router);
+    fib_stats = Fib.stats (Router.fib router);
+    rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
+    stage_stats = Router.stage_stats router;
+    msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
+    fwd_ratio_min; faults = None; damping = None; locrib_fp; verified }
 
 let run ?(config = default_config) arch scenario =
   if Scenario.is_topo scenario then
@@ -629,6 +944,10 @@ let run ?(config = default_config) arch scenario =
          (Scenario.name scenario))
   else if Scenario.is_adversarial scenario then
     run_adversarial ~config arch scenario
+  else if Scenario.is_mrt scenario then
+    match scenario.Scenario.operation with
+    | Scenario.Mrt_replay -> run_mrt ~config arch scenario
+    | _ -> run_adversarial ~config arch scenario
   else run_standard ~config arch scenario
 
 let pp_faults ppf = function
@@ -640,13 +959,22 @@ let pp_faults ppf = function
       f.fr_injected f.fr_malformed_dropped f.fr_session_restarts
       f.fr_reconverge_count f.fr_reconverge_mean f.fr_reconverge_max
 
+let pp_damping ppf = function
+  | None -> ()
+  | Some d ->
+    Format.fprintf ppf
+      "@,  damping: %d flaps, %d suppressions, %d reuses, %d still \
+       suppressed@,  reuse latency: mean %.3fs, max %.3fs"
+      d.dr_flaps d.dr_suppressions d.dr_reuses d.dr_suppressed_end
+      d.dr_reuse_latency_mean d.dr_reuse_latency_max
+
 let pp_result ppf r =
   Format.fprintf ppf
-    "@[<v>%s / %s:@,  %.1f transactions/s (%d prefixes in %.2fs virtual)@,  FIB end size %d; verification %s%a@,  per-stage breakdown (measured phase):@,  @[<v>%a@]@]"
+    "@[<v>%s / %s:@,  %.1f transactions/s (%d prefixes in %.2fs virtual)@,  FIB end size %d; verification %s%a%a@,  per-stage breakdown (measured phase):@,  @[<v>%a@]@]"
     r.arch_name (Scenario.describe r.scenario) r.tps r.measured_prefixes
     r.measure_seconds r.fib_size_end
     (match r.verified with Ok () -> "OK" | Error e -> "FAILED: " ^ e)
-    pp_faults r.faults
+    pp_faults r.faults pp_damping r.damping
     Bgp_pipeline.Pipeline.pp_stage_stats r.stage_stats
 
 let fault_report_json (f : fault_report) =
@@ -661,6 +989,16 @@ let fault_report_json (f : fault_report) =
       ("reconverge_max_s", J.Float f.fr_reconverge_max);
       ("expected_notifications", codes f.fr_expected);
       ("answered_notifications", codes f.fr_answered) ]
+
+let damping_report_json (d : damping_report) =
+  let module J = Bgp_stats.Json in
+  J.Obj
+    [ ("flaps", J.Int d.dr_flaps);
+      ("suppressions", J.Int d.dr_suppressions);
+      ("reuses", J.Int d.dr_reuses);
+      ("suppressed_end", J.Int d.dr_suppressed_end);
+      ("reuse_latency_mean_s", J.Float d.dr_reuse_latency_mean);
+      ("reuse_latency_max_s", J.Float d.dr_reuse_latency_max) ]
 
 (* A snapshot of the process-global attribute arena (JSON only — the
    rendered tables never include it, so text output is unaffected by
@@ -696,6 +1034,9 @@ let result_json (r : result) =
     @ (match r.faults with
       | None -> []
       | Some f -> [ ("faults", fault_report_json f) ])
+    @ (match r.damping with
+      | None -> []
+      | Some d -> [ ("damping", damping_report_json d) ])
     @
     match r.verified with
     | Ok () -> [ ("verified", J.Bool true) ]

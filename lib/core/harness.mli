@@ -52,7 +52,26 @@ type config = {
           is effectively unbounded), wall-clock in [Live] (set a small
           real bound, e.g. 120) *)
   fault_rounds : int;
-      (** fault injections per adversarial run (scenarios 9-10) *)
+      (** fault injections per adversarial run (scenarios 9-10, 14) *)
+  table_file : string option;
+      (** load the Phase-1 table from a file — bgpmark text
+          ({!Bgp_speaker.Table_io}) or an MRT TABLE_DUMP_V2 dump
+          ({!Bgp_mrt.Mrt}), auto-detected — instead of synthesizing;
+          overrides [table_size] with the file's entry count.  For
+          scenario 13 the same file also supplies the BGP4MP update
+          trace. *)
+  damping : Bgp_rib.Damping.config option;
+      (** RFC 2439 route flap damping on the router under test.  [None]
+          (the default) leaves the update path byte-identical to a
+          damping-free build; scenario 14 forces
+          {!Bgp_rib.Damping.test_config} when unset. *)
+  replay_speedup : float option;
+      (** scenario 13 pacing: [None] replays the update trace unpaced
+          (back-to-back, throughput mode); [Some x] honors the recorded
+          inter-arrival times divided by [x] *)
+  replay_events : int;
+      (** scenario 13 synthesized-trace length; negative (the default)
+          picks the generator's default (table_size/5, at least 20) *)
   tracer : Bgp_trace.Tracer.t option;
       (** record structured trace events (pipeline stage spans,
           scheduler occupancy, FSM transitions, fault fates) for the
@@ -78,6 +97,16 @@ type fault_report = {
       (** (code, subcode) of every NOTIFICATION the router transmitted *)
 }
 
+type damping_report = {
+  dr_flaps : int;          (** penalty charges (withdrawals + attr changes) *)
+  dr_suppressions : int;   (** routes pushed over the suppress threshold *)
+  dr_reuses : int;         (** suppressed routes released by decay *)
+  dr_suppressed_end : int; (** routes still suppressed at run end *)
+  dr_reuse_latency_mean : float;
+      (** mean suppression-to-reuse clock seconds *)
+  dr_reuse_latency_max : float;
+}
+
 type result = {
   arch_name : string;
   scenario : Scenario.t;
@@ -100,7 +129,10 @@ type result = {
   fwd_ratio_min : float;
       (** worst forwarding ratio observed (1.0 = no loss) *)
   faults : fault_report option;
-      (** present for adversarial runs (scenarios 9-10) only *)
+      (** present for adversarial runs (scenarios 9-10, 14) only *)
+  damping : damping_report option;
+      (** present when the router ran with RFC 2439 damping enabled
+          (scenario 14, or any run with [config.damping] set) *)
   locrib_fp : string;
       (** Loc-RIB digest ({!Bgp_rib.Loc_rib.fingerprint}) at run end;
           equal across sim and live runs of the same scenario/seed *)
@@ -114,6 +146,17 @@ val run : ?config:config -> Bgp_router.Arch.t -> Scenario.t -> result
     fault → NOTIFICATION/teardown → reconnect → full re-announcement,
     so the measured phase covers [fault_rounds * table_size]
     transactions and [faults] is populated.
+
+    Scenario 13 loads the MRT RIB from [table_file] (or synthesizes a
+    dump in memory when unset) through Phase 1, then replays the
+    dump's update trace through speaker 1 — unpaced or at
+    [replay_speedup] × recorded timing — and verifies the final FIB and
+    speaker 2's view against the trace's folded announce/withdraw
+    effects.  Scenario 14 is the scenario-10 flap storm with damping
+    forced on ({!Bgp_rib.Damping.test_config} unless [config.damping]
+    overrides): from the second round on the re-announcements are
+    suppressed, and the run completes only once the reuse timer has
+    re-injected every withheld route ([damping] is populated).
     @raise Failure if a phase fails to converge within the timeout
     (with a diagnostic of what was stuck). *)
 

@@ -7,6 +7,8 @@ type operation =
   | Session_flaps
   | Topo_convergence
   | Topo_link_failure
+  | Mrt_replay
+  | Flap_damping
 
 type packet_size = Small | Large
 
@@ -35,6 +37,12 @@ let topo =
   [ { id = 11; operation = Topo_convergence; packet_size = Small };
     { id = 12; operation = Topo_link_failure; packet_size = Small } ]
 
+(* Real-trace scenarios: MRT table load + update replay, and the flap
+   storm with RFC 2439 damping enabled (also outside Table I/III). *)
+let mrt =
+  [ { id = 13; operation = Mrt_replay; packet_size = Large };
+    { id = 14; operation = Flap_damping; packet_size = Large } ]
+
 let is_adversarial t =
   match t.operation with
   | Corrupted_storm | Session_flaps -> true
@@ -45,12 +53,16 @@ let is_topo t =
   | Topo_convergence | Topo_link_failure -> true
   | _ -> false
 
-let of_id id = List.find_opt (fun s -> s.id = id) (all @ adversarial @ topo)
+let is_mrt t =
+  match t.operation with Mrt_replay | Flap_damping -> true | _ -> false
+
+let of_id id =
+  List.find_opt (fun s -> s.id = id) (all @ adversarial @ topo @ mrt)
 
 let of_id_exn id =
   match of_id id with
   | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Scenario.of_id_exn: %d not in 1-12" id)
+  | None -> invalid_arg (Printf.sprintf "Scenario.of_id_exn: %d not in 1-14" id)
 
 let packing ?(large = 500) t =
   match t.packet_size with Small -> 1 | Large -> large
@@ -60,6 +72,8 @@ let forwarding_table_changes t =
   | Startup_announce | Ending_withdraw | Incremental_fib_change -> true
   | Corrupted_storm | Session_flaps -> true  (* flush + re-install per fault *)
   | Topo_convergence | Topo_link_failure -> true  (* every node's FIB moves *)
+  | Mrt_replay -> true (* withdrawals in the trace remove FIB routes *)
+  | Flap_damping -> true (* flush + suppress + reuse re-install *)
   | Incremental_no_fib_change -> false
 
 let measures_phase t =
@@ -69,6 +83,7 @@ let uses_speaker2 t =
   match t.operation with
   | Incremental_no_fib_change | Incremental_fib_change -> true
   | Corrupted_storm | Session_flaps -> true  (* export side must recover too *)
+  | Mrt_replay | Flap_damping -> true (* replay/flap effects observed at s2 *)
   | Startup_announce | Ending_withdraw | Topo_convergence | Topo_link_failure
     -> false
 
@@ -83,6 +98,8 @@ let op_string = function
   | Session_flaps -> "adversarial: session flaps mid-measurement"
   | Topo_convergence -> "topology: announce/withdraw convergence sweep"
   | Topo_link_failure -> "topology: link failure and path hunting"
+  | Mrt_replay -> "MRT: recorded table load + update-trace replay"
+  | Flap_damping -> "MRT: flap storm under RFC 2439 route flap damping"
 
 let describe t =
   Printf.sprintf "%s: %s, %s packets" (name t) (op_string t.operation)
@@ -111,6 +128,8 @@ let table1 () =
         | Session_flaps -> ("adversarial", "FLAP")
         | Topo_convergence -> ("topology", "ANNOUNCE")
         | Topo_link_failure -> ("topology", "CUT")
+        | Mrt_replay -> ("mrt", "REPLAY")
+        | Flap_damping -> ("mrt", "FLAP")
       in
       Buffer.add_string b
         (Printf.sprintf "| %2d | %-20s | %-8s | %-11s | %-6s |\n" s.id op msg

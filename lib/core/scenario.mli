@@ -25,6 +25,15 @@ type operation =
   | Topo_link_failure
       (** Topology (12): cut a link mid-graph and measure path hunting
           plus re-convergence (driven by [Bgp_topo]) *)
+  | Mrt_replay
+      (** MRT (13): load a recorded (or synthesized) TABLE_DUMP_V2 RIB
+          through Phase 1, then replay the dump's BGP4MP update trace
+          and measure msgs/s and per-stage costs against the synthetic
+          equivalent *)
+  | Flap_damping
+      (** MRT (14): the scenario-10 flap storm with RFC 2439 damping
+          enabled — suppressed-prefix counts, reuse-timer latencies,
+          and convergence deltas against the undamped run *)
 
 type packet_size = Small | Large
 
@@ -42,13 +51,18 @@ val topo : t list
 (** The multi-router topology scenarios 11-12 (not part of the paper);
     they run through [Bgp_topo], and {!Harness.run} rejects them. *)
 
+val mrt : t list
+(** The real-trace scenarios 13-14 (MRT replay, flap damping). *)
+
 val is_adversarial : t -> bool
 
 val is_topo : t -> bool
 
+val is_mrt : t -> bool
+
 val of_id : int -> t option
 (** Scenario by number: 1-8 from Table I, 9-10 adversarial, 11-12
-    topology. *)
+    topology, 13-14 MRT/damping. *)
 
 val of_id_exn : int -> t
 

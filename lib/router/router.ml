@@ -5,6 +5,7 @@ module Msg = Bgp_wire.Msg
 module Session = Bgp_fsm.Session
 module Peer = Bgp_route.Peer
 module Rib_manager = Bgp_rib.Rib_manager
+module Damping = Bgp_rib.Damping
 module Fib = Bgp_fib.Fib
 module Pipeline = Bgp_pipeline.Pipeline
 module Metrics = Bgp_stats.Metrics
@@ -49,6 +50,8 @@ type t = {
   fib_proc : Sched.proc;  (* out-of-band FIB repair (peer loss) *)
   metrics : Metrics.t;
   mrai : float option;
+  damp : Damping.t option;
+  mutable damp_timer : Clock.handle option;
   peers : (int, peer_link) Hashtbl.t;
   c_transactions : Metrics.counter;
   c_updates_rx : Metrics.counter;
@@ -92,8 +95,8 @@ let start_rtrmgr clock sched arch proc =
     ignore (Clock.schedule clock ~delay:arch.Arch.rtrmgr_period tick)
   end
 
-let create ?import ?export ?mrai ?metrics ?tracer ?trace_process clock arch
-    ~local_asn ~router_id =
+let create ?import ?export ?mrai ?damping ?metrics ?tracer ?trace_process clock
+    arch ~local_asn ~router_id =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let trace_process =
     match trace_process with Some p -> p | None -> arch.Arch.name
@@ -147,7 +150,9 @@ let create ?import ?export ?mrai ?metrics ?tracer ?trace_process clock arch
     fib = Fib.create (); fwd; pipeline;
     tx_proc = stage_proc (Arch.tx_proc_name arch);
     fib_proc = stage_proc (Arch.fib_proc_name arch);
-    metrics; mrai; peers = Hashtbl.create 8;
+    metrics; mrai;
+    damp = Option.map (fun cfg -> Damping.create ~metrics cfg) damping;
+    damp_timer = None; peers = Hashtbl.create 8;
     c_transactions; c_updates_rx; c_withdrawn_rx; c_msgs_rx; c_msgs_tx;
     c_bytes_rx;
     c_bytes_tx; first_work_at = None; last_transaction_at = None;
@@ -165,6 +170,7 @@ let rib t = t.rib
 let fib t = t.fib
 let forwarding t = t.fwd
 let metrics t = t.metrics
+let damping t = t.damp
 let pipeline t = t.pipeline
 let stage_stats t = Pipeline.stage_stats t.pipeline
 
@@ -208,15 +214,43 @@ let run_rib_update t ~from (u : Msg.update) =
     w.w_deltas <- w.w_deltas @ o.Rib_manager.fib_deltas;
     w.w_anns <- w.w_anns @ o.Rib_manager.announcements
   in
-  List.iter
-    (fun p -> absorb p (Rib_manager.withdraw t.rib ~from p))
-    u.Msg.withdrawn;
-  (match u.Msg.attrs with
-  | Some interned ->
-    (* Attr-group batched path: one shared handle for all NLRI, so the
-       per-attribute guards run once per UPDATE. *)
-    Rib_manager.announce_group t.rib ~from ~each:absorb u.Msg.nlri interned
-  | None -> ());
+  (match t.damp with
+  | None ->
+    List.iter
+      (fun p -> absorb p (Rib_manager.withdraw t.rib ~from p))
+      u.Msg.withdrawn;
+    (match u.Msg.attrs with
+    | Some interned ->
+      (* Attr-group batched path: one shared handle for all NLRI, so the
+         per-attribute guards run once per UPDATE. *)
+      Rib_manager.announce_group t.rib ~from ~each:absorb u.Msg.nlri interned
+    | None -> ())
+  | Some d ->
+    (* RFC 2439: withdrawals always reach the RIB (a suppressed route
+       must never stay reachable); announcements of suppressed routes
+       are withheld before the decision process.  The damping table
+       keeps the withheld attrs and the router's reuse timer re-injects
+       them when the penalty decays. *)
+    let now = Clock.now t.clock in
+    List.iter
+      (fun p ->
+        Damping.note_withdraw d ~now ~peer:from ~prefix:p;
+        absorb p (Rib_manager.withdraw t.rib ~from p))
+      u.Msg.withdrawn;
+    (match u.Msg.attrs with
+    | Some interned ->
+      let passed =
+        List.filter
+          (fun p ->
+            match Damping.on_announce d ~now ~peer:from ~prefix:p ~attrs:interned
+            with
+            | Damping.Pass -> true
+            | Damping.Suppress -> false)
+          u.Msg.nlri
+      in
+      if passed <> [] then
+        Rib_manager.announce_group t.rib ~from ~each:absorb passed interned
+    | None -> ()));
   w
 
 (* ------------------------------------------------------------------ *)
@@ -369,6 +403,77 @@ let note_transactions t n =
   t.last_transaction_at <- Some (Clock.now t.clock);
   t.inflight <- t.inflight - 1
 
+(* Originate (or withdraw) a prefix locally — also the re-injection
+   path for damping reuse.  The FIB commit and the resulting
+   advertisements ride the FIB process, like a peer-loss repair:
+   origination is operator/IGP work, not an inbound UPDATE, so it stays
+   off the update pipeline.  Books one transaction when the commit
+   lands (the event a convergence detector keys on). *)
+let local_change t ~prefix outcome =
+  let now = Clock.now t.clock in
+  if t.first_work_at = None then t.first_work_at <- Some now;
+  if outcome.Rib_manager.loc_changed then t.route_observer prefix;
+  t.inflight <- t.inflight + 1;
+  let c = cost t in
+  let deltas = outcome.Rib_manager.fib_deltas in
+  let anns = outcome.Rib_manager.announcements in
+  let cycles =
+    c.Arch.cyc_per_fib_msg +. delta_cycles c deltas
+    +. (float_of_int (List.length anns) *. c.Arch.cyc_per_announcement)
+  in
+  Sched.submit t.sched t.fib_proc ~cycles (fun () ->
+      ignore (Fib.apply_all t.fib deltas);
+      List.iter
+        (fun (dest, msg) -> transmit t t.fib_proc dest msg)
+        (announcement_msgs anns);
+      note_transactions t 1)
+
+(* Reuse timer: one timer per router, armed at the earliest instant any
+   suppressed route's penalty decays to the reuse threshold.  Firing
+   re-injects the withheld announcements through the FIB process (each
+   books a transaction, so convergence detection sees the reuse). *)
+let rec arm_reuse t =
+  match t.damp with
+  | None -> ()
+  | Some d ->
+    (match t.damp_timer with
+    | Some h ->
+      Clock.cancel h;
+      t.damp_timer <- None
+    | None -> ());
+    (match Damping.next_reuse_at d with
+    | None -> ()
+    | Some at ->
+      (* Fire a hair after the solved reuse instant: at [at] exactly the
+         decayed penalty can still sit an ulp above the threshold, and a
+         timer that re-arms for the same instant would spin the clock in
+         place. *)
+      t.damp_timer <-
+        Some
+          (Clock.schedule_at t.clock ~time:(at +. 1e-3) (fun () ->
+               t.damp_timer <- None;
+               reuse_fire t d)))
+
+and reuse_fire t d =
+  let now = Clock.now t.clock in
+  List.iter
+    (fun (peer, prefix, attrs) ->
+      (* A peer that went away while the route sat suppressed keeps
+         nothing: its withheld announcement must not resurrect. *)
+      let established =
+        match Hashtbl.find_opt t.peers peer.Peer.id with
+        | Some l -> (
+          match l.session with
+          | Some s -> Session.state s = Bgp_fsm.Fsm.Established
+          | None -> false)
+        | None -> false
+      in
+      if established then
+        local_change t ~prefix
+          (Rib_manager.announce_interned t.rib ~from:peer prefix attrs))
+    (Damping.take_reusable d ~now);
+  arm_reuse t
+
 (* Route one inbound UPDATE — all its NLRI as one batch — through the
    architecture's stage table.  The protocol side effects ride on the
    stage hooks:
@@ -421,7 +526,12 @@ let process_update t ~from ~bytes (u : Msg.update) =
   in
   Pipeline.submit t.pipeline w
     { Pipeline.on_begin; on_finish;
-      on_done = (fun () -> note_transactions t prefixes) }
+      on_done =
+        (fun () ->
+          note_transactions t prefixes;
+          (* Any flap this UPDATE charged may have moved the earliest
+             reuse instant. *)
+          arm_reuse t) }
 
 (* Prefix-limit protection: a peer announcing more prefixes than
    configured gets a CEASE, the standard operator defense against
@@ -505,6 +615,19 @@ let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
           List.iter
             (fun d -> t.route_observer (Fib.delta_prefix d))
             o.Rib_manager.fib_deltas;
+          (match t.damp with
+          | Some d ->
+            (* Session loss is a withdrawal flap for every route the
+               peer's loss took out of the FIB (RFC 2439 treats a
+               session reset like a withdrawal of its routes). *)
+            let now = Clock.now t.clock in
+            List.iter
+              (fun dl ->
+                Damping.note_withdraw d ~now ~peer:lnk.peer
+                  ~prefix:(Fib.delta_prefix dl))
+              o.Rib_manager.fib_deltas;
+            arm_reuse t
+          | None -> ());
           (match o.Rib_manager.fib_deltas, o.Rib_manager.announcements with
           | [], [] -> ()
           | deltas, anns ->
@@ -560,30 +683,6 @@ let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
   Session.start session
 
 let session_state t peer = Session.state (link_session (link t peer))
-
-(* Originate (or withdraw) a prefix locally.  The FIB commit and the
-   resulting advertisements ride the FIB process, like a peer-loss
-   repair: origination is operator/IGP work, not an inbound UPDATE, so
-   it stays off the update pipeline.  Books one transaction when the
-   commit lands (the event a convergence detector keys on). *)
-let local_change t ~prefix outcome =
-  let now = Clock.now t.clock in
-  if t.first_work_at = None then t.first_work_at <- Some now;
-  if outcome.Rib_manager.loc_changed then t.route_observer prefix;
-  t.inflight <- t.inflight + 1;
-  let c = cost t in
-  let deltas = outcome.Rib_manager.fib_deltas in
-  let anns = outcome.Rib_manager.announcements in
-  let cycles =
-    c.Arch.cyc_per_fib_msg +. delta_cycles c deltas
-    +. (float_of_int (List.length anns) *. c.Arch.cyc_per_announcement)
-  in
-  Sched.submit t.sched t.fib_proc ~cycles (fun () ->
-      ignore (Fib.apply_all t.fib deltas);
-      List.iter
-        (fun (dest, msg) -> transmit t t.fib_proc dest msg)
-        (announcement_msgs anns);
-      note_transactions t 1)
 
 let originate t ~prefix =
   local_change t ~prefix

@@ -27,6 +27,7 @@ val create :
   ?import:Bgp_policy.Policy.t ->
   ?export:Bgp_policy.Policy.t ->
   ?mrai:float ->
+  ?damping:Bgp_rib.Damping.config ->
   ?metrics:Bgp_stats.Metrics.t ->
   ?tracer:Bgp_trace.Tracer.t ->
   ?trace_process:string ->
@@ -39,6 +40,18 @@ val create :
     batching of outbound advertisements (seconds between flushes per
     peer).  Off by default — XORP 1.3, as benchmarked by the paper,
     advertises per decision.
+
+    [damping]: enable RFC 2439 route flap damping with the given
+    parameters ({!Bgp_rib.Damping.config}).  Announcements of
+    suppressed routes are withheld before the decision process,
+    withdrawals always pass, session loss charges a withdrawal flap
+    for every route the peer's loss took out of the FIB, and a single
+    reuse timer (on the router's clock) re-injects withheld routes as
+    their penalties decay — each re-injection runs the FIB process and
+    books one transaction, like a local origination.  Registers the
+    [damping.*] metrics in the router's registry.  Off by default:
+    with [damping] absent the update path is byte-identical to a
+    router built without this parameter.
 
     [metrics]: the registry everything registers into (default: a fresh
     private one).  Supplying a shared registry lets a harness read all
@@ -62,6 +75,10 @@ val forwarding : t -> Bgp_netsim.Forwarding.t
 val metrics : t -> Bgp_stats.Metrics.t
 (** The unified registry behind {!counters}, the RIB work counters, and
     the per-stage pipeline accounting. *)
+
+val damping : t -> Bgp_rib.Damping.t option
+(** The damping table, when {!create} enabled it — the harness reads
+    suppression state directly for its fault oracle. *)
 
 val pipeline : t -> Bgp_pipeline.Pipeline.t
 (** The instantiated update pipeline (stage procs, layout). *)

@@ -82,6 +82,13 @@ let withdraw t ~packing prefixes =
     chunks;
   List.length chunks
 
+let send_update t msg =
+  require_established t "send_update";
+  (match msg with
+  | Msg.Update _ -> ()
+  | m -> invalid_arg (Printf.sprintf "Speaker.send_update: %s" (Msg.kind_name m)));
+  Session.send (session t) msg
+
 let request_refresh t =
   require_established t "request_refresh";
   ignore (Session.send (session t) Msg.route_refresh)

@@ -49,6 +49,14 @@ val announce :
 val withdraw : t -> packing:int -> Bgp_addr.Prefix.t array -> int
 (** Same, with withdrawal messages. *)
 
+val send_update : t -> Bgp_wire.Msg.t -> bool
+(** Transmit one pre-built UPDATE verbatim — the MRT replay path,
+    where messages arrive already framed from the trace rather than
+    being regenerated from a table.  Returns [false] if the transport
+    refused the message (session dropped mid-replay).
+    @raise Invalid_argument if the session is not Established or the
+    message is not an UPDATE. *)
+
 val request_refresh : t -> unit
 (** Send a ROUTE-REFRESH (RFC 2918) asking the router to resend its
     full Adj-RIB-Out for IPv4 unicast.

@@ -169,7 +169,7 @@ let entry_of_line line =
         { e_prefix = prefix; e_path = As_path.empty; e_origin = A.Igp;
           e_med = None; e_local_pref = None; e_communities = [] }
     in
-    let path_seen = ref false in
+    let seen = ref [] in
     let* () =
       List.fold_left
         (fun acc field ->
@@ -181,9 +181,12 @@ let entry_of_line line =
             | Some i -> (
               let key = String.sub field 0 i in
               let value = String.sub field (i + 1) (String.length field - i - 1) in
+              if List.mem key !seen then
+                Error (Printf.sprintf "duplicate field %S" key)
+              else begin
+              seen := key :: !seen;
               match key with
               | "path" ->
-                path_seen := true;
                 let* p = parse_path value in
                 Ok (entry := { !entry with e_path = p })
               | "origin" -> (
@@ -212,10 +215,12 @@ let entry_of_line line =
                     (String.split_on_char ',' value)
                 in
                 Ok (entry := { !entry with e_communities = List.rev cs })
-              | k -> Error (Printf.sprintf "unknown field %S" k)))
+              | k -> Error (Printf.sprintf "unknown field %S" k)
+              end))
         (Ok ()) fields
     in
-    if not !path_seen then Error "missing path= field" else Ok !entry
+    if not (List.mem "path" !seen) then Error "missing path= field"
+    else Ok !entry
 
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)
@@ -273,3 +278,36 @@ let synthesize ?(seed = 42) ~n ~speaker_asn () =
            e_med = (if h land 0x20000 = 0 then None else Some (h land 0xFF));
            e_local_pref = None; e_communities = [] })
        prefixes)
+
+(* ------------------------------------------------------------------ *)
+(* MRT bridging and format auto-detection                              *)
+(* ------------------------------------------------------------------ *)
+
+let entries_of_mrt records =
+  List.map
+    (fun (prefix, h) ->
+      let a = A.Interned.value h in
+      { e_prefix = prefix; e_path = a.A.as_path; e_origin = a.A.origin;
+        e_med = a.A.med; e_local_pref = a.A.local_pref;
+        e_communities = a.A.communities })
+    (Bgp_mrt.Mrt.routes_of_dump records)
+
+let load_auto filename =
+  match Bgp_mrt.Mrt.sniff_file filename with
+  | Bgp_mrt.Mrt.Bgpmark_table -> load filename
+  | Bgp_mrt.Mrt.Mrt_dump -> (
+    match Bgp_mrt.Mrt.read_file filename with
+    | Error e -> Error (Printf.sprintf "%s: %s" filename e)
+    | Ok (records, _skipped) -> (
+      match entries_of_mrt records with
+      | [] ->
+        Error
+          (Printf.sprintf "%s: MRT dump has no IPv4-unicast RIB entries"
+             filename)
+      | entries -> Ok entries))
+  | Bgp_mrt.Mrt.Unknown_format ->
+    Error
+      (Printf.sprintf
+         "%s: unrecognized table format — expected %s or %s" filename
+         (Bgp_mrt.Mrt.format_name Bgp_mrt.Mrt.Mrt_dump)
+         (Bgp_mrt.Mrt.format_name Bgp_mrt.Mrt.Bgpmark_table))

@@ -85,13 +85,14 @@ let add_attr b ~flags ~code body =
   if flags land flag_extended <> 0 then u16 b len else u8 b len;
   Buffer.add_buffer b body
 
-let encode_as_path body segs =
+let encode_as_path ?(as4 = false) body segs =
+  let add_asn = if as4 then u32 else u16 in
   let add_seg tag asns =
     let n = List.length asns in
     if n = 0 || n > 255 then invalid_arg "Codec: bad AS_PATH segment";
     u8 body tag;
     u8 body n;
-    List.iter (fun a -> u16 body (Bgp_route.Asn.to_int a)) asns
+    List.iter (fun a -> add_asn body (Bgp_route.Asn.to_int a)) asns
   in
   List.iter
     (function
@@ -99,7 +100,7 @@ let encode_as_path body segs =
       | Bgp_route.As_path.Seq asns -> add_seg 2 asns)
     (Bgp_route.As_path.segments segs)
 
-let encode_attrs b (attrs : A.t) =
+let encode_attrs ?(as4 = false) b (attrs : A.t) =
   let scratch = Buffer.create 64 in
   let emit ~flags ~code fill =
     Buffer.clear scratch;
@@ -109,7 +110,7 @@ let encode_attrs b (attrs : A.t) =
   emit ~flags:flag_transitive ~code:attr_origin (fun s ->
       u8 s (A.origin_to_int attrs.A.origin));
   emit ~flags:flag_transitive ~code:attr_as_path (fun s ->
-      encode_as_path s attrs.A.as_path);
+      encode_as_path ~as4 s attrs.A.as_path);
   emit ~flags:flag_transitive ~code:attr_next_hop (fun s ->
       add_ipv4 s attrs.A.next_hop);
   Option.iter
@@ -125,7 +126,7 @@ let encode_attrs b (attrs : A.t) =
     (fun (asn, addr) ->
       emit ~flags:(flag_optional lor flag_transitive) ~code:attr_aggregator
         (fun s ->
-          u16 s (Bgp_route.Asn.to_int asn);
+          (if as4 then u32 else u16) s (Bgp_route.Asn.to_int asn);
           add_ipv4 s addr))
     attrs.A.aggregator;
   (match attrs.A.communities with
@@ -330,14 +331,26 @@ let decode_open r =
     { Msg.opn_version = v; opn_asn = asn; opn_hold_time = hold;
       opn_bgp_id = bgp_id; opn_params = params }
 
-let decode_as_path r stop =
+(* 4-octet ASNs (RFC 6793, used by TABLE_DUMP_V2 attribute blobs) are
+   clamped to AS_TRANS when they exceed the 16-bit [Asn] domain —
+   exactly what a NEW-to-OLD speaker translation would put on the
+   wire. *)
+let as_trans = Bgp_route.Asn.of_int 23456
+
+let r_asn4 r =
+  let v = ru32 r in
+  match Bgp_route.Asn.of_int_opt v with Some a -> a | None -> as_trans
+
+let decode_as_path ?(as4 = false) r stop =
+  let asn_octets = if as4 then 4 else 2 in
+  let r_asn = if as4 then r_asn4 else fun r -> Bgp_route.Asn.of_int (ru16 r) in
   let segs = ref [] in
   while r.pos < stop do
     let tag = ru8 r in
     let n = ru8 r in
-    if n = 0 || r.pos + (2 * n) > stop then
+    if n = 0 || r.pos + (asn_octets * n) > stop then
       fail (Msg.Update_message_error Msg.Malformed_as_path);
-    let asns = List.init n (fun _ -> Bgp_route.Asn.of_int (ru16 r)) in
+    let asns = List.init n (fun _ -> r_asn r) in
     match tag with
     | 1 -> segs := Bgp_route.As_path.Set asns :: !segs
     | 2 -> segs := Bgp_route.As_path.Seq asns :: !segs
@@ -358,7 +371,7 @@ type partial_attrs = {
   mutable p_cluster_list : Bgp_addr.Ipv4.t list;
 }
 
-let decode_one_attr r stop acc =
+let decode_one_attr ?(as4 = false) r stop acc =
   let flags = ru8 r in
   (* An attribute header cut off by the Total Path Attribute Length is
      an UPDATE-level malformation (RFC 4271 §6.3), not a header error:
@@ -392,7 +405,7 @@ let decode_one_attr r stop acc =
     | None -> fail (Msg.Update_message_error Msg.Invalid_origin_attribute))
   | c when c = attr_as_path ->
     check_flags ~want_optional:false ~want_transitive:true;
-    acc.p_as_path <- Some (decode_as_path r astop)
+    acc.p_as_path <- Some (decode_as_path ~as4 r astop)
   | c when c = attr_next_hop ->
     check_flags ~want_optional:false ~want_transitive:true;
     check_len 4;
@@ -414,8 +427,8 @@ let decode_one_attr r stop acc =
     acc.p_atomic <- true
   | c when c = attr_aggregator ->
     check_flags ~want_optional:true ~want_transitive:false;
-    check_len 6;
-    let asn = Bgp_route.Asn.of_int (ru16 r) in
+    check_len (if as4 then 8 else 6);
+    let asn = if as4 then r_asn4 r else Bgp_route.Asn.of_int (ru16 r) in
     let addr = r_ipv4 r in
     acc.p_aggregator <- Some (asn, addr)
   | c when c = attr_community ->
@@ -446,14 +459,14 @@ let decode_one_attr r stop acc =
   if r.pos <> astop then
     fail (Msg.Update_message_error (Msg.Attribute_length_error code))
 
-let decode_attrs_slow r stop ~nlri_present =
+let decode_attrs_slow ?(as4 = false) r stop ~nlri_present =
   let acc =
     { p_origin = None; p_as_path = None; p_next_hop = None; p_med = None;
       p_local_pref = None; p_atomic = false; p_aggregator = None;
       p_communities = []; p_originator_id = None; p_cluster_list = [] }
   in
   while r.pos < stop do
-    decode_one_attr r stop acc
+    decode_one_attr ~as4 r stop acc
   done;
   if r.pos <> stop then fail (Msg.Update_message_error Msg.Malformed_attribute_list);
   match acc.p_origin, acc.p_as_path, acc.p_next_hop with
@@ -610,3 +623,29 @@ let decode buf =
 let required_length buf ~pos ~avail =
   if avail < Msg.header_len then Ok None
   else try Ok (Some (fst (check_header buf ~pos))) with Fail e -> Error e
+
+(* Raw path-attribute blocks (no BGP message framing) — used by the MRT
+   subsystem, where TABLE_DUMP_V2 RIB entries carry a bare attribute
+   blob encoded with 4-octet ASNs. *)
+
+let encode_path_attrs ?(as4 = false) attrs =
+  let b = Buffer.create 64 in
+  encode_attrs ~as4 b attrs;
+  Buffer.contents b
+
+let decode_path_attrs ?(as4 = false) buf ~pos ~len =
+  try
+    if pos < 0 || len < 0 || pos + len > String.length buf then
+      fail (Msg.Update_message_error Msg.Malformed_attribute_list);
+    let stop = pos + len in
+    let r = { buf; pos; limit = stop; declared = len } in
+    (* The span cache is keyed purely on bytes, so it must be bypassed
+       whenever the same bytes could decode differently ([as4]). *)
+    let attrs =
+      if as4 then decode_attrs_slow ~as4 r stop ~nlri_present:true
+      else decode_attrs r stop ~nlri_present:true
+    in
+    match attrs with
+    | Some h -> Ok h
+    | None -> Error (Msg.Update_message_error Msg.Malformed_attribute_list)
+  with Fail e -> Error e

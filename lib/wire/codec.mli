@@ -32,6 +32,26 @@ val required_length : string -> pos:int -> avail:int -> (int option, Msg.error) 
     is incomplete, or a header error (bad marker / bad length) that
     must terminate the session. *)
 
+(** {1 Raw path-attribute blocks} — the bare attribute section of an
+    UPDATE, without any BGP message framing.  MRT TABLE_DUMP_V2 RIB
+    entries (RFC 6396 §4.3) carry exactly this, encoded with 4-octet
+    ASNs ([as4]).  4-octet ASNs outside the 16-bit {!Bgp_route.Asn}
+    domain are clamped to AS_TRANS (23456, RFC 6793), matching what a
+    NEW-to-OLD speaker translation would put on the wire. *)
+
+val encode_path_attrs : ?as4:bool -> Bgp_route.Attrs.t -> string
+(** Attribute section bytes for [attrs].  [as4] (default [false])
+    selects 4-octet AS encoding in AS_PATH and AGGREGATOR. *)
+
+val decode_path_attrs :
+  ?as4:bool -> string -> pos:int -> len:int ->
+  (Bgp_route.Attrs.Interned.t, Msg.error) result
+(** Decode [len] bytes of attributes at [pos], interning the result.
+    The mandatory attributes (ORIGIN, AS_PATH, NEXT_HOP) must all be
+    present, as for an UPDATE carrying NLRI.  The byte-span intern
+    cache is bypassed when [as4] is set (same bytes, different
+    decode). *)
+
 (** {1 Attribute wire constants} — exposed for tests and for malformed
     message construction in failure-injection suites. *)
 

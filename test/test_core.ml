@@ -64,10 +64,14 @@ let test_scenario_lookup () =
     (match Scenario.of_id 11 with
     | Some s -> Scenario.is_topo s
     | None -> false);
-  Alcotest.(check bool) "of_id 13" true (Scenario.of_id 13 = None);
+  Alcotest.(check bool) "of_id 13 is mrt" true
+    (match Scenario.of_id 13 with
+    | Some s -> Scenario.is_mrt s
+    | None -> false);
+  Alcotest.(check bool) "of_id 15" true (Scenario.of_id 15 = None);
   Alcotest.check_raises "of_id_exn"
-    (Invalid_argument "Scenario.of_id_exn: 13 not in 1-12") (fun () ->
-      ignore (Scenario.of_id_exn 13));
+    (Invalid_argument "Scenario.of_id_exn: 15 not in 1-14") (fun () ->
+      ignore (Scenario.of_id_exn 15));
   let rendered = Scenario.table1 () in
   List.iter
     (fun s ->

@@ -868,6 +868,104 @@ let test_decision_fastpath_counter () =
   | Some r -> Alcotest.(check int) "peer1 still best" 0 (R.from r).Peer.id
   | None -> Alcotest.fail "best missing"
 
+(* ------------------------------------------------------------------ *)
+(* RFC 2439 route flap damping                                         *)
+(* ------------------------------------------------------------------ *)
+
+let damp_attrs = A.Interned.intern (attrs ~nh:"192.0.2.1" [ 65001; 7 ])
+let damp_attrs' = A.Interned.intern (attrs ~nh:"192.0.2.1" [ 65001; 8; 9 ])
+let dpfx = pfx "203.0.113.0/24"
+
+let test_damping_first_announce_free () =
+  let d = Damping.create Damping.test_config in
+  Alcotest.(check bool) "first announce passes" true
+    (Damping.on_announce d ~now:0. ~peer:peer1 ~prefix:dpfx ~attrs:damp_attrs
+    = Damping.Pass);
+  Alcotest.(check (float 0.)) "no state, no penalty" 0.
+    (Damping.penalty d ~now:0. ~peer:peer1 ~prefix:dpfx)
+
+let test_damping_suppress_and_reuse () =
+  let c = Damping.test_config in
+  let d = Damping.create c in
+  (* Two quick withdraw/announce cycles cross the suppress threshold. *)
+  Damping.note_withdraw d ~now:0. ~peer:peer1 ~prefix:dpfx;
+  Alcotest.(check bool) "one withdrawal not yet suppressed" true
+    (Damping.suppressed_count d = 0);
+  Alcotest.(check bool) "re-announce passes" true
+    (Damping.on_announce d ~now:0.1 ~peer:peer1 ~prefix:dpfx ~attrs:damp_attrs
+    = Damping.Pass);
+  Damping.note_withdraw d ~now:0.2 ~peer:peer1 ~prefix:dpfx;
+  Alcotest.(check int) "second withdrawal suppresses" 1
+    (Damping.suppressed_count d);
+  Alcotest.(check bool) "announce while suppressed withheld" true
+    (Damping.on_announce d ~now:0.3 ~peer:peer1 ~prefix:dpfx ~attrs:damp_attrs
+    = Damping.Suppress);
+  (* The reuse instant: decay from ~2000 to 750 with a 2 s half-life. *)
+  (match Damping.next_reuse_at d with
+  | None -> Alcotest.fail "no reuse timer while suppressed"
+  | Some at ->
+    Alcotest.(check bool) "reuse in the future" true (at > 0.3);
+    Alcotest.(check bool) "reuse within max_suppress" true
+      (at <= 0.3 +. c.Damping.max_suppress);
+    Alcotest.(check int) "not reusable before the instant" 0
+      (List.length (Damping.take_reusable d ~now:(at -. 0.5)));
+    (match Damping.take_reusable d ~now:(at +. 0.01) with
+    | [ (p, x, a) ] ->
+      Alcotest.(check int) "reused for the right peer" peer1.Peer.id p.Peer.id;
+      Alcotest.(check bool) "right prefix" true (Bgp_addr.Prefix.equal x dpfx);
+      Alcotest.(check bool) "latest attrs released" true
+        (A.Interned.equal a damp_attrs)
+    | l -> Alcotest.failf "expected one reusable route, got %d" (List.length l)));
+  Alcotest.(check int) "nothing suppressed after reuse" 0
+    (Damping.suppressed_count d);
+  Alcotest.(check int) "books exactly one reuse" 1 (Damping.reuses d)
+
+let test_damping_withdrawn_route_not_reinjected () =
+  let d = Damping.create Damping.test_config in
+  (* Suppress, then withdraw while suppressed: nothing to re-inject. *)
+  Damping.note_withdraw d ~now:0. ~peer:peer1 ~prefix:dpfx;
+  ignore (Damping.on_announce d ~now:0.1 ~peer:peer1 ~prefix:dpfx ~attrs:damp_attrs);
+  Damping.note_withdraw d ~now:0.2 ~peer:peer1 ~prefix:dpfx;
+  Alcotest.(check int) "suppressed" 1 (Damping.suppressed_count d);
+  Alcotest.(check (list reject)) "withdrawn route released empty" []
+    (List.map (fun _ -> ()) (Damping.take_reusable d ~now:100.));
+  Alcotest.(check int) "released nonetheless" 0 (Damping.suppressed_count d)
+
+let test_damping_ceiling_bounds_suppression () =
+  let c = Damping.test_config in
+  let d = Damping.create c in
+  (* Hammer the route far past the ceiling; suppression must still end
+     within max_suppress of the last flap. *)
+  for i = 0 to 49 do
+    let now = 0.05 *. float_of_int i in
+    Damping.note_withdraw d ~now ~peer:peer1 ~prefix:dpfx;
+    ignore
+      (Damping.on_announce d ~now:(now +. 0.02) ~peer:peer1 ~prefix:dpfx
+         ~attrs:(if i mod 2 = 0 then damp_attrs else damp_attrs'))
+  done;
+  let last = 0.05 *. 49. +. 0.02 in
+  Alcotest.(check bool) "penalty clamped to the ceiling" true
+    (Damping.penalty d ~now:last ~peer:peer1 ~prefix:dpfx
+    <= Damping.ceiling c +. 1e-6);
+  match Damping.next_reuse_at d with
+  | None -> Alcotest.fail "no reuse timer"
+  | Some at ->
+    Alcotest.(check bool) "reuse within max_suppress of last flap" true
+      (at -. last <= c.Damping.max_suppress +. 1e-6)
+
+let prop_damping_decay_halves =
+  QCheck2.Test.make ~name:"penalty halves every half-life" ~count:200
+    QCheck2.Gen.(pair (float_range 0.5 100.) (int_range 1 5))
+    (fun (hl, k) ->
+      let c = { Damping.test_config with Damping.half_life = hl } in
+      let d = Damping.create c in
+      Damping.note_withdraw d ~now:0. ~peer:peer1 ~prefix:dpfx;
+      let p0 = Damping.penalty d ~now:0. ~peer:peer1 ~prefix:dpfx in
+      let pk =
+        Damping.penalty d ~now:(hl *. float_of_int k) ~peer:peer1 ~prefix:dpfx
+      in
+      Float.abs (pk -. (p0 /. (2. ** float_of_int k))) < 1e-6 *. p0)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -927,7 +1025,18 @@ let () =
           Alcotest.test_case "fib covers withdrawn specific" `Quick
             test_aggregate_fib_covers_traffic
         ] );
+      ( "damping",
+        [ Alcotest.test_case "first announce free" `Quick
+            test_damping_first_announce_free;
+          Alcotest.test_case "suppress and reuse" `Quick
+            test_damping_suppress_and_reuse;
+          Alcotest.test_case "withdrawn not re-injected" `Quick
+            test_damping_withdrawn_route_not_reinjected;
+          Alcotest.test_case "ceiling bounds suppression" `Quick
+            test_damping_ceiling_bounds_suppression
+        ] );
       qsuite "properties"
         [ prop_manager_arrival_order_invariant; prop_select_returns_maximal;
-          prop_compare_routes_matches_reference; prop_incremental_matches_full ]
+          prop_compare_routes_matches_reference; prop_incremental_matches_full;
+          prop_damping_decay_halves ]
     ]

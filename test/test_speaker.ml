@@ -105,6 +105,27 @@ let test_line_errors () =
       "203.0.113.0/24 path=1 med=abc"; "203.0.113.0/24 path={1,2";
       "203.0.113.0/24 path=1 comm=1:999999"; "10.0.0.1/24 path=1" ]
 
+let test_line_duplicate_fields () =
+  List.iter
+    (fun (line, field) ->
+      match Table_io.entry_of_line line with
+      | Ok _ -> Alcotest.failf "should reject duplicate in %S" line
+      | Error e ->
+        let needle = Printf.sprintf "duplicate field %S" field in
+        let has =
+          let lh = String.length needle and l = String.length e in
+          let rec go i = i + lh <= l && (String.sub e i lh = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "error names %s" field)
+          true has)
+    [ ("203.0.113.0/24 path=1,2 path=3", "path");
+      ("203.0.113.0/24 path=1 med=5 med=6", "med");
+      ("203.0.113.0/24 path=1 origin=igp origin=egp", "origin");
+      ("203.0.113.0/24 path=1 lp=100 lp=200", "lp");
+      ("203.0.113.0/24 path=1 comm=1:2 comm=3:4", "comm") ]
+
 (* ------------------------------------------------------------------ *)
 (* Files                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -209,6 +230,8 @@ let () =
         :: Alcotest.test_case "roundtrip empty path" `Quick
              test_line_roundtrip_empty_path
         :: Alcotest.test_case "rejects malformed" `Quick test_line_errors
+        :: Alcotest.test_case "rejects duplicate fields" `Quick
+             test_line_duplicate_fields
         :: Alcotest.test_case "to_attrs" `Quick test_to_attrs
         :: qtests [ prop_line_roundtrip ] );
       ( "table_io files",
