@@ -376,6 +376,22 @@ let gen_test =
   Test.make ~name:"workload/prefix-table-10k"
     (Staged.stage @@ fun () -> Bgp_addr.Prefix_gen.table ~seed:9 ~n:10_000 ())
 
+(* The Barabási–Albert generator used to rebuild its endpoint bag per
+   vertex (quadratic); these pin the linear rewrite at the scales the
+   partitioned topology runs use. *)
+let topo_gen_tests =
+  [ Test.make ~name:"topo/ba-generate-1k"
+      (Staged.stage @@ fun () ->
+       Bgp_topo.Topology.make ~seed:9 Bgp_topo.Topology.Scale_free ~n:1_000);
+    Test.make ~name:"topo/ba-generate-10k"
+      (Staged.stage @@ fun () ->
+       Bgp_topo.Topology.make ~seed:9 Bgp_topo.Topology.Scale_free ~n:10_000);
+    Test.make ~name:"topo/partition-ba-10k-8way"
+      (let topo =
+         Bgp_topo.Topology.make ~seed:9 Bgp_topo.Topology.Scale_free ~n:10_000
+       in
+       Staged.stage @@ fun () -> Bgp_topo.Partition.assign topo ~parts:8) ]
+
 let sim_test =
   Test.make ~name:"sim/schedule-drain-10k-events"
     (Staged.stage @@ fun () ->
@@ -661,7 +677,9 @@ let all_tests =
   @ workload_shape_tests @ mrai_tests @ fault_tests @ mrt_tests @ topo_tests
   @ arena_tests
   @ trace_tests
-  @ [ framer_test; forward_wire_test; gen_test; sim_test ]
+  @ [ framer_test; forward_wire_test; gen_test ]
+  @ topo_gen_tests
+  @ [ sim_test ]
 
 let () =
   print_stage_breakdowns ();

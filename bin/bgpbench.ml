@@ -564,8 +564,52 @@ let topo_cmd =
     Arg.conv
       (parse, fun ppf k -> Format.pp_print_string ppf (Topology.kind_to_string k))
   in
-  let run kind nodes seed gao cut json smoke trace_file trace_sample =
-    if smoke then begin
+  let run kind nodes seed gao cut domains json smoke trace_file trace_sample =
+    if domains <> [] then begin
+      (* Scenario 15: partitioned scale runs.  Each requested node count
+         runs once per requested domain count; converged fingerprints
+         must agree across domain counts for the same graph. *)
+      let domain_list = List.sort_uniq compare domains in
+      (match List.find_opt (fun d -> d < 1) domain_list with
+      | Some d ->
+        Printf.eprintf "topo: --domains %d: need at least 1\n" d;
+        exit 2
+      | None -> ());
+      let sizes =
+        match nodes with [] -> [ 1000 ] | l -> List.sort_uniq compare l
+      in
+      let mode = if gao then Some Net.Gao_rexford else None in
+      let runs =
+        List.concat_map
+          (fun n ->
+            List.map
+              (fun d -> TB.run_scale ?mode ~seed ~domains:d ~kind ~n ())
+              domain_list)
+          sizes
+      in
+      if json then print_json (TB.scale_runs_json runs)
+      else print_string (TB.render_scale_runs runs);
+      let mismatch =
+        List.exists
+          (fun n ->
+            let fps =
+              List.filter_map
+                (fun r ->
+                  if r.TB.sc_n = n then Some r.TB.sc_fingerprint else None)
+                runs
+            in
+            List.exists (fun f -> f <> List.hd fps) fps)
+          sizes
+      in
+      if mismatch then begin
+        prerr_endline
+          "topo scale: converged fingerprints differ across domain counts";
+        exit 1
+      end;
+      if List.exists (fun r -> Result.is_error r.TB.sc_verified) runs then
+        exit 1
+    end
+    else if smoke then begin
       (* CI gate: a small clique must establish, converge, and verify. *)
       let r = TB.run_convergence ~seed ~kind:Topology.Clique ~n:4 () in
       match r.TB.cr_verified with
@@ -636,6 +680,19 @@ let topo_cmd =
             "Edge to fail in the link-failure run (default: the first cut \
              the graph survives).")
   in
+  let domains =
+    Arg.(
+      value & opt_all int []
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Run scenario 15 (partitioned scale) instead of 11/12: \
+             single-origin convergence with the network split over $(docv) \
+             parallel simulation domains.  Repeatable; each node count runs \
+             once per domain count and the converged fingerprints must \
+             match.  Default node count 1000; policies default to \
+             Gao-Rexford (accept-all transit path-hunts combinatorially at \
+             scale).")
+  in
   let smoke =
     Arg.(
       value & flag
@@ -646,10 +703,11 @@ let topo_cmd =
     (Cmd.info "topo"
        ~doc:
          "Multi-router topology benchmarks (scenario 11: convergence sweep; \
-          scenario 12: link failure and path hunting); exits non-zero if \
-          verification fails")
+          scenario 12: link failure and path hunting; scenario 15: \
+          partitioned scale with --domains); exits non-zero if verification \
+          fails")
     Term.(
-      const run $ kind $ nodes $ seed_t $ gao $ cut $ json_t $ smoke
+      const run $ kind $ nodes $ seed_t $ gao $ cut $ domains $ json_t $ smoke
       $ trace_file_t $ trace_sample_t)
 
 let crosscheck_cmd =

@@ -19,7 +19,30 @@ type t
 
 val create :
   Bgp_sim.Engine.t -> ?latency:float -> ?bandwidth_mbps:float -> unit -> t
-(** Default latency 100 us, bandwidth 1000 Mbps. *)
+(** Default latency 100 us, bandwidth 1000 Mbps.  Both sides live on
+    the given engine; this is the original direct-scheduling path and
+    is bit-identical to the pre-partitioning channel. *)
+
+val create_cross :
+  Bgp_sim.Pengine.t ->
+  part_a:int ->
+  part_b:int ->
+  ?latency:float ->
+  ?bandwidth_mbps:float ->
+  unit ->
+  t
+(** A channel between two partitions of a {!Bgp_sim.Pengine}.  With
+    [part_a = part_b] this is exactly {!create} on that partition's
+    engine (same-partition sends stay the direct path).  Otherwise each
+    side lives on its own partition: payload deliveries and
+    connect/close notifications travel through the partitioned engine's
+    mailbox and take effect one link latency later, which the
+    conservative lookahead (the latency is registered as a bound) makes
+    exact rather than approximate.  Connection state is per-side — a
+    side keeps sending until the peer's close notification reaches it,
+    and such bytes die on the wire via the per-epoch generation check,
+    observably the same RST behavior as the shared path.
+    @raise Invalid_argument if the parts differ and [latency <= 0]. *)
 
 val set_receiver : t -> side -> (string -> unit) -> unit
 (** Install the byte sink for one side (bytes sent by the {e other}

@@ -199,31 +199,73 @@ module Interned = struct
     saved_bytes : int;
   }
 
-  let table : t Arena.t = Arena.create 4096
-  let next_id = ref 0
-  let sharing = ref true
-  let n_interns = ref 0
-  let n_hits = ref 0
-  let n_saved = ref 0
+  (* The arena is sharded per domain: each OCaml domain interns into
+     its own table, bound through domain-local storage, so partitioned
+     runs ({!Bgp_sim.Pengine}) never contend on — or corrupt — a shared
+     Hashtbl.  Ids are [slot * 2^40 + local allocation count], unique
+     and deterministic: a partition's event order is deterministic, so
+     its shard's allocation order is too.  Slot 0 is the calling
+     domain's default shard, which keeps single-domain ids identical to
+     the historical global arena.  Two shards may intern structurally
+     equal attrs under different ids; {!equal}'s structural fallback
+     (already required by the un-interned A/B mode) makes such handles
+     compare equal, so sharding is invisible to route semantics. *)
 
-  let fresh value =
-    let id = !next_id in
-    incr next_id;
+  type shard = {
+    slot : int;
+    table : t Arena.t;
+    span_tbl : (int, (string * t) list) Hashtbl.t;
+    mutable next_local : int;
+    mutable s_interns : int;
+    mutable s_hits : int;
+    mutable s_saved : int;
+  }
+
+  let id_bits = 40  (* local ids per shard; the slot lives above *)
+  let sharing = ref true
+  let shards_mu = Mutex.create ()
+  let shards : (int, shard) Hashtbl.t = Hashtbl.create 8
+
+  let shard_for slot =
+    Mutex.lock shards_mu;
+    let sh =
+      match Hashtbl.find_opt shards slot with
+      | Some sh -> sh
+      | None ->
+        let sh =
+          { slot; table = Arena.create 4096; span_tbl = Hashtbl.create 4096;
+            next_local = 0; s_interns = 0; s_hits = 0; s_saved = 0 }
+        in
+        Hashtbl.add shards slot sh;
+        sh
+    in
+    Mutex.unlock shards_mu;
+    sh
+
+  let default_shard = shard_for 0
+  let dls = Domain.DLS.new_key (fun () -> default_shard)
+  let bind_shard slot = Domain.DLS.set dls (shard_for slot)
+  let current () = Domain.DLS.get dls
+
+  let fresh sh value =
+    let id = (sh.slot lsl id_bits) lor sh.next_local in
+    sh.next_local <- sh.next_local + 1;
     { id; cached_hash = hash value; value; pref = pref_of value;
       vbytes = approx_bytes value }
 
   let intern value =
-    incr n_interns;
-    if not !sharing then fresh value
+    let sh = current () in
+    sh.s_interns <- sh.s_interns + 1;
+    if not !sharing then fresh sh value
     else
-      match Arena.find_opt table value with
+      match Arena.find_opt sh.table value with
       | Some h ->
-        incr n_hits;
-        n_saved := !n_saved + h.vbytes;
+        sh.s_hits <- sh.s_hits + 1;
+        sh.s_saved <- sh.s_saved + h.vbytes;
         h
       | None ->
-        let h = fresh value in
-        Arena.add table value h;
+        let h = fresh sh value in
+        Arena.add sh.table value h;
         h
 
   (* Wire-span cache: raw attribute byte-span -> handle, so a decoder
@@ -232,9 +274,7 @@ module Interned = struct
      span with the stored copy as the collision check; the stats
      counters on a hit mirror exactly what the [intern] call being
      skipped would have recorded, so arena accounting is unchanged by
-     who found the handle. *)
-  let span_tbl : (int, (string * t) list) Hashtbl.t = Hashtbl.create 4096
-
+     who found the handle.  Per shard, like the arena itself. *)
   let span_hash buf ~pos ~len =
     let h = ref 0x811c9dc5 in
     for i = pos to pos + len - 1 do
@@ -255,7 +295,8 @@ module Interned = struct
   let find_span buf ~pos ~len =
     if not !sharing then None
     else
-      match Hashtbl.find_opt span_tbl (span_hash buf ~pos ~len) with
+      let sh = current () in
+      match Hashtbl.find_opt sh.span_tbl (span_hash buf ~pos ~len) with
       | None -> None
       | Some entries -> (
         match
@@ -263,19 +304,22 @@ module Interned = struct
         with
         | None -> None
         | Some (_, h) ->
-          incr n_interns;
-          incr n_hits;
-          n_saved := !n_saved + h.vbytes;
+          sh.s_interns <- sh.s_interns + 1;
+          sh.s_hits <- sh.s_hits + 1;
+          sh.s_saved <- sh.s_saved + h.vbytes;
           Some h)
 
   let add_span buf ~pos ~len h =
     if !sharing then begin
+      let sh = current () in
       let key = span_hash buf ~pos ~len in
-      let entries = Option.value ~default:[] (Hashtbl.find_opt span_tbl key) in
+      let entries =
+        Option.value ~default:[] (Hashtbl.find_opt sh.span_tbl key)
+      in
       (* Only reached on a [find_span] miss, so the span is new under
          this key; the copy is the one allocation the cache ever pays
          for these bytes. *)
-      Hashtbl.replace span_tbl key ((String.sub buf pos len, h) :: entries)
+      Hashtbl.replace sh.span_tbl key ((String.sub buf pos len, h) :: entries)
     end
 
   let value h = h.value
@@ -299,9 +343,19 @@ module Interned = struct
     let hash = hash
   end)
 
+  (* Stats and [clear] aggregate over every shard ever bound, so
+     multi-domain runs report the same totals a global arena would. *)
   let stats () =
-    { interns = !n_interns; hits = !n_hits; live = Arena.length table;
-      saved_bytes = !n_saved }
+    Mutex.lock shards_mu;
+    let interns, hits, live, saved_bytes =
+      Hashtbl.fold
+        (fun _ sh (i, h, l, s) ->
+          ( i + sh.s_interns, h + sh.s_hits, l + Arena.length sh.table,
+            s + sh.s_saved ))
+        shards (0, 0, 0, 0)
+    in
+    Mutex.unlock shards_mu;
+    { interns; hits; live; saved_bytes }
 
   let hit_rate s =
     if s.interns = 0 then 0.0
@@ -310,12 +364,17 @@ module Interned = struct
   let set_sharing b = sharing := b
   let sharing_enabled () = !sharing
 
-  (* Ids survive a clear on purpose: stale handles must never collide
-     with fresh ones on the id fast path. *)
+  (* Ids survive a clear on purpose ([next_local] is not reset): stale
+     handles must never collide with fresh ones on the id fast path. *)
   let clear () =
-    Arena.reset table;
-    Hashtbl.reset span_tbl;
-    n_interns := 0;
-    n_hits := 0;
-    n_saved := 0
+    Mutex.lock shards_mu;
+    Hashtbl.iter
+      (fun _ sh ->
+        Arena.reset sh.table;
+        Hashtbl.reset sh.span_tbl;
+        sh.s_interns <- 0;
+        sh.s_hits <- 0;
+        sh.s_saved <- 0)
+      shards;
+    Mutex.unlock shards_mu
 end

@@ -153,7 +153,23 @@ module Interned : sig
   }
 
   val stats : unit -> arena_stats
+  (** Aggregated over every shard (see {!bind_shard}), so multi-domain
+      runs report the same totals a global arena would. *)
+
   val hit_rate : arena_stats -> float
+
+  val bind_shard : int -> unit
+  (** Bind the calling domain to arena shard [slot].  The arena is
+      sharded per domain so partitioned simulations never contend on a
+      shared table: each shard allocates ids [slot * 2^40 + k] in its
+      own deterministic allocation order, and slot 0 — every domain's
+      default — reproduces the historical global arena's ids exactly.
+      Structurally equal attrs interned by different shards get
+      distinct handles that still satisfy {!equal} (structural
+      fallback).  A worker domain driving partition [i] of a
+      {!Bgp_sim.Pengine} should call [bind_shard i] from the engine's
+      worker-init hook; binding is idempotent and a rebind to the same
+      slot resumes that shard (ids stay unique across rebinds). *)
 
   val set_sharing : bool -> unit
   (** [false] bypasses the arena: every [intern] allocates a fresh

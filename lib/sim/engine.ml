@@ -1,25 +1,30 @@
-type handle = { mutable state : [ `Pending | `Cancelled | `Fired ]; fn : unit -> unit }
-
 type t = {
   heap : handle Heap.t;
   mutable time : float;
   mutable seq : int;
   mutable live : int;
+  mutable cancelled_in_heap : int;
   mutable dispatched : int;
   mutable limit : int;
+}
+
+and handle = {
+  mutable state : [ `Pending | `Cancelled | `Fired ];
+  fn : unit -> unit;
+  eng : t;
 }
 
 exception Too_many_events
 
 let create () =
-  { heap = Heap.create (); time = 0.0; seq = 0; live = 0; dispatched = 0;
-    limit = max_int }
+  { heap = Heap.create (); time = 0.0; seq = 0; live = 0;
+    cancelled_in_heap = 0; dispatched = 0; limit = max_int }
 
 let now t = t.time
 
 let schedule_at t ~time fn =
   let time = if time < t.time then t.time else time in
-  let h = { state = `Pending; fn } in
+  let h = { state = `Pending; fn; eng = t } in
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
   Heap.push t.heap ~time ~seq:t.seq h;
@@ -27,19 +32,34 @@ let schedule_at t ~time fn =
 
 let schedule t ~delay fn = schedule_at t ~time:(t.time +. max 0.0 delay) fn
 
+(* Cancelled entries stay in the heap (there is no O(log n) removal by
+   handle), but [pending] is kept exact by the [live] counter, and once
+   more than half the heap is dead weight it is compacted in one O(n)
+   pass — so a workload that schedules and cancels N timers holds O(live)
+   heap, not O(N). *)
+let compact t =
+  Heap.compact t.heap ~keep:(fun h -> h.state = `Pending);
+  t.cancelled_in_heap <- 0
+
 let cancel h =
   match h.state with
-  | `Pending -> h.state <- `Cancelled
+  | `Pending ->
+    h.state <- `Cancelled;
+    let t = h.eng in
+    t.live <- t.live - 1;
+    t.cancelled_in_heap <- t.cancelled_in_heap + 1;
+    if t.cancelled_in_heap > Heap.size t.heap / 2 && Heap.size t.heap >= 32
+    then compact t
   | `Cancelled | `Fired -> ()
 
 let cancelled h = h.state = `Cancelled
 
 let fire t h =
-  t.live <- t.live - 1;
   match h.state with
-  | `Cancelled -> ()
+  | `Cancelled -> t.cancelled_in_heap <- t.cancelled_in_heap - 1
   | `Fired -> assert false
   | `Pending ->
+    t.live <- t.live - 1;
     h.state <- `Fired;
     t.dispatched <- t.dispatched + 1;
     if t.dispatched > t.limit then raise Too_many_events;
@@ -67,7 +87,22 @@ let run ?until t =
      on [now] after [run ~until]. *)
   match until with Some u when u > t.time -> t.time <- u | _ -> ()
 
+(* Half-open variant for the partitioned engine's window drains: events
+   at exactly [until] are left for the next window, where mailbox
+   deliveries landing at that instant have already been enqueued. *)
+let run_before t ~until =
+  let keep_going () =
+    match Heap.peek t.heap with
+    | None -> false
+    | Some (time, _, _) -> time < until
+  in
+  while keep_going () do
+    ignore (step t)
+  done;
+  if until > t.time then t.time <- until
+
 let pending t = t.live
+let dispatched t = t.dispatched
 let set_event_limit t n = t.limit <- n
 
 let next_time t =

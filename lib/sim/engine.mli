@@ -32,12 +32,27 @@ val run : ?until:float -> t -> unit
 (** Process events until the queue drains or virtual time would exceed
     [until] (events at exactly [until] still fire). *)
 
+val run_before : t -> until:float -> unit
+(** Half-open variant: fire every event with time strictly below
+    [until], then advance the clock to [until].  This is the window
+    drain of the partitioned engine ({!Pengine}) — events at exactly
+    [until] belong to the next window, together with any cross-partition
+    deliveries landing at that instant. *)
+
 val step : t -> bool
 (** Fire the single next event; [false] when the queue is empty. *)
 
 val pending : t -> int
-(** Number of events still queued (cancelled entries are counted until
-    their scheduled time is reached and they are reaped). *)
+(** Exact number of events scheduled but neither fired nor cancelled.
+    Cancelled entries linger in the internal heap until their scheduled
+    time (there is no O(log n) removal by handle), but they are not
+    counted here, and the heap is compacted in one O(n) pass whenever
+    dead entries outnumber live ones — so heap memory is O(pending),
+    not O(ever scheduled). *)
+
+val dispatched : t -> int
+(** Events fired so far — the per-partition work measure behind the
+    events/sec-per-domain curves. *)
 
 exception Too_many_events
 

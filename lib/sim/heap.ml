@@ -62,3 +62,19 @@ let pop h =
 let peek h = if h.len = 0 then None else Some (h.arr.(0).time, h.arr.(0).seq, h.arr.(0).value)
 
 let clear h = h.len <- 0
+
+(* Filter in place, then restore the heap property bottom-up (Floyd):
+   O(n) total, and the surviving entries keep their (time, seq) keys, so
+   compaction can never change dispatch order. *)
+let compact h ~keep =
+  let j = ref 0 in
+  for i = 0 to h.len - 1 do
+    if keep h.arr.(i).value then begin
+      h.arr.(!j) <- h.arr.(i);
+      incr j
+    end
+  done;
+  h.len <- !j;
+  for i = (h.len / 2) - 1 downto 0 do
+    sift_down h i
+  done

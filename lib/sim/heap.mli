@@ -17,3 +17,8 @@ val pop : 'a t -> (float * int * 'a) option
 
 val peek : 'a t -> (float * int * 'a) option
 val clear : 'a t -> unit
+
+val compact : 'a t -> keep:('a -> bool) -> unit
+(** Drop every entry whose value fails [keep] and re-heapify, in O(n).
+    Surviving entries keep their [(time, seq)] keys, so the dispatch
+    order of what remains is unchanged. *)

@@ -1,4 +1,9 @@
-type counter = { c_name : string; mutable c_value : int }
+(* Counters are Atomic-backed: each simulated router's registry is
+   still written by one domain at a time (its partition's), but a
+   partitioned run samples counters from the coordinating domain at
+   window barriers, and Atomic publication makes those reads sound
+   under the OCaml 5 memory model without a lock on the hot path. *)
+type counter = { c_name : string; c_value : int Atomic.t }
 
 type histogram = {
   h_name : string;
@@ -37,16 +42,16 @@ let register t e =
   t.entries <- e :: t.entries
 
 let counter t name =
-  let c = { c_name = name; c_value = 0 } in
+  let c = { c_name = name; c_value = Atomic.make 0 } in
   register t (Counter c);
   c
 
 let incr ?(by = 1) c =
   if by < 0 then
     invalid_arg (Printf.sprintf "Metrics.incr: negative step %d on %s" by c.c_name);
-  c.c_value <- c.c_value + by
+  ignore (Atomic.fetch_and_add c.c_value by)
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 let counter_name c = c.c_name
 
 let find_counter t name =
@@ -99,7 +104,7 @@ let find_gauge t name =
 let reset_all t =
   List.iter
     (function
-      | Counter c -> c.c_value <- 0
+      | Counter c -> Atomic.set c.c_value 0
       | Histogram h ->
         h.h_count <- 0;
         h.h_sum <- 0.0;
@@ -113,7 +118,7 @@ let in_order t = List.rev t.entries
 let counters t =
   List.filter_map
     (function
-      | Counter c -> Some (c.c_name, c.c_value)
+      | Counter c -> Some (c.c_name, Atomic.get c.c_value)
       | Histogram _ | Gauge _ -> None)
     (in_order t)
 
@@ -135,7 +140,8 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter
     (function
-      | Counter c -> Format.fprintf ppf "%-40s %12d@," c.c_name c.c_value
+      | Counter c ->
+        Format.fprintf ppf "%-40s %12d@," c.c_name (Atomic.get c.c_value)
       | Histogram h ->
         Format.fprintf ppf "%-40s count %8d  sum %14.0f  mean %12.1f@," h.h_name
           h.h_count h.h_sum (hist_mean h)

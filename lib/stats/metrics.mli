@@ -28,8 +28,11 @@ val counter : t -> string -> counter
     @raise Invalid_argument if [name] is already registered. *)
 
 val incr : ?by:int -> counter -> unit
-(** Add [by] (default 1) to the counter.  @raise Invalid_argument if
-    [by] is negative (counters are monotonic between resets). *)
+(** Add [by] (default 1) to the counter.  Counters are Atomic-backed,
+    so a partitioned run ({!Bgp_sim.Pengine}) can sample them from the
+    coordinating domain while worker domains increment them.
+    @raise Invalid_argument if [by] is negative (counters are monotonic
+    between resets). *)
 
 val value : counter -> int
 val counter_name : counter -> string

@@ -1,4 +1,6 @@
 module Engine = Bgp_sim.Engine
+module Pengine = Bgp_sim.Pengine
+module Tracer = Bgp_trace.Tracer
 module Channel = Bgp_netsim.Channel
 module Arch = Bgp_router.Arch
 module Router = Bgp_router.Router
@@ -33,7 +35,10 @@ type node = {
 }
 
 type t = {
-  engine : Engine.t;
+  pe : Pengine.t;
+  domains : int;
+  part : int array;  (* vertex -> simulation domain *)
+  cut_links : int;   (* edges whose endpoints straddle domains *)
   topo : Topology.t;
   mode : policy_mode;
   nodes : node array;
@@ -48,28 +53,45 @@ type t = {
       (* node totals already mirrored into the aggregate counters *)
 }
 
-let asn_of_index i = Asn.of_int (64512 + i)
+(* Up to 1023 routers the classic RFC 1930 private block [64512 + i];
+   beyond it (10k-AS scale runs) plain ASNs [1 .. n], still 16-bit.
+   The split keeps every historical scenario's wire bytes identical. *)
+let asn_of_index ~n i = Asn.of_int (if n <= 1023 then 64512 + i else i + 1)
 
 let addr_of_index i = Ipv4.of_octets 10 (i lsr 8) (i land 0xff) 1
 
-let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) ?tracer
-    ?(trace_prefix = "topo") topo =
+let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4)
+    ?(domains = 1) ?tracer ?(trace_prefix = "topo") topo =
   let n = topo.Topology.n in
-  if n > 1023 then
+  if n > 65535 then
     invalid_arg
-      (Printf.sprintf
-         "Net.create: %d routers exceed the private ASN block (max 1023)" n);
-  let engine = Engine.create () in
+      (Printf.sprintf "Net.create: %d routers exceed the 16-bit ASN space" n);
+  if domains < 1 then invalid_arg "Net.create: domains must be >= 1";
+  let pe = Pengine.create ~parts:domains () in
+  (* Worker domains intern into their partition's arena shard; the
+     calling domain (partition 0) stays on the default shard. *)
+  Pengine.set_worker_init pe (fun k -> Attrs.Interned.bind_shard k);
+  (match tracer with
+  | Some tr when domains > 1 -> Tracer.set_shared tr
+  | _ -> ());
+  let part =
+    if domains = 1 then Array.make n 0
+    else Partition.assign topo ~parts:domains
+  in
   let prefixes = Bgp_addr.Prefix_gen.table ~seed:topo.Topology.seed ~n () in
   let nodes =
     Array.init n (fun i ->
-        let asn = asn_of_index i in
+        let asn = asn_of_index ~n i in
         let addr = addr_of_index i in
+        let trace_process =
+          if domains = 1 then Printf.sprintf "%s/node-%d" trace_prefix i
+          else Printf.sprintf "%s/d%d/node-%d" trace_prefix part.(i) i
+        in
         { index = i; asn; addr;
           router =
-            Router.create ?tracer
-              ~trace_process:(Printf.sprintf "%s/node-%d" trace_prefix i)
-              (Engine.clock engine) arch ~local_asn:asn ~router_id:addr;
+            Router.create ?tracer ~trace_process
+              (Engine.clock (Pengine.part pe part.(i)))
+              arch ~local_asn:asn ~router_id:addr;
           origin = prefixes.(i);
           peer_recs = []; loc_changes = 0; explored = Hashtbl.create 97 })
   in
@@ -97,7 +119,9 @@ let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) ?tracer
   let links =
     List.map
       (fun (u, v) ->
-        let ch = Channel.create engine ~latency () in
+        let ch =
+          Channel.create_cross pe ~part_a:part.(u) ~part_b:part.(v) ~latency ()
+        in
         let nu = nodes.(u) and nv = nodes.(v) in
         let peer_v =
           Peer.make ~id:(fresh_id u) ~asn:nv.asn ~router_id:nv.addr
@@ -120,7 +144,12 @@ let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) ?tracer
       topo.Topology.edges
   in
   let metrics = Metrics.create () in
-  { engine; topo; mode; nodes; links; metrics;
+  let cut_links =
+    List.fold_left
+      (fun acc (u, v, _) -> if part.(u) <> part.(v) then acc + 1 else acc)
+      0 links
+  in
+  { pe; domains; part; cut_links; topo; mode; nodes; links; metrics;
     c_updates = Metrics.counter metrics "topo.updates_rx";
     c_msgs = Metrics.counter metrics "topo.msgs_tx";
     c_withdrawn = Metrics.counter metrics "topo.withdrawals_rx";
@@ -128,7 +157,12 @@ let create ?(arch = Arch.pentium3) ?(mode = Transit) ?(latency = 1e-4) ?tracer
     h_conv = Metrics.histogram metrics "topo.convergence_s";
     folded = (0, 0, 0, 0) }
 
-let engine t = t.engine
+let engine t = Pengine.part t.pe 0
+let pengine t = t.pe
+let domains t = t.domains
+let partition_of t i = t.part.(i)
+let cut_links t = t.cut_links
+let events_of_domain t d = Pengine.dispatched t.pe d
 let topology t = t.topo
 let mode t = t.mode
 let size t = Array.length t.nodes
@@ -155,16 +189,19 @@ let fold_totals t =
   t.folded <- (u, m, w, l)
 
 let wait_until t ~timeout ~what cond =
-  let deadline = Engine.now t.engine +. timeout in
+  let deadline = Pengine.now t.pe +. timeout in
   (* Run before the first check: a just-injected fault (channel close,
      link cut) breaks quiescence only once its notification event
      fires, so the predicate must never be trusted on a cold queue.
      Exponential polling step, capped: convergence times come from
-     event timestamps, not from this grid. *)
+     event timestamps, not from this grid.  With one domain
+     [Pengine.run_until] is exactly [Engine.run ~until]; with more, the
+     predicate only runs between windows, when every partition is
+     parked and its writes are visible here. *)
   let rec go step =
-    Engine.run ~until:(Engine.now t.engine +. step) t.engine;
+    Pengine.run_until t.pe (Pengine.now t.pe +. step);
     if cond () then ()
-    else if Engine.now t.engine >= deadline then
+    else if Pengine.now t.pe >= deadline then
       failwith
         (Printf.sprintf "Net: timed out after %.0fs waiting for %s" timeout
            what)
@@ -193,7 +230,7 @@ let quiescent t =
   && List.for_all (fun (_, _, ch) -> Channel.in_flight ch = 0) t.links
 
 let converge ?(timeout = 600.) ~what t =
-  let t0 = Engine.now t.engine in
+  let t0 = Pengine.now t.pe in
   wait_until t ~timeout ~what (fun () -> quiescent t);
   let t_end =
     Array.fold_left
@@ -264,6 +301,19 @@ let loc_rib_fingerprint t i =
       rib []
   in
   String.concat "\n" (List.sort compare entries)
+
+let fib_fingerprint t i =
+  let entries = ref [] in
+  Fib.iter
+    (fun prefix nh ->
+      entries :=
+        Printf.sprintf "%s|%s|%d"
+          (Prefix.to_string prefix)
+          (Ipv4.to_string nh.Fib.nh_addr)
+          nh.Fib.nh_port
+        :: !entries)
+    (Router.fib t.nodes.(i).router);
+  String.concat "\n" (List.sort compare !entries)
 
 let reachability t i j =
   let rib = Rib_manager.loc_rib (Router.rib t.nodes.(i).router) in

@@ -4,7 +4,8 @@
     policies.
 
     Vertex [i] of the topology becomes AS [64512 + i] (the RFC 1930
-    private range) at address [10.<i/256>.<i%256>.1], originating
+    private range; plain AS [i + 1] when the graph outgrows the
+    1023-wide block) at address [10.<i/256>.<i%256>.1], originating
     one seeded prefix ({!Bgp_addr.Prefix_gen} stream of the topology
     seed).  For every edge the lower-index side listens passively and
     the higher-index side opens the connection, so exactly one BGP
@@ -30,6 +31,7 @@ val create :
   ?arch:Bgp_router.Arch.t ->
   ?mode:policy_mode ->
   ?latency:float ->
+  ?domains:int ->
   ?tracer:Bgp_trace.Tracer.t ->
   ?trace_prefix:string ->
   Topology.t ->
@@ -39,12 +41,40 @@ val create :
     state lives on a fresh private engine; nothing is shared with any
     single-DUT harness run.
 
+    [domains] (default 1) splits the network over that many simulation
+    partitions of a {!Bgp_sim.Pengine}: vertices are assigned by
+    {!Partition.assign}, same-partition links stay on the direct
+    scheduling path, and cross-partition links become mailbox channels
+    whose latency bounds the conservative-lookahead window.  One domain
+    is byte-identical to the historical single-engine network; more
+    domains run the partitions on parallel OCaml domains and converge
+    to the same routes (the decision process is arrival-order
+    invariant), though same-instant event interleavings — and hence
+    raw message counts — may differ.
+
     With [tracer], every router records structured trace events under
     the process name ["<trace_prefix>/node-<i>"] (default prefix
-    ["topo"]), so a converging network renders as one track group per
-    node in the Chrome trace view. *)
+    ["topo"]; with multiple domains ["<trace_prefix>/d<p>/node-<i>"],
+    and the tracer is switched to shared mode), so a converging network
+    renders as one track group per node in the Chrome trace view. *)
 
 val engine : t -> Bgp_sim.Engine.t
+(** Partition 0's engine — the only partition when [domains = 1]. *)
+
+val pengine : t -> Bgp_sim.Pengine.t
+
+val domains : t -> int
+
+val partition_of : t -> int -> int
+(** The simulation domain vertex [i] lives on. *)
+
+val cut_links : t -> int
+(** Links whose endpoints straddle domains (mailbox channels). *)
+
+val events_of_domain : t -> int -> int
+(** Events dispatched so far by one domain's partition — the numerator
+    of the per-domain events/sec curve. *)
+
 val topology : t -> Topology.t
 val mode : t -> policy_mode
 val size : t -> int
@@ -116,6 +146,11 @@ val reset_exploration : t -> unit
 val loc_rib_fingerprint : t -> int -> string
 (** Canonical rendering of vertex [i]'s Loc-RIB — (prefix, AS path,
     next hop) sorted by prefix — for determinism comparisons. *)
+
+val fib_fingerprint : t -> int -> string
+(** Canonical rendering of vertex [i]'s FIB — (prefix, next hop, port)
+    sorted — the second leg of the single- vs multi-domain
+    equivalence check. *)
 
 val reachability : t -> int -> int -> bool
 (** [reachability t i j]: does vertex [i] hold a route to vertex [j]'s

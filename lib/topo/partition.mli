@@ -1,0 +1,22 @@
+(** Deterministic greedy edge-cut partitioner for simulation domains.
+
+    Vertices are visited in BFS order (from vertex 0, restarting per
+    component) and each goes to the partition holding most of its
+    already-placed neighbors, under a balance cap of [ceil n/parts];
+    ties break toward the smaller partition, then the lower index.
+    Pure function of the topology, so a partitioned run is as
+    reproducible as a single-domain one. *)
+
+val assign : Topology.t -> parts:int -> int array
+(** [assign topo ~parts] maps each vertex to a partition in
+    [0 .. parts-1]; every partition gets at most [ceil n/parts]
+    vertices (a partition may end up empty when [n] is far from a
+    multiple of [parts] — its domain simply idles).
+    @raise Invalid_argument when [parts < 1] or [parts > n]. *)
+
+val cut_edges : Topology.t -> int array -> int
+(** Edges whose endpoints land in different partitions — each becomes a
+    cross-domain channel (mailbox traffic); the rest stay direct. *)
+
+val sizes : int array -> parts:int -> int array
+(** Per-partition vertex counts of an assignment. *)

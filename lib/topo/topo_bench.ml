@@ -324,3 +324,155 @@ let link_failure_json r =
        ("mean_explored", Json.Float r.lf_mean_explored);
        ("withdrawn_rx", Json.Int r.lf_withdrawn_rx) ]
     @ result_fields r.lf_verified)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 15: partitioned scale runs                                 *)
+(* ------------------------------------------------------------------ *)
+
+type scale_run = {
+  sc_kind : Topology.kind;
+  sc_n : int;
+  sc_seed : int;
+  sc_domains : int;
+  sc_edges : int;
+  sc_cut_links : int;
+  sc_domain_sizes : int array;
+  sc_announce_s : float;  (* simulated convergence time *)
+  sc_withdraw_s : float;
+  sc_wall_s : float;  (* wall clock, establish through withdraw *)
+  sc_domain_events : int array;  (* dispatched per domain *)
+  sc_reached : int;
+  sc_fingerprint : string;  (* digest over all Loc-RIBs and FIBs *)
+  sc_verified : (unit, string) result;
+}
+
+let sc_events r = Array.fold_left ( + ) 0 r.sc_domain_events
+
+let sc_events_per_sec r =
+  if r.sc_wall_s <= 0.0 then 0.0
+  else float_of_int (sc_events r) /. r.sc_wall_s
+
+(* Single-origin convergence at scale: establish, announce from vertex
+   0, converge, fingerprint every node's Loc-RIB and FIB, withdraw,
+   converge.  The digest is what the domain-count equivalence gate
+   compares: same graph, different [domains], same digest.  Unlike
+   scenario 11 this never goes O(n^2): verification is reachability of
+   the one origin, and the heavy all-pairs checks stay in the small
+   scenarios.
+
+   Default policies are Gao-Rexford, not Transit: valley-free export
+   bounds withdrawal path hunting (and is the realistic model for an
+   AS-level graph).  Under accept-all Transit a BA graph's withdrawal
+   phase explores alternate paths combinatorially — ~500k events at
+   n=100 and growing fast — so Transit at scale is a measurement of
+   path hunting, not of the engine. *)
+let run_scale ?(arch = Arch.pentium3) ?(mode = Net.Gao_rexford) ?(seed = 42)
+    ?(domains = 1) ?(timeout = 3600.) ~kind ~n () =
+  let topo = Topology.make ~seed kind ~n in
+  let net = Net.create ~arch ~mode ~domains topo in
+  let wall0 = Unix.gettimeofday () in
+  Net.establish ~timeout net;
+  Net.originate net 0;
+  let announce_s = Net.converge ~timeout ~what:"announce convergence" net in
+  let expected =
+    match mode with
+    | Net.Transit -> Array.make n true
+    | Net.Gao_rexford ->
+      Gao_rexford.reachable ~n ~edges:topo.Topology.edges ~origin:0
+  in
+  let reached = ref 0 in
+  let bad = ref None in
+  for i = 0 to n - 1 do
+    let got = Net.reachability net i 0 in
+    if got then incr reached;
+    if !bad = None && got <> expected.(i) then bad := Some i
+  done;
+  let verified =
+    match !bad with
+    | Some i ->
+      Error
+        (Printf.sprintf
+           "node %d's reachability disagrees with the policy oracle" i)
+    | None -> Ok ()
+  in
+  let fingerprint =
+    let ctx = Buffer.create (64 * n) in
+    for i = 0 to n - 1 do
+      Buffer.add_string ctx (Net.loc_rib_fingerprint net i);
+      Buffer.add_char ctx '\n';
+      Buffer.add_string ctx (Net.fib_fingerprint net i);
+      Buffer.add_char ctx '\n'
+    done;
+    Digest.to_hex (Digest.string (Buffer.contents ctx))
+  in
+  Net.withdraw_origin net 0;
+  let withdraw_s = Net.converge ~timeout ~what:"withdraw convergence" net in
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let part = Array.init n (fun i -> Net.partition_of net i) in
+  { sc_kind = kind; sc_n = n; sc_seed = seed; sc_domains = domains;
+    sc_edges = Topology.edge_count topo; sc_cut_links = Net.cut_links net;
+    sc_domain_sizes = Partition.sizes part ~parts:domains;
+    sc_announce_s = announce_s; sc_withdraw_s = withdraw_s; sc_wall_s = wall_s;
+    sc_domain_events =
+      Array.init domains (fun d -> Net.events_of_domain net d);
+    sc_reached = !reached; sc_fingerprint = fingerprint;
+    sc_verified = verified }
+
+let render_scale_runs runs =
+  let b = Buffer.create 1024 in
+  (match runs with
+  | [] -> Buffer.add_string b "no runs\n"
+  | r0 :: _ ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "Scenario 15: partitioned scale — %s topology, seed %d\n"
+         (Topology.kind_to_string r0.sc_kind)
+         r0.sc_seed);
+    Buffer.add_string b
+      "    n  domains  edges    cut  announce(s)  withdraw(s)   wall(s)  \
+       events  ev/s(wall)  fingerprint        check\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%5d  %7d  %5d  %5d  %11.6f  %11.6f  %8.2f  %7d  %10.0f  %s  %s\n"
+             r.sc_n r.sc_domains r.sc_edges r.sc_cut_links r.sc_announce_s
+             r.sc_withdraw_s r.sc_wall_s (sc_events r) (sc_events_per_sec r)
+             (String.sub r.sc_fingerprint 0 16)
+             (verified_str r.sc_verified)))
+      runs);
+  Buffer.contents b
+
+let scale_run_json r =
+  Json.Obj
+    ([ ("n", Json.Int r.sc_n);
+       ("domains", Json.Int r.sc_domains);
+       ("edges", Json.Int r.sc_edges);
+       ("cut_links", Json.Int r.sc_cut_links);
+       ("domain_sizes",
+        Json.List
+          (Array.to_list (Array.map (fun s -> Json.Int s) r.sc_domain_sizes)));
+       ("announce_s", Json.Float r.sc_announce_s);
+       ("withdraw_s", Json.Float r.sc_withdraw_s);
+       ("wall_s", Json.Float r.sc_wall_s);
+       ("events", Json.Int (sc_events r));
+       ("events_per_sec_wall", Json.Float (sc_events_per_sec r));
+       ("domain_events",
+        Json.List
+          (Array.to_list (Array.map (fun e -> Json.Int e) r.sc_domain_events)));
+       ("reached", Json.Int r.sc_reached);
+       ("fingerprint", Json.Str r.sc_fingerprint) ]
+    @ result_fields r.sc_verified)
+
+let scale_runs_json runs =
+  let header =
+    match runs with
+    | [] -> []
+    | r :: _ ->
+      [ ("kind", Json.Str (Topology.kind_to_string r.sc_kind));
+        ("seed", Json.Int r.sc_seed) ]
+  in
+  Json.Obj
+    ([ ("scenario", Json.Int 15); ("name", Json.Str "topo-scale") ]
+    @ header
+    @ [ ("runs", Json.List (List.map scale_run_json runs)) ])

@@ -1,4 +1,4 @@
-(** The two multi-router scenarios (11 and 12) and their reporting.
+(** The multi-router scenarios (11, 12, and 15) and their reporting.
 
     Scenario 11 — {e convergence}: one origin announces its prefix into
     an established graph, the network runs to quiescence, then the
@@ -14,7 +14,13 @@
 
     Both runs verify the final state against a pure oracle: full
     component reachability under [Transit], the {!Gao_rexford.reachable}
-    valley-free fixed point under [Gao_rexford]. *)
+    valley-free fixed point under [Gao_rexford].
+
+    Scenario 15 — {e partitioned scale}: scenario 11's single-origin
+    episode on large graphs (1k–10k nodes), run on [domains] parallel
+    simulation partitions ({!Net.create}).  Reports per-domain event
+    throughput and a digest of every node's converged Loc-RIB and FIB,
+    which must be independent of the domain count. *)
 
 type convergence_run = {
   cr_kind : Topology.kind;
@@ -91,10 +97,54 @@ val run_link_failure :
     of healing).
     @raise Invalid_argument if [cut] names a non-edge. *)
 
+type scale_run = {
+  sc_kind : Topology.kind;
+  sc_n : int;
+  sc_seed : int;
+  sc_domains : int;
+  sc_edges : int;
+  sc_cut_links : int;        (** cross-domain links (mailbox channels) *)
+  sc_domain_sizes : int array;
+  sc_announce_s : float;     (** simulated announce-convergence time *)
+  sc_withdraw_s : float;
+  sc_wall_s : float;         (** wall clock, establish through withdraw *)
+  sc_domain_events : int array;  (** events dispatched per domain *)
+  sc_reached : int;
+  sc_fingerprint : string;
+      (** hex digest over every node's Loc-RIB and FIB after the
+          announce converged — equal across domain counts *)
+  sc_verified : (unit, string) result;
+}
+
+val sc_events : scale_run -> int
+(** Total events dispatched, all domains. *)
+
+val sc_events_per_sec : scale_run -> float
+(** {!sc_events} over the wall clock. *)
+
+val run_scale :
+  ?arch:Bgp_router.Arch.t ->
+  ?mode:Net.policy_mode ->
+  ?seed:int ->
+  ?domains:int ->
+  ?timeout:float ->
+  kind:Topology.kind ->
+  n:int ->
+  unit ->
+  scale_run
+(** Scenario 15: establish, announce from vertex 0, converge,
+    fingerprint, withdraw, converge — with every per-node check O(n),
+    so 10k-node graphs stay tractable.  Defaults: Pentium III,
+    [Gao_rexford] (valley-free export bounds withdrawal path hunting;
+    accept-all [Transit] explodes combinatorially at scale), seed 42,
+    1 domain, 3600 simulated-seconds timeout. *)
+
 (** {1 Reporting} *)
 
 val render_convergence_runs : convergence_run list -> string
 val render_link_failure : link_failure_run -> string
+val render_scale_runs : scale_run list -> string
 
 val convergence_runs_json : convergence_run list -> Bgp_stats.Json.t
 val link_failure_json : link_failure_run -> Bgp_stats.Json.t
+val scale_runs_json : scale_run list -> Bgp_stats.Json.t

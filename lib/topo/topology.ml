@@ -11,7 +11,9 @@ let kind_to_string = function
 let all_kinds = [ Line; Ring; Star; Grid; Clique; Scale_free ]
 
 let kind_of_string s =
-  List.find_opt (fun k -> kind_to_string k = s) all_kinds
+  match s with
+  | "ba" -> Some Scale_free  (* Barabási–Albert, the common shorthand *)
+  | s -> List.find_opt (fun k -> kind_to_string k = s) all_kinds
 
 type t = { kind : kind; n : int; seed : int; edges : (int * int) list }
 
@@ -41,27 +43,43 @@ let clique n =
 
 (* Barabási–Albert preferential attachment, m = 2: a seed triangle,
    then each vertex v >= 3 wires to 2 distinct earlier vertices drawn
-   from the degree-weighted endpoint bag.  The bag is rebuilt per
-   vertex from the edge list, so the construction is a pure fold over
-   the RNG stream. *)
+   from the degree-weighted endpoint bag.
+
+   The construction used to rebuild the bag per vertex from the edge
+   list — O(n^2) total, minutes at 10k vertices.  This version keeps
+   the endpoint bag as a flat array and maps each draw through an index
+   permutation so the RNG stream (and hence every graph ever generated
+   from a seed) is bit-identical to the historical fold: the old bag
+   enumerated the edge list newest-first with the seed triangle at the
+   tail in literal order, i.e. exactly [ends] read backwards two
+   endpoints at a time, provided the triangle is stored reversed.
+   old_bag[i] = ends[2*(k-1 - i/2) + (i mod 2)] for k edges. *)
 let scale_free ~seed n =
   if n <= 3 then clique n
   else begin
     let rng = Bgp_sim.Rng.create (Bgp_addr.Prefix_gen.mix64 (seed lxor 0x7090)) in
-    let edges = ref [ (0, 1); (0, 2); (1, 2) ] in
+    let n_edges = 3 + (2 * (n - 3)) in
+    let ends = Array.make (2 * n_edges) 0 in
+    let k = ref 0 in
+    let append u v =
+      ends.(2 * !k) <- u;
+      ends.((2 * !k) + 1) <- v;
+      incr k
+    in
+    (* Seed triangle, reversed (see above). *)
+    append 1 2;
+    append 0 2;
+    append 0 1;
     for v = 3 to n - 1 do
-      let bag =
-        Array.of_list
-          (List.concat_map (fun (a, b) -> [ a; b ]) !edges)
-      in
       let targets = ref [] in
       while List.length !targets < 2 do
-        let u = Bgp_sim.Rng.pick rng bag in
+        let i = Bgp_sim.Rng.int rng (2 * !k) in
+        let u = ends.((2 * (!k - 1 - (i / 2))) + (i land 1)) in
         if not (List.mem u !targets) then targets := u :: !targets
       done;
-      List.iter (fun u -> edges := (u, v) :: !edges) !targets
+      List.iter (fun u -> append u v) !targets
     done;
-    !edges
+    List.init !k (fun e -> (ends.(2 * e), ends.((2 * e) + 1)))
   end
 
 let make ?(seed = 42) kind ~n =
@@ -86,6 +104,30 @@ let neighbors t i =
       if u = i then Some v else if v = i then Some u else None)
     t.edges
   |> List.sort_uniq compare
+
+(* One O(n + E) pass; [neighbors] above scans the whole edge list per
+   call, which is fine interactively but quadratic when every vertex of
+   a 10k-node graph needs its neighbor set. *)
+let adjacency t =
+  let deg = Array.make t.n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    t.edges;
+  let adj = Array.init t.n (fun i -> Array.make deg.(i) 0) in
+  let fill = Array.make t.n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    t.edges;
+  (* Edges are deduplicated and sorted, so each row is already sorted
+     ascending: for (u, v) with u < v, v-rows fill in increasing u and
+     u-rows in increasing v. *)
+  adj
 
 let degree t i = List.length (neighbors t i)
 

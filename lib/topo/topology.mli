@@ -14,7 +14,11 @@
 type kind = Line | Ring | Star | Grid | Clique | Scale_free
 
 val kind_to_string : kind -> string
+
 val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}; also accepts ["ba"] for
+    [Scale_free]. *)
+
 val all_kinds : kind list
 
 type t = private {
@@ -30,7 +34,12 @@ val make : ?seed:int -> kind -> n:int -> t
 
 val edge_count : t -> int
 val neighbors : t -> int -> int list
-(** Ascending neighbor indices of one vertex. *)
+(** Ascending neighbor indices of one vertex.  O(edges) per call; use
+    {!adjacency} when every vertex's neighbor set is needed. *)
+
+val adjacency : t -> int array array
+(** All neighbor sets in one O(n + edges) pass; row [i] is vertex [i]'s
+    neighbors, ascending. *)
 
 val degree : t -> int -> int
 val is_edge : t -> int -> int -> bool

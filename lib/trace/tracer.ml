@@ -23,7 +23,18 @@ type t = {
   track_tbl : (string, track) Hashtbl.t;
   mutable track_rev : track list;  (* registration order, reversed *)
   last_end : (int, float) Hashtbl.t;  (* FIFO clamp per track id *)
+  (* None (default): single-domain recorder, no locking on the hot
+     path.  [set_shared] installs the mutex so one tracer can collect
+     from every partition of a multi-domain run. *)
+  mutable mu : Mutex.t option;
 }
+
+let with_lock t f =
+  match t.mu with
+  | None -> f ()
+  | Some m ->
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let create ?(capacity = 1 lsl 19) ?(sample = 1) () =
   if capacity < 1 then invalid_arg "Tracer.create: capacity must be >= 1";
@@ -37,42 +48,51 @@ let create ?(capacity = 1 lsl 19) ?(sample = 1) () =
     sim_ctr = 0;
     track_tbl = Hashtbl.create 16;
     track_rev = [];
-    last_end = Hashtbl.create 16 }
+    last_end = Hashtbl.create 16;
+    mu = None }
+
+let set_shared t = if t.mu = None then t.mu <- Some (Mutex.create ())
 
 let capacity t = t.cap
 let sample_interval t = t.sample
 
 let track t ?(process = "bgpmark") ~thread () =
-  let key = process ^ "\x00" ^ thread in
-  match Hashtbl.find_opt t.track_tbl key with
-  | Some tk -> tk
-  | None ->
-    let tk =
-      { tk_id = Hashtbl.length t.track_tbl; tk_process = process; tk_thread = thread }
-    in
-    Hashtbl.add t.track_tbl key tk;
-    t.track_rev <- tk :: t.track_rev;
-    tk
+  with_lock t (fun () ->
+      let key = process ^ "\x00" ^ thread in
+      match Hashtbl.find_opt t.track_tbl key with
+      | Some tk -> tk
+      | None ->
+        let tk =
+          { tk_id = Hashtbl.length t.track_tbl; tk_process = process;
+            tk_thread = thread }
+        in
+        Hashtbl.add t.track_tbl key tk;
+        t.track_rev <- tk :: t.track_rev;
+        tk)
 
 let track_process tk = tk.tk_process
 let track_thread tk = tk.tk_thread
 let track_id tk = tk.tk_id
 
 let sample_this t =
-  let hit = t.sample_ctr = 0 in
-  t.sample_ctr <- (t.sample_ctr + 1) mod t.sample;
-  hit
+  with_lock t (fun () ->
+      let hit = t.sample_ctr = 0 in
+      t.sample_ctr <- (t.sample_ctr + 1) mod t.sample;
+      hit)
 
 let sim_hit t =
-  let hit = t.sim_ctr = 0 in
-  t.sim_ctr <- (t.sim_ctr + 1) mod t.sample;
-  hit
+  with_lock t (fun () ->
+      let hit = t.sim_ctr = 0 in
+      t.sim_ctr <- (t.sim_ctr + 1) mod t.sample;
+      hit)
 
-let record t ev =
+let record_unlocked t ev =
   if Array.length t.buf = 0 then t.buf <- Array.make t.cap ev;
   t.buf.(t.head) <- ev;
   t.head <- (t.head + 1) mod t.cap;
   t.total <- t.total + 1
+
+let record t ev = with_lock t (fun () -> record_unlocked t ev)
 
 let span t tk ~name ~ts ~dur ?(args = []) () =
   record t
@@ -80,18 +100,21 @@ let span t tk ~name ~ts ~dur ?(args = []) () =
       ev_args = args }
 
 let span_fifo t tk ~name ~dispatch ~finish ?(args = []) () =
-  let prev =
-    match Hashtbl.find_opt t.last_end tk.tk_id with Some e -> e | None -> neg_infinity
-  in
-  let start = if dispatch > prev then dispatch else prev in
-  let start = if start > finish then finish else start in
-  Hashtbl.replace t.last_end tk.tk_id finish;
-  let wait = start -. dispatch in
-  let args = if wait > 0.0 then ("wait_s", Float wait) :: args else args in
-  record t
-    { ev_track = tk; ev_phase = Span; ev_name = name; ev_ts = start;
-      ev_dur = finish -. start; ev_args = args };
-  (start, finish)
+  with_lock t (fun () ->
+      let prev =
+        match Hashtbl.find_opt t.last_end tk.tk_id with
+        | Some e -> e
+        | None -> neg_infinity
+      in
+      let start = if dispatch > prev then dispatch else prev in
+      let start = if start > finish then finish else start in
+      Hashtbl.replace t.last_end tk.tk_id finish;
+      let wait = start -. dispatch in
+      let args = if wait > 0.0 then ("wait_s", Float wait) :: args else args in
+      record_unlocked t
+        { ev_track = tk; ev_phase = Span; ev_name = name; ev_ts = start;
+          ev_dur = finish -. start; ev_args = args };
+      (start, finish))
 
 let async_span t tk ~name ~ts ~dur ?(args = []) () =
   record t
@@ -158,7 +181,8 @@ let events t =
 let tracks t = List.rev t.track_rev
 
 let clear t =
-  t.buf <- [||];
-  t.head <- 0;
-  t.total <- 0;
-  Hashtbl.reset t.last_end
+  with_lock t (fun () ->
+      t.buf <- [||];
+      t.head <- 0;
+      t.total <- 0;
+      Hashtbl.reset t.last_end)

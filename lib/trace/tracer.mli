@@ -42,6 +42,12 @@ val create : ?capacity:int -> ?sample:int -> unit -> t
 val capacity : t -> int
 val sample_interval : t -> int
 
+val set_shared : t -> unit
+(** Make this tracer safe to record into from multiple OCaml domains
+    (e.g. the partitions of a {!Bgp_sim.Pengine} run) by guarding every
+    mutation with an internal mutex.  Off by default so single-domain
+    recording pays no locking; idempotent. *)
+
 val track : t -> ?process:string -> thread:string -> unit -> track
 (** Register (or look up) the track named [(process, thread)]. Tracks are
     deduplicated by name pair, so calling this repeatedly is cheap and

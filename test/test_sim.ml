@@ -115,6 +115,136 @@ let test_engine_past_event () =
   Engine.run e;
   feq "clamped to now" 5.0 !t
 
+let test_engine_pending_exact_and_compaction () =
+  let e = Engine.create () in
+  let n = 100 in
+  let fired = ref [] in
+  let handles =
+    Array.init n (fun i ->
+        Engine.schedule_at e
+          ~time:(float_of_int (i + 1))
+          (fun () -> fired := i :: !fired))
+  in
+  Alcotest.(check int) "all pending" n (Engine.pending e);
+  (* Cancel 60 of 100, scattered — enough dead entries to trigger the
+     lazy heap compaction; [pending] must stay exact throughout. *)
+  let cancelled = ref 0 in
+  Array.iteri
+    (fun i h ->
+      if i mod 10 < 6 then begin
+        Engine.cancel h;
+        incr cancelled
+      end)
+    handles;
+  Alcotest.(check int) "exact after cancels" (n - !cancelled)
+    (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "zero after run" 0 (Engine.pending e);
+  let expect = List.filter (fun i -> i mod 10 >= 6) (List.init n Fun.id) in
+  Alcotest.(check (list int)) "survivors fire in time order" expect
+    (List.rev !fired)
+
+let test_engine_run_before () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_at e ~time:1.0 (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule_at e ~time:2.0 (fun () -> log := 2 :: !log));
+  Engine.run_before e ~until:2.0;
+  Alcotest.(check (list int)) "strictly below the bound" [ 1 ] (List.rev !log);
+  feq "clock at bound" 2.0 (Engine.now e);
+  Alcotest.(check int) "boundary event still pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check (list int)) "boundary fires on the next run" [ 1; 2 ]
+    (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Pengine                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_pengine_parts1_matches_engine () =
+  let schedule_all e log =
+    List.iter
+      (fun (t, s) ->
+        ignore
+          (Engine.schedule_at e ~time:t (fun () ->
+               log := (s, Engine.now e) :: !log)))
+      [ (1.0, "a"); (0.5, "b"); (2.0, "c"); (1.0, "d") ]
+  in
+  let plain =
+    let e = Engine.create () in
+    let log = ref [] in
+    schedule_all e log;
+    Engine.run ~until:3.0 e;
+    List.rev !log
+  in
+  let partitioned =
+    let pe = Pengine.create () in
+    let log = ref [] in
+    schedule_all (Pengine.part pe 0) log;
+    Pengine.run_until pe 3.0;
+    List.rev !log
+  in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "parts=1 is the plain engine" plain partitioned;
+  Alcotest.(check int) "dispatched" 4
+    (let pe = Pengine.create () in
+     let log = ref [] in
+     schedule_all (Pengine.part pe 0) log;
+     Pengine.run_until pe 3.0;
+     Pengine.dispatched pe 0)
+
+(* Two partitions exchanging posts across the window barrier: the
+   per-partition logs (written only by the partition's own domain,
+   read after run_until's pool join) must be a pure function of the
+   model — identical across runs and equal to the hand-computed
+   schedule. *)
+let test_pengine_two_partition_windows () =
+  let run () =
+    let pe = Pengine.create ~parts:2 () in
+    Pengine.register_cross_latency pe 0.5;
+    let log0 = ref [] and log1 = ref [] in
+    let rec ping src dst msg () =
+      let log = if src = 0 then log0 else log1 in
+      let now = Engine.now (Pengine.part pe src) in
+      log := (msg, now) :: !log;
+      if now < 3.0 then
+        Pengine.post pe ~src ~dst ~time:(now +. 0.5) (ping dst src (msg ^ "."))
+    in
+    ignore (Engine.schedule_at (Pengine.part pe 0) ~time:0.25 (ping 0 1 "p"));
+    ignore
+      (Engine.schedule_at (Pengine.part pe 1) ~time:0.4 (fun () ->
+           log1 := ("local", Engine.now (Pengine.part pe 1)) :: !log1));
+    Pengine.run_until pe 4.0;
+    (List.rev !log0, List.rev !log1)
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "two runs identical" true (a = b);
+  let l0, l1 = a in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "partition 0 schedule"
+    [ ("p", 0.25); ("p..", 1.25); ("p....", 2.25); ("p......", 3.25) ]
+    l0;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "partition 1 schedule"
+    [ ("local", 0.4); ("p.", 0.75); ("p...", 1.75); ("p.....", 2.75) ]
+    l1
+
+let test_pengine_partition_failed () =
+  let pe = Pengine.create ~parts:2 () in
+  Pengine.register_cross_latency pe 1.0;
+  ignore
+    (Engine.schedule_at (Pengine.part pe 1) ~time:0.5 (fun () ->
+         failwith "boom"));
+  (match Pengine.run_until pe 2.0 with
+  | () -> Alcotest.fail "expected Partition_failed"
+  | exception Pengine.Partition_failed (1, Failure msg) when msg = "boom" -> ()
+  | exception Pengine.Partition_failed (p, e) ->
+    Alcotest.failf "wrong payload: partition %d, %s" p (Printexc.to_string e));
+  (* The engine is still parked consistently: a fresh run can proceed. *)
+  Pengine.run_until pe 3.0;
+  feq "clock advanced" 3.0 (Pengine.now pe)
+
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -410,7 +540,19 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
           Alcotest.test_case "event limit" `Quick test_engine_event_limit;
-          Alcotest.test_case "past event clamped" `Quick test_engine_past_event
+          Alcotest.test_case "past event clamped" `Quick test_engine_past_event;
+          Alcotest.test_case "exact pending + compaction" `Quick
+            test_engine_pending_exact_and_compaction;
+          Alcotest.test_case "run_before half-open bound" `Quick
+            test_engine_run_before
+        ] );
+      ( "pengine",
+        [ Alcotest.test_case "parts=1 matches plain engine" `Quick
+            test_pengine_parts1_matches_engine;
+          Alcotest.test_case "two-partition window determinism" `Quick
+            test_pengine_two_partition_windows;
+          Alcotest.test_case "partition failure propagates" `Quick
+            test_pengine_partition_failed
         ] );
       ( "rng",
         [ Alcotest.test_case "determinism" `Quick test_rng_determinism;

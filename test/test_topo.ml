@@ -3,6 +3,7 @@
 module Topology = Bgp_topo.Topology
 module Net = Bgp_topo.Net
 module Gao_rexford = Bgp_topo.Gao_rexford
+module Partition = Bgp_topo.Partition
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -246,6 +247,83 @@ let test_duplicate_attach_rejected () =
         ~link:(Channel.endpoint ch2 Channel.A))
 
 (* ------------------------------------------------------------------ *)
+(* Partitioner                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_assign () =
+  List.iter
+    (fun (kind, n) ->
+      let topo = Topology.make ~seed:7 kind ~n in
+      List.iter
+        (fun parts ->
+          let label fmt =
+            Printf.ksprintf
+              (fun s ->
+                Printf.sprintf "%s n=%d parts=%d: %s"
+                  (Topology.kind_to_string kind) n parts s)
+              fmt
+          in
+          let part = Partition.assign topo ~parts in
+          check_int (label "length") n (Array.length part);
+          Array.iter
+            (fun p -> check (label "in range") true (p >= 0 && p < parts))
+            part;
+          let cap = (n + parts - 1) / parts in
+          Array.iter
+            (fun s -> check (label "balance cap") true (s <= cap))
+            (Partition.sizes part ~parts);
+          check (label "deterministic") true
+            (part = Partition.assign topo ~parts))
+        [ 1; 2; 3; 4 ])
+    [ (Topology.Scale_free, 24); (Topology.Ring, 16); (Topology.Grid, 16) ];
+  let line = Topology.make Topology.Line ~n:8 in
+  check "parts=1 is all-zero" true
+    (Array.for_all (fun p -> p = 0) (Partition.assign line ~parts:1));
+  Alcotest.check_raises "parts=0 rejected"
+    (Invalid_argument "Partition.assign: parts must be >= 1") (fun () ->
+      ignore (Partition.assign line ~parts:0));
+  Alcotest.check_raises "parts>n rejected"
+    (Invalid_argument "Partition.assign: 9 partitions for 8 vertices")
+    (fun () -> ignore (Partition.assign line ~parts:9))
+
+let test_partition_cut_edges () =
+  let ring = Topology.make Topology.Ring ~n:16 in
+  let part = Partition.assign ring ~parts:2 in
+  let cut = Partition.cut_edges ring part in
+  (* A ring split into two contiguous arcs cuts exactly 2 edges; any
+     2-partition of a cycle cuts an even, positive number. *)
+  check "ring cut is positive and even" true (cut > 0 && cut mod 2 = 0);
+  check_int "parts=1 cuts nothing" 0
+    (Partition.cut_edges ring (Partition.assign ring ~parts:1))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain differential                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Satellite property: on random small graphs the converged Loc-RIB
+   and FIB of every node are independent of the domain count. *)
+let prop_domains_equivalent =
+  QCheck2.Test.make ~name:"domains 1 vs 2..4: same Loc-RIBs and FIBs"
+    ~count:8
+    QCheck2.Gen.(
+      quad (int_range 0 2) (int_range 8 20) (int_range 1 10_000)
+        (int_range 2 4))
+    (fun (kind_ix, n, seed, domains) ->
+      let kind =
+        [| Topology.Scale_free; Topology.Ring; Topology.Grid |].(kind_ix)
+      in
+      let topo = Topology.make ~seed kind ~n in
+      let converged d =
+        let net = Net.create ~domains:d topo in
+        Net.establish net;
+        Net.originate net 0;
+        ignore (Net.converge ~what:"announce" net);
+        List.init n (fun i ->
+            (Net.loc_rib_fingerprint net i, Net.fib_fingerprint net i))
+      in
+      converged 1 = converged domains)
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -280,4 +358,9 @@ let () =
             test_gao_rexford_oracle_agrees ] );
       ( "router",
         [ Alcotest.test_case "duplicate attach rejected" `Quick
-            test_duplicate_attach_rejected ] ) ]
+            test_duplicate_attach_rejected ] );
+      ( "partition",
+        [ Alcotest.test_case "greedy assignment" `Quick test_partition_assign;
+          Alcotest.test_case "cut edges" `Quick test_partition_cut_edges ] );
+      ( "multi-domain",
+        List.map QCheck_alcotest.to_alcotest [ prop_domains_equivalent ] ) ]
