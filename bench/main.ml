@@ -551,6 +551,27 @@ let print_damping_smoke () =
     config.H.fault_rounds d.H.dr_flaps d.H.dr_suppressions d.H.dr_reuses
     d.H.dr_reuse_latency_mean
 
+(* Churn smoke: one small scenario-16 run — batched /32 injection at an
+   exact prefix limit with MRAI on, Markov churn, failover sweep — must
+   verify against the subscriber-plan oracle, and every swept
+   withdrawal must have been timed at speaker 2. *)
+let print_churn_smoke () =
+  let sub_cfg =
+    { Bgp_speaker.Subscriber.subscribers = 1_000; batch = 200;
+      batch_interval = 0.02; churn_rate = 200.0; churn_duration = 0.5;
+      seed = bench_config.H.seed }
+  in
+  let config = { bench_config with H.churn = Some sub_cfg } in
+  let r = H.run ~config Arch.pentium3 (Scenario.of_id_exn 16) in
+  assert (r.H.verified = Ok ());
+  let c = Option.get r.H.churn in
+  assert (c.H.cr_sweep_count = c.H.cr_sessions_up_end);
+  Format.printf
+    "Churn smoke (%d subscribers, %d events): injection %.0f tps, churn %.0f \
+     tps, failover swept %d routes in %.3fs@.@."
+    c.H.cr_subscribers c.H.cr_churn_events c.H.cr_injection_tps
+    c.H.cr_churn_tps c.H.cr_sweep_count c.H.cr_failover_s
+
 (* Live-mode smoke: one real-TCP harness run (scenario 5, the
    best-vs-challenger shape the incremental decision path serves) must
    finish and verify — sessions establish over loopback, the table
@@ -588,6 +609,21 @@ let mrt_tests =
       (Staged.stage @@ fun () ->
        let config = { bench_config with H.fault_rounds = 2 } in
        let r = H.run ~config Arch.pentium3 (Scenario.of_id_exn 14) in
+       assert (r.H.verified = Ok ());
+       r.H.tps) ]
+
+(* Subscriber-edge churn (scenario 16): wall-clock cost of the full
+   inject + churn + failover cycle on the simulated clock. *)
+let churn_tests =
+  [ Test.make ~name:"churn/scenario16-1k"
+      (Staged.stage @@ fun () ->
+       let sub_cfg =
+         { Bgp_speaker.Subscriber.subscribers = 1_000; batch = 200;
+           batch_interval = 0.02; churn_rate = 200.0; churn_duration = 0.5;
+           seed = bench_config.H.seed }
+       in
+       let config = { bench_config with H.churn = Some sub_cfg } in
+       let r = H.run ~config Arch.pentium3 (Scenario.of_id_exn 16) in
        assert (r.H.verified = Ok ());
        r.H.tps) ]
 
@@ -674,7 +710,8 @@ let all_tests =
   @ wire_tests @ fib_tests
   @ [ rib_bench; decision_test ]
   @ policy_tests @ packing_tests @ decision_scaling_tests @ rib_agg_tests
-  @ workload_shape_tests @ mrai_tests @ fault_tests @ mrt_tests @ topo_tests
+  @ workload_shape_tests @ mrai_tests @ fault_tests @ mrt_tests @ churn_tests
+  @ topo_tests
   @ arena_tests
   @ trace_tests
   @ [ framer_test; forward_wire_test; gen_test ]
@@ -686,6 +723,7 @@ let () =
   print_fault_smoke ();
   print_mrt_smoke ();
   print_damping_smoke ();
+  print_churn_smoke ();
   print_alloc_smoke ();
   print_live_smoke ();
   print_trace_smoke ();

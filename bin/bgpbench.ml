@@ -75,8 +75,8 @@ let scenario_conv =
       Error
         (`Msg
            (Printf.sprintf
-              "scenario must be 1-8 (adversarial 9-10, MRT/damping 13-14), \
-               got %S"
+              "scenario must be 1-8 (adversarial 9-10, MRT/damping 13-14, \
+               churn 16), got %S"
               s))
   in
   Arg.conv (parse, fun ppf s -> Format.pp_print_int ppf s.Scenario.id)
@@ -546,6 +546,113 @@ let mrt_cmd =
       const run $ size_t $ packing_t $ seed_t $ file_t $ events_t $ speedup_t
       $ replay_t $ archs_t $ json_t $ crosscheck_t $ live_t $ live_timeout_t)
 
+let churn_cmd =
+  let module Subscriber = Bgp_speaker.Subscriber in
+  let run subscribers batch batch_interval churn_rate churn_duration seed archs
+      json metrics crosscheck live live_timeout =
+    let scenario = Scenario.of_id_exn 16 in
+    let sub_cfg =
+      { Subscriber.subscribers; batch; batch_interval; churn_rate;
+        churn_duration; seed }
+    in
+    let config =
+      { H.default_config with
+        H.table_size = subscribers; seed; churn = Some sub_cfg }
+    in
+    if crosscheck then begin
+      let checks =
+        List.map
+          (fun arch -> H.cross_validate ~config ~live_timeout arch scenario)
+          (resolve_archs archs)
+      in
+      if json then
+        print_json (Bgp_stats.Json.List (List.map H.crosscheck_json checks))
+      else List.iter (fun xc -> Format.printf "%a@." H.pp_crosscheck xc) checks;
+      if not (List.for_all H.crosscheck_ok checks) then exit 1
+    end
+    else begin
+      let config = apply_live live live_timeout config in
+      let failed = ref false in
+      let results =
+        List.map
+          (fun arch ->
+            let r = H.run ~config arch scenario in
+            if Result.is_error r.H.verified then failed := true;
+            r)
+          (resolve_archs archs)
+      in
+      if json then
+        print_json (Bgp_stats.Json.List (List.map H.result_json results))
+      else begin
+        List.iter (fun r -> Format.printf "%a@." H.pp_result r) results;
+        if metrics then
+          List.iter
+            (fun r ->
+              Option.iter
+                (fun c ->
+                  Format.printf "%s metrics registry:@.%s@." r.H.arch_name
+                    (Bgp_stats.Json.to_string_pretty c.H.cr_metrics))
+                r.H.churn)
+            results
+      end;
+      if !failed then exit 1
+    end
+  in
+  let subscribers_t =
+    let doc =
+      "Subscriber sessions, one /32 route each, drawn from the RFC 6598 \
+       CGNAT pool 100.64.0.0/10 (max 4194304)."
+    in
+    Arg.(
+      value & opt int 10_000
+      & info [ "subscribers" ] ~docv:"N" ~doc)
+  in
+  let batch_t =
+    let doc = "Prefixes per injection batch (and per-UPDATE packing)." in
+    Arg.(value & opt int 500 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let batch_interval_t =
+    let doc = "Seconds between injection batches (rate-limited injection)." in
+    Arg.(
+      value & opt float 0.02 & info [ "batch-interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let churn_rate_t =
+    let doc = "Session up/down/resync events per second during churn." in
+    Arg.(value & opt float 500.0 & info [ "churn-rate" ] ~docv:"EV_S" ~doc)
+  in
+  let churn_duration_t =
+    let doc = "Seconds of steady-state churn before the failover." in
+    Arg.(
+      value & opt float 2.0 & info [ "churn-duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let metrics_t =
+    let doc =
+      "Also dump the router's full metrics registry (counters, histograms, \
+       gauges) after the run — the stand-in for Prometheus scrape targets.  \
+       With --json the dump is always embedded under churn.metrics."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let crosscheck_t =
+    let doc =
+      "Run the churn workload in both sim and live (loopback TCP) mode and \
+       assert identical post-churn Loc-RIB fingerprints and verdicts; exits \
+       non-zero on divergence."
+    in
+    Arg.(value & flag & info [ "crosscheck" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Scenario 16: subscriber-edge churn at BNG scale — rate-limited /32 \
+          injection against an exact prefix limit with MRAI on, steady-state \
+          session churn, then a failover whose withdraw sweep is timed \
+          end-to-end; exits non-zero if verification fails")
+    Term.(
+      const run $ subscribers_t $ batch_t $ batch_interval_t $ churn_rate_t
+      $ churn_duration_t $ seed_t $ archs_t $ json_t $ metrics_t $ crosscheck_t
+      $ live_t $ live_timeout_t)
+
 let topo_cmd =
   let module Topology = Bgp_topo.Topology in
   let module Net = Bgp_topo.Net in
@@ -779,7 +886,7 @@ let main_cmd =
   Cmd.group info
     [ scenarios_cmd; systems_cmd; table3_cmd; scenario_cmd; fig3_cmd; fig4_cmd;
       fig5_cmd; fig6_cmd; power_cmd; peers_cmd; faults_cmd; mrt_cmd;
-      crosscheck_cmd; topo_cmd; all_cmd ]
+      churn_cmd; crosscheck_cmd; topo_cmd; all_cmd ]
 
 let () =
   try exit (Cmd.eval ~catch:false main_cmd)

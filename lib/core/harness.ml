@@ -22,6 +22,7 @@ module Damping = Bgp_rib.Damping
 module Mrt = Bgp_mrt.Mrt
 module Replay = Bgp_mrt.Replay
 module Mrt_gen = Bgp_speaker.Mrt_gen
+module Subscriber = Bgp_speaker.Subscriber
 
 type mode = Sim | Live
 
@@ -58,6 +59,10 @@ type config = {
   replay_events : int;
       (* Scenario 13 synthesized-trace length; negative = the
          generator's default (n/5, at least 20). *)
+  churn : Subscriber.config option;
+      (* Scenario 16 workload shape.  None derives the default
+         subscriber model from [table_size] and [seed]; an explicit
+         config overrides [table_size] with its subscriber count. *)
   tracer : Bgp_trace.Tracer.t option;
 }
 
@@ -66,7 +71,7 @@ let default_config =
     seed = 42; trace_interval = None; setup_path_len = 3; longer_path_len = 6;
     shorter_path_len = 1; varied_paths = false; mrai = None;
     timeout = 500_000.0; fault_rounds = 5; table_file = None; damping = None;
-    replay_speedup = None; replay_events = -1; tracer = None }
+    replay_speedup = None; replay_events = -1; churn = None; tracer = None }
 
 type fault_report = {
   fr_injected : int;
@@ -88,6 +93,23 @@ type damping_report = {
   dr_reuse_latency_max : float;
 }
 
+type churn_report = {
+  cr_subscribers : int;
+  cr_injection_s : float;  (* Phase A: rate-limited batch injection *)
+  cr_injection_tps : float;
+  cr_churn_events : int;  (* Phase B: steady-state session churn *)
+  cr_churn_s : float;
+  cr_churn_tps : float;
+  cr_sessions_up_end : int;  (* oracle: sessions up when failover hits *)
+  cr_failover_s : float;  (* Phase C: peer loss -> sweep drained at s2 *)
+  cr_sweep_count : int;  (* withdrawals timed landing at speaker 2 *)
+  cr_sweep_mean_s : float;
+  cr_sweep_max_s : float;
+  cr_metrics : Bgp_stats.Json.t;
+      (* full registry dump at run end — the stand-in for the BNG
+         playbook's Prometheus scrape targets *)
+}
+
 type result = {
   arch_name : string;
   scenario : Scenario.t;
@@ -107,6 +129,7 @@ type result = {
   faults : fault_report option;
   damping : damping_report option;
       (* present when the router ran with RFC 2439 damping enabled *)
+  churn : churn_report option;  (* present for scenario 16 *)
   locrib_fp : string;
       (* Loc-RIB digest at run end; equal across sim and live runs of
          the same scenario/seed (the cross-validation invariant) *)
@@ -275,6 +298,8 @@ let verify (scenario : Scenario.t) cfg router s2_opt ~measured
     Error "topology scenarios verify through Bgp_topo"
   | Scenario.Mrt_replay ->
     Error "scenario 13 verifies through its replay driver"
+  | Scenario.Subscriber_churn ->
+    Error "scenario 16 verifies through its churn driver"
   | Scenario.Corrupted_storm | Scenario.Session_flaps
   | Scenario.Flap_damping ->
     let r = cfg.fault_rounds in
@@ -476,8 +501,8 @@ let run_standard ~config arch scenario =
           | Scenario.Startup_announce | Scenario.Corrupted_storm
           | Scenario.Session_flaps | Scenario.Topo_convergence
           | Scenario.Topo_link_failure | Scenario.Mrt_replay
-          | Scenario.Flap_damping ->
-            (* Phase-1-measured, adversarial, topology, and MRT
+          | Scenario.Flap_damping | Scenario.Subscriber_churn ->
+            (* Phase-1-measured, adversarial, topology, MRT, and churn
                scenarios never reach this driver. *)
             assert false);
           wait_router_idle clock ~timeout router ~what:"measured phase"
@@ -532,7 +557,7 @@ let run_standard ~config arch scenario =
     stage_stats;
     msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
     fwd_ratio_min; faults = None; damping = damping_report_of router;
-    locrib_fp; verified }
+    churn = None; locrib_fp; verified }
 
 (* ------------------------------------------------------------------ *)
 (* Adversarial runs (scenarios 9-10, 14)                               *)
@@ -768,7 +793,7 @@ let run_adversarial ~config arch scenario =
     stage_stats = Router.stage_stats router;
     msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
     fwd_ratio_min; faults = Some report; damping = damping_report_of router;
-    locrib_fp; verified }
+    churn = None; locrib_fp; verified }
 
 (* ------------------------------------------------------------------ *)
 (* MRT replay (scenario 13)                                            *)
@@ -933,7 +958,210 @@ let run_mrt ~config arch scenario =
     rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
     stage_stats = Router.stage_stats router;
     msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
-    fwd_ratio_min; faults = None; damping = None; locrib_fp; verified }
+    fwd_ratio_min; faults = None; damping = None; churn = None; locrib_fp;
+    verified }
+
+(* ------------------------------------------------------------------ *)
+(* Subscriber-edge churn (scenario 16)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The BNG/WISP workload: N /32 session routes batch-injected through
+   speaker 1 with [max_prefixes] set to exactly N and MRAI active, then
+   a deterministic Markov churn plan (session up/down/resync), then
+   failover — speaker 1's link dies and the full withdraw sweep is
+   timed end-to-end as it lands at speaker 2.  Every phase is verified
+   against the [Subscriber] plan oracle, which knows the expected
+   up-set independently of anything the router did.
+
+   The resync events are the traffic that used to CEASE the session
+   under the old NLRI-length prefix-limit check: a re-announce at a
+   full table projects to zero growth and must pass. *)
+let run_churn ~config arch scenario =
+  let cfg : config = config in
+  let sub_cfg =
+    match cfg.churn with
+    | Some c -> c
+    | None ->
+      { Subscriber.default with
+        Subscriber.subscribers = cfg.table_size; seed = cfg.seed }
+  in
+  let sub = Subscriber.create sub_cfg in
+  let n = sub_cfg.Subscriber.subscribers in
+  (* MRAI must be live under churn (the issue's point); honor an
+     explicit setting, else a realistic 50ms. *)
+  let mrai = match cfg.mrai with Some m -> Some m | None -> Some 0.05 in
+  let cfg = { cfg with table_size = n; mrai; churn = Some sub_cfg } in
+  let env = make_env cfg.mode in
+  let clock = env.clock in
+  let router =
+    Router.create ?mrai:cfg.mrai ?damping:cfg.damping ?tracer:cfg.tracer
+      ~trace_process:
+        (Printf.sprintf "%s/scenario-%d" arch.Arch.name scenario.Scenario.id)
+      clock arch ~local_asn:router_asn ~router_id
+  in
+  let sweep_hist = Metrics.histogram (Router.metrics router) "churn.sweep_latency" in
+  let lp1 = env.new_link () in
+  let lp2 = env.new_link () in
+  (* Prefix-limit protection sized exactly to the subscriber pool: any
+     over-count in the limit check tears the session mid-churn. *)
+  Router.attach_peer ~max_prefixes:n router ~peer:peer1 ~link:lp1.rt_end;
+  Router.attach_peer router ~peer:peer2 ~link:lp2.rt_end;
+  let s1 =
+    Speaker.create clock ~asn:speaker1_asn ~router_id:speaker1_id
+      ~link:lp1.sp_end
+  in
+  let s2 =
+    Speaker.create clock ~asn:speaker2_asn ~router_id:speaker2_id
+      ~link:lp2.sp_end
+  in
+  Router.set_cross_traffic router cfg.cross_traffic;
+  let prefixes = Subscriber.prefixes sub in
+  let attrs =
+    Workload.attrs ~speaker_asn:speaker1_asn ~next_hop:speaker1_id
+      ~path_len:cfg.setup_path_len ()
+  in
+  let timeout = cfg.timeout in
+  let phase_seconds () =
+    let c = Router.counters router in
+    match c.Router.first_work_at, c.Router.last_transaction_at with
+    | Some t0, Some t1 when t1 > t0 -> t1 -. t0
+    | _ -> 0.0
+  in
+
+  (* --- Phase A: rate-limited batch injection (measured) ------------- *)
+  Speaker.start s1;
+  wait_established clock ~timeout s1;
+  Router.reset_counters router;
+  List.iter
+    (fun (at, batch) ->
+      ignore
+        (Clock.schedule clock ~delay:at (fun () ->
+             ignore
+               (Speaker.announce s1 ~packing:sub_cfg.Subscriber.batch ~attrs
+                  batch))))
+    (Subscriber.batches sub);
+  wait_router_idle clock ~timeout router ~what:"subscriber injection"
+    ~transactions:n;
+  let injected = (Router.counters router).Router.transactions in
+  let injection_s = phase_seconds () in
+  let fib_after_inject = Fib.size (Router.fib router) in
+
+  (* --- Phase 2 equivalent: speaker 2 sync --------------------------- *)
+  Speaker.start s2;
+  wait_established clock ~timeout s2;
+  wait_until clock ~timeout ~what:"speaker 2 table transfer" (fun () ->
+      Router.idle router
+      && Hashtbl.length (Speaker.received_prefix_set s2) = n);
+
+  (* --- Phase B: steady-state churn (measured) ----------------------- *)
+  Router.reset_counters router;
+  let plan = Subscriber.plan sub in
+  let n_events = Subscriber.n_events sub in
+  List.iter
+    (fun ev ->
+      let p = [| prefixes.(ev.Subscriber.ev_idx) |] in
+      ignore
+        (Clock.schedule clock ~delay:ev.Subscriber.ev_at (fun () ->
+             match ev.Subscriber.ev_kind with
+             | Subscriber.Up | Subscriber.Resync ->
+               ignore (Speaker.announce s1 ~packing:1 ~attrs p)
+             | Subscriber.Down -> ignore (Speaker.withdraw s1 ~packing:1 p))))
+    plan;
+  let up_count = Subscriber.up_count sub in
+  wait_until clock ~timeout ~what:"steady-state churn" (fun () ->
+      (Router.counters router).Router.transactions >= n_events
+      && Router.idle router
+      && Hashtbl.length (Speaker.received_prefix_set s2) = up_count);
+  let churned = (Router.counters router).Router.transactions in
+  let churn_s = phase_seconds () in
+  let fib_after_churn = Fib.size (Router.fib router) in
+  let s1_lost_before_failover = Speaker.sessions_lost s1 in
+  let s2_holds_oracle_set =
+    let set = Speaker.received_prefix_set s2 in
+    Hashtbl.length set = up_count
+    && List.for_all (fun p -> Hashtbl.mem set p) (Subscriber.up_prefixes sub)
+  in
+  (* The crosscheck fingerprint is taken here, at peak state: after the
+     failover the Loc-RIB is empty and every run would trivially agree. *)
+  let locrib_fp = router_fingerprint router in
+
+  (* --- Phase C: failover — peer loss, full withdraw sweep ----------- *)
+  let t_fail = Clock.now clock in
+  Speaker.set_update_observer s2 (fun u ->
+      let dt = Clock.now clock -. t_fail in
+      List.iter (fun _ -> Metrics.observe sweep_hist dt) u.Msg.withdrawn);
+  lp1.sp_end.Link.close ();
+  wait_until clock ~timeout ~what:"failover withdraw sweep" (fun () ->
+      Router.idle router
+      && Fib.size (Router.fib router) = 0
+      && Hashtbl.length (Speaker.received_prefix_set s2) = 0);
+  let failover_s = Clock.now clock -. t_fail in
+  Speaker.set_update_observer s2 ignore;
+
+  (* --- Collect ------------------------------------------------------ *)
+  let counters = Router.counters router in
+  let measured = injected + churned in
+  let measure_seconds = injection_s +. churn_s in
+  let tps =
+    if measure_seconds > 0.0 then float_of_int measured /. measure_seconds
+    else 0.0
+  in
+  let fwd_ratio_min =
+    if cfg.cross_traffic.Traffic.mbps <= 0.0 then 1.0
+    else
+      Bgp_netsim.Forwarding.achieved_mbps (Router.forwarding router)
+      /. cfg.cross_traffic.Traffic.mbps
+  in
+  let report =
+    { cr_subscribers = n;
+      cr_injection_s = injection_s;
+      cr_injection_tps =
+        (if injection_s > 0.0 then float_of_int injected /. injection_s
+         else 0.0);
+      cr_churn_events = churned;
+      cr_churn_s = churn_s;
+      cr_churn_tps =
+        (if churn_s > 0.0 then float_of_int churned /. churn_s else 0.0);
+      cr_sessions_up_end = up_count;
+      cr_failover_s = failover_s;
+      cr_sweep_count = Metrics.hist_count sweep_hist;
+      cr_sweep_mean_s = Metrics.hist_mean sweep_hist;
+      cr_sweep_max_s = Metrics.hist_max sweep_hist;
+      cr_metrics = Metrics.to_json (Router.metrics router) }
+  in
+  let verified =
+    let* () = check "every subscriber injected" (injected = n) in
+    let* () = check "FIB held the pool after injection" (fib_after_inject = n) in
+    let* () = check "every churn event measured" (churned = n_events) in
+    let* () =
+      check "session survived churn at the prefix limit"
+        (s1_lost_before_failover = 0)
+    in
+    let* () =
+      check "FIB matched the churn oracle" (fib_after_churn = up_count)
+    in
+    let* () = check "speaker 2 converged to the oracle set" s2_holds_oracle_set in
+    let* () =
+      check "failover emptied the FIB" (Fib.size (Router.fib router) = 0)
+    in
+    let* () =
+      check "failover swept speaker 2 clean"
+        (Hashtbl.length (Speaker.received_prefix_set s2) = 0)
+    in
+    check "every swept withdrawal was timed"
+      (Metrics.hist_count sweep_hist = up_count)
+  in
+  env.dispose ();
+  { arch_name = arch.Arch.name; scenario; used = cfg; tps;
+    measured_prefixes = measured; measure_seconds;
+    setup_seconds = Clock.now clock -. measure_seconds; trace = [];
+    fib_size_end = Fib.size (Router.fib router);
+    fib_stats = Fib.stats (Router.fib router);
+    rib_stats = Bgp_rib.Rib_manager.stats (Router.rib router);
+    stage_stats = Router.stage_stats router;
+    msgs_rx = counters.Router.msgs_rx; msgs_tx = counters.Router.msgs_tx;
+    fwd_ratio_min; faults = None; damping = damping_report_of router;
+    churn = Some report; locrib_fp; verified }
 
 let run ?(config = default_config) arch scenario =
   if Scenario.is_topo scenario then
@@ -942,6 +1170,7 @@ let run ?(config = default_config) arch scenario =
          "Harness.run: %s is a multi-router topology scenario; run it \
           through Bgp_topo (bgpbench topo)"
          (Scenario.name scenario))
+  else if Scenario.is_churn scenario then run_churn ~config arch scenario
   else if Scenario.is_adversarial scenario then
     run_adversarial ~config arch scenario
   else if Scenario.is_mrt scenario then
@@ -968,13 +1197,24 @@ let pp_damping ppf = function
       d.dr_flaps d.dr_suppressions d.dr_reuses d.dr_suppressed_end
       d.dr_reuse_latency_mean d.dr_reuse_latency_max
 
+let pp_churn ppf = function
+  | None -> ()
+  | Some c ->
+    Format.fprintf ppf
+      "@,  churn: %d subscribers injected in %.2fs (%.0f tps); %d events in \
+       %.2fs (%.0f tps); %d up at failover@,  failover sweep: %.3fs \
+       end-to-end, %d withdrawals, latency mean %.3fs max %.3fs"
+      c.cr_subscribers c.cr_injection_s c.cr_injection_tps c.cr_churn_events
+      c.cr_churn_s c.cr_churn_tps c.cr_sessions_up_end c.cr_failover_s
+      c.cr_sweep_count c.cr_sweep_mean_s c.cr_sweep_max_s
+
 let pp_result ppf r =
   Format.fprintf ppf
-    "@[<v>%s / %s:@,  %.1f transactions/s (%d prefixes in %.2fs virtual)@,  FIB end size %d; verification %s%a%a@,  per-stage breakdown (measured phase):@,  @[<v>%a@]@]"
+    "@[<v>%s / %s:@,  %.1f transactions/s (%d prefixes in %.2fs virtual)@,  FIB end size %d; verification %s%a%a%a@,  per-stage breakdown (measured phase):@,  @[<v>%a@]@]"
     r.arch_name (Scenario.describe r.scenario) r.tps r.measured_prefixes
     r.measure_seconds r.fib_size_end
     (match r.verified with Ok () -> "OK" | Error e -> "FAILED: " ^ e)
-    pp_faults r.faults pp_damping r.damping
+    pp_faults r.faults pp_damping r.damping pp_churn r.churn
     Bgp_pipeline.Pipeline.pp_stage_stats r.stage_stats
 
 let fault_report_json (f : fault_report) =
@@ -999,6 +1239,22 @@ let damping_report_json (d : damping_report) =
       ("suppressed_end", J.Int d.dr_suppressed_end);
       ("reuse_latency_mean_s", J.Float d.dr_reuse_latency_mean);
       ("reuse_latency_max_s", J.Float d.dr_reuse_latency_max) ]
+
+let churn_report_json (c : churn_report) =
+  let module J = Bgp_stats.Json in
+  J.Obj
+    [ ("subscribers", J.Int c.cr_subscribers);
+      ("injection_s", J.Float c.cr_injection_s);
+      ("injection_tps", J.Float c.cr_injection_tps);
+      ("churn_events", J.Int c.cr_churn_events);
+      ("churn_s", J.Float c.cr_churn_s);
+      ("churn_tps", J.Float c.cr_churn_tps);
+      ("sessions_up_end", J.Int c.cr_sessions_up_end);
+      ("failover_s", J.Float c.cr_failover_s);
+      ("sweep_count", J.Int c.cr_sweep_count);
+      ("sweep_latency_mean_s", J.Float c.cr_sweep_mean_s);
+      ("sweep_latency_max_s", J.Float c.cr_sweep_max_s);
+      ("metrics", c.cr_metrics) ]
 
 (* A snapshot of the process-global attribute arena (JSON only — the
    rendered tables never include it, so text output is unaffected by
@@ -1037,6 +1293,9 @@ let result_json (r : result) =
     @ (match r.damping with
       | None -> []
       | Some d -> [ ("damping", damping_report_json d) ])
+    @ (match r.churn with
+      | None -> []
+      | Some c -> [ ("churn", churn_report_json c) ])
     @
     match r.verified with
     | Ok () -> [ ("verified", J.Bool true) ]

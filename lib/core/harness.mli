@@ -72,6 +72,11 @@ type config = {
   replay_events : int;
       (** scenario 13 synthesized-trace length; negative (the default)
           picks the generator's default (table_size/5, at least 20) *)
+  churn : Bgp_speaker.Subscriber.config option;
+      (** scenario 16 workload shape.  [None] (the default) derives
+          {!Bgp_speaker.Subscriber.default} with [table_size]
+          subscribers and this config's [seed]; an explicit config
+          overrides [table_size] with its subscriber count *)
   tracer : Bgp_trace.Tracer.t option;
       (** record structured trace events (pipeline stage spans,
           scheduler occupancy, FSM transitions, fault fates) for the
@@ -107,6 +112,28 @@ type damping_report = {
   dr_reuse_latency_max : float;
 }
 
+type churn_report = {
+  cr_subscribers : int;
+  cr_injection_s : float;
+      (** phase A clock seconds, first UPDATE to last transaction *)
+  cr_injection_tps : float;
+  cr_churn_events : int;  (** session events processed in phase B *)
+  cr_churn_s : float;
+  cr_churn_tps : float;
+  cr_sessions_up_end : int;
+      (** oracle up-count when failover hits — the expected FIB size
+          pre-sweep and the expected withdraw-sweep size *)
+  cr_failover_s : float;
+      (** peer loss to the last withdrawal landing at speaker 2 *)
+  cr_sweep_count : int;
+  cr_sweep_mean_s : float;  (** per-withdrawal failover latency *)
+  cr_sweep_max_s : float;
+  cr_metrics : Bgp_stats.Json.t;
+      (** {!Bgp_stats.Metrics.to_json} dump of the router's registry at
+          run end — the machine-readable stand-in for the BNG
+          playbook's Prometheus targets *)
+}
+
 type result = {
   arch_name : string;
   scenario : Scenario.t;
@@ -133,9 +160,13 @@ type result = {
   damping : damping_report option;
       (** present when the router ran with RFC 2439 damping enabled
           (scenario 14, or any run with [config.damping] set) *)
+  churn : churn_report option;  (** present for scenario 16 only *)
   locrib_fp : string;
       (** Loc-RIB digest ({!Bgp_rib.Loc_rib.fingerprint}) at run end;
-          equal across sim and live runs of the same scenario/seed *)
+          equal across sim and live runs of the same scenario/seed.
+          Scenario 16 fingerprints at peak state — after churn, before
+          the failover empties the table — so the crosscheck compares a
+          non-trivial RIB *)
   verified : (unit, string) Stdlib.result;
       (** scenario-specific semantic checks (see DESIGN.md §6) *)
 }
@@ -157,6 +188,16 @@ val run : ?config:config -> Bgp_router.Arch.t -> Scenario.t -> result
     overrides): from the second round on the re-announcements are
     suppressed, and the run completes only once the reuse timer has
     re-injected every withheld route ([damping] is populated).
+
+    Scenario 16 runs the subscriber-edge churn workload ([config.churn]
+    or its [table_size]-derived default): speaker 1 batch-injects the
+    /32 pool against a [max_prefixes] limit of exactly the pool size
+    with MRAI forced on (50 ms unless [config.mrai] overrides), the
+    Markov churn plan replays as timed announce/withdraw/resync events,
+    and finally speaker 1's link is cut — the full withdraw sweep is
+    timed end-to-end as it drains at speaker 2.  Every phase verifies
+    against the {!Bgp_speaker.Subscriber} plan oracle and [churn] is
+    populated.
     @raise Failure if a phase fails to converge within the timeout
     (with a diagnostic of what was stuck). *)
 

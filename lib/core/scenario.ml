@@ -9,6 +9,7 @@ type operation =
   | Topo_link_failure
   | Mrt_replay
   | Flap_damping
+  | Subscriber_churn
 
 type packet_size = Small | Large
 
@@ -43,6 +44,12 @@ let mrt =
   [ { id = 13; operation = Mrt_replay; packet_size = Large };
     { id = 14; operation = Flap_damping; packet_size = Large } ]
 
+(* Subscriber-edge churn (scenario 16): batched /32 injection,
+   steady-state session churn, failover sweep.  Scenario 15 (partitioned
+   multi-domain) is driven by [Bgp_topo.Pengine] and has no Scenario.t;
+   16 goes through the single-DUT harness, so it does. *)
+let churn = [ { id = 16; operation = Subscriber_churn; packet_size = Large } ]
+
 let is_adversarial t =
   match t.operation with
   | Corrupted_storm | Session_flaps -> true
@@ -56,13 +63,17 @@ let is_topo t =
 let is_mrt t =
   match t.operation with Mrt_replay | Flap_damping -> true | _ -> false
 
+let is_churn t =
+  match t.operation with Subscriber_churn -> true | _ -> false
+
 let of_id id =
-  List.find_opt (fun s -> s.id = id) (all @ adversarial @ topo @ mrt)
+  List.find_opt (fun s -> s.id = id) (all @ adversarial @ topo @ mrt @ churn)
 
 let of_id_exn id =
   match of_id id with
   | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Scenario.of_id_exn: %d not in 1-14" id)
+  | None ->
+    invalid_arg (Printf.sprintf "Scenario.of_id_exn: %d not in 1-14, 16" id)
 
 let packing ?(large = 500) t =
   match t.packet_size with Small -> 1 | Large -> large
@@ -74,6 +85,7 @@ let forwarding_table_changes t =
   | Topo_convergence | Topo_link_failure -> true  (* every node's FIB moves *)
   | Mrt_replay -> true (* withdrawals in the trace remove FIB routes *)
   | Flap_damping -> true (* flush + suppress + reuse re-install *)
+  | Subscriber_churn -> true (* every Up/Down moves a /32; failover sweeps all *)
   | Incremental_no_fib_change -> false
 
 let measures_phase t =
@@ -84,6 +96,7 @@ let uses_speaker2 t =
   | Incremental_no_fib_change | Incremental_fib_change -> true
   | Corrupted_storm | Session_flaps -> true  (* export side must recover too *)
   | Mrt_replay | Flap_damping -> true (* replay/flap effects observed at s2 *)
+  | Subscriber_churn -> true (* churn + failover sweep observed at s2 *)
   | Startup_announce | Ending_withdraw | Topo_convergence | Topo_link_failure
     -> false
 
@@ -100,6 +113,7 @@ let op_string = function
   | Topo_link_failure -> "topology: link failure and path hunting"
   | Mrt_replay -> "MRT: recorded table load + update-trace replay"
   | Flap_damping -> "MRT: flap storm under RFC 2439 route flap damping"
+  | Subscriber_churn -> "churn: subscriber-edge /32 churn + failover (BNG scale)"
 
 let describe t =
   Printf.sprintf "%s: %s, %s packets" (name t) (op_string t.operation)
@@ -130,6 +144,7 @@ let table1 () =
         | Topo_link_failure -> ("topology", "CUT")
         | Mrt_replay -> ("mrt", "REPLAY")
         | Flap_damping -> ("mrt", "FLAP")
+        | Subscriber_churn -> ("churn", "CHURN")
       in
       Buffer.add_string b
         (Printf.sprintf "| %2d | %-20s | %-8s | %-11s | %-6s |\n" s.id op msg

@@ -34,6 +34,12 @@ type operation =
       (** MRT (14): the scenario-10 flap storm with RFC 2439 damping
           enabled — suppressed-prefix counts, reuse-timer latencies,
           and convergence deltas against the undamped run *)
+  | Subscriber_churn
+      (** Churn (16): BNG/WISP subscriber-edge workload — N /32 session
+          routes injected in rate-limited batches, steady-state Markov
+          up/down churn with [max_prefixes] and MRAI active, then a
+          failover (peer loss) whose full withdraw sweep is timed
+          end-to-end against the {!Bgp_speaker.Subscriber} oracle *)
 
 type packet_size = Small | Large
 
@@ -54,15 +60,22 @@ val topo : t list
 val mrt : t list
 (** The real-trace scenarios 13-14 (MRT replay, flap damping). *)
 
+val churn : t list
+(** The subscriber-edge churn scenario 16.  (15, the partitioned
+    multi-domain sweep, runs through [Bgp_topo.Pengine] and has no
+    [Scenario.t].) *)
+
 val is_adversarial : t -> bool
 
 val is_topo : t -> bool
 
 val is_mrt : t -> bool
 
+val is_churn : t -> bool
+
 val of_id : int -> t option
 (** Scenario by number: 1-8 from Table I, 9-10 adversarial, 11-12
-    topology, 13-14 MRT/damping. *)
+    topology, 13-14 MRT/damping, 16 subscriber churn. *)
 
 val of_id_exn : int -> t
 

@@ -112,6 +112,31 @@ let loc_rib t = t.loc
 let adj_in_size t peer = Adj_rib.size (peer_state t peer).adj_in
 let adj_out_size t peer = Adj_rib.size (peer_state t peer).adj_out
 
+(* The Adj-RIB-In size one UPDATE would leave behind, computed without
+   mutating anything.  A re-announced prefix and a duplicate within the
+   NLRI contribute zero growth; a withdrawal of a held prefix shrinks
+   the projection unless the same message re-announces it (RFC 4271
+   processes withdrawals first, so announce wins).  The prefix-limit
+   check keys on this so a peer steadily re-announcing its existing
+   routes — the subscriber-churn steady state — can never trip a limit
+   at or above its live route count. *)
+let projected_adj_in_size t peer ~announced ~withdrawn =
+  let ps = peer_state t peer in
+  let nlri = Hashtbl.create (max 16 (List.length announced)) in
+  List.iter (fun p -> Hashtbl.replace nlri p ()) announced;
+  let growth =
+    Hashtbl.fold
+      (fun p () acc -> if Adj_rib.mem ps.adj_in p then acc else acc + 1)
+      nlri 0
+  in
+  let gone = Hashtbl.create (max 16 (List.length withdrawn)) in
+  List.iter
+    (fun p ->
+      if Adj_rib.mem ps.adj_in p && not (Hashtbl.mem nlri p) then
+        Hashtbl.replace gone p ())
+    withdrawn;
+  Adj_rib.size ps.adj_in + growth - Hashtbl.length gone
+
 type announcement = {
   dest : Peer.t;
   ann_prefix : P.t;

@@ -86,6 +86,22 @@ val loc_rib : t -> Loc_rib.t
 val adj_in_size : t -> Bgp_route.Peer.t -> int
 val adj_out_size : t -> Bgp_route.Peer.t -> int
 
+val projected_adj_in_size :
+  t ->
+  Bgp_route.Peer.t ->
+  announced:Bgp_addr.Prefix.t list ->
+  withdrawn:Bgp_addr.Prefix.t list ->
+  int
+(** The Adj-RIB-In size the peer's table would have {e after} an UPDATE
+    carrying [announced] NLRI and [withdrawn] routes, without applying
+    it: current size, plus announced prefixes not already held
+    (duplicates within the NLRI counted once), minus withdrawn prefixes
+    actually held and not re-announced by the same message.  This is
+    what a prefix limit must compare against — counting raw NLRI length
+    double-counts re-announcements, so a peer refreshing its existing
+    routes would falsely trip the limit.
+    @raise Invalid_argument for an unregistered peer. *)
+
 (** One item the router must send to a neighbor.  The attributes are an
     interned handle, so the router's UPDATE packing and MRAI grouping
     key on the arena id instead of hashing structures. *)

@@ -24,6 +24,10 @@ type peer_link = {
      the flush groups prefixes into UPDATEs by arena id. *)
   mrai_pending : (Bgp_addr.Prefix.t, Interned.t option) Hashtbl.t;
   mutable mrai_armed : bool;
+  mutable mrai_timer : Clock.handle option;
+      (* the armed timer, kept so session loss can cancel it: a timer
+         surviving [on_down] would flush the dead session's buffer into
+         the next incarnation of the session *)
 }
 
 type counters = {
@@ -314,13 +318,15 @@ let rec mrai_flush t lnk =
 
 and mrai_arm t lnk interval =
   lnk.mrai_armed <- true;
-  ignore
-    (Clock.schedule t.clock ~delay:interval (fun () ->
-         if Hashtbl.length lnk.mrai_pending > 0 then begin
-           ignore (mrai_flush t lnk);
-           mrai_arm t lnk interval
-         end
-         else lnk.mrai_armed <- false))
+  lnk.mrai_timer <-
+    Some
+      (Clock.schedule t.clock ~delay:interval (fun () ->
+           lnk.mrai_timer <- None;
+           if Hashtbl.length lnk.mrai_pending > 0 then begin
+             ignore (mrai_flush t lnk);
+             mrai_arm t lnk interval
+           end
+           else lnk.mrai_armed <- false))
 
 (* Route one decision's advertisement toward a peer, immediately or
    through the MRAI buffer.  [w] is the owning batch's work profile;
@@ -474,18 +480,37 @@ and reuse_fire t d =
     (Damping.take_reusable d ~now);
   arm_reuse t
 
+(* Prefix-limit protection: a peer announcing more prefixes than
+   configured gets a CEASE, the standard operator defense against
+   leaks (and against the worm-scale storms of paper section II). *)
+let over_prefix_limit t peer_link (u : Msg.update) =
+  match peer_link.max_prefixes with
+  | None -> false
+  | Some limit ->
+    (* Project the post-UPDATE table size rather than adding the raw
+       NLRI length: re-announced prefixes and duplicates within one
+       NLRI don't grow the table, so a peer refreshing its existing
+       routes at the limit must not be CEASEd. *)
+    Rib_manager.projected_adj_in_size t.rib peer_link.peer
+      ~announced:u.Msg.nlri ~withdrawn:u.Msg.withdrawn
+    > limit
+
 (* Route one inbound UPDATE — all its NLRI as one batch — through the
    architecture's stage table.  The protocol side effects ride on the
    stage hooks:
 
-   - [Adj_rib_in]'s begin hook runs the RIB machinery and copies its
+   - [Adj_rib_in]'s begin hook checks the prefix limit (here, not at
+     decode time: the projection must see every earlier UPDATE from
+     this peer already applied, and the pipeline is the point where
+     that ordering holds), then runs the RIB machinery and copies its
      outcome into the work profile, which prices the decision and FIB
      stages;
    - [Fib_install]'s finish hook commits the deltas to the FIB;
    - [Export_policy]'s finish hook emits the advertisements
      (immediately, or into the MRAI buffers);
    - the done hook books the transactions. *)
-let process_update t ~from ~bytes (u : Msg.update) =
+let process_update t peer_link ~bytes (u : Msg.update) =
+  let from = peer_link.peer in
   let announced = List.length u.Msg.nlri in
   let withdrawn = List.length u.Msg.withdrawn in
   let prefixes = announced + withdrawn in
@@ -502,8 +527,16 @@ let process_update t ~from ~bytes (u : Msg.update) =
   in
   let deltas = ref [] in
   let anns = ref [] in
+  let ceased = ref false in
   let on_begin = function
     | Pipeline.Adj_rib_in ->
+      if over_prefix_limit t peer_link u then begin
+        (* Session teardown; the FSM sends CEASE and on_down flushes
+           the peer's contribution.  The update is NOT applied. *)
+        ceased := true;
+        Option.iter Session.stop peer_link.session
+      end
+      else begin
       let r = run_rib_update t ~from u in
       w.Pipeline.w_candidates <- r.w_candidates;
       w.Pipeline.w_loc_changes <- r.w_loc_changes;
@@ -517,6 +550,7 @@ let process_update t ~from ~bytes (u : Msg.update) =
       w.Pipeline.w_announcements <- List.length r.w_anns;
       deltas := r.w_deltas;
       anns := r.w_anns
+      end
     | _ -> ()
   in
   let on_finish = function
@@ -528,34 +562,21 @@ let process_update t ~from ~bytes (u : Msg.update) =
     { Pipeline.on_begin; on_finish;
       on_done =
         (fun () ->
-          note_transactions t prefixes;
-          (* Any flap this UPDATE charged may have moved the earliest
-             reuse instant. *)
-          arm_reuse t) }
-
-(* Prefix-limit protection: a peer announcing more prefixes than
-   configured gets a CEASE, the standard operator defense against
-   leaks (and against the worm-scale storms of paper section II). *)
-let over_prefix_limit t peer_link (u : Msg.update) =
-  match peer_link.max_prefixes with
-  | None -> false
-  | Some limit ->
-    Rib_manager.adj_in_size t.rib peer_link.peer + List.length u.Msg.nlri
-    > limit
+          if !ceased then t.inflight <- t.inflight - 1
+          else begin
+            note_transactions t prefixes;
+            (* Any flap this UPDATE charged may have moved the earliest
+               reuse instant. *)
+            arm_reuse t
+          end) }
 
 let on_update t peer_link (u : Msg.update) =
   let now = Clock.now t.clock in
   if t.first_work_at = None then t.first_work_at <- Some now;
   Metrics.incr t.c_updates_rx;
   Metrics.incr ~by:(List.length u.Msg.withdrawn) t.c_withdrawn_rx;
-  if over_prefix_limit t peer_link u then
-    (* Session teardown; the FSM sends CEASE and on_down flushes the
-       peer's contribution. *)
-    Option.iter Session.stop peer_link.session
-  else begin
-    t.inflight <- t.inflight + 1;
-    process_update t ~from:peer_link.peer ~bytes:peer_link.last_rx_size u
-  end
+  t.inflight <- t.inflight + 1;
+  process_update t peer_link ~bytes:peer_link.last_rx_size u
 
 (* Ship a full advertisement set to one peer, packed into large
    updates, charging per-prefix announcement-building cycles. *)
@@ -599,7 +620,8 @@ let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
   let io = Session.io_of_link ~active link in
   let lnk =
     { peer; session = None; last_rx_size = 0; max_prefixes;
-      mrai_pending = Hashtbl.create 16; mrai_armed = false }
+      mrai_pending = Hashtbl.create 16; mrai_armed = false;
+      mrai_timer = None }
   in
   let hooks =
     { Session.on_update = (fun u -> on_update t lnk u);
@@ -607,6 +629,15 @@ let attach_peer ?max_prefixes ?restart_delay ?(active = false) ?import ?export
       on_established = (fun () -> on_established t lnk);
       on_down =
         (fun _reason ->
+          (* Advertisements buffered for the dead session must die with
+             it: the next incarnation starts from export_full, and a
+             stale armed timer would otherwise flush the old buffer
+             into the reborn session (or leave mrai_armed stuck true,
+             silently buffering forever with no timer to drain it). *)
+          Option.iter Clock.cancel lnk.mrai_timer;
+          lnk.mrai_timer <- None;
+          Hashtbl.reset lnk.mrai_pending;
+          lnk.mrai_armed <- false;
           (* Session loss invalidates everything the peer contributed;
              the repair work flows outside the update pipeline, charged
              to the architecture's FIB process like any other burst

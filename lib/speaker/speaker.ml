@@ -11,6 +11,7 @@ type t = {
   mutable sessions_lost : int;
   mutable notifications_rx : Bgp_wire.Msg.error list;  (* reversed *)
   received : (Bgp_addr.Prefix.t, Bgp_route.Attrs.Interned.t) Hashtbl.t;
+  mutable update_observer : Msg.update -> unit;
 }
 
 let session t =
@@ -24,7 +25,8 @@ let create clock ~asn ~router_id ~(link : Link.t) =
   let t =
     { session = None; established_cb = (fun () -> ()); updates_received = 0;
       prefixes_received = 0; withdrawals_received = 0; sessions_lost = 0;
-      notifications_rx = []; received = Hashtbl.create 1024 }
+      notifications_rx = []; received = Hashtbl.create 1024;
+      update_observer = ignore }
   in
   let hooks =
     { Session.null_hooks with
@@ -38,7 +40,8 @@ let create clock ~asn ~router_id ~(link : Link.t) =
           Option.iter
             (fun attrs ->
               List.iter (fun p -> Hashtbl.replace t.received p attrs) u.Msg.nlri)
-            u.Msg.attrs);
+            u.Msg.attrs;
+          t.update_observer u);
       on_established = (fun () -> t.established_cb ());
       on_down = (fun _reason -> t.sessions_lost <- t.sessions_lost + 1);
       on_rx_msg =
@@ -93,6 +96,7 @@ let request_refresh t =
   require_established t "request_refresh";
   ignore (Session.send (session t) Msg.route_refresh)
 
+let set_update_observer t f = t.update_observer <- f
 let sessions_lost t = t.sessions_lost
 let notifications_received t = List.rev t.notifications_rx
 let updates_received t = t.updates_received

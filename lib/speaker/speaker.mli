@@ -75,3 +75,10 @@ val received_prefix_set : t -> (Bgp_addr.Prefix.t, Bgp_route.Attrs.Interned.t) H
 (** Live view of the routes currently advertised to this speaker
     (announcements minus withdrawals) — the benchmark's correctness
     check that the router really transferred its table. *)
+
+val set_update_observer : t -> (Bgp_wire.Msg.update -> unit) -> unit
+(** Install a hook called on every UPDATE this speaker receives, after
+    the built-in counters and {!received_prefix_set} bookkeeping have
+    run.  The churn harness uses it to timestamp each prefix of the
+    failover withdraw sweep as it lands.  Replaces any previous hook;
+    [ignore] by default. *)

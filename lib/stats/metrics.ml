@@ -149,3 +149,31 @@ let pp ppf t =
         Format.fprintf ppf "%-40s %12d (gauge)@," g.g_name (g.g_sample ()))
     (in_order t);
   Format.fprintf ppf "@]"
+
+(* The Prometheus-style export: every metric in registration order,
+   typed by kind.  This is what `bgpbench churn --metrics` dumps in
+   place of the BNG playbook's Prometheus scrape targets. *)
+let to_json t =
+  Json.Obj
+    (List.map
+       (function
+         | Counter c ->
+           ( c.c_name,
+             Json.Obj
+               [ ("kind", Json.Str "counter");
+                 ("value", Json.Int (Atomic.get c.c_value)) ] )
+         | Histogram h ->
+           ( h.h_name,
+             Json.Obj
+               [ ("kind", Json.Str "histogram");
+                 ("count", Json.Int h.h_count);
+                 ("sum", Json.Float h.h_sum);
+                 ("mean", Json.Float (hist_mean h));
+                 ("min", Json.Float h.h_min);
+                 ("max", Json.Float h.h_max) ] )
+         | Gauge g ->
+           ( g.g_name,
+             Json.Obj
+               [ ("kind", Json.Str "gauge");
+                 ("value", Json.Int (g.g_sample ())) ] ))
+       (in_order t))

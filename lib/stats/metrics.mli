@@ -93,3 +93,9 @@ val gauges : t -> (string * int) list
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable dump of every metric, in registration order. *)
+
+val to_json : t -> Json.t
+(** Every metric in registration order as one JSON object keyed by
+    metric name — counters as [{kind,value}], histograms as
+    [{kind,count,sum,mean,min,max}], gauges sampled now.  The
+    machine-readable stand-in for a Prometheus scrape endpoint. *)

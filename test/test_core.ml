@@ -69,8 +69,12 @@ let test_scenario_lookup () =
     | Some s -> Scenario.is_mrt s
     | None -> false);
   Alcotest.(check bool) "of_id 15" true (Scenario.of_id 15 = None);
+  Alcotest.(check bool) "of_id 16 is churn" true
+    (match Scenario.of_id 16 with
+    | Some s -> Scenario.is_churn s
+    | None -> false);
   Alcotest.check_raises "of_id_exn"
-    (Invalid_argument "Scenario.of_id_exn: 15 not in 1-14") (fun () ->
+    (Invalid_argument "Scenario.of_id_exn: 15 not in 1-14, 16") (fun () ->
       ignore (Scenario.of_id_exn 15));
   let rendered = Scenario.table1 () in
   List.iter
